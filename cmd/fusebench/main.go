@@ -1,0 +1,40 @@
+// Command fusebench regenerates the paper's evaluation tables and figures
+// (§5). Run all experiments or a single one by ID:
+//
+//	fusebench                 # everything at default laptop scale
+//	fusebench -exp fig8cell   # one experiment
+//	fusebench -scale 0.1      # quick pass at 10% of the default sizes
+//	fusebench -list           # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sysml/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment ID to run (default: all)")
+	scale := flag.Float64("scale", 1, "row-count scale factor")
+	reps := flag.Int("reps", 3, "timed repetitions per measurement")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments {
+			fmt.Printf("%-10s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+	o := bench.Options{Scale: *scale, Reps: *reps, Out: os.Stdout}
+	if *exp == "" {
+		bench.RunAll(o)
+		return
+	}
+	if !bench.Run(*exp, o) {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,42 @@
+package sysml_test
+
+import (
+	"fmt"
+
+	"sysml"
+)
+
+// ExampleSession_Run compiles and executes a script; every statement block
+// runs through the fusion optimizer.
+func ExampleSession_Run() {
+	s := sysml.NewSession(sysml.DefaultConfig())
+	s.Bind("X", sysml.NewDenseMatrixData(2, 3, []float64{1, 2, 3, 4, 5, 6}))
+	if err := s.Run(`
+		s = sum(X * X)           # fused cell aggregate
+		r = rowSums(X)
+	`); err != nil {
+		panic(err)
+	}
+	v, _ := s.Scalar("s")
+	r, _ := s.Get("r")
+	fmt.Printf("sum(X*X) = %g\n", v)
+	fmt.Printf("rowSums = [%g %g]\n", r.At(0, 0), r.At(1, 0))
+	// Output:
+	// sum(X*X) = 91
+	// rowSums = [6 15]
+}
+
+// ExampleConfig demonstrates selecting a plan-selection policy.
+func ExampleConfig() {
+	cfg := sysml.DefaultConfig()
+	cfg.Mode = sysml.ModeGenFNR // fuse-no-redundancy heuristic
+	s := sysml.NewSession(cfg)
+	s.Bind("X", sysml.NewDenseMatrixData(2, 2, []float64{1, 2, 3, 4}))
+	if err := s.Run(`y = sum(X + 1)`); err != nil {
+		panic(err)
+	}
+	y, _ := s.Scalar("y")
+	fmt.Println(y)
+	// Output:
+	// 14
+}

@@ -1,0 +1,78 @@
+// ALS-CG: low-rank matrix factorization on a sparse ratings matrix. The
+// update rule contains the paper's Expression (1) pattern
+// ((X != 0) * (U %*% t(V))) %*% V, which the optimizer compiles into a
+// sparsity-exploiting Outer-product template — the difference between
+// O(nnz·rank) and O(n·m·rank) work per iteration.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"sysml"
+)
+
+const script = `
+	U = U0
+	V = V0
+	Xt = t(X)
+	for (outer in 1:3) {
+		# CG update of U with V fixed
+		R = X %*% V - ((X != 0) * (U %*% t(V))) %*% V - lambda * U
+		S = R
+		rsold = sum(R * R)
+		for (i in 1:rank) {
+			HS = ((X != 0) * (S %*% t(V))) %*% V + lambda * S
+			alpha = rsold / max(sum(S * HS), 1e-12)
+			U = U + alpha * S
+			R = R - alpha * HS
+			rsnew = sum(R * R)
+			S = R + (rsnew / max(rsold, 1e-12)) * S
+			rsold = rsnew
+		}
+		# CG update of V with U fixed
+		R2 = Xt %*% U - ((Xt != 0) * (V %*% t(U))) %*% U - lambda * V
+		S2 = R2
+		rsold2 = sum(R2 * R2)
+		for (i in 1:rank) {
+			HS2 = ((Xt != 0) * (S2 %*% t(U))) %*% U + lambda * S2
+			alpha2 = rsold2 / max(sum(S2 * HS2), 1e-12)
+			V = V + alpha2 * S2
+			R2 = R2 - alpha2 * HS2
+			rsnew2 = sum(R2 * R2)
+			S2 = R2 + (rsnew2 / max(rsold2, 1e-12)) * S2
+			rsold2 = rsnew2
+		}
+		loss = sum(X ^ 2) - 2 * sum(X * (U %*% t(V))) + sum((X != 0) * (U %*% t(V)) ^ 2)
+		print("iter " + outer + ": loss = " + loss)
+	}
+`
+
+func run(mode sysml.Mode, rows, cols, rank int) time.Duration {
+	cfg := sysml.DefaultConfig()
+	cfg.Mode = mode
+	s := sysml.NewSession(cfg)
+	// A sparse ratings-like matrix (0.5% filled, values 1..5).
+	x := sysml.RandMatrix(rows, cols, 0.005, 1, 6, 42)
+	s.Bind("X", x)
+	s.Bind("U0", sysml.RandMatrix(rows, rank, 1, 0.01, 0.1, 1))
+	s.Bind("V0", sysml.RandMatrix(cols, rank, 1, 0.01, 0.1, 2))
+	s.BindScalar("lambda", 1e-3)
+	s.BindScalar("rank", float64(rank))
+	start := time.Now()
+	if err := s.Run(script); err != nil {
+		log.Fatal(err)
+	}
+	return time.Since(start)
+}
+
+func main() {
+	rows, cols, rank := 3000, 2000, 10
+	fmt.Printf("factorizing %dx%d sparse matrix at rank %d\n\n", rows, cols, rank)
+	genTime := run(sysml.ModeGen, rows, cols, rank)
+	fmt.Printf("\nGen (sparsity-exploiting Outer templates): %v\n", genTime)
+	baseTime := run(sysml.ModeBase, rows, cols, rank)
+	fmt.Printf("\nBase (dense UV' intermediates):            %v\n", baseTime)
+	fmt.Printf("\nspeedup: %.1fx\n", float64(baseTime)/float64(genTime))
+}

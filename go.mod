@@ -1,0 +1,3 @@
+module sysml
+
+go 1.22

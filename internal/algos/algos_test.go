@@ -1,0 +1,139 @@
+package algos
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"sysml/internal/codegen"
+	"sysml/internal/matrix"
+)
+
+// runModes executes an algorithm under every optimizer mode and checks the
+// outputs agree with Base within floating-point slack. Fused chains change
+// accumulation order, so the tolerance is loose but relative.
+func runModes(t *testing.T, a Algorithm, rows, cols int, overrides map[string]float64) map[codegen.Mode]*matrix.Matrix {
+	t.Helper()
+	inputs := a.Gen(rows, cols, 42)
+	results := map[codegen.Mode]*matrix.Matrix{}
+	var ref *matrix.Matrix
+	for _, mode := range []codegen.Mode{codegen.ModeBase, codegen.ModeFused,
+		codegen.ModeGen, codegen.ModeGenFA, codegen.ModeGenFNR} {
+		cfg := codegen.DefaultConfig()
+		cfg.Mode = mode
+		s, err := a.Run(cfg, inputs, overrides, nil, &bytes.Buffer{})
+		if err != nil {
+			t.Fatalf("%s/%v: %v", a.Name, mode, err)
+		}
+		out, ok := s.Get(a.Outputs[0])
+		if !ok {
+			t.Fatalf("%s/%v: missing output %s", a.Name, mode, a.Outputs[0])
+		}
+		results[mode] = out
+		if mode == codegen.ModeBase {
+			ref = out
+			continue
+		}
+		if !out.EqualsApprox(ref, 1e-4) {
+			t.Errorf("%s/%v: output %s differs from Base", a.Name, mode, a.Outputs[0])
+		}
+	}
+	return results
+}
+
+func TestL2SVM(t *testing.T) {
+	runModes(t, L2SVM, 500, 10, map[string]float64{"maxiter": 5})
+	// Convergence sanity: objective decreases vs initial hinge loss.
+	inputs := L2SVM.Gen(500, 10, 1)
+	cfg := codegen.DefaultConfig()
+	s, err := L2SVM.Run(cfg, inputs, map[string]float64{"maxiter": 10}, nil, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, _ := s.Scalar("obj")
+	if math.IsNaN(obj) || obj <= 0 || obj > 500 {
+		t.Fatalf("implausible L2SVM objective %v", obj)
+	}
+	w, _ := s.Get("w")
+	if w.Rows != 10 || w.Cols != 1 {
+		t.Fatal("w dims")
+	}
+}
+
+func TestMLogreg(t *testing.T) {
+	runModes(t, MLogreg, 400, 12, map[string]float64{"maxiter": 3, "inneriter": 4, "k": 3})
+}
+
+func TestGLM(t *testing.T) {
+	runModes(t, GLM, 400, 10, map[string]float64{"maxiter": 3, "inneriter": 4})
+	inputs := GLM.Gen(600, 10, 2)
+	cfg := codegen.DefaultConfig()
+	s, err := GLM.Run(cfg, inputs, map[string]float64{"maxiter": 8}, nil, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, _ := s.Scalar("dev")
+	// Deviance must beat the null model (2n·ln2 ≈ 832 for n=600).
+	if math.IsNaN(dev) || dev <= 0 || dev >= 2*600*math.Ln2 {
+		t.Fatalf("implausible GLM deviance %v", dev)
+	}
+}
+
+func TestKMeans(t *testing.T) {
+	runModes(t, KMeans, 500, 8, map[string]float64{"maxiter": 5})
+	inputs := KMeans.Gen(500, 8, 3)
+	cfg := codegen.DefaultConfig()
+	s, err := KMeans.Run(cfg, inputs, map[string]float64{"maxiter": 10}, nil, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcss, _ := s.Scalar("wcss")
+	if math.IsNaN(wcss) || wcss < 0 {
+		t.Fatalf("implausible KMeans WCSS %v", wcss)
+	}
+	c, _ := s.Get("C")
+	if c.Rows != 5 || c.Cols != 8 {
+		t.Fatal("centroid dims")
+	}
+}
+
+func TestALSCG(t *testing.T) {
+	runModes(t, ALSCG, 200, 150, map[string]float64{"maxiter": 2, "rank": 4})
+	// Loss decreases over iterations.
+	inputs := ALSCG.Gen(200, 150, 5)
+	cfg := codegen.DefaultConfig()
+	one, err := ALSCG.Run(cfg, inputs, map[string]float64{"maxiter": 1, "rank": 4}, nil, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := ALSCG.Run(cfg, inputs, map[string]float64{"maxiter": 4, "rank": 4}, nil, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, _ := one.Scalar("loss")
+	l4, _ := four.Scalar("loss")
+	if math.IsNaN(l1) || math.IsNaN(l4) || l4 > l1 {
+		t.Fatalf("ALS-CG loss did not decrease: %v -> %v", l1, l4)
+	}
+	// The update rule must compile to sparsity-exploiting Outer operators.
+	s := one
+	if s.Stats.CPlansConstructed == 0 {
+		t.Fatal("no fused operators constructed for ALS-CG")
+	}
+}
+
+func TestAutoEncoder(t *testing.T) {
+	runModes(t, AutoEncoder, 1100, 20,
+		map[string]float64{"epochs": 1, "batch": 256, "H1": 16, "H2": 2})
+	inputs := AutoEncoder.Gen(1100, 20, 6)
+	cfg := codegen.DefaultConfig()
+	s, err := AutoEncoder.Run(cfg, inputs,
+		map[string]float64{"epochs": 2, "batch": 256, "H1": 16, "H2": 2}, nil, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, _ := s.Scalar("obj")
+	if math.IsNaN(obj) || obj <= 0 {
+		t.Fatalf("implausible AutoEncoder objective %v", obj)
+	}
+}

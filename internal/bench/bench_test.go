@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"sysml/internal/codegen"
+	"sysml/internal/matrix"
+)
+
+func TestTablePrint(t *testing.T) {
+	tbl := &Table{Title: "T", Columns: []string{"a", "long-column"}}
+	tbl.Add("1", "2")
+	tbl.Add("wide-value", "3")
+	var buf bytes.Buffer
+	tbl.Print(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== T ==") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	// Column alignment: header and separator have equal length.
+	if len(lines[1]) != len(lines[2]) {
+		t.Fatalf("misaligned separator:\n%s", out)
+	}
+}
+
+func TestMedianOrdering(t *testing.T) {
+	calls := 0
+	d := Median(3, func() {
+		calls++
+		time.Sleep(time.Millisecond)
+	})
+	if calls != 4 { // warmup + 3
+		t.Fatalf("expected 4 calls, got %d", calls)
+	}
+	if d < 500*time.Microsecond {
+		t.Fatalf("median implausibly small: %v", d)
+	}
+}
+
+func TestRunScriptHelper(t *testing.T) {
+	s, err := runScript(codegen.ModeGen, `s = sum(X)`,
+		map[string]*matrix.Matrix{"X": matrix.Fill(4, 4, 2)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Scalar("s"); got != 32 {
+		t.Fatalf("sum = %v", got)
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range Experiments {
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment ID %s", e.ID)
+		}
+		ids[e.ID] = true
+		if e.Run == nil || e.Desc == "" {
+			t.Fatalf("incomplete experiment %s", e.ID)
+		}
+	}
+	for _, want := range []string{"fig8cell", "fig8magg", "fig8row", "fig8rowmm",
+		"fig8outer", "fig9", "fig10", "table3", "fig11", "fig12", "table4",
+		"fig13", "table5", "table6", "ablation"} {
+		if !ids[want] {
+			t.Fatalf("missing experiment %s", want)
+		}
+	}
+	if !Run("nonexistent", DefaultOptions(&bytes.Buffer{})) {
+		// expected false
+	} else {
+		t.Fatal("unknown experiment should return false")
+	}
+}
+
+func TestAblationOrderPrunesLess(t *testing.T) {
+	o := Options{Scale: 0.05, Reps: 1, Out: &bytes.Buffer{}}
+	tbl := AblationOrder(o)
+	if len(tbl.Rows) == 0 {
+		t.Fatal("no ablation rows")
+	}
+}
+
+// TestAllExperimentsSmoke runs every registered experiment at a tiny scale
+// to guard the harness against regressions (skipped with -short).
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test skipped in short mode")
+	}
+	o := Options{Scale: 0.01, Reps: 1, Out: &bytes.Buffer{}}
+	for _, e := range Experiments {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("experiment %s panicked: %v", e.ID, r)
+				}
+			}()
+			e.Run(o)
+		})
+	}
+}

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"sysml/internal/algos"
+	"sysml/internal/codegen"
+	"sysml/internal/data"
+	"sysml/internal/dist"
+	"sysml/internal/matrix"
+)
+
+// Table6Distributed reproduces Table 6: end-to-end runtimes of the four
+// data-intensive algorithms on the simulated distributed backend. Reported
+// time is wall time plus the simulated network time implied by broadcast
+// and shuffle volumes; the heuristics' eager fusion of driver-computable
+// vector operations into distributed operators shows up as broadcast
+// overhead (the paper's Gen-FA slowdowns).
+func Table6Distributed(o Options) *Table {
+	t := &Table{
+		Title:   "Table 6: Runtime of Distributed Algorithms [s] (wall + simulated net)",
+		Columns: append([]string{"algorithm", "data"}, append(ModeNames(), "Gen bcastMB", "FA bcastMB")...),
+	}
+	type ds struct {
+		name string
+		gen  func(a algos.Algorithm) map[string]*matrix.Matrix
+	}
+	mk := func(x *matrix.Matrix, a algos.Algorithm, seed int64) map[string]*matrix.Matrix {
+		in := map[string]*matrix.Matrix{"X": x}
+		switch a.Name {
+		case "L2SVM":
+			in["Y"] = data.BinaryLabels(x, 0.05, seed)
+		case "GLM":
+			in["Y"] = data.ZeroOneLabels(data.BinaryLabels(x, 0.05, seed))
+		case "MLogreg":
+			in["Yfull"] = data.MultiClassIndicator(x, 3, seed)
+		case "KMeans":
+			in["C0"] = matrix.Rand(5, x.Cols, 1, -1, 1, seed)
+		}
+		return in
+	}
+	datasets := []ds{
+		{"D-like dense", func(a algos.Algorithm) map[string]*matrix.Matrix {
+			return mk(data.Dense(o.rows(200000), 100, 71), a, 81)
+		}},
+		{"S-like sparse", func(a algos.Algorithm) map[string]*matrix.Matrix {
+			return mk(data.Sparse(o.rows(200000), 500, 0.05, 72), a, 82)
+		}},
+		{"Mnist80m-like", func(a algos.Algorithm) map[string]*matrix.Matrix {
+			return mk(data.MnistLike(o.rows(30000), 73), a, 83)
+		}},
+	}
+	jobs := []struct {
+		a         algos.Algorithm
+		overrides map[string]float64
+	}{
+		{algos.L2SVM, map[string]float64{"maxiter": 5}},
+		{algos.MLogreg, map[string]float64{"maxiter": 3, "inneriter": 3, "k": 3}},
+		{algos.GLM, map[string]float64{"maxiter": 3, "inneriter": 3}},
+		{algos.KMeans, map[string]float64{"maxiter": 5}},
+	}
+	for _, job := range jobs {
+		for _, d := range datasets {
+			inputs := d.gen(job.a)
+			row := []string{job.a.Name, d.name}
+			var genBcast, faBcast int64
+			for _, mode := range Modes {
+				cfg := codegen.DefaultConfig()
+				cfg.Mode = mode
+				// Force the feature-matrix operators onto the cluster.
+				cfg.Exec.MemBudgetBytes = inputs["X"].SizeBytes() / 2
+				cl := dist.NewCluster()
+				cl.Blocksize = 1000
+				start := time.Now()
+				_, err := job.a.Run(cfg, inputs, job.overrides, cl, io.Discard)
+				wall := time.Since(start)
+				if err != nil {
+					row = append(row, "ERR")
+					continue
+				}
+				total := wall + cl.NetTime()
+				row = append(row, secs(total))
+				switch mode {
+				case codegen.ModeGen:
+					genBcast = cl.BytesBroadcast()
+				case codegen.ModeGenFA:
+					faBcast = cl.BytesBroadcast()
+				}
+			}
+			row = append(row, fmt.Sprintf("%.1f", float64(genBcast)/1e6),
+				fmt.Sprintf("%.1f", float64(faBcast)/1e6))
+			t.Add(row...)
+		}
+	}
+	return t
+}

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+
+	"sysml/internal/cplan"
+	"sysml/internal/matrix"
+	"sysml/internal/runtime"
+)
+
+func runtimeExecCell(op *cplan.Operator, x *matrix.Matrix) float64 {
+	return runtime.ExecCellwise(op, x, nil).Scalar()
+}
+
+// Fig10Footprint reproduces Fig. 10: the impact of the instruction
+// footprint on sum(f(X/rowSums(X))) where f chains n row operations X*i.
+//
+// Gen keeps the per-operator footprint small by calling shared vector
+// primitives (one vector instruction per operation). Gen-inlined models
+// fully inlined generated code: a per-cell closure chain. The JVM's 8 KB
+// JIT threshold is modeled by a fallback to tree-walking interpretation
+// beyond `jitThreshold` operations (Fig. 10a); disabling the threshold
+// (Fig. 10b, -XX:-DontCompileHugeMethods) keeps closures at any size but
+// still pays per-cell dispatch that grows with n.
+func Fig10Footprint(o Options, jitThreshold int) *Table {
+	title := "Fig 10a Instruction footprint (JIT threshold analog on)"
+	if jitThreshold <= 0 {
+		title = "Fig 10b Instruction footprint (threshold disabled)"
+	}
+	t := &Table{
+		Title:   title,
+		Columns: []string{"n row ops", "Gen", "Gen inlined"},
+	}
+	rows, cols := o.rows(20000), 100
+	x := matrix.Rand(rows, cols, 1, 1, 2, 31)
+	for _, n := range []int{1, 8, 16, 31, 32, 48, 64, 96, 128} {
+		// Gen: Row template with a vector program of n vectMult ops over
+		// X/rowSums(X), then a full aggregate.
+		norm := cplan.Binary(matrix.BinDiv, cplan.Main(cols),
+			cplan.Side(0, cplan.AccessCol, 0))
+		chain := norm
+		for i := 1; i <= n; i++ {
+			chain = cplan.Binary(matrix.BinMul, chain, cplan.Lit(1+1/float64(i)))
+		}
+		rowPlan := &cplan.Plan{Type: cplan.TemplateRow, Row: cplan.RowFullAgg,
+			Root: cplan.Agg(matrix.AggSum, chain), MainWidth: cols}
+		rowOp := cplan.Compile(rowPlan, "TMP_Gen")
+		rs := matrix.Agg(matrix.AggSum, matrix.DirRow, x)
+
+		// Gen-inlined: the same function as one per-cell chain.
+		cellChain := cplan.Binary(matrix.BinDiv, cplan.Main(0),
+			cplan.Side(0, cplan.AccessCol, 0))
+		for i := 1; i <= n; i++ {
+			cellChain = cplan.Binary(matrix.BinMul, cellChain, cplan.Lit(1+1/float64(i)))
+		}
+		cellPlan := &cplan.Plan{Type: cplan.TemplateCell, Cell: cplan.CellFullAgg,
+			AggOp: matrix.AggSum, Root: cellChain}
+		var cellOp *cplan.Operator
+		if jitThreshold > 0 && n > jitThreshold {
+			// Beyond the JIT threshold the generated method no longer
+			// compiles: interpret the CNode tree per cell.
+			cellOp = cplan.CompileInterpreted(cellPlan, "TMP_Inl")
+		} else {
+			cellOp = cplan.Compile(cellPlan, "TMP_Inl")
+		}
+
+		gen := Median(o.Reps, func() {
+			_ = runtime.ExecRowwise(rowOp, x, []*matrix.Matrix{rs}).Scalar()
+		})
+		inl := Median(o.Reps, func() {
+			_ = runtime.ExecCellwise(cellOp, x, []*matrix.Matrix{rs}).Scalar()
+		})
+		t.Add(fmt.Sprintf("%d", n), ms(gen), ms(inl))
+	}
+	return t
+}

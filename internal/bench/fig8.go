@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+
+	"sysml/internal/matrix"
+)
+
+// Fig8Cell reproduces Fig. 8(a)/(b): sum(X*Y*Z) over dense or sparse
+// inputs of increasing size.
+func Fig8Cell(o Options, sparse bool) *Table {
+	kind := "dense"
+	sp := 1.0
+	if sparse {
+		kind, sp = "sparse", 0.1
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Fig 8 Cell: sum(X*Y*Z), %s", kind),
+		Columns: append([]string{"cells"}, ModeNames()...),
+	}
+	script := `s = sum(X * Y * Z)`
+	cols := 100
+	for _, rows := range []int{o.rows(1000), o.rows(10000), o.rows(100000)} {
+		inputs := map[string]*matrix.Matrix{
+			"X": matrix.Rand(rows, cols, sp, -1, 1, 1),
+			"Y": matrix.Rand(rows, cols, 1, -1, 1, 2),
+			"Z": matrix.Rand(rows, cols, 1, -1, 1, 3),
+		}
+		row := []string{fmt.Sprintf("%d", rows*cols)}
+		for _, mode := range Modes {
+			row = append(row, ms(timeScript(mode, o.Reps, script, inputs, nil)))
+		}
+		t.Add(row...)
+	}
+	return t
+}
+
+// Fig8MAgg reproduces Fig. 8(c)/(d): the multi-aggregate pair sum(X*Y),
+// sum(X*Z) with shared input X.
+func Fig8MAgg(o Options, sparse bool) *Table {
+	kind := "dense"
+	sp := 1.0
+	if sparse {
+		kind, sp = "sparse", 0.1
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Fig 8 MAgg: sum(X*Y), sum(X*Z), %s", kind),
+		Columns: append([]string{"cells"}, ModeNames()...),
+	}
+	script := "s1 = sum(X * Y)\ns2 = sum(X * Z)"
+	cols := 100
+	for _, rows := range []int{o.rows(1000), o.rows(10000), o.rows(100000)} {
+		inputs := map[string]*matrix.Matrix{
+			"X": matrix.Rand(rows, cols, sp, -1, 1, 4),
+			"Y": matrix.Rand(rows, cols, 1, -1, 1, 5),
+			"Z": matrix.Rand(rows, cols, 1, -1, 1, 6),
+		}
+		row := []string{fmt.Sprintf("%d", rows*cols)}
+		for _, mode := range Modes {
+			row = append(row, ms(timeScript(mode, o.Reps, script, inputs, nil)))
+		}
+		t.Add(row...)
+	}
+	return t
+}
+
+// Fig8Row reproduces Fig. 8(e)/(f): the matrix-vector chain t(X)%*%(X%*%v).
+func Fig8Row(o Options, sparse bool) *Table {
+	kind := "dense"
+	sp := 1.0
+	if sparse {
+		kind, sp = "sparse", 0.1
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Fig 8 Row: t(X)%%*%%(X%%*%%v), %s", kind),
+		Columns: append([]string{"cells"}, ModeNames()...),
+	}
+	script := `w = t(X) %*% (X %*% v)`
+	cols := 100
+	for _, rows := range []int{o.rows(1000), o.rows(10000), o.rows(100000)} {
+		inputs := map[string]*matrix.Matrix{
+			"X": matrix.Rand(rows, cols, sp, -1, 1, 7),
+			"v": matrix.Rand(cols, 1, 1, -1, 1, 8),
+		}
+		row := []string{fmt.Sprintf("%d", rows*cols)}
+		for _, mode := range Modes {
+			row = append(row, ms(timeScript(mode, o.Reps, script, inputs, nil)))
+		}
+		t.Add(row...)
+	}
+	return t
+}
+
+// Fig8RowMM reproduces Fig. 8(g): the matrix-matrix chain t(X)%*%(X%*%V)
+// with a narrow V, where the hand-coded mmchain operator does not apply.
+func Fig8RowMM(o Options) *Table {
+	t := &Table{
+		Title:   "Fig 8 RowMM: t(X)%*%(X%*%V), V 100x2, dense",
+		Columns: append([]string{"cells"}, ModeNames()...),
+	}
+	script := `W = t(X) %*% (X %*% V)`
+	cols := 100
+	for _, rows := range []int{o.rows(1000), o.rows(10000), o.rows(100000)} {
+		inputs := map[string]*matrix.Matrix{
+			"X": matrix.Rand(rows, cols, 1, -1, 1, 9),
+			"V": matrix.Rand(cols, 2, 1, -1, 1, 10),
+		}
+		row := []string{fmt.Sprintf("%d", rows*cols)}
+		for _, mode := range Modes {
+			row = append(row, ms(timeScript(mode, o.Reps, script, inputs, nil)))
+		}
+		t.Add(row...)
+	}
+	return t
+}
+
+// Fig8Outer reproduces Fig. 8(h): sum(X*log(U%*%t(V)+1e-15)) over a
+// sparsity sweep of X, the sparsity-exploitation showcase.
+func Fig8Outer(o Options) *Table {
+	t := &Table{
+		Title:   "Fig 8 Outer: sum(X*log(U%*%t(V)+1e-15)), sparsity sweep",
+		Columns: append([]string{"sparsity"}, ModeNames()...),
+	}
+	script := `s = sum(X * log(U %*% t(V) + 1e-15))`
+	n := o.rows(2000)
+	rank := 100
+	u := matrix.Rand(n, rank, 1, 0.1, 1, 11)
+	v := matrix.Rand(n, rank, 1, 0.1, 1, 12)
+	for _, sp := range []float64{1, 0.1, 0.01, 0.001, 0.0001} {
+		inputs := map[string]*matrix.Matrix{
+			"X": matrix.Rand(n, n, sp, 1, 2, 13),
+			"U": u,
+			"V": v,
+		}
+		row := []string{fmt.Sprintf("%g", sp)}
+		for _, mode := range Modes {
+			row = append(row, ms(timeScript(mode, o.Reps, script, inputs, nil)))
+		}
+		t.Add(row...)
+	}
+	return t
+}

@@ -1,0 +1,19 @@
+package bench
+
+import (
+	"io"
+	"testing"
+
+	"sysml/internal/algos"
+	"sysml/internal/codegen"
+)
+
+func BenchmarkL2SVMGenProf(b *testing.B) {
+	inputs := algos.L2SVM.Gen(30000, 10, 42)
+	cfg := codegen.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := algos.L2SVM.Run(cfg, inputs, map[string]float64{"maxiter": 10}, nil, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package codegen
+
+import (
+	"math/big"
+	"sync"
+	"time"
+
+	"sysml/internal/cplan"
+)
+
+// PlanCache caches compiled fused operators keyed by CPlan hash, avoiding
+// redundant code generation and compilation across DAGs and during dynamic
+// recompilation (§2.1).
+type PlanCache struct {
+	mu      sync.Mutex
+	enabled bool
+	ops     map[uint64]*cplan.Operator
+}
+
+// NewPlanCache returns a plan cache; when disabled it compiles every
+// request fresh (the Fig. 11 "without plan cache" configuration).
+func NewPlanCache(enabled bool) *PlanCache {
+	return &PlanCache{enabled: enabled, ops: map[uint64]*cplan.Operator{}}
+}
+
+// GetOrCompile returns the cached operator for an equivalent CPlan or
+// compiles a new one via the configured compiler path.
+func (pc *PlanCache) GetOrCompile(p *cplan.Plan, cfg *Config, nextClass func() string) (op *cplan.Operator, hit bool, err error) {
+	h := p.Hash()
+	if pc.enabled {
+		pc.mu.Lock()
+		cached, ok := pc.ops[h]
+		pc.mu.Unlock()
+		if ok {
+			return cached, true, nil
+		}
+	}
+	name := nextClass()
+	if cfg.Compiler == CompilerJavac {
+		op, err = cplan.CompileSlow(p, name)
+		if err != nil {
+			return nil, false, err
+		}
+	} else {
+		op = cplan.Compile(p, name)
+	}
+	if pc.enabled {
+		pc.mu.Lock()
+		pc.ops[h] = op
+		pc.mu.Unlock()
+	}
+	return op, false, nil
+}
+
+// Size returns the number of cached operators.
+func (pc *PlanCache) Size() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return len(pc.ops)
+}
+
+// Stats aggregates codegen statistics across DAG compilations (paper
+// Table 3, Figs. 11-12).
+type Stats struct {
+	DAGsOptimized     int64
+	CPlansConstructed int64
+	OperatorsCompiled int64
+	CacheHits         int64
+
+	PlansEvaluated    int64
+	HypotheticalPlans *big.Int
+
+	CodegenTime time.Duration
+	CompileTime time.Duration
+}
+
+// NewStats returns zeroed statistics.
+func NewStats() *Stats { return &Stats{HypotheticalPlans: new(big.Int)} }

@@ -1,0 +1,96 @@
+package codegen
+
+import (
+	"sync/atomic"
+	"time"
+
+	"sysml/internal/hop"
+)
+
+var classSeq int64
+
+func nextClassID() int { return int(atomic.AddInt64(&classSeq, 1)) }
+
+// Optimize runs the codegen compiler over one HOP DAG: candidate
+// exploration, candidate selection per the configured policy, CPlan
+// construction, operator compilation (through the plan cache), and DAG
+// modification. The DAG is modified in place and returned.
+func Optimize(d *hop.DAG, cfg *Config, cache *PlanCache, stats *Stats) *hop.DAG {
+	start := time.Now()
+	defer func() { stats.CodegenTime += time.Since(start) }()
+	hop.AssignExecTypes(d.Roots(), cfg.Exec)
+
+	switch cfg.Mode {
+	case ModeBase:
+		return d
+	case ModeFused:
+		applyFusedPatterns(d, cfg, cache, stats)
+		return d
+	}
+
+	stats.DAGsOptimized++
+	memo := Explore(d.Roots(), cfg)
+	if len(memo.Groups) == 0 {
+		return d
+	}
+	parts := BuildPartitions(memo, d.Roots())
+	if !cfg.EnablePartition {
+		parts = []*Partition{mergePartitions(parts)}
+	}
+	if cfg.Mode == ModeGenFA || cfg.Mode == ModeGenFNR {
+		PruneDominated(memo)
+	}
+	q := map[Edge]bool{}
+	for _, p := range parts {
+		switch cfg.Mode {
+		case ModeGen:
+			en := NewEnumerator(cfg, memo, p)
+			for e, v := range en.Best() {
+				if v {
+					q[e] = true
+				}
+			}
+			stats.PlansEvaluated += en.Evaluated
+			stats.HypotheticalPlans.Add(stats.HypotheticalPlans, en.Hypothetical)
+		case ModeGenFA:
+			// Fuse-all: no materialization points (all assignments false).
+		case ModeGenFNR:
+			// Fuse-no-redundancy: materialize every multi-consumer target.
+			for _, pt := range p.Points {
+				if h := memo.Hop(pt.To); h != nil && h.NumConsumers() > 1 {
+					q[pt] = true
+				}
+			}
+		}
+	}
+	_ = construct(d, memo, parts, q, cfg, cache, stats)
+	return d
+}
+
+func mergePartitions(parts []*Partition) *Partition {
+	merged := &Partition{Nodes: map[int64]bool{}}
+	seenIn := map[int64]bool{}
+	for _, p := range parts {
+		for id := range p.Nodes {
+			merged.Nodes[id] = true
+		}
+		merged.Roots = append(merged.Roots, p.Roots...)
+		merged.MatPoints = append(merged.MatPoints, p.MatPoints...)
+		merged.Points = append(merged.Points, p.Points...)
+		for _, in := range p.Inputs {
+			if !seenIn[in] {
+				seenIn[in] = true
+				merged.Inputs = append(merged.Inputs, in)
+			}
+		}
+	}
+	// Inputs that are nodes of another partition are now internal.
+	kept := merged.Inputs[:0]
+	for _, in := range merged.Inputs {
+		if !merged.Nodes[in] {
+			kept = append(kept, in)
+		}
+	}
+	merged.Inputs = kept
+	return merged
+}

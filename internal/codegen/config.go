@@ -1,0 +1,119 @@
+// Package codegen implements the paper's cost-based optimization framework
+// for operator fusion plans: candidate exploration over a memoization table
+// (§3), cost-based candidate selection with the MPSkipEnum algorithm (§4),
+// and CPlan construction plus code generation with a plan cache (§2).
+package codegen
+
+import "sysml/internal/hop"
+
+// Mode selects the fusion plan selection policy.
+type Mode int
+
+// Selection policies: no codegen (Base), hand-coded fused operators only
+// (Fused, implemented as a fixed small pattern set), cost-based optimizer
+// (Gen), and the two heuristics fuse-all (GenFA) and fuse-no-redundancy
+// (GenFNR) from §4.1.
+const (
+	ModeBase Mode = iota
+	ModeFused
+	ModeGen
+	ModeGenFA
+	ModeGenFNR
+)
+
+var modeNames = [...]string{"Base", "Fused", "Gen", "Gen-FA", "Gen-FNR"}
+
+func (m Mode) String() string { return modeNames[m] }
+
+// CompilerKind selects the operator compile path (Fig. 11).
+type CompilerKind int
+
+// Compile paths: Janino analog (direct closure assembly) and Javac analog
+// (render + parse-validate the full source first).
+const (
+	CompilerJanino CompilerKind = iota
+	CompilerJavac
+)
+
+// Config controls the codegen optimizer.
+type Config struct {
+	Mode     Mode
+	Compiler CompilerKind
+
+	// PlanCache enables reuse of compiled operators across DAGs keyed by
+	// CPlan hash.
+	PlanCache bool
+
+	// ReuseBlockPlans lets the script interpreter reuse a block's optimized
+	// DAG across loop iterations while structure, sizes, and sparsity stay
+	// unchanged (SystemML only recompiles dirty blocks); disable to force
+	// dynamic recompilation on every execution, as the compilation-overhead
+	// experiments do.
+	ReuseBlockPlans bool
+
+	// EnablePartition optimizes connected components of fusion plans
+	// independently; EnableCostPrune and EnableStructPrune toggle the two
+	// MPSkipEnum pruning techniques (Fig. 12 configurations).
+	EnablePartition   bool
+	EnableCostPrune   bool
+	EnableStructPrune bool
+
+	// DisableMAgg turns off multi-aggregate combining (ablation).
+	DisableMAgg bool
+
+	// MaxPointsExact caps the exhaustive search: partitions with more
+	// interesting points than this fall back to the fuse-all opening
+	// heuristic for the overflowing points.
+	MaxPointsExact int
+
+	// RowTemplateMaxCols bounds the width of the second matmult input for
+	// Row-template B1 binding.
+	RowTemplateMaxCols int
+	// OuterMaxRank bounds the inner dimension of outer-product templates.
+	OuterMaxRank int
+
+	Exec hop.ExecConfig
+
+	// Costs holds the analytical cost model constants.
+	Costs CostModel
+}
+
+// DefaultConfig returns the production defaults (cost-based optimizer, plan
+// cache, both prunings on).
+func DefaultConfig() Config {
+	return Config{
+		Mode:               ModeGen,
+		Compiler:           CompilerJanino,
+		PlanCache:          true,
+		ReuseBlockPlans:    true,
+		EnablePartition:    true,
+		EnableCostPrune:    true,
+		EnableStructPrune:  true,
+		MaxPointsExact:     12,
+		RowTemplateMaxCols: 128,
+		OuterMaxRank:       256,
+		Exec:               hop.DefaultExecConfig(),
+		Costs:              DefaultCostModel(),
+	}
+}
+
+// CostModel holds bandwidth and compute constants of the analytical cost
+// model (§4.3). Only ratios matter for plan choices.
+type CostModel struct {
+	ReadBW      float64 // bytes/s peak read
+	WriteBW     float64 // bytes/s peak write
+	ComputeBW   float64 // FLOP/s peak
+	BroadcastBW float64 // bytes/s for distributed side-input broadcast
+}
+
+// DefaultCostModel mirrors the paper's per-node constants (32 GB/s read,
+// 115 GFLOP/s) with a write bandwidth of half the read bandwidth and a
+// broadcast bandwidth an order of magnitude below local reads.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		ReadBW:      32e9,
+		WriteBW:     16e9,
+		ComputeBW:   115.2e9,
+		BroadcastBW: 1.25e9, // ~10 Gb Ethernet
+	}
+}

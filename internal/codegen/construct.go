@@ -1,0 +1,891 @@
+package codegen
+
+import (
+	"fmt"
+	"time"
+
+	"sysml/internal/cplan"
+	"sysml/internal/hop"
+	"sysml/internal/matrix"
+)
+
+// constructor turns selected fusion plans into CPlans, compiles them (via
+// the plan cache), and splices the resulting fused operators into the DAG.
+type constructor struct {
+	cfg   *Config
+	memo  *Memo
+	d     *hop.DAG
+	q     map[Edge]bool
+	cache *PlanCache
+	stats *Stats
+
+	coster *Coster // reused for its entry-pick rule
+	done   map[int64]bool
+	inMAgg map[int64]bool
+}
+
+func construct(d *hop.DAG, m *Memo, parts []*Partition, q map[Edge]bool,
+	cfg *Config, cache *PlanCache, stats *Stats) error {
+	// Multi-aggregates combine across partitions: their fusion opportunity
+	// is a *shared input*, which creates no fusion reference and therefore
+	// no partition connectivity.
+	merged := mergePartitions(parts)
+	c := &constructor{
+		cfg: cfg, memo: m, d: d, q: q, cache: cache, stats: stats,
+		coster: &Coster{cfg: cfg, memo: m, part: merged, q: q},
+		done:   map[int64]bool{},
+		inMAgg: map[int64]bool{},
+	}
+	c.combineMultiAggregates(merged)
+	for _, p := range parts {
+		for _, r := range p.Roots {
+			if err := c.walk(m.Hop(r)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (c *constructor) nextClass() string {
+	return fmt.Sprintf("TMP%d", nextClassID())
+}
+
+// walk visits a node top-down, constructing a fused operator when a valid
+// entry is selected, and recursing into the materialized inputs.
+func (c *constructor) walk(h *hop.Hop) error {
+	if c.done[h.ID] || c.inMAgg[h.ID] {
+		return nil
+	}
+	c.done[h.ID] = true
+	entry, ok := c.coster.pickEntry(h)
+	if ok {
+		region := c.collect(h, entry)
+		if len(region.covered) >= 2 {
+			if built, leaves := c.buildAndSplice(h, entry, region); built {
+				for _, leaf := range leaves {
+					if err := c.walk(leaf); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+		}
+	}
+	for _, in := range h.Inputs {
+		if err := c.walk(in); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// region is the set of hops covered by one fused operator plus its
+// materialized leaf inputs in deterministic first-encounter order.
+type region struct {
+	covered map[int64]bool
+	leaves  []*hop.Hop
+	leafSet map[int64]bool
+}
+
+func (r *region) addLeaf(h *hop.Hop) {
+	if !r.leafSet[h.ID] {
+		r.leafSet[h.ID] = true
+		r.leaves = append(r.leaves, h)
+	}
+}
+
+func (c *constructor) collect(h *hop.Hop, entry Entry) *region {
+	r := &region{covered: map[int64]bool{}, leafSet: map[int64]bool{}}
+	c.collectInto(h, entry, r)
+	return r
+}
+
+func (c *constructor) collectInto(h *hop.Hop, entry Entry, r *region) {
+	if r.covered[h.ID] {
+		return
+	}
+	r.covered[h.ID] = true
+	for j, in := range h.Inputs {
+		if entry.Inputs[j] >= 0 && !c.q[Edge{h.ID, in.ID}] {
+			if childEntry, ok := c.coster.pickEntryCompat(in, entry.Type); ok {
+				c.collectInto(in, childEntry, r)
+				continue
+			}
+		}
+		if in.Kind != hop.OpLiteral {
+			r.addLeaf(in)
+		}
+	}
+}
+
+// buildAndSplice constructs the template-specific CPlan; on success it
+// compiles the operator, splices a spoof HOP, and returns the materialized
+// leaves to continue walking. Construction bails out (returning false) on
+// patterns the backend cannot express, falling back to basic operators.
+func (c *constructor) buildAndSplice(h *hop.Hop, entry Entry, r *region) (bool, []*hop.Hop) {
+	var plan *cplan.Plan
+	var inputs []*hop.Hop
+	switch entry.Type {
+	case cplan.TemplateCell:
+		plan, inputs = c.buildCellPlan(h, r)
+	case cplan.TemplateRow:
+		plan, inputs = c.buildRowPlan(h, r)
+	case cplan.TemplateOuter:
+		plan, inputs = c.buildOuterPlan(h, r)
+	case cplan.TemplateMAgg:
+		// Single MAgg plans are constructed as Cell full aggregates.
+		plan, inputs = c.buildCellPlan(h, r)
+	}
+	if plan == nil {
+		return false, nil
+	}
+	op, err := c.compile(plan)
+	if err != nil {
+		return false, nil
+	}
+	spoof := c.d.NewSpoof(plan.Type.String(), op, h.Rows, h.Cols, h.Nnz, inputs...)
+	spoof.ExecType = h.ExecType
+	c.splice(h, spoof)
+	return true, r.leaves
+}
+
+func (c *constructor) compile(p *cplan.Plan) (*cplan.Operator, error) {
+	start := time.Now()
+	op, hit, err := c.cache.GetOrCompile(p, c.cfg, c.nextClass)
+	if err != nil {
+		return nil, err
+	}
+	c.stats.CPlansConstructed++
+	if hit {
+		c.stats.CacheHits++
+	} else {
+		c.stats.OperatorsCompiled++
+		c.stats.CompileTime += time.Since(start)
+	}
+	return op, nil
+}
+
+func (c *constructor) splice(h, spoof *hop.Hop) {
+	for _, p := range append([]*hop.Hop(nil), h.Parents...) {
+		p.ReplaceInput(h, spoof)
+	}
+	for _, name := range c.d.OutputNames() {
+		if c.d.Outputs[name] == h {
+			c.d.Outputs[name] = spoof
+		}
+	}
+}
+
+// ------------------------------------------------------------- Cell ----
+
+type sideEnv struct {
+	sides    []*hop.Hop
+	sideIdx  map[int64]int
+	nodeMemo map[int64]*cplan.CNode
+}
+
+func (e *sideEnv) idx(h *hop.Hop) int {
+	if i, ok := e.sideIdx[h.ID]; ok {
+		return i
+	}
+	i := len(e.sides)
+	e.sides = append(e.sides, h)
+	e.sideIdx[h.ID] = i
+	return i
+}
+
+func newSideEnv() *sideEnv { return &sideEnv{sideIdx: map[int64]int{}} }
+
+func accessFor(x *hop.Hop, outRows, outCols int64) (cplan.SideAccess, bool) {
+	switch {
+	case x.IsScalar():
+		return cplan.AccessScalar, true
+	case x.Rows == outRows && x.Cols == outCols:
+		return cplan.AccessCell, true
+	case x.Cols == 1 && x.Rows == outRows:
+		return cplan.AccessCol, true
+	case x.Rows == 1 && x.Cols == outCols:
+		return cplan.AccessRow, true
+	}
+	return 0, false
+}
+
+func (c *constructor) buildCellPlan(h *hop.Hop, r *region) (*cplan.Plan, []*hop.Hop) {
+	// Root: optional aggregation on top of the cell expression.
+	cellType := cplan.CellNoAgg
+	aggOp := matrix.AggSum
+	exprRoot := h
+	if h.Kind == hop.OpAggUnary {
+		switch h.AggDir {
+		case matrix.DirAll:
+			cellType = cplan.CellFullAgg
+		case matrix.DirRow:
+			cellType = cplan.CellRowAgg
+		case matrix.DirCol:
+			cellType = cplan.CellColAgg
+		}
+		aggOp = h.AggOp
+		exprRoot = h.Inputs[0]
+		if !r.covered[exprRoot.ID] {
+			return nil, nil
+		}
+	}
+	outRows, outCols := exprRoot.Rows, exprRoot.Cols
+	// Main input: a leaf with the output's dimensions, preferring sparse.
+	main := pickMain(r.leaves, outRows, outCols)
+	if main == nil {
+		return nil, nil
+	}
+	env := newSideEnv()
+	root, ok := c.buildCellNode(exprRoot, r, main, env, outRows, outCols)
+	if !ok {
+		return nil, nil
+	}
+	plan := &cplan.Plan{
+		Type:       cplan.TemplateCell,
+		Cell:       cellType,
+		AggOp:      aggOp,
+		Root:       root,
+		NumSides:   len(env.sides),
+		SparseSafe: cplan.ProbeSparseSafe(root),
+	}
+	// Cell plans that cannot vectorize (row/column-broadcast sides) run
+	// per-cell closures; decline fusion when that dispatch overhead
+	// exceeds the intermediates it saves (the sparse-safe sparse path
+	// iterates non-zeros and keeps its own advantage).
+	if !(plan.SparseSafe && main.IsSparse()) && cplan.CompileCellVec(root) == nil {
+		m := c.cfg.Costs
+		var interiorBytes float64
+		for id := range r.covered {
+			if x := c.memo.Hop(id); x != nil && x != h {
+				interiorBytes += float64(x.OutputSizeBytes())
+			}
+		}
+		overhead := float64(main.Cells()) * float64(len(r.covered)) * cellDispatchFlops / m.ComputeBW
+		saved := interiorBytes * (1/m.WriteBW + 1/m.ReadBW)
+		if overhead > saved {
+			return nil, nil
+		}
+	}
+	return plan, append([]*hop.Hop{main}, env.sides...)
+}
+
+// cellDispatchFlops is the per-cell closure-dispatch overhead (FLOP
+// equivalents) of non-vectorized Cell operators.
+const cellDispatchFlops = 400
+
+func pickMain(leaves []*hop.Hop, rows, cols int64) *hop.Hop {
+	var main *hop.Hop
+	for _, l := range leaves {
+		if l.Rows == rows && l.Cols == cols {
+			if main == nil || (l.IsSparse() && !main.IsSparse()) {
+				main = l
+			}
+		}
+	}
+	return main
+}
+
+func (c *constructor) buildCellNode(x *hop.Hop, r *region, main *hop.Hop,
+	env *sideEnv, outRows, outCols int64) (*cplan.CNode, bool) {
+	if env.nodeMemo == nil {
+		env.nodeMemo = map[int64]*cplan.CNode{}
+	}
+	if n, ok := env.nodeMemo[x.ID]; ok {
+		return n, true
+	}
+	n, ok := c.buildCellNodeUncached(x, r, main, env, outRows, outCols)
+	if ok {
+		env.nodeMemo[x.ID] = n
+	}
+	return n, ok
+}
+
+func (c *constructor) buildCellNodeUncached(x *hop.Hop, r *region, main *hop.Hop,
+	env *sideEnv, outRows, outCols int64) (*cplan.CNode, bool) {
+	if !r.covered[x.ID] {
+		if x == main {
+			return cplan.Main(0), true
+		}
+		if x.Kind == hop.OpLiteral {
+			return cplan.Lit(x.Value), true
+		}
+		access, ok := accessFor(x, outRows, outCols)
+		if !ok {
+			return nil, false
+		}
+		return cplan.Side(env.idx(x), access, 0), true
+	}
+	switch x.Kind {
+	case hop.OpBinary:
+		l, ok1 := c.buildCellNode(x.Inputs[0], r, main, env, outRows, outCols)
+		rr, ok2 := c.buildCellNode(x.Inputs[1], r, main, env, outRows, outCols)
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		return cplan.Binary(x.BinOp, l, rr), true
+	case hop.OpUnary:
+		in, ok := c.buildCellNode(x.Inputs[0], r, main, env, outRows, outCols)
+		if !ok {
+			return nil, false
+		}
+		return cplan.Unary(x.UnOp, in), true
+	}
+	return nil, false
+}
+
+// ------------------------------------------------------------- MAgg ----
+
+// combineMultiAggregates finds selected multi-aggregate candidates sharing
+// inputs and fuses up to three of them into one SpoofMultiAggregate with a
+// 1×k output, rewiring consumers through indexing extractors (paper §2.2,
+// Fig. 1c).
+func (c *constructor) combineMultiAggregates(p *Partition) {
+	if c.cfg.DisableMAgg {
+		return
+	}
+	var cands []*hop.Hop
+	for id := range p.Nodes {
+		h := c.memo.Hop(id)
+		g := c.memo.Get(id)
+		if g == nil || !g.HasType(cplan.TemplateMAgg) {
+			continue
+		}
+		// Only full aggregates with a fusable cell expression below.
+		if h.Kind == hop.OpAggUnary && h.AggDir == matrix.DirAll {
+			cands = append(cands, h)
+		}
+	}
+	if len(cands) < 2 {
+		return
+	}
+	// Group by shared leaf inputs.
+	var items []maggCand
+	for _, h := range cands {
+		entry, ok := c.coster.pickEntry(h)
+		if !ok {
+			continue
+		}
+		items = append(items, maggCand{h: h, expr: h.Inputs[0], region: c.collect(h, entry)})
+	}
+	used := map[int64]bool{}
+	for i := 0; i < len(items); i++ {
+		if used[items[i].h.ID] {
+			continue
+		}
+		group := []maggCand{items[i]}
+		leafIDs := map[int64]bool{}
+		for _, l := range items[i].region.leaves {
+			leafIDs[l.ID] = true
+		}
+		for j := i + 1; j < len(items) && len(group) < 3; j++ {
+			if used[items[j].h.ID] {
+				continue
+			}
+			shared := false
+			for _, l := range items[j].region.leaves {
+				if leafIDs[l.ID] {
+					shared = true
+					break
+				}
+			}
+			// Combining aggregates that transitively depend on each other
+			// would create a cycle through the shared operator.
+			indep := true
+			for _, g := range group {
+				if dependsOn(items[j].h, g.h) || dependsOn(g.h, items[j].h) {
+					indep = false
+					break
+				}
+			}
+			if shared && indep {
+				group = append(group, items[j])
+				for _, l := range items[j].region.leaves {
+					leafIDs[l.ID] = true
+				}
+			}
+		}
+		if len(group) < 2 {
+			continue
+		}
+		if c.buildMAggGroup(group) {
+			for _, it := range group {
+				used[it.h.ID] = true
+				c.inMAgg[it.h.ID] = true
+			}
+		}
+	}
+}
+
+// dependsOn reports whether hop a transitively consumes hop b.
+func dependsOn(a, b *hop.Hop) bool {
+	seen := map[int64]bool{}
+	var dfs func(h *hop.Hop) bool
+	dfs = func(h *hop.Hop) bool {
+		if h == b {
+			return true
+		}
+		if seen[h.ID] {
+			return false
+		}
+		seen[h.ID] = true
+		for _, in := range h.Inputs {
+			if dfs(in) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(a)
+}
+
+// maggCand is one full-aggregate candidate for multi-aggregate fusion.
+type maggCand struct {
+	h      *hop.Hop
+	expr   *hop.Hop
+	region *region
+}
+
+func (c *constructor) buildMAggGroup(group []maggCand) bool {
+	// Shared main input: prefer a sparse leaf common to all aggregates.
+	var allLeaves []*hop.Hop
+	counts := map[int64]int{}
+	for _, it := range group {
+		for _, l := range it.region.leaves {
+			if counts[l.ID] == 0 {
+				allLeaves = append(allLeaves, l)
+			}
+			counts[l.ID]++
+		}
+	}
+	var main *hop.Hop
+	for _, l := range allLeaves {
+		if counts[l.ID] == len(group) && l.Cols > 1 {
+			if main == nil || (l.IsSparse() && !main.IsSparse()) || l.Cells() > main.Cells() {
+				main = l
+			}
+		}
+	}
+	if main == nil {
+		return false
+	}
+	env := newSideEnv()
+	var roots []*cplan.CNode
+	var aggOps []matrix.AggOp
+	for _, it := range group {
+		root, ok := c.buildCellNode(it.expr, it.region, main, env, main.Rows, main.Cols)
+		if !ok {
+			return false
+		}
+		roots = append(roots, root)
+		aggOps = append(aggOps, it.h.AggOp)
+	}
+	plan := &cplan.Plan{
+		Type:       cplan.TemplateMAgg,
+		Roots:      roots,
+		AggOps:     aggOps,
+		NumSides:   len(env.sides),
+		SparseSafe: cplan.ProbeSparseSafe(roots...),
+	}
+	op, err := c.compile(plan)
+	if err != nil {
+		return false
+	}
+	inputs := append([]*hop.Hop{main}, env.sides...)
+	spoof := c.d.NewSpoof("MAgg", op, 1, int64(len(roots)), int64(len(roots)), inputs...)
+	for k, it := range group {
+		extract := c.d.Index(spoof, 0, 1, int64(k), int64(k)+1)
+		c.splice(it.h, extract)
+		c.done[extract.ID] = true
+	}
+	// Continue walking from the leaves.
+	for _, l := range allLeaves {
+		_ = c.walk(l)
+	}
+	return true
+}
+
+// -------------------------------------------------------------- Row ----
+
+func (c *constructor) buildRowPlan(h *hop.Hop, r *region) (*cplan.Plan, []*hop.Hop) {
+	mainRows := rowMainRows(h)
+	if mainRows <= 0 {
+		return nil, nil
+	}
+	// Main: the row-iterated matrix. For t(X)%*%W the transpose child; else
+	// the largest leaf with matching row count.
+	var main *hop.Hop
+	rowType := cplan.RowNoAgg
+	exprRoot := h
+	// t(cumsum(t(X))): the row-wise running-sum special form (§3.2).
+	if h.Kind == hop.OpTranspose && h.Inputs[0].Kind == hop.OpCumsum &&
+		h.Inputs[0].Inputs[0].Kind == hop.OpTranspose {
+		x := h.Inputs[0].Inputs[0].Inputs[0]
+		if r.covered[x.ID] {
+			return nil, nil
+		}
+		if !c.rowFusionProfitable(h, r, x) {
+			return nil, nil
+		}
+		plan := &cplan.Plan{
+			Type:      cplan.TemplateRow,
+			Row:       cplan.RowNoAgg,
+			Root:      cplan.CumsumNode(cplan.Main(int(x.Cols))),
+			MainWidth: int(x.Cols),
+		}
+		return plan, []*hop.Hop{x}
+	}
+	switch {
+	case h.Kind == hop.OpMatMult && h.Inputs[0].Kind == hop.OpTranspose && r.covered[h.Inputs[0].ID]:
+		main = h.Inputs[0].Inputs[0]
+		if r.covered[main.ID] {
+			return nil, nil // t(f(X)) left expressions not supported
+		}
+		rowType = cplan.RowColAggT
+		exprRoot = h.Inputs[1]
+	case h.Kind == hop.OpAggUnary:
+		switch h.AggDir {
+		case matrix.DirAll:
+			rowType = cplan.RowFullAgg
+		case matrix.DirCol:
+			rowType = cplan.RowColAgg
+		case matrix.DirRow:
+			rowType = cplan.RowRowAgg
+		}
+		exprRoot = h.Inputs[0]
+	case h.Kind == hop.OpMatMult:
+		// X %*% v (RowAgg via dot) or X %*% V (NoAgg): handled by node
+		// construction; the root stays h.
+		rowType = cplan.RowNoAgg
+		if h.Cols == 1 {
+			rowType = cplan.RowRowAgg
+		}
+	}
+	if main == nil {
+		for _, l := range r.leaves {
+			if l.Rows == mainRows && l.Cols > 1 {
+				if main == nil || l.Cells() > main.Cells() {
+					main = l
+				}
+			}
+		}
+	}
+	if main == nil {
+		return nil, nil
+	}
+	env := newSideEnv()
+	b := &rowBuilder{c: c, r: r, main: main, env: env, mainWidth: int(main.Cols)}
+	var root *cplan.CNode
+	var ok bool
+	if rowType == cplan.RowColAggT {
+		root, ok = b.build(exprRoot)
+	} else if h.Kind == hop.OpAggUnary {
+		root, ok = b.build(exprRoot)
+		if ok && (rowType == cplan.RowFullAgg || rowType == cplan.RowRowAgg) && root.Vector {
+			root = cplan.Agg(h.AggOp, root)
+		}
+		if ok && rowType == cplan.RowColAgg && !root.Vector {
+			return nil, nil
+		}
+	} else {
+		root, ok = b.build(h)
+		if ok && rowType == cplan.RowRowAgg && root.Vector {
+			return nil, nil
+		}
+		if ok && rowType == cplan.RowNoAgg && !root.Vector {
+			// Scalar per row (e.g. y * (X %*% w)): a row-agg shaped output.
+			if h.Cols != 1 {
+				return nil, nil
+			}
+			rowType = cplan.RowRowAgg
+		}
+	}
+	if !ok {
+		return nil, nil
+	}
+	if !c.rowFusionProfitable(h, r, main) {
+		return nil, nil
+	}
+	plan := &cplan.Plan{
+		Type:      cplan.TemplateRow,
+		Row:       rowType,
+		Root:      root,
+		NumSides:  len(env.sides),
+		MainWidth: b.mainWidth,
+	}
+	return plan, append([]*hop.Hop{main}, env.sides...)
+}
+
+// rowFusionProfitable weighs a Row operator's per-row dispatch overhead
+// against what fusion saves: materialized interior intermediates and
+// repeated scans of the main input. SystemML's JIT-compiled genexec has no
+// such overhead; a Go row program does, so narrow-row low-compute regions
+// execute faster as bulk kernels and construction declines them.
+func (c *constructor) rowFusionProfitable(h *hop.Hop, r *region, main *hop.Hop) bool {
+	m := c.cfg.Costs
+	var interiorBytes float64
+	mainScans := 0
+	for id := range r.covered {
+		x := c.memo.Hop(id)
+		if x == nil {
+			continue
+		}
+		if x != h {
+			w := 1.0
+			if x.Kind == hop.OpTranspose {
+				// A materialized transpose costs far more than its bytes
+				// suggest (random-access writes, worse for sparse inputs).
+				w = 4
+			}
+			interiorBytes += w * float64(x.OutputSizeBytes())
+		}
+		for _, in := range x.Inputs {
+			if in == main || (in.Kind == hop.OpTranspose && len(in.Inputs) > 0 && in.Inputs[0] == main) {
+				mainScans++
+			}
+		}
+	}
+	extraScans := mainScans - 1
+	if extraScans < 0 {
+		extraScans = 0
+	}
+	saved := interiorBytes*(1/m.WriteBW+1/m.ReadBW) +
+		float64(main.OutputSizeBytes())*float64(extraScans)/m.ReadBW
+	overhead := float64(main.Rows) * float64(len(r.covered)) * rowDispatchFlops / m.ComputeBW
+	return overhead <= saved
+}
+
+type rowBuilder struct {
+	c         *constructor
+	r         *region
+	main      *hop.Hop
+	env       *sideEnv
+	mainWidth int
+	memo      map[int64]*cplan.CNode
+}
+
+// build memoizes per hop so CSEs inside the fused operator share one CNode
+// (and therefore one register after program compilation).
+func (b *rowBuilder) build(x *hop.Hop) (*cplan.CNode, bool) {
+	if b.memo == nil {
+		b.memo = map[int64]*cplan.CNode{}
+	}
+	if n, ok := b.memo[x.ID]; ok {
+		return n, true
+	}
+	n, ok := b.buildNode(x)
+	if ok {
+		b.memo[x.ID] = n
+	}
+	return n, ok
+}
+
+func (b *rowBuilder) buildNode(x *hop.Hop) (*cplan.CNode, bool) {
+	if !b.r.covered[x.ID] {
+		return b.leaf(x)
+	}
+	switch x.Kind {
+	case hop.OpBinary:
+		l, ok1 := b.build(x.Inputs[0])
+		r, ok2 := b.build(x.Inputs[1])
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		return cplan.Binary(x.BinOp, l, r), true
+	case hop.OpUnary:
+		in, ok := b.build(x.Inputs[0])
+		if !ok {
+			return nil, false
+		}
+		return cplan.Unary(x.UnOp, in), true
+	case hop.OpAggUnary:
+		if x.AggDir != matrix.DirRow {
+			return nil, false
+		}
+		in, ok := b.build(x.Inputs[0])
+		if !ok || !in.Vector {
+			return nil, false
+		}
+		return cplan.Agg(x.AggOp, in), true
+	case hop.OpIndex:
+		if x.RL != 0 || x.RU != x.Inputs[0].Rows {
+			return nil, false
+		}
+		in, ok := b.build(x.Inputs[0])
+		if !ok || !in.Vector {
+			return nil, false
+		}
+		return cplan.Idx(in, int(x.CL), int(x.CU)), true
+	case hop.OpMatMult:
+		left, right := x.Inputs[0], x.Inputs[1]
+		l, ok := b.build(left)
+		if !ok || !l.Vector {
+			return nil, false
+		}
+		if b.r.covered[right.ID] {
+			return nil, false // right side must be materialized
+		}
+		if right.Cols == 1 {
+			// Dot product with a whole-vector side.
+			width := int(right.Rows)
+			side := cplan.Side(b.env.idx(right), cplan.AccessRow, width)
+			return cplan.Agg(matrix.AggSum, cplan.Binary(matrix.BinMul, l, side)), true
+		}
+		return cplan.MatMultNode(l, b.env.idx(right), int(right.Cols)), true
+	}
+	return nil, false
+}
+
+func (b *rowBuilder) leaf(x *hop.Hop) (*cplan.CNode, bool) {
+	switch {
+	case x == b.main:
+		return cplan.Main(b.mainWidth), true
+	case x.Kind == hop.OpLiteral:
+		return cplan.Lit(x.Value), true
+	case x.IsScalar():
+		return cplan.Side(b.env.idx(x), cplan.AccessScalar, 0), true
+	case x.Cols == 1 && x.Rows == b.main.Rows:
+		return cplan.Side(b.env.idx(x), cplan.AccessCol, 0), true
+	case x.Rows == b.main.Rows && x.Cols > 1:
+		return cplan.Side(b.env.idx(x), cplan.AccessCell, int(x.Cols)), true
+	case x.Rows == 1 && x.Cols > 1:
+		return cplan.Side(b.env.idx(x), cplan.AccessRow, int(x.Cols)), true
+	}
+	return nil, false
+}
+
+// ------------------------------------------------------------- Outer ---
+
+func (c *constructor) buildOuterPlan(h *hop.Hop, r *region) (*cplan.Plan, []*hop.Hop) {
+	// Locate the covered opening outer-product multiplication.
+	var mm *hop.Hop
+	for id := range r.covered {
+		x := c.memo.Hop(id)
+		if x.Kind == hop.OpMatMult && x.Inputs[0].Cols <= int64(c.cfg.OuterMaxRank) &&
+			x.Inputs[0].Cols == x.Inputs[1].Rows && x.Cells() > x.Inputs[0].Cols*x.Inputs[0].Cols {
+			if mm == nil || x.Cells() > mm.Cells() {
+				mm = x
+			}
+		}
+	}
+	if mm == nil || r.covered[mm.Inputs[0].ID] {
+		return nil, nil
+	}
+	u := mm.Inputs[0]
+	vt := mm.Inputs[1]
+	var v *hop.Hop
+	if vt.Kind == hop.OpTranspose {
+		v = vt.Inputs[0]
+	} else {
+		// Materialize the transpose of the right factor as V.
+		v = c.d.Transpose(vt)
+	}
+	// Output variant from the root operator.
+	outType := cplan.OuterNoAgg
+	exprRoot := h
+	switch {
+	case h.Kind == hop.OpAggUnary && h.AggDir == matrix.DirAll:
+		outType = cplan.OuterAgg
+		exprRoot = h.Inputs[0]
+	case h.Kind == hop.OpMatMult && h != mm:
+		left, right := h.Inputs[0], h.Inputs[1]
+		switch {
+		case r.covered[left.ID] && left.Kind == hop.OpTranspose && right == u:
+			outType = cplan.OuterLeftMM
+			exprRoot = left.Inputs[0]
+		case r.covered[left.ID] && right == v:
+			outType = cplan.OuterRightMM
+			exprRoot = left
+		default:
+			return nil, nil
+		}
+	}
+	if !r.covered[exprRoot.ID] {
+		return nil, nil
+	}
+	// Main X: the sparse driver among leaves with the outer dimensions.
+	var mainX *hop.Hop
+	for _, l := range r.leaves {
+		if l == u || l == v || l == vt {
+			continue
+		}
+		if l.Rows == mm.Rows && l.Cols == mm.Cols {
+			if mainX == nil || (l.IsSparse() && !mainX.IsSparse()) {
+				mainX = l
+			}
+		}
+	}
+	env := newSideEnv()
+	root, ok := c.buildOuterNode(exprRoot, r, mm, mainX, env)
+	if !ok {
+		return nil, nil
+	}
+	sparseSafe := mainX != nil && cplan.ProbeSparseSafe(root)
+	plan := &cplan.Plan{
+		Type:       cplan.TemplateOuter,
+		Out:        outType,
+		Root:       root,
+		NumSides:   len(env.sides),
+		SparseSafe: sparseSafe,
+		OuterRank:  int(u.Cols),
+	}
+	if mainX == nil {
+		// No driver: execute densely over the outer dimensions using a
+		// synthetic dense main (fall back to basic execution instead).
+		return nil, nil
+	}
+	inputs := append([]*hop.Hop{mainX, u, v}, env.sides...)
+	return plan, inputs
+}
+
+func (c *constructor) buildOuterNode(x *hop.Hop, r *region, mm, mainX *hop.Hop,
+	env *sideEnv) (*cplan.CNode, bool) {
+	if env.nodeMemo == nil {
+		env.nodeMemo = map[int64]*cplan.CNode{}
+	}
+	if n, ok := env.nodeMemo[x.ID]; ok {
+		return n, true
+	}
+	n, ok := c.buildOuterNodeUncached(x, r, mm, mainX, env)
+	if ok {
+		env.nodeMemo[x.ID] = n
+	}
+	return n, ok
+}
+
+func (c *constructor) buildOuterNodeUncached(x *hop.Hop, r *region, mm, mainX *hop.Hop,
+	env *sideEnv) (*cplan.CNode, bool) {
+	if x == mm {
+		return cplan.Dot(), true
+	}
+	if !r.covered[x.ID] {
+		if x == mainX {
+			return cplan.Main(0), true
+		}
+		if x.Kind == hop.OpLiteral {
+			return cplan.Lit(x.Value), true
+		}
+		access, ok := accessFor(x, mm.Rows, mm.Cols)
+		if !ok {
+			return nil, false
+		}
+		return cplan.Side(env.idx(x), access, 0), true
+	}
+	switch x.Kind {
+	case hop.OpBinary:
+		l, ok1 := c.buildOuterNode(x.Inputs[0], r, mm, mainX, env)
+		rr, ok2 := c.buildOuterNode(x.Inputs[1], r, mm, mainX, env)
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		return cplan.Binary(x.BinOp, l, rr), true
+	case hop.OpUnary:
+		in, ok := c.buildOuterNode(x.Inputs[0], r, mm, mainX, env)
+		if !ok {
+			return nil, false
+		}
+		return cplan.Unary(x.UnOp, in), true
+	}
+	return nil, false
+}

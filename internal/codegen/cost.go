@@ -1,0 +1,339 @@
+package codegen
+
+import (
+	"math"
+	"sort"
+
+	"sysml/internal/cplan"
+	"sysml/internal/hop"
+)
+
+// flops estimates the floating-point operations of one HOP.
+func flops(h *hop.Hop) float64 {
+	switch h.Kind {
+	case hop.OpBinary, hop.OpUnary:
+		return float64(h.Cells())
+	case hop.OpAggUnary, hop.OpRowIndexMax:
+		return float64(h.Inputs[0].Cells())
+	case hop.OpMatMult:
+		a, b := h.Inputs[0], h.Inputs[1]
+		return 2 * float64(a.Rows) * float64(b.Cols) * float64(a.Cols) * a.Sparsity()
+	case hop.OpTranspose, hop.OpIndex, hop.OpCBind, hop.OpRBind, hop.OpDiag:
+		return float64(h.Cells())
+	}
+	return 0
+}
+
+// Coster evaluates the analytical cost model (§4.3) for a plan partition
+// under an interesting-point assignment q: C(Pi|q) = Σ_p Tw + max(Tr, Tc),
+// with cost vectors per fused operator capturing shared reads and CSEs.
+type Coster struct {
+	cfg  *Config
+	memo *Memo
+	part *Partition
+
+	q map[Edge]bool // true = materialize: fusion refs over the edge invalid
+
+	visitedMat map[int64]bool
+	visitedOp  map[[2]int64]bool
+	opSeq      int64
+	total      float64
+	budget     float64
+	exceeded   bool
+}
+
+// NewCoster prepares a coster for one partition.
+func NewCoster(cfg *Config, m *Memo, p *Partition) *Coster {
+	return &Coster{cfg: cfg, memo: m, part: p}
+}
+
+// PlanCost computes C(Pi|q); costing stops early (returning +Inf) once the
+// partial costs exceed budget (pass +Inf to disable the cutoff).
+func (c *Coster) PlanCost(q map[Edge]bool, budget float64) float64 {
+	c.q = q
+	if c.visitedMat == nil {
+		c.visitedMat = map[int64]bool{}
+		c.visitedOp = map[[2]int64]bool{}
+	} else {
+		clear(c.visitedMat)
+		clear(c.visitedOp)
+	}
+	c.total, c.budget, c.exceeded = 0, budget, false
+	c.opSeq = 0
+	for _, r := range c.part.Roots {
+		c.costNode(c.memo.Hop(r))
+		if c.exceeded {
+			return math.Inf(1)
+		}
+	}
+	return c.total
+}
+
+// opCtx is the cost vector of one (potential) fused operator: output size,
+// accumulated compute, and distinct input sizes.
+type opCtx struct {
+	id     int64
+	root   *hop.Hop
+	tmpl   cplan.TemplateType
+	flops  float64
+	numOps int
+	inputs map[int64]*hop.Hop
+}
+
+// rowDispatchFlops is the per-covered-operator, per-row dispatch overhead
+// of Row-template programs expressed in FLOP equivalents. Row programs run
+// one instruction loop per row; for narrow rows this constant cost can
+// exceed the fused work, in which case bulk kernels win and the optimizer
+// must know it.
+const rowDispatchFlops = 2000
+
+func (c *Coster) costNode(h *hop.Hop) {
+	if c.exceeded || c.visitedMat[h.ID] {
+		return
+	}
+	c.visitedMat[h.ID] = true
+	if !c.part.Nodes[h.ID] {
+		// Input node: produced outside the partition; its read is accounted
+		// by the consuming operator.
+		return
+	}
+	entry, ok := c.pickEntry(h)
+	if !ok {
+		// Basic operator.
+		c.addOpCost(h.OutputSizeBytes(), float64(h.InputSizeBytes()), flops(h), 1, h)
+		for _, in := range h.Inputs {
+			if c.part.Nodes[in.ID] {
+				c.costNode(in)
+			}
+		}
+		return
+	}
+	// Open a fused operator at h.
+	c.opSeq++
+	cv := &opCtx{id: c.opSeq, root: h, tmpl: entry.Type, inputs: map[int64]*hop.Hop{}}
+	c.addToOp(h, entry, cv)
+	if entry.Type == cplan.TemplateRow {
+		cv.flops += float64(rowMainRows(h)) * float64(cv.numOps) * rowDispatchFlops
+	}
+	// Operator cost: write output once, read distinct inputs, compute.
+	var inBytes float64
+	for _, in := range cv.inputs {
+		inBytes += float64(in.OutputSizeBytes())
+	}
+	scale := c.sparsityScale(cv)
+	c.addOpCost(h.OutputSizeBytes(), inBytes, cv.flops, scale, h)
+	// Recurse into materialized inputs of the fused operator.
+	ids := make([]int64, 0, len(cv.inputs))
+	for id := range cv.inputs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if c.part.Nodes[id] {
+			c.costNode(cv.inputs[id])
+		}
+	}
+}
+
+// addToOp accumulates hop h into the fused operator cv following the memo
+// entry's fusion references; memoizing (hop, op) pairs returns zero cost
+// for operators reachable over multiple paths within the same fused
+// operator, while overlapping operators still count redundant compute.
+func (c *Coster) addToOp(h *hop.Hop, entry Entry, cv *opCtx) {
+	key := [2]int64{h.ID, cv.id}
+	if c.visitedOp[key] {
+		return
+	}
+	c.visitedOp[key] = true
+	cv.flops += flops(h)
+	cv.numOps++
+	for j, in := range h.Inputs {
+		if entry.Inputs[j] >= 0 && !c.q[Edge{h.ID, in.ID}] {
+			if childEntry, ok := c.pickEntryCompat(in, entry.Type); ok {
+				c.addToOp(in, childEntry, cv)
+				continue
+			}
+		}
+		cv.inputs[in.ID] = in
+	}
+}
+
+// addOpCost adds one operator's cost Tw + max(Tr, Tc), using broadcast
+// bandwidth for the side inputs of distributed operators.
+func (c *Coster) addOpCost(outBytes int64, inBytes, fl, scale float64, h *hop.Hop) {
+	m := c.cfg.Costs
+	tw := float64(outBytes) / m.WriteBW
+	tr := inBytes / m.ReadBW
+	if h.ExecType == hop.ExecDist {
+		// Broadcast all but the largest input.
+		var largest float64
+		for _, in := range h.Inputs {
+			if s := float64(in.OutputSizeBytes()); s > largest {
+				largest = s
+			}
+		}
+		side := inBytes - largest
+		if side > 0 {
+			tr = largest/m.ReadBW + side/m.BroadcastBW
+		}
+	}
+	tc := fl * scale / m.ComputeBW
+	c.total += tw + math.Max(tr*scale, tc)
+	if c.total > c.budget {
+		c.exceeded = true
+	}
+}
+
+// sparsityScale returns the factor by which sparsity exploitation scales a
+// fused operator's estimates: the main-input sparsity for Outer templates
+// and sparse-driving Cell/MAgg templates (§4.3).
+func (c *Coster) sparsityScale(cv *opCtx) float64 {
+	// Main input: the largest input by cell count; exploit its sparsity.
+	var main *hop.Hop
+	for _, in := range cv.inputs {
+		if main == nil || in.Cells() > main.Cells() {
+			main = in
+		}
+	}
+	if main == nil || !main.IsSparse() {
+		return 1
+	}
+	switch cv.tmpl {
+	case cplan.TemplateOuter:
+		return main.Sparsity()
+	case cplan.TemplateRow:
+		// genexecSparse binds sparse rows; dense side work per row remains,
+		// so scale conservatively.
+		return math.Max(main.Sparsity(), 0.05)
+	default:
+		// Cell/MAgg: approximate sparse-safety by the presence of the
+		// sparse main input (construction verifies exactly).
+		return math.Max(main.Sparsity(), 0.01)
+	}
+}
+
+// pickEntry selects the best memo entry at h under assignment q, or
+// (zero, false) to execute h as a basic operator. The deterministic rule
+// prefers sparsity-exploiting templates, then maximal fusion references.
+func (c *Coster) pickEntry(h *hop.Hop) (Entry, bool) {
+	g := c.memo.Get(h.ID)
+	if g == nil {
+		return Entry{}, false
+	}
+	return c.pick(g, h, -1)
+}
+
+func (c *Coster) pickEntryCompat(h *hop.Hop, t cplan.TemplateType) (Entry, bool) {
+	g := c.memo.Get(h.ID)
+	if g == nil {
+		return Entry{}, false
+	}
+	return c.pick(g, h, int(t))
+}
+
+func (c *Coster) pick(g *Group, h *hop.Hop, wantType int) (Entry, bool) {
+	best := Entry{}
+	bestScore := math.Inf(-1)
+	found := false
+	for _, e := range g.Entries {
+		if wantType >= 0 {
+			// Continuing inside an operator of type wantType: same type or
+			// mergeable Cell plans, and only open plans can be extended.
+			if e.Closed != StatusOpen {
+				continue
+			}
+			if int(e.Type) != wantType && e.Type != cplan.TemplateCell {
+				continue
+			}
+		}
+		valid := true
+		for j, in := range h.Inputs {
+			if e.Inputs[j] >= 0 && c.q[Edge{h.ID, in.ID}] {
+				valid = false
+				break
+			}
+		}
+		if !valid {
+			continue
+		}
+		score := float64(e.RefCount())*10 + typePreference(e.Type, h)
+		if wantType >= 0 && int(e.Type) == wantType {
+			// Continuing the enclosing operator's own template keeps its
+			// chain (e.g. the Dot of an Outer plan) intact; merged Cell
+			// plans only win for side expressions without same-type plans.
+			score += 5
+		}
+		if score > bestScore {
+			best, bestScore, found = e, score, true
+		}
+	}
+	return best, found
+}
+
+// typePreference breaks ties between templates: sparsity-exploiting Outer
+// templates first when the inputs are sparse, then MAgg, Row, Cell.
+func typePreference(t cplan.TemplateType, h *hop.Hop) float64 {
+	sparseIn := false
+	for _, in := range h.Inputs {
+		if in.IsSparse() {
+			sparseIn = true
+			break
+		}
+	}
+	switch t {
+	case cplan.TemplateOuter:
+		if sparseIn {
+			return 4
+		}
+		return 1.5
+	case cplan.TemplateMAgg:
+		return 2
+	case cplan.TemplateRow:
+		return 2.5
+	default:
+		return 3 // Cell: the canonical template for element-wise chains
+	}
+}
+
+// StaticCost is the lower-bound component C_Pi independent of q: reading
+// partition inputs, minimal compute (full sparsity exploitation, no
+// redundancy), and writing partition roots (§4.4 cost-based pruning).
+func (c *Coster) StaticCost() float64 {
+	m := c.cfg.Costs
+	var t float64
+	for _, id := range c.part.Inputs {
+		t += float64(c.memo.Hop(id).OutputSizeBytes()) / m.ReadBW
+	}
+	for id := range c.part.Nodes {
+		h := c.memo.Hop(id)
+		scale := 1.0
+		for _, in := range h.Inputs {
+			if in.IsSparse() {
+				scale = math.Min(scale, in.Sparsity())
+			}
+		}
+		t += flops(h) * scale / m.ComputeBW
+	}
+	for _, r := range c.part.Roots {
+		t += float64(c.memo.Hop(r).OutputSizeBytes()) / m.WriteBW
+	}
+	return t
+}
+
+// MPCost is the plan-dependent lower-bound component: each distinct
+// materialization target assigned true costs at least one write and one
+// read (§4.4).
+func (c *Coster) MPCost(points []Edge, q []bool) float64 {
+	m := c.cfg.Costs
+	seen := map[int64]bool{}
+	var t float64
+	for i, pt := range points {
+		if !q[i] || seen[pt.To] {
+			continue
+		}
+		seen[pt.To] = true
+		size := float64(c.memo.Hop(pt.To).OutputSizeBytes())
+		t += size/m.WriteBW + size/m.ReadBW
+	}
+	return t
+}

@@ -1,0 +1,146 @@
+package codegen
+
+import (
+	"testing"
+
+	"sysml/internal/hop"
+	"sysml/internal/matrix"
+	"sysml/internal/rewrite"
+)
+
+// chainWithTwoCSEs builds a partition with stacked materialization points:
+//
+//	X,Y -> m (2 consumers) -> u (2 consumers) -> two roots
+//
+// so cut sets can split the interesting points into subproblems.
+func chainWithTwoCSEs() *hop.DAG {
+	d := hop.NewDAG()
+	x := d.Read("X", 10000, 40, -1)
+	y := d.Read("Y", 10000, 40, -1)
+	m := d.Binary(matrix.BinMul, x, y)
+	u := d.Unary(matrix.UnAbs, d.Binary(matrix.BinAdd, m, d.Lit(1)))
+	d.Output("a", d.Sum(u))
+	d.Output("b", d.RowSums(u))
+	d.Output("c", d.Sum(d.Binary(matrix.BinMul, m, m)))
+	return d
+}
+
+func exploreParts(t *testing.T, d *hop.DAG) (*Memo, []*Partition, Config) {
+	t.Helper()
+	cfg := DefaultConfig()
+	dd, _ := rewrite.Apply(d)
+	memo := Explore(dd.Roots(), &cfg)
+	parts := BuildPartitions(memo, dd.Roots())
+	return memo, parts, cfg
+}
+
+func TestPartitionMetadata(t *testing.T) {
+	memo, parts, _ := exploreParts(t, chainWithTwoCSEs())
+	if len(parts) != 1 {
+		t.Fatalf("expected one connected partition, got %d", len(parts))
+	}
+	p := parts[0]
+	if len(p.Roots) < 2 {
+		t.Fatalf("expected multiple roots (sum, rowSums, sum), got %v", p.Roots)
+	}
+	if len(p.MatPoints) < 2 {
+		t.Fatalf("expected >= 2 materialization points (m and u), got %v", p.MatPoints)
+	}
+	// Every interesting point references a node of the partition.
+	for _, pt := range p.Points {
+		if !p.Nodes[pt.From] || !p.Nodes[pt.To] {
+			t.Fatalf("interesting point %v escapes the partition", pt)
+		}
+		if memo.Hop(pt.To) == nil {
+			t.Fatalf("point target %d has no hop", pt.To)
+		}
+	}
+	// Partition inputs are outside the node set.
+	for _, in := range p.Inputs {
+		if p.Nodes[in] {
+			t.Fatalf("input %d is inside the partition", in)
+		}
+	}
+}
+
+func TestReachGraphAndCutSets(t *testing.T) {
+	memo, parts, _ := exploreParts(t, chainWithTwoCSEs())
+	p := parts[0]
+	if len(p.Points) < 3 {
+		t.Skipf("need >= 3 points for cut sets, got %d", len(p.Points))
+	}
+	rg := BuildReachGraph(memo, p)
+	// Reachability must be antisymmetric for a DAG.
+	for i := 0; i < len(p.Points); i++ {
+		for j := 0; j < len(p.Points); j++ {
+			if i != j && rg.below[i][j] && rg.below[j][i] {
+				t.Fatalf("cyclic reachability between points %d and %d", i, j)
+			}
+		}
+	}
+	cuts := FindCutSets(memo, p, rg)
+	for _, cs := range cuts {
+		if len(cs.S1) == 0 || len(cs.S2) == 0 {
+			t.Fatalf("invalid cut set with empty side: %+v", cs)
+		}
+		//
+
+		// S1 and S2 are disjoint and cover all non-cut points.
+		seen := map[int]bool{}
+		for _, i := range cs.Points {
+			seen[i] = true
+		}
+		for _, i := range append(append([]int{}, cs.S1...), cs.S2...) {
+			if seen[i] {
+				t.Fatalf("cut set overlaps subproblem: %+v", cs)
+			}
+			seen[i] = true
+		}
+		if len(seen) != len(p.Points) {
+			t.Fatalf("cut set does not cover all points: %+v", cs)
+		}
+		// No S2 point may reach an S1 point (independence).
+		for _, a := range cs.S2 {
+			for _, b := range cs.S1 {
+				if rg.below[a][b] {
+					t.Fatalf("S2 reaches S1 in %+v", cs)
+				}
+			}
+		}
+	}
+	// Cut sets are sorted by ascending score (Eq. 5).
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i-1].Score > cuts[i].Score {
+			t.Fatal("cut sets not sorted by score")
+		}
+	}
+}
+
+func TestCutScoreFormula(t *testing.T) {
+	// Eq. (5): (2^|cs|-1)/2^|cs| * 2^|M'| + 1/2^|cs| * (2^|S1| + 2^|S2|).
+	got := cutScore(1, 2, 3, 6)
+	want := 0.5*64 + 0.5*(4+8)
+	if got != want {
+		t.Fatalf("cutScore(1,2,3,6) = %v, want %v", got, want)
+	}
+	// Larger cut sets cost more of the full space.
+	if cutScore(2, 2, 2, 6) <= cutScore(1, 2, 3, 6)-32 {
+		t.Fatal("score ordering implausible")
+	}
+}
+
+func TestStaticCostIsLowerBound(t *testing.T) {
+	memo, parts, cfg := exploreParts(t, chainWithTwoCSEs())
+	for _, p := range parts {
+		co := NewCoster(&cfg, memo, p)
+		static := co.StaticCost()
+		if static <= 0 {
+			t.Fatal("static cost must be positive")
+		}
+		// The fuse-all plan's full cost can never be below the bound.
+		full := co.PlanCost(map[Edge]bool{}, 1e18)
+		if full < static*0.999 {
+			t.Fatalf("plan cost %v below static lower bound %v", full, static)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package cplan
+
+import (
+	"sysml/internal/matrix"
+	"sysml/internal/vector"
+)
+
+// CellVecProgram is a vectorized execution form of a Cell-template plan:
+// the CNode DAG lowered onto chunks of contiguous cells using the shared
+// vector primitives. It stands in for the machine code a JIT produces from
+// the scalar genexec body — Go cannot JIT, so the vectorization is made
+// explicit. It applies when every side input is addressed flat (same shape
+// as the main input) or as a pre-read scalar; per-row/per-column broadcast
+// sides keep the scalar genexec path.
+type CellVecProgram struct {
+	Instrs     []RowInstr
+	NumVec     int
+	NumScalars int
+	ResultReg  int
+	ResultVec  bool
+	// ChunkSides lists side indexes loaded as flat chunks (they must be
+	// dense and main-shaped at execution time).
+	ChunkSides []int
+}
+
+// ChunkLen is the number of cells processed per vectorized step.
+const ChunkLen = 512
+
+// CompileCellVec lowers a cell expression into a chunk program, or nil
+// when the expression uses access patterns that need per-cell evaluation
+// (row/column broadcasts, the Outer dot, aggregates).
+func CompileCellVec(root *CNode) *CellVecProgram {
+	c := &cellVecCompiler{
+		prog: &CellVecProgram{NumVec: 1}, // register 0: main chunk view
+		memo: map[*CNode]regRef{},
+	}
+	res, ok := c.compile(root)
+	if !ok || !res.vec {
+		return nil
+	}
+	c.prog.ResultReg = res.idx
+	c.prog.ResultVec = res.vec
+	return c.prog
+}
+
+type cellVecCompiler struct {
+	prog *CellVecProgram
+	memo map[*CNode]regRef
+}
+
+func (c *cellVecCompiler) newVec() int {
+	c.prog.NumVec++
+	return c.prog.NumVec - 1
+}
+
+func (c *cellVecCompiler) newScal() int {
+	c.prog.NumScalars++
+	return c.prog.NumScalars - 1
+}
+
+func (c *cellVecCompiler) emit(in RowInstr) { c.prog.Instrs = append(c.prog.Instrs, in) }
+
+func (c *cellVecCompiler) compile(n *CNode) (regRef, bool) {
+	if r, ok := c.memo[n]; ok {
+		return r, true
+	}
+	r, ok := c.compileNode(n)
+	if ok {
+		c.memo[n] = r
+	}
+	return r, ok
+}
+
+func (c *cellVecCompiler) compileNode(n *CNode) (regRef, bool) {
+	switch n.Kind {
+	case NodeMain:
+		return regRef{0, true}, true
+	case NodeLit:
+		d := c.newScal()
+		c.emit(RowInstr{Op: RLit, Dst: d, Scalar: n.Value})
+		return regRef{d, false}, true
+	case NodeSide:
+		switch n.Access {
+		case AccessScalar:
+			d := c.newScal()
+			c.emit(RowInstr{Op: RLoadSideVal, Dst: d, Side: n.Side, RowZero: true})
+			return regRef{d, false}, true
+		case AccessCell:
+			d := c.newVec()
+			c.emit(RowInstr{Op: RLoadSideRow, Dst: d, Side: n.Side})
+			c.prog.ChunkSides = append(c.prog.ChunkSides, n.Side)
+			return regRef{d, true}, true
+		default:
+			return regRef{}, false // row/column broadcasts: per-cell path
+		}
+	case NodeBinary:
+		l, ok1 := c.compile(n.Children[0])
+		r, ok2 := c.compile(n.Children[1])
+		if !ok1 || !ok2 {
+			return regRef{}, false
+		}
+		switch {
+		case l.vec && r.vec:
+			d := c.newVec()
+			c.emit(RowInstr{Op: RBinVV, BinOp: n.BinOp, Dst: d, Src1: l.idx, Src2: r.idx})
+			return regRef{d, true}, true
+		case l.vec:
+			d := c.newVec()
+			c.emit(RowInstr{Op: RBinVS, BinOp: n.BinOp, Dst: d, Src1: l.idx, Src2: r.idx})
+			return regRef{d, true}, true
+		case r.vec:
+			d := c.newVec()
+			c.emit(RowInstr{Op: RBinSV, BinOp: n.BinOp, Dst: d, Src1: l.idx, Src2: r.idx})
+			return regRef{d, true}, true
+		default:
+			d := c.newScal()
+			c.emit(RowInstr{Op: RBinSS, BinOp: n.BinOp, Dst: d, Src1: l.idx, Src2: r.idx})
+			return regRef{d, false}, true
+		}
+	case NodeUnary:
+		s, ok := c.compile(n.Children[0])
+		if !ok {
+			return regRef{}, false
+		}
+		if s.vec {
+			d := c.newVec()
+			c.emit(RowInstr{Op: RUnV, UnOp: n.UnOp, Dst: d, Src1: s.idx})
+			return regRef{d, true}, true
+		}
+		d := c.newScal()
+		c.emit(RowInstr{Op: RUnS, UnOp: n.UnOp, Dst: d, Src1: s.idx})
+		return regRef{d, false}, true
+	}
+	return regRef{}, false
+}
+
+// CellVecBuf holds per-thread chunk registers.
+type CellVecBuf struct {
+	buf RowBuf
+}
+
+// NewBuf allocates chunk registers.
+func (p *CellVecProgram) NewBuf() *CellVecBuf {
+	b := &CellVecBuf{buf: RowBuf{
+		Vec:  make([][]float64, p.NumVec),
+		Off:  make([]int, p.NumVec),
+		Scal: make([]float64, p.NumScalars),
+	}}
+	for i := 1; i < p.NumVec; i++ {
+		b.buf.Vec[i] = make([]float64, ChunkLen)
+	}
+	return b
+}
+
+// Exec evaluates the program over n cells starting at flat offset lo of
+// the main input (n <= ChunkLen) and returns the result chunk.
+func (p *CellVecProgram) Exec(ctx *Ctx, b *CellVecBuf, main []float64, lo, n int) ([]float64, int) {
+	buf := &b.buf
+	buf.Vec[0], buf.Off[0] = main, lo
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		switch in.Op {
+		case RLoadSideRow: // flat chunk view of a dense, main-shaped side
+			buf.Vec[in.Dst], buf.Off[in.Dst] = ctx.Sides[in.Side].DenseData(), lo
+		case RLoadSideVal:
+			buf.Scal[in.Dst] = ctx.SideScalars[in.Side]
+		case RLit:
+			buf.Scal[in.Dst] = in.Scalar
+		case RBinVV:
+			execBinVV(in.BinOp, buf, in.Dst, in.Src1, in.Src2, n)
+		case RBinVS:
+			execBinVS(in.BinOp, buf, in.Dst, in.Src1, buf.Scal[in.Src2], n)
+		case RBinSV:
+			execBinSV(in.BinOp, buf, in.Dst, buf.Scal[in.Src1], in.Src2, n)
+		case RBinSS:
+			buf.Scal[in.Dst] = in.BinOp.Apply(buf.Scal[in.Src1], buf.Scal[in.Src2])
+		case RUnV:
+			execUnV(in.UnOp, buf, in.Dst, in.Src1, n)
+		case RUnS:
+			buf.Scal[in.Dst] = in.UnOp.Apply(buf.Scal[in.Src1])
+		}
+	}
+	return buf.Vec[p.ResultReg], buf.Off[p.ResultReg]
+}
+
+// ChunkCompatible reports whether the bound inputs allow vectorized
+// execution: a dense main and dense, exactly main-shaped chunk sides.
+func (p *CellVecProgram) ChunkCompatible(main *matrix.Matrix, sides []*matrix.Matrix) bool {
+	if p == nil || main.IsSparse() {
+		return false
+	}
+	for _, si := range p.ChunkSides {
+		s := sides[si]
+		if s.IsSparse() || s.Rows != main.Rows || s.Cols != main.Cols {
+			return false
+		}
+	}
+	return true
+}
+
+// SumChunk adds up a result chunk (FullAgg fast path).
+func SumChunk(vals []float64, off, n int) float64 { return vector.Sum(vals, off, n) }

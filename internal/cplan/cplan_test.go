@@ -1,0 +1,216 @@
+package cplan
+
+import (
+	"strings"
+	"testing"
+
+	"sysml/internal/matrix"
+)
+
+func TestPlanHashStability(t *testing.T) {
+	mk := func() *Plan {
+		return &Plan{
+			Type: TemplateCell, Cell: CellFullAgg, AggOp: matrix.AggSum,
+			Root: Binary(matrix.BinMul, Main(0), Side(0, AccessCell, 0)),
+		}
+	}
+	if mk().Hash() != mk().Hash() {
+		t.Fatal("identical plans must hash equal")
+	}
+	other := mk()
+	other.Root = Binary(matrix.BinAdd, Main(0), Side(0, AccessCell, 0))
+	if mk().Hash() == other.Hash() {
+		t.Fatal("different plans must hash differently")
+	}
+	// Template metadata participates in the hash.
+	noAgg := mk()
+	noAgg.Cell = CellNoAgg
+	if mk().Hash() == noAgg.Hash() {
+		t.Fatal("cell type must affect the hash")
+	}
+}
+
+func TestNumNodes(t *testing.T) {
+	p := &Plan{Type: TemplateCell, Root: Binary(matrix.BinMul,
+		Unary(matrix.UnExp, Main(0)), Lit(2))}
+	if got := p.NumNodes(); got != 4 {
+		t.Fatalf("NumNodes = %d, want 4", got)
+	}
+}
+
+func TestRenderContainsTemplateMarkers(t *testing.T) {
+	cell := &Plan{Type: TemplateCell, Cell: CellFullAgg, AggOp: matrix.AggSum,
+		Root: Binary(matrix.BinMul, Main(0), Side(0, AccessCell, 0)), SparseSafe: true}
+	src := Render(cell, "TMP42")
+	for _, want := range []string{"SpoofCellwise", "FULL_AGG", "TMP42_genexec", "getValue(b[0]"} {
+		if !strings.Contains(src, want) {
+			t.Fatalf("cell source missing %q:\n%s", want, src)
+		}
+	}
+	outer := &Plan{Type: TemplateOuter, Out: OuterRightMM,
+		Root: Binary(matrix.BinMul, Main(0), Dot()), SparseSafe: true}
+	src = Render(outer, "TMP4")
+	if !strings.Contains(src, "SpoofOuterProduct") || !strings.Contains(src, "dotProduct(u, v") {
+		t.Fatalf("outer source missing markers:\n%s", src)
+	}
+	row := &Plan{Type: TemplateRow, Row: RowColAggT, MainWidth: 10,
+		Root: Agg(matrix.AggSum, Binary(matrix.BinMul, Main(10), Side(0, AccessRow, 10)))}
+	src = Render(row, "TMP25")
+	if !strings.Contains(src, "SpoofRowwise") || !strings.Contains(src, "genexecDense") {
+		t.Fatalf("row source missing markers:\n%s", src)
+	}
+	magg := &Plan{Type: TemplateMAgg,
+		Roots:  []*CNode{Main(0), Unary(matrix.UnAbs, Main(0))},
+		AggOps: []matrix.AggOp{matrix.AggSum, matrix.AggSum}}
+	src = Render(magg, "TMP7")
+	if !strings.Contains(src, "SpoofMultiAggregate") || !strings.Contains(src, "genexec1") {
+		t.Fatalf("magg source missing markers:\n%s", src)
+	}
+}
+
+func TestCompileSlowRejectsNothingValid(t *testing.T) {
+	p := &Plan{Type: TemplateRow, Row: RowFullAgg, MainWidth: 8,
+		Root: Agg(matrix.AggSum, Binary(matrix.BinDiv, Main(8), Side(0, AccessCol, 0)))}
+	if _, err := CompileSlow(p, "TMP9"); err != nil {
+		t.Fatalf("valid plan failed the javac-analog path: %v", err)
+	}
+}
+
+func TestRowProgramCompilation(t *testing.T) {
+	// Shared X_i %*% B subexpression (one CNode) compiles to one RMatMul.
+	mm := MatMultNode(Main(10), 0, 3)
+	root := Binary(matrix.BinSub, mm,
+		Binary(matrix.BinMul, Side(1, AccessCell, 3), Agg(matrix.AggSum, mm)))
+	p := &Plan{Type: TemplateRow, Row: RowColAggT, Root: root, MainWidth: 10}
+	prog := compileRow(p)
+	if prog.MainWidth != 10 || !prog.ResultVec {
+		t.Fatalf("program meta wrong: %+v", prog)
+	}
+	// The shared MatMultNode must compile once (CSE via memoization).
+	nmm := 0
+	for _, in := range prog.Instrs {
+		if in.Op == RMatMul {
+			nmm++
+		}
+	}
+	if nmm != 1 {
+		t.Fatalf("expected 1 RMatMul after CSE, got %d", nmm)
+	}
+}
+
+func TestMainSparseCapable(t *testing.T) {
+	// dot(main, v) is sparse-capable.
+	dot := Agg(matrix.AggSum, Binary(matrix.BinMul, Main(10), Side(0, AccessRow, 10)))
+	p := compileRow(&Plan{Type: TemplateRow, Row: RowRowAgg, Root: dot, MainWidth: 10})
+	if !p.MainSparseCapable() {
+		t.Fatal("dot(main, side) must be sparse-capable")
+	}
+	// main * 2 element-wise is not (result materializes the dense row).
+	scale := Binary(matrix.BinMul, Main(10), Lit(2))
+	p2 := compileRow(&Plan{Type: TemplateRow, Row: RowNoAgg, Root: scale, MainWidth: 10})
+	if p2.MainSparseCapable() {
+		t.Fatal("element-wise main op must not be sparse-capable")
+	}
+	// rowSums(main) is sparse-capable; rowMaxs(main) is not.
+	sums := Agg(matrix.AggSum, Main(10))
+	p3 := compileRow(&Plan{Type: TemplateRow, Row: RowRowAgg, Root: sums, MainWidth: 10})
+	if !p3.MainSparseCapable() {
+		t.Fatal("rowSums must be sparse-capable")
+	}
+	maxs := Agg(matrix.AggMax, Main(10))
+	p4 := compileRow(&Plan{Type: TemplateRow, Row: RowRowAgg, Root: maxs, MainWidth: 10})
+	if p4.MainSparseCapable() {
+		t.Fatal("rowMaxs must not be sparse-capable (implicit zeros)")
+	}
+}
+
+func TestCellVecProgram(t *testing.T) {
+	// (main * side + 3) vectorizes.
+	root := Binary(matrix.BinAdd,
+		Binary(matrix.BinMul, Main(0), Side(0, AccessCell, 0)), Lit(3))
+	prog := CompileCellVec(root)
+	if prog == nil {
+		t.Fatal("expected vectorizable program")
+	}
+	main := matrix.Rand(4, 300, 1, -1, 1, 1)
+	side := matrix.Rand(4, 300, 1, -1, 1, 2)
+	ctx := NewCtx([]*matrix.Matrix{side})
+	if !prog.ChunkCompatible(main, []*matrix.Matrix{side}) {
+		t.Fatal("dense same-shape side must be chunk compatible")
+	}
+	buf := prog.NewBuf()
+	md := main.Dense()
+	res, ro := prog.Exec(ctx, buf, md, 0, ChunkLen)
+	fn := compileCell(root)
+	for k := 0; k < ChunkLen; k++ {
+		want := fn(ctx, md[k], 0, k)
+		if res[ro+k] != want {
+			t.Fatalf("chunk[%d] = %v, want %v", k, res[ro+k], want)
+		}
+	}
+	// Column-broadcast sides refuse vectorization.
+	if CompileCellVec(Binary(matrix.BinMul, Main(0), Side(0, AccessCol, 0))) != nil {
+		t.Fatal("column broadcast must not vectorize")
+	}
+	// Shape mismatch falls back at bind time.
+	if prog.ChunkCompatible(main, []*matrix.Matrix{matrix.Rand(4, 2, 1, 0, 1, 3)}) {
+		t.Fatal("mismatched side must not be chunk compatible")
+	}
+	if prog.ChunkCompatible(main.ToSparse(), []*matrix.Matrix{side}) {
+		t.Fatal("sparse main must not be chunk compatible")
+	}
+}
+
+func TestSideViewCursor(t *testing.T) {
+	m := matrix.Rand(5, 40, 0.2, -1, 1, 4)
+	v := NewSideView(m)
+	md := m.ToDense()
+	// Monotone access within rows.
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 40; j++ {
+			if v.Value(i, j) != md.At(i, j) {
+				t.Fatalf("cursor Value(%d,%d) mismatch", i, j)
+			}
+		}
+	}
+	// Non-monotone access restarts correctly.
+	if v.Value(2, 30) != md.At(2, 30) || v.Value(2, 3) != md.At(2, 3) {
+		t.Fatal("non-monotone access broken")
+	}
+}
+
+func TestSparseSafetyRules(t *testing.T) {
+	cases := []struct {
+		name string
+		node *CNode
+		want bool
+	}{
+		{"main", Main(0), true},
+		{"main*side", Binary(matrix.BinMul, Main(0), Side(0, AccessCell, 0)), true},
+		{"main+side", Binary(matrix.BinAdd, Main(0), Side(0, AccessCell, 0)), false},
+		{"main!=0", Binary(matrix.BinNeq, Main(0), Lit(0)), true},
+		{"main/dot", Binary(matrix.BinDiv, Main(0), Dot()), true},
+		{"dot/main", Binary(matrix.BinDiv, Dot(), Main(0)), false},
+		{"abs(main)", Unary(matrix.UnAbs, Main(0)), true},
+		{"exp(main)", Unary(matrix.UnExp, Main(0)), false},
+		{"main*log(dot+eps)", Binary(matrix.BinMul, Main(0),
+			Unary(matrix.UnLog, Binary(matrix.BinAdd, Dot(), Lit(1e-15)))), true},
+		{"lit0", Lit(0), true},
+		{"lit1", Lit(1), false},
+	}
+	for _, c := range cases {
+		if got := ProbeSparseSafe(c.node); got != c.want {
+			t.Errorf("%s: sparse-safe = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestInterpretedOuterDot(t *testing.T) {
+	root := Binary(matrix.BinMul, Main(0), Dot())
+	op := CompileInterpreted(&Plan{Type: TemplateOuter, Out: OuterAgg, Root: root}, "T")
+	ctx := NewCtx(nil)
+	ctx.Dot = 3
+	if got := op.CellFn(ctx, 2, 0, 0); got != 6 {
+		t.Fatalf("interpreted dot = %v", got)
+	}
+}

@@ -1,0 +1,492 @@
+package cplan
+
+import (
+	"fmt"
+
+	"sysml/internal/matrix"
+	"sysml/internal/vector"
+)
+
+// RowOpKind identifies one vector instruction of a compiled Row-template
+// program. Programs are register machines over per-thread ring-buffer
+// vectors, mirroring the generated Java methods that chain vector
+// primitives (paper §2.2, TMP25 example).
+type RowOpKind int
+
+// Row program instructions. V suffixes denote vector registers, S scalar
+// registers.
+const (
+	RLoadSideRow RowOpKind = iota // vec[dst] = side[Side] row (rix or row 0)
+	RLoadSideVal                  // scal[dst] = side[Side].Value(rix,0) or (0,0)
+	RLit                          // scal[dst] = Scalar
+	RBinVV                        // vec[dst] = vec[src1] op vec[src2]
+	RBinVS                        // vec[dst] = vec[src1] op scal[src2]
+	RBinSV                        // vec[dst] = scal[src1] op vec[src2]
+	RBinSS                        // scal[dst] = scal[src1] op scal[src2]
+	RUnV                          // vec[dst] = op(vec[src1])
+	RUnS                          // scal[dst] = op(scal[src1])
+	RAggV                         // scal[dst] = agg(vec[src1])
+	RMatMul                       // vec[dst] = vec[src1] %*% side[Side]
+	RIdxV                         // vec[dst] = vec[src1][CL:CU)
+	RDot                          // scal[dst] = dot(vec[src1], vec[src2])
+	RCumsumV                      // vec[dst] = cumsum(vec[src1])
+)
+
+// RowInstr is one instruction of a Row program.
+type RowInstr struct {
+	Op         RowOpKind
+	BinOp      matrix.BinOp
+	UnOp       matrix.UnOp
+	AggOp      matrix.AggOp
+	Dst        int
+	Src1, Src2 int
+	Side       int
+	RowZero    bool // side row access uses row 0 (1×c row-vector side)
+	Scalar     float64
+	CL, CU     int
+}
+
+// RowProgram is a compiled Row-template operator body: a straight-line
+// vector program executed once per input row.
+type RowProgram struct {
+	Instrs     []RowInstr
+	VecWidths  []int // width per vector register; register 0 is the main row
+	NumScalars int
+	MainWidth  int
+
+	RowT      RowType
+	OutWidth  int
+	ResultReg int  // final vector or scalar register
+	ResultVec bool // whether the result register is a vector
+	// LeftReg is the left vector of the ColAggT outer accumulation
+	// (typically register 0, the main row itself).
+	LeftReg int
+}
+
+// MainSparseCapable reports whether the program can execute directly over
+// sparse main rows (the genexecSparse path): register 0 may only feed
+// sparse-safe consumers — inner matrix products and sum aggregates — plus
+// the ColAggT outer accumulation handled by the skeleton.
+func (p *RowProgram) MainSparseCapable() bool {
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		var uses0 bool
+		switch in.Op {
+		case RBinVV:
+			uses0 = in.Src1 == 0 || in.Src2 == 0
+		case RBinVS, RUnV, RIdxV, RCumsumV:
+			uses0 = in.Src1 == 0
+		case RBinSV:
+			uses0 = in.Src2 == 0
+		case RAggV:
+			if in.Src1 == 0 && in.AggOp != matrix.AggSum && in.AggOp != matrix.AggSumSq {
+				return false
+			}
+			continue
+		case RMatMul, RDot:
+			continue // sparse kernels available
+		default:
+			continue
+		}
+		if uses0 {
+			return false
+		}
+	}
+	// The result itself must not be the raw main row.
+	if p.ResultVec && p.ResultReg == 0 {
+		return false
+	}
+	return true
+}
+
+// RowBuf is the per-thread ring buffer of vector registers plus scalar
+// registers (paper: "memory for row intermediates is managed via a
+// preallocated ring buffer per thread").
+type RowBuf struct {
+	Vec     [][]float64
+	Off     []int // per-register view offset (register 0 aliases the main row)
+	Scal    []float64
+	scratch [][]float64 // lazily allocated densification buffers per register
+
+	// Sparse main-row binding (genexecSparse): when SparseMain is set,
+	// register 0 is unavailable as a dense view and instructions consuming
+	// it dispatch to sparse kernels.
+	SparseMain bool
+	SparseVals []float64
+	SparseIdx  []int
+}
+
+// NewBuf allocates a ring buffer sized for the program.
+func (p *RowProgram) NewBuf() *RowBuf {
+	b := &RowBuf{
+		Vec:     make([][]float64, len(p.VecWidths)),
+		Off:     make([]int, len(p.VecWidths)),
+		Scal:    make([]float64, p.NumScalars),
+		scratch: make([][]float64, len(p.VecWidths)),
+	}
+	for i, w := range p.VecWidths {
+		if i == 0 {
+			continue // register 0 is a view over the main row
+		}
+		b.Vec[i] = make([]float64, w)
+	}
+	return b
+}
+
+// ExecRow runs the program for one row. main is a dense view of the row at
+// offset mo (sparse rows are densified by the caller).
+func (p *RowProgram) ExecRow(ctx *Ctx, buf *RowBuf, main []float64, mo, rix int) {
+	buf.Vec[0], buf.Off[0] = main, mo
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		switch in.Op {
+		case RLoadSideRow:
+			r := rix
+			if in.RowZero {
+				r = 0
+			}
+			sv := ctx.Sides[in.Side]
+			if d := sv.DenseData(); d != nil {
+				// Dense side: alias the row instead of copying.
+				buf.Vec[in.Dst], buf.Off[in.Dst] = d, r*sv.Cols()
+			} else {
+				if buf.scratch[in.Dst] == nil {
+					buf.scratch[in.Dst] = make([]float64, p.VecWidths[in.Dst])
+				}
+				sv.DensifyRow(r, buf.scratch[in.Dst])
+				buf.Vec[in.Dst], buf.Off[in.Dst] = buf.scratch[in.Dst], 0
+			}
+		case RLoadSideVal:
+			r := rix
+			if in.RowZero {
+				r = 0
+			}
+			buf.Scal[in.Dst] = ctx.Sides[in.Side].Value(r, 0)
+		case RLit:
+			buf.Scal[in.Dst] = in.Scalar
+		case RBinVV:
+			execBinVV(in.BinOp, buf, in.Dst, in.Src1, in.Src2, p.VecWidths[in.Dst])
+		case RBinVS:
+			execBinVS(in.BinOp, buf, in.Dst, in.Src1, buf.Scal[in.Src2], p.VecWidths[in.Dst])
+		case RBinSV:
+			execBinSV(in.BinOp, buf, in.Dst, buf.Scal[in.Src1], in.Src2, p.VecWidths[in.Dst])
+		case RBinSS:
+			buf.Scal[in.Dst] = in.BinOp.Apply(buf.Scal[in.Src1], buf.Scal[in.Src2])
+		case RUnV:
+			execUnV(in.UnOp, buf, in.Dst, in.Src1, p.VecWidths[in.Dst])
+		case RUnS:
+			buf.Scal[in.Dst] = in.UnOp.Apply(buf.Scal[in.Src1])
+		case RAggV:
+			if in.Src1 == 0 && buf.SparseMain {
+				// Sparse-safe sums over the non-zero values only.
+				if in.AggOp == matrix.AggSumSq {
+					buf.Scal[in.Dst] = vector.SumSq(buf.SparseVals, 0, len(buf.SparseVals))
+				} else {
+					buf.Scal[in.Dst] = vector.Sum(buf.SparseVals, 0, len(buf.SparseVals))
+				}
+				continue
+			}
+			buf.Scal[in.Dst] = execAggV(in.AggOp, buf, in.Src1, p.VecWidths[in.Src1])
+		case RMatMul:
+			side := ctx.Sides[in.Side]
+			sm := side.Matrix()
+			if in.Src1 == 0 && buf.SparseMain {
+				vector.MatMultSparse(buf.SparseVals, buf.SparseIdx, sm.Dense(), buf.Vec[in.Dst], 0, 0, sm.Cols)
+				buf.Off[in.Dst] = 0
+				continue
+			}
+			src, so := buf.Vec[in.Src1], buf.Off[in.Src1]
+			vector.MatMult(src, sm.Dense(), buf.Vec[in.Dst], so, 0, 0, sm.Rows, sm.Cols)
+			buf.Off[in.Dst] = 0
+		case RIdxV:
+			src, so := buf.Vec[in.Src1], buf.Off[in.Src1]
+			vector.CopyWrite(src, buf.Vec[in.Dst], so+in.CL, 0, in.CU-in.CL)
+			buf.Off[in.Dst] = 0
+		case RCumsumV:
+			src, so := buf.Vec[in.Src1], buf.Off[in.Src1]
+			vector.CumsumWrite(src, buf.Vec[in.Dst], so, 0, p.VecWidths[in.Dst])
+			buf.Off[in.Dst] = 0
+		case RDot:
+			if buf.SparseMain && (in.Src1 == 0 || in.Src2 == 0) {
+				other := in.Src2
+				if in.Src2 == 0 {
+					other = in.Src1
+				}
+				b, bo := buf.Vec[other], buf.Off[other]
+				buf.Scal[in.Dst] = vector.DotProductSparse(buf.SparseVals, buf.SparseIdx, b[bo:], 0)
+				continue
+			}
+			a, ao := buf.Vec[in.Src1], buf.Off[in.Src1]
+			b, bo := buf.Vec[in.Src2], buf.Off[in.Src2]
+			buf.Scal[in.Dst] = vector.DotProduct(a, b, ao, bo, p.VecWidths[in.Src1])
+		}
+	}
+}
+
+func execBinVV(op matrix.BinOp, b *RowBuf, dst, s1, s2, n int) {
+	d := b.Vec[dst]
+	a1, o1 := b.Vec[s1], b.Off[s1]
+	a2, o2 := b.Vec[s2], b.Off[s2]
+	switch op {
+	case matrix.BinMul:
+		vector.MultWrite(a1, a2, d, o1, o2, 0, n)
+	case matrix.BinAdd:
+		vector.AddWrite(a1, a2, d, o1, o2, 0, n)
+	case matrix.BinSub:
+		vector.MinusWrite(a1, a2, d, o1, o2, 0, n)
+	case matrix.BinDiv:
+		vector.DivWrite(a1, a2, d, o1, o2, 0, n)
+	case matrix.BinMin:
+		vector.MinWrite(a1, a2, d, o1, o2, 0, n)
+	case matrix.BinMax:
+		vector.MaxWrite(a1, a2, d, o1, o2, 0, n)
+	default:
+		for k := 0; k < n; k++ {
+			d[k] = op.Apply(a1[o1+k], a2[o2+k])
+		}
+	}
+	b.Off[dst] = 0
+}
+
+func execBinVS(op matrix.BinOp, b *RowBuf, dst, s1 int, s float64, n int) {
+	d := b.Vec[dst]
+	a, o := b.Vec[s1], b.Off[s1]
+	switch op {
+	case matrix.BinMul:
+		vector.MultScalarWrite(a, s, d, o, 0, n)
+	case matrix.BinAdd:
+		vector.AddScalarWrite(a, s, d, o, 0, n)
+	case matrix.BinSub:
+		vector.MinusScalarWrite(a, s, d, o, 0, n)
+	case matrix.BinDiv:
+		vector.DivScalarWrite(a, s, d, o, 0, n)
+	case matrix.BinPow:
+		vector.PowScalarWrite(a, s, d, o, 0, n)
+	case matrix.BinGt:
+		vector.GreaterScalarWrite(a, s, d, o, 0, n)
+	case matrix.BinNeq:
+		vector.NotEqualScalarWrite(a, s, d, o, 0, n)
+	default:
+		for k := 0; k < n; k++ {
+			d[k] = op.Apply(a[o+k], s)
+		}
+	}
+	b.Off[dst] = 0
+}
+
+func execBinSV(op matrix.BinOp, b *RowBuf, dst int, s float64, s2, n int) {
+	d := b.Vec[dst]
+	a, o := b.Vec[s2], b.Off[s2]
+	switch op {
+	case matrix.BinMul:
+		vector.MultScalarWrite(a, s, d, o, 0, n)
+	case matrix.BinAdd:
+		vector.AddScalarWrite(a, s, d, o, 0, n)
+	case matrix.BinSub:
+		vector.ScalarMinusWrite(s, a, d, o, 0, n)
+	case matrix.BinDiv:
+		vector.ScalarDivWrite(s, a, d, o, 0, n)
+	default:
+		for k := 0; k < n; k++ {
+			d[k] = op.Apply(s, a[o+k])
+		}
+	}
+	b.Off[dst] = 0
+}
+
+func execUnV(op matrix.UnOp, b *RowBuf, dst, s1, n int) {
+	d := b.Vec[dst]
+	a, o := b.Vec[s1], b.Off[s1]
+	switch op {
+	case matrix.UnExp:
+		vector.ExpWrite(a, d, o, 0, n)
+	case matrix.UnLog:
+		vector.LogWrite(a, d, o, 0, n)
+	case matrix.UnSqrt:
+		vector.SqrtWrite(a, d, o, 0, n)
+	case matrix.UnAbs:
+		vector.AbsWrite(a, d, o, 0, n)
+	case matrix.UnSign:
+		vector.SignWrite(a, d, o, 0, n)
+	case matrix.UnNeg:
+		vector.NegWrite(a, d, o, 0, n)
+	case matrix.UnSigmoid:
+		vector.SigmoidWrite(a, d, o, 0, n)
+	default:
+		for k := 0; k < n; k++ {
+			d[k] = op.Apply(a[o+k])
+		}
+	}
+	b.Off[dst] = 0
+}
+
+func execAggV(op matrix.AggOp, b *RowBuf, src, n int) float64 {
+	a, o := b.Vec[src], b.Off[src]
+	switch op {
+	case matrix.AggSum:
+		return vector.Sum(a, o, n)
+	case matrix.AggSumSq:
+		return vector.SumSq(a, o, n)
+	case matrix.AggMin:
+		return vector.Min(a, o, n)
+	case matrix.AggMax:
+		return vector.Max(a, o, n)
+	case matrix.AggMean:
+		return vector.Sum(a, o, n) / float64(n)
+	}
+	panic("cplan: unsupported row aggregation")
+}
+
+// compileRow lowers the Row-template CNode DAG into a vector program with
+// register allocation and common-subexpression sharing.
+func compileRow(p *Plan) *RowProgram {
+	c := &rowCompiler{
+		prog: &RowProgram{
+			MainWidth: p.MainWidth,
+			RowT:      p.Row,
+			VecWidths: []int{p.MainWidth}, // register 0: main row view
+		},
+		memo: map[*CNode]regRef{},
+	}
+	res := c.compile(p.Root)
+	c.prog.ResultReg = res.idx
+	c.prog.ResultVec = res.vec
+	c.prog.LeftReg = 0
+	if res.vec {
+		c.prog.OutWidth = c.prog.VecWidths[res.idx]
+	} else {
+		c.prog.OutWidth = 1
+	}
+	return c.prog
+}
+
+type regRef struct {
+	idx int
+	vec bool
+}
+
+type rowCompiler struct {
+	prog *RowProgram
+	memo map[*CNode]regRef
+}
+
+func (c *rowCompiler) newVec(width int) int {
+	c.prog.VecWidths = append(c.prog.VecWidths, width)
+	return len(c.prog.VecWidths) - 1
+}
+
+func (c *rowCompiler) newScal() int {
+	c.prog.NumScalars++
+	return c.prog.NumScalars - 1
+}
+
+func (c *rowCompiler) emit(in RowInstr) {
+	c.prog.Instrs = append(c.prog.Instrs, in)
+}
+
+func (c *rowCompiler) compile(n *CNode) regRef {
+	if r, ok := c.memo[n]; ok {
+		return r
+	}
+	r := c.compileNode(n)
+	c.memo[n] = r
+	return r
+}
+
+func (c *rowCompiler) compileNode(n *CNode) regRef {
+	switch n.Kind {
+	case NodeMain:
+		return regRef{0, true}
+	case NodeLit:
+		d := c.newScal()
+		c.emit(RowInstr{Op: RLit, Dst: d, Scalar: n.Value})
+		return regRef{d, false}
+	case NodeSide:
+		switch n.Access {
+		case AccessScalar, AccessCol:
+			d := c.newScal()
+			c.emit(RowInstr{Op: RLoadSideVal, Dst: d, Side: n.Side, RowZero: n.Access == AccessScalar})
+			return regRef{d, false}
+		case AccessRow:
+			d := c.newVec(n.Width)
+			c.emit(RowInstr{Op: RLoadSideRow, Dst: d, Side: n.Side, RowZero: true})
+			return regRef{d, true}
+		default: // full matrix side: row rix
+			d := c.newVec(n.Width)
+			c.emit(RowInstr{Op: RLoadSideRow, Dst: d, Side: n.Side})
+			return regRef{d, true}
+		}
+	case NodeBinary:
+		l := c.compile(n.Children[0])
+		r := c.compile(n.Children[1])
+		switch {
+		case l.vec && r.vec:
+			d := c.newVec(n.Width)
+			c.emit(RowInstr{Op: RBinVV, BinOp: n.BinOp, Dst: d, Src1: l.idx, Src2: r.idx})
+			return regRef{d, true}
+		case l.vec:
+			d := c.newVec(n.Width)
+			c.emit(RowInstr{Op: RBinVS, BinOp: n.BinOp, Dst: d, Src1: l.idx, Src2: r.idx})
+			return regRef{d, true}
+		case r.vec:
+			d := c.newVec(n.Width)
+			c.emit(RowInstr{Op: RBinSV, BinOp: n.BinOp, Dst: d, Src1: l.idx, Src2: r.idx})
+			return regRef{d, true}
+		default:
+			d := c.newScal()
+			c.emit(RowInstr{Op: RBinSS, BinOp: n.BinOp, Dst: d, Src1: l.idx, Src2: r.idx})
+			return regRef{d, false}
+		}
+	case NodeUnary:
+		s := c.compile(n.Children[0])
+		if s.vec {
+			d := c.newVec(n.Width)
+			c.emit(RowInstr{Op: RUnV, UnOp: n.UnOp, Dst: d, Src1: s.idx})
+			return regRef{d, true}
+		}
+		d := c.newScal()
+		c.emit(RowInstr{Op: RUnS, UnOp: n.UnOp, Dst: d, Src1: s.idx})
+		return regRef{d, false}
+	case NodeAgg:
+		// Peephole: sum(a * b) over two vectors compiles to a fused dot
+		// product (sparse-capable over the main row).
+		if ch := n.Children[0]; n.AggOp == matrix.AggSum && ch.Kind == NodeBinary &&
+			ch.BinOp == matrix.BinMul {
+			if _, done := c.memo[ch]; !done {
+				l := c.compile(ch.Children[0])
+				r := c.compile(ch.Children[1])
+				if l.vec && r.vec {
+					d := c.newScal()
+					c.emit(RowInstr{Op: RDot, Dst: d, Src1: l.idx, Src2: r.idx})
+					return regRef{d, false}
+				}
+			}
+		}
+		s := c.compile(n.Children[0])
+		if !s.vec {
+			return s
+		}
+		d := c.newScal()
+		c.emit(RowInstr{Op: RAggV, AggOp: n.AggOp, Dst: d, Src1: s.idx})
+		return regRef{d, false}
+	case NodeMatMult:
+		s := c.compile(n.Children[0])
+		d := c.newVec(n.Width)
+		c.emit(RowInstr{Op: RMatMul, Dst: d, Src1: s.idx, Side: n.Side})
+		return regRef{d, true}
+	case NodeIdx:
+		s := c.compile(n.Children[0])
+		d := c.newVec(n.Width)
+		c.emit(RowInstr{Op: RIdxV, Dst: d, Src1: s.idx, CL: n.CL, CU: n.CU})
+		return regRef{d, true}
+	case NodeCumsum:
+		s := c.compile(n.Children[0])
+		if !s.vec {
+			return s
+		}
+		d := c.newVec(n.Width)
+		c.emit(RowInstr{Op: RCumsumV, Dst: d, Src1: s.idx})
+		return regRef{d, true}
+	}
+	panic(fmt.Sprintf("cplan: CNode kind %s not valid in row context", nodeKindName(n.Kind)))
+}

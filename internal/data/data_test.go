@@ -1,0 +1,126 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"sysml/internal/matrix"
+)
+
+func TestAirlineLikeShapeAndCardinality(t *testing.T) {
+	m := AirlineLike(5000, 1)
+	if m.Rows != 5000 || m.Cols != 29 || m.IsSparse() {
+		t.Fatalf("airline shape %dx%d sparse=%v", m.Rows, m.Cols, m.IsSparse())
+	}
+	// Early columns have low cardinality (CLA-friendly).
+	seen := map[float64]bool{}
+	for i := 0; i < m.Rows; i++ {
+		seen[m.At(i, 0)] = true
+	}
+	if len(seen) > 40 {
+		t.Fatalf("column 0 cardinality %d, expected low", len(seen))
+	}
+	// Deterministic by seed.
+	if !AirlineLike(500, 9).EqualsApprox(AirlineLike(500, 9), 0) {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestMnistLikeSparsityAndValues(t *testing.T) {
+	m := MnistLike(2000, 2)
+	if m.Cols != 784 || !m.IsSparse() {
+		t.Fatalf("mnist shape %dx%d sparse=%v", m.Rows, m.Cols, m.IsSparse())
+	}
+	sp := m.Sparsity()
+	if sp < 0.2 || sp > 0.3 {
+		t.Fatalf("sparsity %v, want ~0.25", sp)
+	}
+	for _, v := range m.Sparse().Values[:100] {
+		if v <= 0 || v > 1 {
+			t.Fatalf("intensity %v out of (0,1]", v)
+		}
+	}
+}
+
+func TestRatingsGenerators(t *testing.T) {
+	n := NetflixLike(3000, 1000, 3)
+	sp := n.Sparsity()
+	if sp < 0.004 || sp > 0.04 {
+		t.Fatalf("netflix sparsity %v, want ~0.012", sp)
+	}
+	for _, v := range n.Sparse().Values[:50] {
+		if v < 1 || v > 5 || v != math.Trunc(v) {
+			t.Fatalf("rating %v not in 1..5", v)
+		}
+	}
+	a := AmazonLike(5000, 4000, 4)
+	if got := a.Sparsity(); got > 0.01 {
+		t.Fatalf("amazon sparsity %v, want ultra-sparse", got)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	x := Dense(2000, 10, 5)
+	y := BinaryLabels(x, 0, 6)
+	pos, neg := 0, 0
+	for i := 0; i < y.Rows; i++ {
+		switch y.At(i, 0) {
+		case 1:
+			pos++
+		case -1:
+			neg++
+		default:
+			t.Fatalf("label %v not in {-1, 1}", y.At(i, 0))
+		}
+	}
+	if pos < 200 || neg < 200 {
+		t.Fatalf("degenerate label split %d/%d", pos, neg)
+	}
+	z := ZeroOneLabels(y)
+	for i := 0; i < z.Rows; i++ {
+		v := z.At(i, 0)
+		if v != 0 && v != 1 {
+			t.Fatalf("0/1 label %v", v)
+		}
+		if (v == 1) != (y.At(i, 0) == 1) {
+			t.Fatal("0/1 conversion mismatch")
+		}
+	}
+	// Noise flips some labels.
+	noisy := BinaryLabels(x, 0.3, 6)
+	flips := 0
+	for i := 0; i < y.Rows; i++ {
+		if noisy.At(i, 0) != y.At(i, 0) {
+			flips++
+		}
+	}
+	if flips < 200 {
+		t.Fatalf("noise produced only %d flips", flips)
+	}
+}
+
+func TestMultiClassIndicator(t *testing.T) {
+	x := Dense(1000, 8, 7)
+	ind := MultiClassIndicator(x, 4, 8)
+	if ind.Cols != 4 {
+		t.Fatalf("indicator cols %d", ind.Cols)
+	}
+	counts := make([]int, 4)
+	for i := 0; i < ind.Rows; i++ {
+		ones := 0
+		for j := 0; j < 4; j++ {
+			if v := ind.At(i, j); v == 1 {
+				ones++
+				counts[j]++
+			} else if v != 0 {
+				t.Fatalf("indicator value %v", v)
+			}
+		}
+		if ones != 1 {
+			t.Fatalf("row %d has %d ones", i, ones)
+		}
+	}
+	if rs := matrix.Sum(ind); rs != 1000 {
+		t.Fatalf("indicator sum %v", rs)
+	}
+}

@@ -1,0 +1,330 @@
+// Package dist implements the simulated distributed (Spark-like) backend:
+// block-partitioned matrices executed by a pool of simulated executor
+// workers, with explicit accounting of broadcast and shuffle volumes and a
+// simulated network time derived from configurable bandwidths. Computation
+// is real (the same kernels as local execution, so results are identical);
+// only the cluster topology is simulated (see DESIGN.md substitutions).
+package dist
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sysml/internal/cplan"
+	"sysml/internal/hop"
+	"sysml/internal/matrix"
+	rt "sysml/internal/runtime"
+)
+
+// Cluster models the simulated cluster: executor count, per-executor
+// memory, distributed blocksize, and network bandwidth for broadcast and
+// shuffle traffic.
+type Cluster struct {
+	NumExecutors     int
+	ExecutorMemBytes int64
+	Blocksize        int
+	NetBandwidth     float64 // bytes/s
+
+	bytesBroadcast int64
+	bytesShuffled  int64
+	netNanos       int64
+}
+
+// NewCluster mirrors the paper's 6-executor setup scaled down.
+func NewCluster() *Cluster {
+	return &Cluster{
+		NumExecutors:     6,
+		ExecutorMemBytes: 1 << 30,
+		Blocksize:        1000,
+		NetBandwidth:     1.25e9, // 10 Gb Ethernet
+	}
+}
+
+// BytesBroadcast returns the accumulated broadcast volume.
+func (c *Cluster) BytesBroadcast() int64 { return atomic.LoadInt64(&c.bytesBroadcast) }
+
+// BytesShuffled returns the accumulated shuffle volume.
+func (c *Cluster) BytesShuffled() int64 { return atomic.LoadInt64(&c.bytesShuffled) }
+
+// NetTime returns the simulated network time implied by the traffic.
+func (c *Cluster) NetTime() time.Duration { return time.Duration(atomic.LoadInt64(&c.netNanos)) }
+
+// Reset clears the traffic counters.
+func (c *Cluster) Reset() {
+	atomic.StoreInt64(&c.bytesBroadcast, 0)
+	atomic.StoreInt64(&c.bytesShuffled, 0)
+	atomic.StoreInt64(&c.netNanos, 0)
+}
+
+func (c *Cluster) addBroadcast(bytes int64) {
+	atomic.AddInt64(&c.bytesBroadcast, bytes)
+	atomic.AddInt64(&c.netNanos, int64(float64(bytes)/c.NetBandwidth*1e9))
+}
+
+func (c *Cluster) addShuffle(bytes int64) {
+	atomic.AddInt64(&c.bytesShuffled, bytes)
+	atomic.AddInt64(&c.netNanos, int64(float64(bytes)/c.NetBandwidth*1e9))
+}
+
+// ExecHop implements runtime.DistBackend: it executes one operator over
+// row panels of its main input across the simulated executors. Unsupported
+// shapes report ok=false and fall back to local execution.
+func (c *Cluster) ExecHop(h *hop.Hop, inputs []*matrix.Matrix) (*matrix.Matrix, bool) {
+	switch h.Kind {
+	case hop.OpBinary, hop.OpUnary:
+		return c.mapOp(h, inputs)
+	case hop.OpAggUnary:
+		return c.aggOp(h, inputs)
+	case hop.OpMatMult:
+		return c.matMult(h, inputs)
+	case hop.OpSpoof:
+		return c.spoof(h, inputs)
+	}
+	return nil, false
+}
+
+// panels splits [0, rows) into executor work units of Blocksize rows.
+func (c *Cluster) panels(rows int) [][2]int {
+	var out [][2]int
+	for lo := 0; lo < rows; lo += c.Blocksize {
+		hi := lo + c.Blocksize
+		if hi > rows {
+			hi = rows
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// runPanels executes fn per panel on NumExecutors workers.
+func (c *Cluster) runPanels(rows int, fn func(panel int, lo, hi int)) int {
+	ps := c.panels(rows)
+	var wg sync.WaitGroup
+	work := make(chan int)
+	workers := c.NumExecutors
+	if workers > len(ps) {
+		workers = len(ps)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i, ps[i][0], ps[i][1])
+			}
+		}()
+	}
+	for i := range ps {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return len(ps)
+}
+
+func rowSlice(m *matrix.Matrix, lo, hi int) *matrix.Matrix {
+	return matrix.IndexRange(m, lo, hi, 0, m.Cols)
+}
+
+// broadcastAll accounts for shipping the given side inputs to every
+// executor.
+func (c *Cluster) broadcastAll(sides []*matrix.Matrix) {
+	for _, s := range sides {
+		if s != nil {
+			c.addBroadcast(s.SizeBytes() * int64(c.NumExecutors))
+		}
+	}
+}
+
+func (c *Cluster) mapOp(h *hop.Hop, inputs []*matrix.Matrix) (*matrix.Matrix, bool) {
+	main := inputs[0]
+	if main.Rows < 2 {
+		return nil, false
+	}
+	aligned := func(m *matrix.Matrix) bool { return m.Rows == main.Rows && m.Cols > 1 }
+	var bcast []*matrix.Matrix
+	for _, in := range inputs[1:] {
+		if !aligned(in) {
+			bcast = append(bcast, in)
+		}
+	}
+	c.broadcastAll(bcast)
+	out := matrix.NewDense(main.Rows, int(h.Cols))
+	od := out.Dense()
+	c.runPanels(main.Rows, func(_, lo, hi int) {
+		var part *matrix.Matrix
+		switch h.Kind {
+		case hop.OpUnary:
+			part = matrix.Unary(h.UnOp, rowSlice(main, lo, hi))
+		default:
+			b := inputs[1]
+			rb := b
+			if b.Rows == main.Rows && b.Rows > 1 {
+				rb = rowSlice(b, lo, hi)
+			}
+			part = matrix.Binary(h.BinOp, rowSlice(main, lo, hi), rb)
+		}
+		pd := part.ToDense().Dense()
+		copy(od[lo*out.Cols:], pd)
+	})
+	return out.InPreferredFormat(), true
+}
+
+func (c *Cluster) aggOp(h *hop.Hop, inputs []*matrix.Matrix) (*matrix.Matrix, bool) {
+	main := inputs[0]
+	if main.Rows < 2 || h.AggDir == matrix.DirCol && h.AggOp != matrix.AggSum {
+		return nil, false
+	}
+	switch h.AggDir {
+	case matrix.DirRow:
+		out := matrix.NewDense(main.Rows, 1)
+		od := out.Dense()
+		c.runPanels(main.Rows, func(_, lo, hi int) {
+			part := matrix.Agg(h.AggOp, matrix.DirRow, rowSlice(main, lo, hi))
+			copy(od[lo:hi], part.Dense())
+		})
+		return out, true
+	case matrix.DirCol, matrix.DirAll:
+		var mu sync.Mutex
+		var partials []*matrix.Matrix
+		n := c.runPanels(main.Rows, func(_, lo, hi int) {
+			part := matrix.Agg(h.AggOp, h.AggDir, rowSlice(main, lo, hi))
+			mu.Lock()
+			partials = append(partials, part)
+			mu.Unlock()
+		})
+		// Partial aggregates shuffle to the reducer.
+		c.addShuffle(int64(n) * partials[0].SizeBytes())
+		acc := partials[0]
+		for _, p := range partials[1:] {
+			switch h.AggOp {
+			case matrix.AggMin:
+				acc = matrix.Binary(matrix.BinMin, acc, p)
+			case matrix.AggMax:
+				acc = matrix.Binary(matrix.BinMax, acc, p)
+			default:
+				acc = matrix.Binary(matrix.BinAdd, acc, p)
+			}
+		}
+		if h.AggOp == matrix.AggMean {
+			return nil, false // mean over partials needs counts; fall back
+		}
+		return acc, true
+	}
+	return nil, false
+}
+
+// matMult executes the broadcast-based mapmm: the larger side stays
+// partitioned, the smaller side is broadcast.
+func (c *Cluster) matMult(h *hop.Hop, inputs []*matrix.Matrix) (*matrix.Matrix, bool) {
+	a, b := inputs[0], inputs[1]
+	if b.SizeBytes() > c.ExecutorMemBytes/2 || a.Rows < 2 {
+		return nil, false
+	}
+	c.broadcastAll([]*matrix.Matrix{b})
+	out := matrix.NewDense(a.Rows, b.Cols)
+	od := out.Dense()
+	c.runPanels(a.Rows, func(_, lo, hi int) {
+		part := matrix.MatMult(rowSlice(a, lo, hi), b)
+		copy(od[lo*out.Cols:], part.Dense())
+	})
+	return out, true
+}
+
+// spoof executes a fused operator over row panels of the main input with
+// broadcast side inputs, reducing aggregated variants.
+func (c *Cluster) spoof(h *hop.Hop, inputs []*matrix.Matrix) (*matrix.Matrix, bool) {
+	op, ok := h.Spoof.(*cplan.Operator)
+	if !ok {
+		return nil, false
+	}
+	main := inputs[0]
+	if main.Rows < 2 {
+		return nil, false
+	}
+	// Row templates require whole rows per block (§4.1): enforced at plan
+	// time, double-checked here.
+	if op.Plan.Type == cplan.TemplateRow && main.Cols > c.Blocksize {
+		return nil, false
+	}
+	// Aggregated variants reduce partials by addition: only sums are safe.
+	for _, a := range append([]matrix.AggOp{op.Plan.AggOp}, op.Plan.AggOps...) {
+		if a != matrix.AggSum && a != matrix.AggSumSq {
+			if op.Plan.Type == cplan.TemplateCell && op.Plan.Cell == cplan.CellNoAgg {
+				continue
+			}
+			if op.Plan.Type == cplan.TemplateCell && op.Plan.Cell == cplan.CellRowAgg {
+				continue
+			}
+			return nil, false
+		}
+	}
+	c.broadcastAll(inputs[1:])
+
+	rowAligned := op.Plan.Type == cplan.TemplateCell &&
+		(op.Plan.Cell == cplan.CellNoAgg || op.Plan.Cell == cplan.CellRowAgg) ||
+		op.Plan.Type == cplan.TemplateRow &&
+			(op.RowProg.RowT == cplan.RowNoAgg || op.RowProg.RowT == cplan.RowRowAgg) ||
+		op.Plan.Type == cplan.TemplateOuter && op.Plan.Out == cplan.OuterRightMM
+
+	slicedInputs := func(lo, hi int) []*matrix.Matrix {
+		ins := append([]*matrix.Matrix(nil), inputs...)
+		ins[0] = rowSlice(main, lo, hi)
+		// Outer's U and row-aligned side inputs are co-partitioned.
+		for i := 1; i < len(ins); i++ {
+			if ins[i].Rows == main.Rows && main.Rows > 1 && ins[i].Cols >= 1 {
+				ins[i] = rowSlice(ins[i], lo, hi)
+			}
+		}
+		return ins
+	}
+
+	if rowAligned {
+		var mu sync.Mutex
+		parts := map[int]*matrix.Matrix{}
+		c.runPanels(main.Rows, func(p, lo, hi int) {
+			res, err := rt.ExecSpoof(h, slicedInputs(lo, hi))
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			parts[p] = res
+			mu.Unlock()
+		})
+		ps := c.panels(main.Rows)
+		if len(parts) != len(ps) {
+			return nil, false
+		}
+		out := parts[0]
+		for i := 1; i < len(ps); i++ {
+			out = matrix.RBind(out, parts[i])
+		}
+		return out.InPreferredFormat(), true
+	}
+	// Aggregated variants: per-panel partials reduced by addition.
+	var mu sync.Mutex
+	var partials []*matrix.Matrix
+	bad := false
+	n := c.runPanels(main.Rows, func(_, lo, hi int) {
+		res, err := rt.ExecSpoof(h, slicedInputs(lo, hi))
+		if err != nil {
+			mu.Lock()
+			bad = true
+			mu.Unlock()
+			return
+		}
+		mu.Lock()
+		partials = append(partials, res)
+		mu.Unlock()
+	})
+	if bad || len(partials) == 0 {
+		return nil, false
+	}
+	c.addShuffle(int64(n) * partials[0].SizeBytes())
+	acc := partials[0]
+	for _, p := range partials[1:] {
+		acc = matrix.Binary(matrix.BinAdd, acc, p)
+	}
+	return acc, true
+}

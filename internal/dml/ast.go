@@ -1,0 +1,102 @@
+package dml
+
+// Expr is a parsed expression node.
+type Expr interface{ exprNode() }
+
+// Ident references a variable.
+type Ident struct {
+	Name string
+	Line int
+}
+
+// Num is a numeric literal.
+type Num struct{ Value float64 }
+
+// Str is a string literal (print-only).
+type Str struct{ Value string }
+
+// BinExpr is an infix operation: arithmetic, comparison, logical, or %*%.
+type BinExpr struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// UnExpr is a prefix operation: - or !.
+type UnExpr struct {
+	Op string
+	E  Expr
+}
+
+// Call is a builtin function call with positional and named arguments.
+type Call struct {
+	Name  string
+	Args  []Expr
+	Named map[string]Expr
+	Line  int
+}
+
+// IndexExpr is right indexing X[r1:r2, c1:c2] with 1-based inclusive
+// bounds; nil bounds select the full range.
+type IndexExpr struct {
+	X              Expr
+	RL, RU, CL, CU Expr // nil = unbounded
+	Line           int
+}
+
+func (*Ident) exprNode()     {}
+func (*Num) exprNode()       {}
+func (*Str) exprNode()       {}
+func (*BinExpr) exprNode()   {}
+func (*UnExpr) exprNode()    {}
+func (*Call) exprNode()      {}
+func (*IndexExpr) exprNode() {}
+
+// Stmt is a parsed statement.
+type Stmt interface{ stmtNode() }
+
+// Assign binds an expression result to a variable.
+type Assign struct {
+	Target string
+	Value  Expr
+	Line   int
+}
+
+// PrintStmt prints the evaluated expression.
+type PrintStmt struct {
+	Value Expr
+	Line  int
+}
+
+// IfStmt is a conditional with optional else branch.
+type IfStmt struct {
+	Cond       Expr
+	Then, Else []Stmt
+	Line       int
+}
+
+// WhileStmt is a condition-controlled loop.
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+	Line int
+}
+
+// ForStmt iterates a loop variable over from:to (inclusive, step 1).
+type ForStmt struct {
+	Var      string
+	From, To Expr
+	Body     []Stmt
+	Line     int
+}
+
+func (*Assign) stmtNode()    {}
+func (*PrintStmt) stmtNode() {}
+func (*IfStmt) stmtNode()    {}
+func (*WhileStmt) stmtNode() {}
+func (*ForStmt) stmtNode()   {}
+
+// Program is a parsed script.
+type Program struct {
+	Stmts []Stmt
+}

@@ -1,0 +1,426 @@
+package dml
+
+import (
+	"fmt"
+
+	"sysml/internal/hop"
+	"sysml/internal/matrix"
+	"sysml/internal/runtime"
+)
+
+// blockCompiler translates one statement block into a HOP DAG, using the
+// current symbol table for input dimensions (sizes are known at block
+// compile time, mirroring SystemML's dynamic recompilation).
+type blockCompiler struct {
+	d         *hop.DAG
+	env       runtime.Env
+	vars      map[string]*hop.Hop // assigned within the block
+	reads     map[string]*hop.Hop
+	constVals map[string]float64 // block-local compile-time constants
+}
+
+func newBlockCompiler(env runtime.Env) *blockCompiler {
+	return &blockCompiler{
+		d:         hop.NewDAG(),
+		env:       env,
+		vars:      map[string]*hop.Hop{},
+		reads:     map[string]*hop.Hop{},
+		constVals: map[string]float64{},
+	}
+}
+
+func (c *blockCompiler) assign(name string, e Expr) error {
+	h, err := c.compile(e)
+	if err != nil {
+		return err
+	}
+	// Track compile-time constant scalars so later index bounds and
+	// datagen arguments in the same block can resolve them.
+	if v, ok := c.constEval(e); ok {
+		c.constVals[name] = v
+	} else {
+		delete(c.constVals, name)
+	}
+	c.vars[name] = h
+	c.d.Output(name, h)
+	return nil
+}
+
+func (c *blockCompiler) varHop(name string, line int) (*hop.Hop, error) {
+	if h, ok := c.vars[name]; ok {
+		return h, nil
+	}
+	if h, ok := c.reads[name]; ok {
+		return h, nil
+	}
+	m, ok := c.env[name]
+	if !ok {
+		return nil, fmt.Errorf("dml: line %d: undefined variable %q", line, name)
+	}
+	nnz := int64(m.Nnz())
+	h := c.d.Read(name, int64(m.Rows), int64(m.Cols), nnz)
+	c.reads[name] = h
+	return h, nil
+}
+
+var binOps = map[string]matrix.BinOp{
+	"+": matrix.BinAdd, "-": matrix.BinSub, "*": matrix.BinMul,
+	"/": matrix.BinDiv, "^": matrix.BinPow,
+	"<": matrix.BinLt, "<=": matrix.BinLe, ">": matrix.BinGt,
+	">=": matrix.BinGe, "==": matrix.BinEq, "!=": matrix.BinNeq,
+	"&": matrix.BinAnd, "&&": matrix.BinAnd, "|": matrix.BinOr, "||": matrix.BinOr,
+}
+
+var unaryCalls = map[string]matrix.UnOp{
+	"exp": matrix.UnExp, "log": matrix.UnLog, "sqrt": matrix.UnSqrt,
+	"abs": matrix.UnAbs, "sign": matrix.UnSign, "round": matrix.UnRound,
+	"floor": matrix.UnFloor, "ceil": matrix.UnCeil, "sigmoid": matrix.UnSigmoid,
+}
+
+func (c *blockCompiler) compile(e Expr) (*hop.Hop, error) {
+	switch n := e.(type) {
+	case *Num:
+		return c.d.Lit(n.Value), nil
+	case *Ident:
+		return c.varHop(n.Name, n.Line)
+	case *BinExpr:
+		if n.Op == "%*%" {
+			l, err := c.compile(n.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := c.compile(n.R)
+			if err != nil {
+				return nil, err
+			}
+			if l.Cols != r.Rows {
+				return nil, fmt.Errorf("dml: line %d: %%*%% shape mismatch %dx%d vs %dx%d",
+					n.Line, l.Rows, l.Cols, r.Rows, r.Cols)
+			}
+			return c.d.MatMult(l, r), nil
+		}
+		op, ok := binOps[n.Op]
+		if !ok {
+			return nil, fmt.Errorf("dml: line %d: unsupported operator %q", n.Line, n.Op)
+		}
+		l, err := c.compile(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.compile(n.R)
+		if err != nil {
+			return nil, err
+		}
+		return c.d.Binary(op, l, r), nil
+	case *UnExpr:
+		in, err := c.compile(n.E)
+		if err != nil {
+			return nil, err
+		}
+		if n.Op == "-" {
+			return c.d.Unary(matrix.UnNeg, in), nil
+		}
+		return c.d.Unary(matrix.UnNot, in), nil
+	case *Call:
+		return c.compileCall(n)
+	case *IndexExpr:
+		return c.compileIndex(n)
+	case *Str:
+		return nil, fmt.Errorf("dml: string literal outside print")
+	}
+	return nil, fmt.Errorf("dml: unsupported expression %T", e)
+}
+
+func (c *blockCompiler) compileCall(n *Call) (*hop.Hop, error) {
+	if op, ok := unaryCalls[n.Name]; ok {
+		in, err := c.oneArg(n)
+		if err != nil {
+			return nil, err
+		}
+		return c.d.Unary(op, in), nil
+	}
+	switch n.Name {
+	case "sum", "mean":
+		in, err := c.oneArg(n)
+		if err != nil {
+			return nil, err
+		}
+		if in.IsScalar() {
+			return in, nil
+		}
+		op := matrix.AggSum
+		if n.Name == "mean" {
+			op = matrix.AggMean
+		}
+		return c.d.Agg(op, matrix.DirAll, in), nil
+	case "rowSums", "colSums", "rowMeans", "colMeans", "rowMaxs", "colMaxs", "rowMins", "colMins":
+		in, err := c.oneArg(n)
+		if err != nil {
+			return nil, err
+		}
+		dir := matrix.DirRow
+		if n.Name[0] == 'c' {
+			dir = matrix.DirCol
+		}
+		op := matrix.AggSum
+		switch {
+		case n.Name == "rowMeans" || n.Name == "colMeans":
+			op = matrix.AggMean
+		case n.Name == "rowMaxs" || n.Name == "colMaxs":
+			op = matrix.AggMax
+		case n.Name == "rowMins" || n.Name == "colMins":
+			op = matrix.AggMin
+		}
+		return c.d.Agg(op, dir, in), nil
+	case "min", "max":
+		op := matrix.AggMin
+		bop := matrix.BinMin
+		if n.Name == "max" {
+			op, bop = matrix.AggMax, matrix.BinMax
+		}
+		if len(n.Args) == 2 {
+			l, err := c.compile(n.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			r, err := c.compile(n.Args[1])
+			if err != nil {
+				return nil, err
+			}
+			return c.d.Binary(bop, l, r), nil
+		}
+		in, err := c.oneArg(n)
+		if err != nil {
+			return nil, err
+		}
+		return c.d.Agg(op, matrix.DirAll, in), nil
+	case "nrow", "ncol":
+		in, err := c.oneArg(n)
+		if err != nil {
+			return nil, err
+		}
+		if n.Name == "nrow" {
+			return c.d.Lit(float64(in.Rows)), nil
+		}
+		return c.d.Lit(float64(in.Cols)), nil
+	case "t":
+		in, err := c.oneArg(n)
+		if err != nil {
+			return nil, err
+		}
+		return c.d.Transpose(in), nil
+	case "rowIndexMax":
+		in, err := c.oneArg(n)
+		if err != nil {
+			return nil, err
+		}
+		return c.d.RowIndexMaxOp(in), nil
+	case "cbind", "rbind":
+		if len(n.Args) != 2 {
+			return nil, fmt.Errorf("dml: line %d: %s needs 2 arguments", n.Line, n.Name)
+		}
+		l, err := c.compile(n.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.compile(n.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		if n.Name == "cbind" {
+			return c.d.CBindOp(l, r), nil
+		}
+		return c.d.RBindOp(l, r), nil
+	case "cumsum":
+		in, err := c.oneArg(n)
+		if err != nil {
+			return nil, err
+		}
+		return c.d.CumsumOp(in), nil
+	case "diag":
+		in, err := c.oneArg(n)
+		if err != nil {
+			return nil, err
+		}
+		return c.d.DiagOp(in), nil
+	case "as.scalar", "as.matrix", "as.double", "as.integer":
+		return c.oneArg(n)
+	case "matrix":
+		v, err := c.constArg(n, 0, "")
+		if err != nil {
+			return nil, err
+		}
+		rows, err := c.constArg(n, -1, "rows")
+		if err != nil {
+			return nil, err
+		}
+		cols, err := c.constArg(n, -1, "cols")
+		if err != nil {
+			return nil, err
+		}
+		return c.d.FillGen(int64(rows), int64(cols), v), nil
+	case "rand":
+		rows, err := c.constArg(n, -1, "rows")
+		if err != nil {
+			return nil, err
+		}
+		cols, err := c.constArg(n, -1, "cols")
+		if err != nil {
+			return nil, err
+		}
+		sp := c.constArgOr(n, "sparsity", 1)
+		lo := c.constArgOr(n, "min", 0)
+		hi := c.constArgOr(n, "max", 1)
+		seed := c.constArgOr(n, "seed", 7)
+		return c.d.Rand(int64(rows), int64(cols), sp, lo, hi, int64(seed)), nil
+	case "seq":
+		if len(n.Args) < 2 {
+			return nil, fmt.Errorf("dml: line %d: seq needs from, to", n.Line)
+		}
+		from, ok1 := c.constEval(n.Args[0])
+		to, ok2 := c.constEval(n.Args[1])
+		incr := 1.0
+		ok3 := true
+		if len(n.Args) > 2 {
+			incr, ok3 = c.constEval(n.Args[2])
+		}
+		if !ok1 || !ok2 || !ok3 {
+			return nil, fmt.Errorf("dml: line %d: seq arguments must be compile-time constants", n.Line)
+		}
+		g := c.d.FillGen(int64((to-from)/incr)+1, 1, 0)
+		g.Gen = hop.GenSeq
+		g.GenArgs = []float64{from, to, incr}
+		return g, nil
+	}
+	return nil, fmt.Errorf("dml: line %d: unknown function %q", n.Line, n.Name)
+}
+
+func (c *blockCompiler) oneArg(n *Call) (*hop.Hop, error) {
+	if len(n.Args) != 1 {
+		return nil, fmt.Errorf("dml: line %d: %s needs 1 argument", n.Line, n.Name)
+	}
+	return c.compile(n.Args[0])
+}
+
+func (c *blockCompiler) constArg(n *Call, pos int, name string) (float64, error) {
+	var e Expr
+	if name != "" {
+		e = n.Named[name]
+	}
+	if e == nil && pos >= 0 && pos < len(n.Args) {
+		e = n.Args[pos]
+	}
+	if e == nil {
+		return 0, fmt.Errorf("dml: line %d: %s missing argument %s", n.Line, n.Name, name)
+	}
+	v, ok := c.constEval(e)
+	if !ok {
+		return 0, fmt.Errorf("dml: line %d: argument %s of %s must be a compile-time constant", n.Line, name, n.Name)
+	}
+	return v, nil
+}
+
+func (c *blockCompiler) constArgOr(n *Call, name string, def float64) float64 {
+	e := n.Named[name]
+	if e == nil {
+		return def
+	}
+	if v, ok := c.constEval(e); ok {
+		return v
+	}
+	return def
+}
+
+// constEval resolves compile-time scalar constants: literals, arithmetic
+// over constants, scalars already bound in the environment, and nrow/ncol
+// of known variables.
+func (c *blockCompiler) constEval(e Expr) (float64, bool) {
+	switch n := e.(type) {
+	case *Num:
+		return n.Value, true
+	case *Ident:
+		if v, ok := c.constVals[n.Name]; ok {
+			return v, true
+		}
+		if h, ok := c.vars[n.Name]; ok {
+			if h.Kind == hop.OpLiteral {
+				return h.Value, true
+			}
+			return 0, false
+		}
+		if m, ok := c.env[n.Name]; ok && m.Rows == 1 && m.Cols == 1 {
+			return m.Scalar(), true
+		}
+		return 0, false
+	case *UnExpr:
+		if n.Op == "-" {
+			v, ok := c.constEval(n.E)
+			return -v, ok
+		}
+	case *BinExpr:
+		l, ok1 := c.constEval(n.L)
+		r, ok2 := c.constEval(n.R)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		if op, ok := binOps[n.Op]; ok {
+			return op.Apply(l, r), true
+		}
+	case *Call:
+		if n.Name == "nrow" || n.Name == "ncol" {
+			if id, ok := n.Args[0].(*Ident); ok {
+				var h *hop.Hop
+				if v, ok := c.vars[id.Name]; ok {
+					h = v
+				} else if m, ok := c.env[id.Name]; ok {
+					if n.Name == "nrow" {
+						return float64(m.Rows), true
+					}
+					return float64(m.Cols), true
+				}
+				if h != nil {
+					if n.Name == "nrow" {
+						return float64(h.Rows), true
+					}
+					return float64(h.Cols), true
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+func (c *blockCompiler) compileIndex(n *IndexExpr) (*hop.Hop, error) {
+	x, err := c.compile(n.X)
+	if err != nil {
+		return nil, err
+	}
+	bound := func(e Expr, def int64) (int64, error) {
+		if e == nil {
+			return def, nil
+		}
+		v, ok := c.constEval(e)
+		if !ok {
+			return 0, fmt.Errorf("dml: line %d: index bounds must be compile-time constants", n.Line)
+		}
+		return int64(v), nil
+	}
+	rl, err := bound(n.RL, 1)
+	if err != nil {
+		return nil, err
+	}
+	ru, err := bound(n.RU, x.Rows)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := bound(n.CL, 1)
+	if err != nil {
+		return nil, err
+	}
+	cu, err := bound(n.CU, x.Cols)
+	if err != nil {
+		return nil, err
+	}
+	// 1-based inclusive -> 0-based half-open.
+	return c.d.Index(x, rl-1, ru, cl-1, cu), nil
+}

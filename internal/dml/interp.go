@@ -1,0 +1,301 @@
+package dml
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"sysml/internal/codegen"
+	"sysml/internal/hop"
+	"sysml/internal/matrix"
+	"sysml/internal/rewrite"
+	"sysml/internal/runtime"
+)
+
+// Session executes DML-subset scripts. Statement blocks compile to HOP
+// DAGs that flow through rewrites and the codegen optimizer; the plan cache
+// and codegen statistics persist across blocks and loop iterations
+// (dynamic recompilation per §2.1).
+type Session struct {
+	Config codegen.Config
+	Cache  *codegen.PlanCache
+	Stats  *codegen.Stats
+	Env    runtime.Env
+	Out    io.Writer
+	Dist   runtime.DistBackend
+
+	// ExplainOut, when set, receives the optimized HOP DAG of every
+	// compiled block (SystemML's EXPLAIN hops output).
+	ExplainOut io.Writer
+
+	// Blocks counts compiled statement blocks (optimized HOP DAGs);
+	// BlockCacheHits counts reuses of previously optimized blocks.
+	Blocks         int64
+	BlockCacheHits int64
+
+	blockCache map[string]*hop.DAG
+}
+
+// NewSession creates a session with the given optimizer configuration.
+func NewSession(cfg codegen.Config) *Session {
+	return &Session{
+		Config: cfg,
+		Cache:  codegen.NewPlanCache(cfg.PlanCache),
+		Stats:  codegen.NewStats(),
+		Env:    runtime.Env{},
+		Out:    os.Stdout,
+	}
+}
+
+// Bind sets an input variable.
+func (s *Session) Bind(name string, m *matrix.Matrix) { s.Env[name] = m }
+
+// BindScalar sets a scalar input variable.
+func (s *Session) BindScalar(name string, v float64) { s.Env[name] = matrix.NewScalar(v) }
+
+// Run parses and executes a script against the bound inputs; results stay
+// in the session environment.
+func (s *Session) Run(script string) error {
+	prog, err := Parse(script)
+	if err != nil {
+		return err
+	}
+	return s.exec(prog.Stmts)
+}
+
+// Get returns a variable from the environment.
+func (s *Session) Get(name string) (*matrix.Matrix, bool) {
+	m, ok := s.Env[name]
+	return m, ok
+}
+
+// Scalar returns a scalar variable's value.
+func (s *Session) Scalar(name string) (float64, bool) {
+	m, ok := s.Env[name]
+	if !ok || m.Rows != 1 || m.Cols != 1 {
+		return 0, false
+	}
+	return m.Scalar(), true
+}
+
+func (s *Session) exec(stmts []Stmt) error {
+	var pending []Stmt
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		err := s.runBlock(pending)
+		pending = pending[:0]
+		return err
+	}
+	for _, st := range stmts {
+		switch n := st.(type) {
+		case *Assign, *PrintStmt:
+			pending = append(pending, st)
+		case *IfStmt:
+			if err := flush(); err != nil {
+				return err
+			}
+			cond, err := s.evalScalar(n.Cond)
+			if err != nil {
+				return err
+			}
+			if cond != 0 {
+				if err := s.exec(n.Then); err != nil {
+					return err
+				}
+			} else if len(n.Else) > 0 {
+				if err := s.exec(n.Else); err != nil {
+					return err
+				}
+			}
+		case *WhileStmt:
+			if err := flush(); err != nil {
+				return err
+			}
+			for iter := 0; ; iter++ {
+				if iter > 1_000_000 {
+					return fmt.Errorf("dml: line %d: while loop exceeded iteration bound", n.Line)
+				}
+				cond, err := s.evalScalar(n.Cond)
+				if err != nil {
+					return err
+				}
+				if cond == 0 {
+					break
+				}
+				if err := s.exec(n.Body); err != nil {
+					return err
+				}
+			}
+		case *ForStmt:
+			if err := flush(); err != nil {
+				return err
+			}
+			from, err := s.evalScalar(n.From)
+			if err != nil {
+				return err
+			}
+			to, err := s.evalScalar(n.To)
+			if err != nil {
+				return err
+			}
+			for i := from; i <= to; i++ {
+				s.Env[n.Var] = matrix.NewScalar(i)
+				if err := s.exec(n.Body); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return flush()
+}
+
+// runBlock compiles, optimizes, and executes one statement block.
+func (s *Session) runBlock(stmts []Stmt) error {
+	c := newBlockCompiler(s.Env)
+	type printOut struct {
+		line  int
+		parts []any // string literals and output variable names
+	}
+	var prints []printOut
+	npr := 0
+	for _, st := range stmts {
+		switch n := st.(type) {
+		case *Assign:
+			if err := c.assign(n.Target, n.Value); err != nil {
+				return err
+			}
+		case *PrintStmt:
+			po := printOut{line: n.Line}
+			for _, part := range flattenConcat(n.Value) {
+				if str, ok := part.(*Str); ok {
+					po.parts = append(po.parts, str.Value)
+					continue
+				}
+				h, err := c.compile(part)
+				if err != nil {
+					return err
+				}
+				name := fmt.Sprintf("__print%d", npr)
+				npr++
+				c.d.Output(name, h)
+				po.parts = append(po.parts, printRef(name))
+			}
+			prints = append(prints, po)
+		}
+	}
+	d, _ := rewrite.Apply(c.d)
+	// Reuse the optimized plan while the block's structure, sizes, and
+	// sparsity are unchanged (SystemML recompiles only dirty blocks).
+	var key string
+	if s.Config.ReuseBlockPlans {
+		key = blockKey(d)
+		if cached, ok := s.blockCache[key]; ok {
+			d = cached
+			s.BlockCacheHits++
+		} else {
+			d = codegen.Optimize(d, &s.Config, s.Cache, s.Stats)
+			s.Blocks++
+			if s.blockCache == nil {
+				s.blockCache = map[string]*hop.DAG{}
+			}
+			s.blockCache[key] = d
+		}
+	} else {
+		d = codegen.Optimize(d, &s.Config, s.Cache, s.Stats)
+		s.Blocks++
+	}
+	if s.ExplainOut != nil {
+		fmt.Fprintf(s.ExplainOut, "# EXPLAIN block %d\n%s", s.Blocks, hop.Explain(d.Roots()))
+	}
+	out, err := runtime.ExecuteDAG(d, s.Env, runtime.Options{Dist: s.Dist})
+	if err != nil {
+		return err
+	}
+	for name, m := range out {
+		s.Env[name] = m
+	}
+	for _, po := range prints {
+		line := ""
+		for _, part := range po.parts {
+			switch v := part.(type) {
+			case string:
+				line += v
+			case printRef:
+				m := s.Env[string(v)]
+				if m.Rows == 1 && m.Cols == 1 {
+					line += fmt.Sprintf("%g", m.Scalar())
+				} else {
+					line += m.String()
+				}
+			}
+		}
+		fmt.Fprintln(s.Out, line)
+	}
+	return nil
+}
+
+type printRef string
+
+// blockKey fingerprints a rewritten block DAG: operator structure, input
+// names, dimensions, format, and bucketed sparsity, plus the output
+// binding. Matching keys produce identical optimized plans.
+func blockKey(d *hop.DAG) string {
+	var b strings.Builder
+	for _, h := range hop.TopoOrder(d.Roots()) {
+		fmt.Fprintf(&b, "%d:%d:%d:%d:%d:%g:%s:%d:%d:%v:%.1f:%d:%d:%d:%d:%v",
+			h.ID, h.Kind, h.BinOp, h.UnOp, h.AggOp, h.Value, h.Name,
+			h.Rows, h.Cols, h.IsSparse(), h.Sparsity(), h.RL, h.RU, h.CL, h.CU, h.GenArgs)
+		for _, in := range h.Inputs {
+			fmt.Fprintf(&b, ",%d", in.ID)
+		}
+		b.WriteByte('|')
+	}
+	for _, name := range d.OutputNames() {
+		fmt.Fprintf(&b, "%s=%d;", name, d.Outputs[name].ID)
+	}
+	return b.String()
+}
+
+// flattenConcat splits a "+"-chain mixing strings and expressions into
+// printable parts.
+func flattenConcat(e Expr) []Expr {
+	if b, ok := e.(*BinExpr); ok && b.Op == "+" && (containsStr(b.L) || containsStr(b.R)) {
+		return append(flattenConcat(b.L), flattenConcat(b.R)...)
+	}
+	return []Expr{e}
+}
+
+func containsStr(e Expr) bool {
+	switch n := e.(type) {
+	case *Str:
+		return true
+	case *BinExpr:
+		return n.Op == "+" && (containsStr(n.L) || containsStr(n.R))
+	}
+	return false
+}
+
+// evalScalar evaluates a predicate or loop-bound expression through the
+// regular block pipeline (a one-output DAG), mirroring SystemML's handling
+// of scalar instructions.
+func (s *Session) evalScalar(e Expr) (float64, error) {
+	c := newBlockCompiler(s.Env)
+	h, err := c.compile(e)
+	if err != nil {
+		return 0, err
+	}
+	c.d.Output("__cond", h)
+	d, _ := rewrite.Apply(c.d)
+	out, err := runtime.ExecuteDAG(d, s.Env, runtime.Options{Dist: s.Dist})
+	if err != nil {
+		return 0, err
+	}
+	m := out["__cond"]
+	if m.Rows != 1 || m.Cols != 1 {
+		return 0, fmt.Errorf("dml: condition is not scalar (%dx%d)", m.Rows, m.Cols)
+	}
+	return m.Scalar(), nil
+}

@@ -1,0 +1,160 @@
+// Package dml implements the scripting frontend: a lexer, parser, and
+// interpreter for a subset of SystemML's R-like declarative ML language.
+// Scripts are parsed into statement blocks delineated by control flow; each
+// block compiles to a HOP DAG that flows through rewrites and the codegen
+// optimizer before execution, with dynamic recompilation per iteration and
+// operator reuse through the plan cache (paper §2.1).
+package dml
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp // operators and punctuation
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"if": true, "else": true, "while": true, "for": true, "in": true,
+	"print": true, "TRUE": true, "FALSE": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+	line int
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	line   int
+	tokens []token
+}
+
+// lex tokenizes a script, reporting the first error with its line.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r' || c == ';':
+			l.pos++
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case unicode.IsDigit(rune(c)) || (c == '.' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
+			l.lexNumber()
+		case unicode.IsLetter(rune(c)) || c == '_':
+			l.lexIdent()
+		case c == '"':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.lexOp(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.emit(tokEOF, "")
+	return l.tokens, nil
+}
+
+func (l *lexer) emit(kind tokKind, text string) {
+	l.tokens = append(l.tokens, token{kind: kind, text: text, pos: l.pos, line: l.line})
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case unicode.IsDigit(rune(c)):
+		case c == '.' && !seenDot && !seenExp:
+			// "1:3" ranges must not swallow "1." of "1.:"; a plain dot
+			// followed by a digit or end-of-number is part of the literal.
+			seenDot = true
+		case (c == 'e' || c == 'E') && !seenExp && l.pos+1 < len(l.src) &&
+			(unicode.IsDigit(rune(l.src[l.pos+1])) || l.src[l.pos+1] == '-' || l.src[l.pos+1] == '+'):
+			seenExp = true
+			l.pos++ // consume sign or first digit below
+		default:
+			l.emit(tokNumber, l.src[start:l.pos])
+			return
+		}
+		l.pos++
+	}
+	l.emit(tokNumber, l.src[start:l.pos])
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) || c == '_' || c == '.' {
+			l.pos++
+			continue
+		}
+		break
+	}
+	text := l.src[start:l.pos]
+	if keywords[text] {
+		l.emit(tokKeyword, text)
+	} else {
+		l.emit(tokIdent, text)
+	}
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++
+	for l.pos < len(l.src) && l.src[l.pos] != '"' {
+		if l.src[l.pos] == '\n' {
+			return fmt.Errorf("dml: line %d: unterminated string", l.line)
+		}
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return fmt.Errorf("dml: line %d: unterminated string", l.line)
+	}
+	l.pos++
+	l.emit(tokString, l.src[start+1:l.pos-1])
+	return nil
+}
+
+var multiOps = []string{"%*%", "<=", ">=", "==", "!=", "&&", "||", "<-"}
+var singleOps = "+-*/^()[]{},:<>=!&|"
+
+func (l *lexer) lexOp() error {
+	for _, op := range multiOps {
+		if strings.HasPrefix(l.src[l.pos:], op) {
+			l.pos += len(op)
+			l.emit(tokOp, op)
+			return nil
+		}
+	}
+	c := l.src[l.pos]
+	if strings.IndexByte(singleOps, c) >= 0 {
+		l.pos++
+		l.emit(tokOp, string(c))
+		return nil
+	}
+	return fmt.Errorf("dml: line %d: unexpected character %q", l.line, c)
+}

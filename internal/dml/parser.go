@@ -1,0 +1,404 @@
+package dml
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses a DML-subset script into a Program.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmts []Stmt
+	for !p.at(tokEOF, "") {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return &Program{Stmts: stmts}, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	t := p.cur()
+	return t, fmt.Errorf("dml: line %d: expected %q, found %q", t.line, text, t.text)
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokKeyword && t.text == "if":
+		return p.ifStmt()
+	case t.kind == tokKeyword && t.text == "while":
+		return p.whileStmt()
+	case t.kind == tokKeyword && t.text == "for":
+		return p.forStmt()
+	case t.kind == tokKeyword && t.text == "print":
+		p.next()
+		if _, err := p.expect(tokOp, "("); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		return &PrintStmt{Value: e, Line: t.line}, nil
+	case t.kind == tokIdent:
+		name := p.next().text
+		if !p.accept(tokOp, "=") && !p.accept(tokOp, "<-") {
+			return nil, fmt.Errorf("dml: line %d: expected assignment after %q", t.line, name)
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{Target: name, Value: e, Line: t.line}, nil
+	}
+	return nil, fmt.Errorf("dml: line %d: unexpected token %q", t.line, t.text)
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if _, err := p.expect(tokOp, "{"); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for !p.at(tokOp, "}") {
+		if p.at(tokEOF, "") {
+			return nil, fmt.Errorf("dml: unexpected end of script in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	p.next()
+	return stmts, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	line := p.next().line
+	if _, err := p.expect(tokOp, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokOp, ")"); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	var els []Stmt
+	if p.accept(tokKeyword, "else") {
+		if p.at(tokKeyword, "if") {
+			s, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			els = []Stmt{s}
+		} else if els, err = p.block(); err != nil {
+			return nil, err
+		}
+	}
+	return &IfStmt{Cond: cond, Then: then, Else: els, Line: line}, nil
+}
+
+func (p *parser) whileStmt() (Stmt, error) {
+	line := p.next().line
+	if _, err := p.expect(tokOp, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokOp, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body, Line: line}, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	line := p.next().line
+	if _, err := p.expect(tokOp, "("); err != nil {
+		return nil, err
+	}
+	v, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "in"); err != nil {
+		return nil, err
+	}
+	from, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokOp, ":"); err != nil {
+		return nil, err
+	}
+	to, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokOp, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &ForStmt{Var: v.text, From: from, To: to, Body: body, Line: line}, nil
+}
+
+// Expression grammar, loosest to tightest:
+//
+//	or:    and  ('|' | '||') and
+//	and:   not  ('&' | '&&') not
+//	not:   '!' not | cmp
+//	cmp:   add (('<'|'<='|'>'|'>='|'=='|'!=') add)?
+//	add:   mul (('+'|'-') mul)*
+//	mul:   matmul (('*'|'/') matmul)*
+//	matmul: unary ('%*%' unary)*
+//	unary: '-' unary | pow
+//	pow:   postfix ('^' unary)?
+//	postfix: primary ('[' index ']')*
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) binChain(sub func() (Expr, error), ops ...string) (Expr, error) {
+	l, err := sub()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range ops {
+			if p.at(tokOp, op) {
+				line := p.next().line
+				r, err := sub()
+				if err != nil {
+					return nil, err
+				}
+				l = &BinExpr{Op: op, L: l, R: r, Line: line}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) orExpr() (Expr, error)  { return p.binChain(p.andExpr, "|", "||") }
+func (p *parser) andExpr() (Expr, error) { return p.binChain(p.notExpr, "&", "&&") }
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.accept(tokOp, "!") {
+		e, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: "!", E: e}, nil
+	}
+	return p.cmpExpr()
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"<=", ">=", "==", "!=", "<", ">"} {
+		if p.at(tokOp, op) {
+			line := p.next().line
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &BinExpr{Op: op, L: l, R: r, Line: line}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) { return p.binChain(p.mulExpr, "+", "-") }
+func (p *parser) mulExpr() (Expr, error) { return p.binChain(p.matmulExpr, "*", "/") }
+func (p *parser) matmulExpr() (Expr, error) {
+	return p.binChain(p.unaryExpr, "%*%")
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.accept(tokOp, "-") {
+		e, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: "-", E: e}, nil
+	}
+	return p.powExpr()
+}
+
+func (p *parser) powExpr() (Expr, error) {
+	l, err := p.postfixExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(tokOp, "^") {
+		line := p.next().line
+		r, err := p.unaryExpr() // right-associative
+		if err != nil {
+			return nil, err
+		}
+		return &BinExpr{Op: "^", L: l, R: r, Line: line}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) postfixExpr() (Expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokOp, "[") {
+		line := p.next().line
+		ix := &IndexExpr{X: e, Line: line}
+		if !p.at(tokOp, ",") {
+			if ix.RL, err = p.addExpr(); err != nil {
+				return nil, err
+			}
+			if p.accept(tokOp, ":") {
+				if ix.RU, err = p.addExpr(); err != nil {
+					return nil, err
+				}
+			} else {
+				ix.RU = ix.RL
+			}
+		}
+		if _, err := p.expect(tokOp, ","); err != nil {
+			return nil, err
+		}
+		if !p.at(tokOp, "]") {
+			if ix.CL, err = p.addExpr(); err != nil {
+				return nil, err
+			}
+			if p.accept(tokOp, ":") {
+				if ix.CU, err = p.addExpr(); err != nil {
+					return nil, err
+				}
+			} else {
+				ix.CU = ix.CL
+			}
+		}
+		if _, err := p.expect(tokOp, "]"); err != nil {
+			return nil, err
+		}
+		e = ix
+	}
+	return e, nil
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dml: line %d: bad number %q", t.line, t.text)
+		}
+		return &Num{Value: v}, nil
+	case t.kind == tokString:
+		p.next()
+		return &Str{Value: t.text}, nil
+	case t.kind == tokKeyword && (t.text == "TRUE" || t.text == "FALSE"):
+		p.next()
+		v := 0.0
+		if t.text == "TRUE" {
+			v = 1
+		}
+		return &Num{Value: v}, nil
+	case t.kind == tokOp && t.text == "(":
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent:
+		name := p.next().text
+		if !p.at(tokOp, "(") {
+			return &Ident{Name: name, Line: t.line}, nil
+		}
+		p.next()
+		call := &Call{Name: name, Named: map[string]Expr{}, Line: t.line}
+		for !p.at(tokOp, ")") {
+			// Named argument: ident '=' expr (not '==').
+			if p.cur().kind == tokIdent && p.toks[p.pos+1].kind == tokOp && p.toks[p.pos+1].text == "=" {
+				key := p.next().text
+				p.next()
+				v, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.Named[key] = v
+			} else {
+				v, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, v)
+			}
+			if !p.accept(tokOp, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		return call, nil
+	}
+	return nil, fmt.Errorf("dml: line %d: unexpected token %q in expression", t.line, t.text)
+}

@@ -1,0 +1,188 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+
+	"sysml/internal/par"
+	"sysml/internal/vector"
+)
+
+// Agg evaluates an aggregation over the full matrix, per row, or per
+// column. DirAll yields a 1×1 matrix, DirRow an r×1 column vector, DirCol a
+// 1×c row vector.
+func Agg(op AggOp, dir AggDir, a *Matrix) *Matrix {
+	switch dir {
+	case DirAll:
+		return NewScalar(aggAll(op, a))
+	case DirRow:
+		return aggRows(op, a)
+	case DirCol:
+		return aggCols(op, a)
+	}
+	panic(fmt.Sprintf("matrix: unknown aggregation direction %v", dir))
+}
+
+// Sum returns sum(A) as a scalar.
+func Sum(a *Matrix) float64 { return aggAll(AggSum, a) }
+
+func aggAll(op AggOp, a *Matrix) float64 {
+	nCells := a.Rows * a.Cols
+	switch op {
+	case AggSum, AggSumSq, AggMean:
+		var s float64
+		if a.IsSparse() {
+			vals := a.sparse.Values
+			if op == AggSumSq {
+				s = vector.SumSq(vals, 0, len(vals))
+			} else {
+				s = vector.Sum(vals, 0, len(vals))
+			}
+		} else {
+			nc, size := par.Chunks(len(a.dense), 4096)
+			partial := make([]float64, nc)
+			par.ForIndexed(len(a.dense), 4096, func(w, lo, hi int) {
+				if op == AggSumSq {
+					partial[w] = vector.SumSq(a.dense, lo, hi-lo)
+				} else {
+					partial[w] = vector.Sum(a.dense, lo, hi-lo)
+				}
+			})
+			_ = size
+			s = vector.Sum(partial, 0, len(partial))
+		}
+		if op == AggMean {
+			return s / float64(nCells)
+		}
+		return s
+	case AggMin, AggMax:
+		var m float64
+		if a.IsSparse() {
+			vals := a.sparse.Values
+			if op == AggMin {
+				m = vector.Min(vals, 0, len(vals))
+			} else {
+				m = vector.Max(vals, 0, len(vals))
+			}
+			if len(vals) < nCells { // implicit zeros participate
+				if op == AggMin {
+					m = math.Min(m, 0)
+				} else {
+					m = math.Max(m, 0)
+				}
+			}
+		} else {
+			if op == AggMin {
+				m = vector.Min(a.dense, 0, len(a.dense))
+			} else {
+				m = vector.Max(a.dense, 0, len(a.dense))
+			}
+		}
+		return m
+	}
+	panic(fmt.Sprintf("matrix: unsupported full aggregation %v", op))
+}
+
+func aggRows(op AggOp, a *Matrix) *Matrix {
+	out := NewDense(a.Rows, 1)
+	od := out.dense
+	n := a.Cols
+	par.For(a.Rows, 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var vals []float64
+			var nvals int
+			if a.IsSparse() {
+				vals, _ = a.sparse.Row(i)
+				nvals = len(vals)
+			} else {
+				vals = a.dense[i*n : (i+1)*n]
+				nvals = n
+			}
+			switch op {
+			case AggSum:
+				od[i] = vector.Sum(vals, 0, nvals)
+			case AggSumSq:
+				od[i] = vector.SumSq(vals, 0, nvals)
+			case AggMean:
+				od[i] = vector.Sum(vals, 0, nvals) / float64(n)
+			case AggMin:
+				m := vector.Min(vals, 0, nvals)
+				if nvals < n {
+					m = math.Min(m, 0)
+				}
+				od[i] = m
+			case AggMax:
+				m := vector.Max(vals, 0, nvals)
+				if nvals < n {
+					m = math.Max(m, 0)
+				}
+				od[i] = m
+			}
+		}
+	})
+	return out
+}
+
+func aggCols(op AggOp, a *Matrix) *Matrix {
+	n := a.Cols
+	out := NewDense(1, n)
+	od := out.dense
+	switch op {
+	case AggSum, AggSumSq, AggMean:
+		if a.IsSparse() {
+			for i := 0; i < a.Rows; i++ {
+				vals, cols := a.sparse.Row(i)
+				for k, j := range cols {
+					if op == AggSumSq {
+						od[j] += vals[k] * vals[k]
+					} else {
+						od[j] += vals[k]
+					}
+				}
+			}
+		} else {
+			for i := 0; i < a.Rows; i++ {
+				off := i * n
+				for j := 0; j < n; j++ {
+					if op == AggSumSq {
+						od[j] += a.dense[off+j] * a.dense[off+j]
+					} else {
+						od[j] += a.dense[off+j]
+					}
+				}
+			}
+		}
+		if op == AggMean {
+			for j := 0; j < n; j++ {
+				od[j] /= float64(a.Rows)
+			}
+		}
+	case AggMin, AggMax:
+		ad := a.ToDense().dense
+		for j := 0; j < n; j++ {
+			m := ad[j]
+			for i := 1; i < a.Rows; i++ {
+				v := ad[i*n+j]
+				if (op == AggMin && v < m) || (op == AggMax && v > m) {
+					m = v
+				}
+			}
+			od[j] = m
+		}
+	}
+	return out
+}
+
+// RowIndexMax returns, per row, the 1-based column index of the row maximum
+// (SystemML's rowIndexMax, used for predictions).
+func RowIndexMax(a *Matrix) *Matrix {
+	ad := a.ToDense().dense
+	out := NewDense(a.Rows, 1)
+	n := a.Cols
+	par.For(a.Rows, 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.dense[i] = float64(vector.IndexMax(ad, i*n, n) + 1)
+		}
+	})
+	return out
+}

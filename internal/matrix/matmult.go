@@ -1,0 +1,171 @@
+package matrix
+
+import (
+	"fmt"
+
+	"sysml/internal/par"
+	"sysml/internal/vector"
+)
+
+// MatMult computes C = A %*% B, dispatching on representations. Dense×dense
+// uses a cache-blocked ikj loop parallelized over row blocks; sparse left
+// inputs iterate nonzeros per row. The output is dense (matrix products of
+// sparse inputs are typically much denser than their inputs).
+func MatMult(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("matrix: matmult shape mismatch %dx%d x %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewDense(a.Rows, b.Cols)
+	switch {
+	case !a.IsSparse() && !b.IsSparse():
+		matMultDenseDense(a, b, out)
+	case a.IsSparse() && !b.IsSparse():
+		matMultSparseDense(a, b, out)
+	case !a.IsSparse() && b.IsSparse():
+		matMultDenseSparse(a, b, out)
+	default:
+		matMultSparseSparse(a, b, out)
+	}
+	return out
+}
+
+func matMultDenseDense(a, b, c *Matrix) {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	ad, bd, cd := a.dense, b.dense, c.dense
+	if n == 1 {
+		// Matrix-vector: per-row dot products.
+		par.For(m, 32, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				cd[i] = vector.DotProduct(ad, bd, i*k, 0, k)
+			}
+		})
+		return
+	}
+	if n < 8 {
+		// Narrow outputs: inline accumulation beats per-row primitive calls.
+		par.For(m, 8, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ci := i * n
+				ai := i * k
+				for kk := 0; kk < k; kk++ {
+					av := ad[ai+kk]
+					if av == 0 {
+						continue
+					}
+					bo := kk * n
+					for j := 0; j < n; j++ {
+						cd[ci+j] += av * bd[bo+j]
+					}
+				}
+			}
+		})
+		return
+	}
+	par.For(m, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := i * n
+			ai := i * k
+			for kk := 0; kk < k; kk++ {
+				vector.MultAdd(bd, ad[ai+kk], cd, kk*n, ci, n)
+			}
+		}
+	})
+}
+
+func matMultSparseDense(a, b, c *Matrix) {
+	n := b.Cols
+	as, bd, cd := a.sparse, b.dense, c.dense
+	if n == 1 {
+		par.For(a.Rows, 32, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				vals, cols := as.Row(i)
+				cd[i] = vector.DotProductSparse(vals, cols, bd, 0)
+			}
+		})
+		return
+	}
+	par.For(a.Rows, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			vals, cols := as.Row(i)
+			ci := i * n
+			for kk, j := range cols {
+				vector.MultAdd(bd, vals[kk], cd, j*n, ci, n)
+			}
+		}
+	})
+}
+
+func matMultDenseSparse(a, b, c *Matrix) {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	ad, bs, cd := a.dense, b.sparse, c.dense
+	par.For(m, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai, ci := i*k, i*n
+			for kk := 0; kk < k; kk++ {
+				av := ad[ai+kk]
+				if av == 0 {
+					continue
+				}
+				vals, cols := bs.Row(kk)
+				for p, j := range cols {
+					cd[ci+j] += av * vals[p]
+				}
+			}
+		}
+	})
+}
+
+func matMultSparseSparse(a, b, c *Matrix) {
+	n := b.Cols
+	as, bs, cd := a.sparse, b.sparse, c.dense
+	par.For(a.Rows, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			avals, acols := as.Row(i)
+			ci := i * n
+			for ka, kk := range acols {
+				av := avals[ka]
+				bvals, bcols := bs.Row(kk)
+				for p, j := range bcols {
+					cd[ci+j] += av * bvals[p]
+				}
+			}
+		}
+	})
+}
+
+// TSMM computes t(X) %*% X exploiting symmetry of the result.
+func TSMM(x *Matrix) *Matrix {
+	n := x.Cols
+	out := NewDense(n, n)
+	od := out.dense
+	if x.IsSparse() {
+		xs := x.sparse
+		for i := 0; i < x.Rows; i++ {
+			vals, cols := xs.Row(i)
+			for p, jp := range cols {
+				vp := vals[p]
+				for q := p; q < len(cols); q++ {
+					od[jp*n+cols[q]] += vp * vals[q]
+				}
+			}
+		}
+	} else {
+		xd := x.dense
+		for i := 0; i < x.Rows; i++ {
+			off := i * n
+			for jp := 0; jp < n; jp++ {
+				vp := xd[off+jp]
+				if vp == 0 {
+					continue
+				}
+				vector.MultAdd(xd, vp, od, off+jp, jp*n+jp, n-jp)
+			}
+		}
+	}
+	for i := 0; i < n; i++ { // mirror upper triangle
+		for j := i + 1; j < n; j++ {
+			od[j*n+i] = od[i*n+j]
+		}
+	}
+	return out
+}

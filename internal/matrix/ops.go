@@ -1,0 +1,199 @@
+package matrix
+
+import "math"
+
+// BinOp identifies an element-wise binary operation.
+type BinOp int
+
+// Supported element-wise binary operations.
+const (
+	BinAdd BinOp = iota
+	BinSub
+	BinMul
+	BinDiv
+	BinPow
+	BinMin
+	BinMax
+	BinEq
+	BinNeq
+	BinLt
+	BinLe
+	BinGt
+	BinGe
+	BinAnd
+	BinOr
+)
+
+var binNames = [...]string{"+", "-", "*", "/", "^", "min", "max", "==", "!=", "<", "<=", ">", ">=", "&", "|"}
+
+func (op BinOp) String() string { return binNames[op] }
+
+// Apply evaluates the binary operation on two scalars.
+func (op BinOp) Apply(a, b float64) float64 {
+	switch op {
+	case BinAdd:
+		return a + b
+	case BinSub:
+		return a - b
+	case BinMul:
+		return a * b
+	case BinDiv:
+		return a / b
+	case BinPow:
+		if b == 2 {
+			return a * a
+		}
+		return math.Pow(a, b)
+	case BinMin:
+		return math.Min(a, b)
+	case BinMax:
+		return math.Max(a, b)
+	case BinEq:
+		return b2f(a == b)
+	case BinNeq:
+		return b2f(a != b)
+	case BinLt:
+		return b2f(a < b)
+	case BinLe:
+		return b2f(a <= b)
+	case BinGt:
+		return b2f(a > b)
+	case BinGe:
+		return b2f(a >= b)
+	case BinAnd:
+		return b2f(a != 0 && b != 0)
+	case BinOr:
+		return b2f(a != 0 || b != 0)
+	}
+	panic("matrix: unknown binary op")
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// SparseSafe reports whether op(0, 0) == 0, i.e. whether the operation
+// preserves sparsity when both sides are sparse.
+func (op BinOp) SparseSafe() bool {
+	switch op {
+	case BinAdd, BinSub, BinMul, BinNeq, BinLt, BinGt, BinAnd, BinOr, BinMin, BinMax:
+		return true
+	}
+	return false
+}
+
+// SparseSafeLeft reports whether op(0, y) == 0 for all y, i.e. whether a
+// sparse left input drives the output sparsity regardless of the right side
+// ("sparse driver" in the paper, e.g. multiply).
+func (op BinOp) SparseSafeLeft() bool {
+	switch op {
+	case BinMul, BinAnd:
+		return true
+	}
+	return false
+}
+
+// UnOp identifies an element-wise unary operation.
+type UnOp int
+
+// Supported element-wise unary operations.
+const (
+	UnExp UnOp = iota
+	UnLog
+	UnSqrt
+	UnAbs
+	UnSign
+	UnRound
+	UnFloor
+	UnCeil
+	UnNeg
+	UnSigmoid
+	UnNot
+	UnRecip // 1/x
+)
+
+var unNames = [...]string{"exp", "log", "sqrt", "abs", "sign", "round", "floor", "ceil", "neg", "sigmoid", "!", "recip"}
+
+func (op UnOp) String() string { return unNames[op] }
+
+// Apply evaluates the unary operation on a scalar.
+func (op UnOp) Apply(a float64) float64 {
+	switch op {
+	case UnExp:
+		return math.Exp(a)
+	case UnLog:
+		return math.Log(a)
+	case UnSqrt:
+		return math.Sqrt(a)
+	case UnAbs:
+		return math.Abs(a)
+	case UnSign:
+		switch {
+		case a > 0:
+			return 1
+		case a < 0:
+			return -1
+		}
+		return 0
+	case UnRound:
+		return math.Round(a)
+	case UnFloor:
+		return math.Floor(a)
+	case UnCeil:
+		return math.Ceil(a)
+	case UnNeg:
+		return -a
+	case UnSigmoid:
+		return 1 / (1 + math.Exp(-a))
+	case UnNot:
+		return b2f(a == 0)
+	case UnRecip:
+		return 1 / a
+	}
+	panic("matrix: unknown unary op")
+}
+
+// SparseSafe reports whether f(0) == 0, allowing sparse outputs for sparse
+// inputs.
+func (op UnOp) SparseSafe() bool {
+	switch op {
+	case UnSqrt, UnAbs, UnSign, UnRound, UnFloor, UnCeil, UnNeg, UnLog:
+		// Note: log(0) = -Inf, so UnLog is NOT sparse safe.
+		return op != UnLog
+	}
+	return false
+}
+
+// AggOp identifies an aggregation function.
+type AggOp int
+
+// Supported aggregation functions.
+const (
+	AggSum AggOp = iota
+	AggMin
+	AggMax
+	AggMean
+	AggSumSq
+)
+
+var aggNames = [...]string{"sum", "min", "max", "mean", "sumsq"}
+
+func (op AggOp) String() string { return aggNames[op] }
+
+// AggDir identifies the aggregation direction.
+type AggDir int
+
+// Aggregation directions: full (scalar), per-row (column vector result),
+// per-column (row vector result).
+const (
+	DirAll AggDir = iota
+	DirRow
+	DirCol
+)
+
+var dirNames = [...]string{"all", "row", "col"}
+
+func (d AggDir) String() string { return dirNames[d] }

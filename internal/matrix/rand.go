@@ -1,0 +1,72 @@
+package matrix
+
+import "math/rand"
+
+// Rand generates a rows×cols matrix with the given fraction of non-zero
+// cells (sparsity), values uniform in [lo, hi), using a deterministic seed.
+// The result is stored sparse below the sparsity threshold.
+func Rand(rows, cols int, sparsity, lo, hi float64, seed int64) *Matrix {
+	checkDims(rows, cols)
+	rng := rand.New(rand.NewSource(seed))
+	if sparsity >= SparsityThreshold || cols == 1 {
+		out := NewDense(rows, cols)
+		for k := range out.dense {
+			if sparsity >= 1 || rng.Float64() < sparsity {
+				out.dense[k] = lo + rng.Float64()*(hi-lo)
+			}
+		}
+		return out
+	}
+	csr := &CSR{RowPtr: make([]int, rows+1)}
+	expected := int(float64(rows*cols)*sparsity) + rows
+	csr.ColIdx = make([]int, 0, expected)
+	csr.Values = make([]float64, 0, expected)
+	for i := 0; i < rows; i++ {
+		// Geometric skipping gives exact expected sparsity in O(nnz).
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < sparsity {
+				v := lo + rng.Float64()*(hi-lo)
+				if v == 0 {
+					v = (lo + hi) / 2
+				}
+				csr.ColIdx = append(csr.ColIdx, j)
+				csr.Values = append(csr.Values, v)
+			}
+		}
+		csr.RowPtr[i+1] = len(csr.Values)
+	}
+	return NewSparseCSR(rows, cols, csr)
+}
+
+// Fill returns a rows×cols dense matrix with every cell set to v.
+func Fill(rows, cols int, v float64) *Matrix {
+	out := NewDense(rows, cols)
+	if v != 0 {
+		for k := range out.dense {
+			out.dense[k] = v
+		}
+	}
+	return out
+}
+
+// Seq returns a column vector [from, from+incr, ...] up to and including to.
+func Seq(from, to, incr float64) *Matrix {
+	n := int((to-from)/incr) + 1
+	if n < 1 {
+		n = 1
+	}
+	out := NewDense(n, 1)
+	for i := 0; i < n; i++ {
+		out.dense[i] = from + float64(i)*incr
+	}
+	return out
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	out := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		out.dense[i*n+i] = 1
+	}
+	return out
+}

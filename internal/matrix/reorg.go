@@ -1,0 +1,156 @@
+package matrix
+
+import (
+	"fmt"
+
+	"sysml/internal/par"
+)
+
+// Transpose returns t(A). Dense transposition is cache-blocked; sparse
+// transposition uses a counting pass (CSR→CSC reinterpretation).
+func Transpose(a *Matrix) *Matrix {
+	if a.IsSparse() {
+		return transposeSparse(a)
+	}
+	out := NewDense(a.Cols, a.Rows)
+	const bs = 64
+	m, n := a.Rows, a.Cols
+	ad, od := a.dense, out.dense
+	par.For((m+bs-1)/bs, 1, func(blo, bhi int) {
+		for bi := blo; bi < bhi; bi++ {
+			i0, i1 := bi*bs, min(bi*bs+bs, m)
+			for j0 := 0; j0 < n; j0 += bs {
+				j1 := min(j0+bs, n)
+				for i := i0; i < i1; i++ {
+					for j := j0; j < j1; j++ {
+						od[j*m+i] = ad[i*n+j]
+					}
+				}
+			}
+		}
+	})
+	return out
+}
+
+func transposeSparse(a *Matrix) *Matrix {
+	as := a.sparse
+	nnz := as.Nnz()
+	out := &CSR{
+		RowPtr: make([]int, a.Cols+1),
+		ColIdx: make([]int, nnz),
+		Values: make([]float64, nnz),
+	}
+	for _, j := range as.ColIdx {
+		out.RowPtr[j+1]++
+	}
+	for j := 0; j < a.Cols; j++ {
+		out.RowPtr[j+1] += out.RowPtr[j]
+	}
+	next := append([]int(nil), out.RowPtr...)
+	for i := 0; i < a.Rows; i++ {
+		vals, cols := as.Row(i)
+		for k, j := range cols {
+			p := next[j]
+			out.ColIdx[p] = i
+			out.Values[p] = vals[k]
+			next[j]++
+		}
+	}
+	return NewSparseCSR(a.Cols, a.Rows, out)
+}
+
+// IndexRange extracts the submatrix A[rl:ru, cl:cu] with half-open,
+// zero-based bounds (SystemML's right indexing, rix/cix).
+func IndexRange(a *Matrix, rl, ru, cl, cu int) *Matrix {
+	if rl < 0 || cl < 0 || ru > a.Rows || cu > a.Cols || rl >= ru || cl >= cu {
+		panic(fmt.Sprintf("matrix: invalid index range [%d:%d, %d:%d] of %dx%d", rl, ru, cl, cu, a.Rows, a.Cols))
+	}
+	rows, cols := ru-rl, cu-cl
+	if a.IsSparse() {
+		csr := &CSR{RowPtr: make([]int, rows+1)}
+		for i := rl; i < ru; i++ {
+			vals, cix := a.sparse.Row(i)
+			for k, j := range cix {
+				if j >= cl && j < cu {
+					csr.ColIdx = append(csr.ColIdx, j-cl)
+					csr.Values = append(csr.Values, vals[k])
+				}
+			}
+			csr.RowPtr[i-rl+1] = len(csr.Values)
+		}
+		return NewSparseCSR(rows, cols, csr)
+	}
+	out := NewDense(rows, cols)
+	for i := 0; i < rows; i++ {
+		copy(out.dense[i*cols:(i+1)*cols], a.dense[(rl+i)*a.Cols+cl:(rl+i)*a.Cols+cu])
+	}
+	return out
+}
+
+// CBind concatenates matrices horizontally.
+func CBind(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("matrix: cbind row mismatch %d vs %d", a.Rows, b.Rows))
+	}
+	ad, bd := a.ToDense().dense, b.ToDense().dense
+	out := NewDense(a.Rows, a.Cols+b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		copy(out.dense[i*out.Cols:], ad[i*a.Cols:(i+1)*a.Cols])
+		copy(out.dense[i*out.Cols+a.Cols:], bd[i*b.Cols:(i+1)*b.Cols])
+	}
+	return out
+}
+
+// RBind concatenates matrices vertically.
+func RBind(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("matrix: rbind col mismatch %d vs %d", a.Cols, b.Cols))
+	}
+	ad, bd := a.ToDense().dense, b.ToDense().dense
+	out := NewDense(a.Rows+b.Rows, a.Cols)
+	copy(out.dense, ad)
+	copy(out.dense[len(ad):], bd)
+	return out
+}
+
+// Diag extracts the main diagonal of a square matrix as a column vector, or
+// expands a column vector into a diagonal matrix.
+func Diag(a *Matrix) *Matrix {
+	if a.Cols == 1 {
+		out := NewDense(a.Rows, a.Rows)
+		for i := 0; i < a.Rows; i++ {
+			out.dense[i*a.Rows+i] = a.At(i, 0)
+		}
+		return out
+	}
+	if a.Rows != a.Cols {
+		panic(fmt.Sprintf("matrix: diag on non-square %dx%d", a.Rows, a.Cols))
+	}
+	out := NewDense(a.Rows, 1)
+	for i := 0; i < a.Rows; i++ {
+		out.dense[i] = a.At(i, i)
+	}
+	return out
+}
+
+// Cumsum computes column-wise prefix sums (R/DML cumsum semantics).
+func Cumsum(a *Matrix) *Matrix {
+	ad := a.ToDense().dense
+	out := NewDense(a.Rows, a.Cols)
+	od := out.dense
+	copy(od[:a.Cols], ad[:a.Cols])
+	for i := 1; i < a.Rows; i++ {
+		off, prev := i*a.Cols, (i-1)*a.Cols
+		for j := 0; j < a.Cols; j++ {
+			od[off+j] = od[prev+j] + ad[off+j]
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,123 @@
+// Package par provides small data-parallel helpers used by the matrix
+// kernels and fused-operator skeletons. All helpers degrade gracefully to
+// sequential execution for small inputs so that parallelization overhead
+// never dominates.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultGrain is the minimum number of work items per spawned goroutine.
+// Work smaller than one grain runs on the calling goroutine.
+const DefaultGrain = 1024
+
+// maxWorkers caps the number of goroutines spawned by For. It can be
+// overridden for tests via SetMaxWorkers.
+var maxWorkers = runtime.GOMAXPROCS(0)
+
+// SetMaxWorkers overrides the worker cap and returns the previous value.
+// Passing n <= 0 resets to GOMAXPROCS.
+func SetMaxWorkers(n int) int {
+	old := maxWorkers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	maxWorkers = n
+	return old
+}
+
+// MaxWorkers reports the current worker cap.
+func MaxWorkers() int { return maxWorkers }
+
+// For executes fn over the half-open ranges that partition [0, n) into
+// roughly equal chunks of at least grain items, running chunks on separate
+// goroutines. fn must be safe for concurrent invocation on disjoint ranges.
+func For(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	workers := maxWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	chunks := (n + grain - 1) / grain
+	if chunks > workers {
+		chunks = workers
+	}
+	if chunks <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForIndexed is like For but also passes the zero-based chunk index, which
+// callers use to select per-worker scratch buffers (e.g. the row-template
+// ring buffers). The chunk count is returned by Chunks for preallocation.
+func ForIndexed(n, grain int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	nc, chunk := Chunks(n, grain)
+	if nc <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	w := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+		w++
+	}
+	wg.Wait()
+}
+
+// Chunks reports how many chunks ForIndexed will use for n items with the
+// given grain, along with the chunk size.
+func Chunks(n, grain int) (count, size int) {
+	if n <= 0 {
+		return 0, 0
+	}
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	workers := maxWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	count = (n + grain - 1) / grain
+	if count > workers {
+		count = workers
+	}
+	if count < 1 {
+		count = 1
+	}
+	size = (n + count - 1) / count
+	return count, size
+}

@@ -1,0 +1,72 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 1024, 10000} {
+		seen := make([]int32, n)
+		For(n, 16, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestForSmallRunsSequential(t *testing.T) {
+	calls := 0
+	For(10, 100, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 10 {
+			t.Fatalf("expected single chunk, got [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("expected 1 sequential call, got %d", calls)
+	}
+}
+
+func TestForIndexedWorkerIndexes(t *testing.T) {
+	nc, size := Chunks(1000, 10)
+	if nc < 1 || size < 1 || nc*size < 1000 {
+		t.Fatalf("Chunks(1000,10) = %d,%d", nc, size)
+	}
+	used := make([]int32, nc)
+	var total int64
+	ForIndexed(1000, 10, func(w, lo, hi int) {
+		atomic.AddInt32(&used[w], 1)
+		atomic.AddInt64(&total, int64(hi-lo))
+	})
+	if total != 1000 {
+		t.Fatalf("covered %d of 1000", total)
+	}
+	for w, c := range used {
+		if c != 1 {
+			t.Fatalf("worker %d used %d times", w, c)
+		}
+	}
+}
+
+func TestSetMaxWorkers(t *testing.T) {
+	old := SetMaxWorkers(1)
+	defer SetMaxWorkers(old)
+	if MaxWorkers() != 1 {
+		t.Fatal("SetMaxWorkers(1) not applied")
+	}
+	chunks, _ := Chunks(1_000_000, 1)
+	if chunks != 1 {
+		t.Fatalf("with 1 worker expected 1 chunk, got %d", chunks)
+	}
+	SetMaxWorkers(0) // reset to GOMAXPROCS
+	if MaxWorkers() < 1 {
+		t.Fatal("reset failed")
+	}
+}

@@ -1,0 +1,368 @@
+// Package runtime executes HOP DAGs: basic operators via the matrix
+// kernels, and generated fused operators via the four hand-coded template
+// skeletons (SpoofCellwise, SpoofRowwise, SpoofMultiAggregate,
+// SpoofOuterProduct). The skeletons own data access (dense, sparse,
+// compressed), multi-threading, and aggregation; generated operators only
+// supply the genexec body (paper §2.2, Fig. 4).
+package runtime
+
+import (
+	"math"
+
+	"sysml/internal/cplan"
+	"sysml/internal/matrix"
+	"sysml/internal/par"
+)
+
+// ExecCellwise runs a compiled Cell-template operator over the main input.
+func ExecCellwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix) *matrix.Matrix {
+	p := op.Plan
+	fn := op.CellFn
+	rows, cols := main.Rows, main.Cols
+	proto := cplan.NewCtx(sides)
+	sparseIter := p.SparseSafe && main.IsSparse() && (p.Cell == cplan.CellNoAgg || aggIsSum(p.AggOp))
+
+	switch p.Cell {
+	case cplan.CellNoAgg:
+		if sparseIter {
+			// Sparse-safe: compute only for non-zero cells; the output
+			// keeps the main input's sparsity pattern.
+			ms := main.Sparse()
+			out := &matrix.CSR{
+				RowPtr: append([]int(nil), ms.RowPtr...),
+				ColIdx: append([]int(nil), ms.ColIdx...),
+				Values: make([]float64, len(ms.Values)),
+			}
+			par.For(rows, 64, func(lo, hi int) {
+				ctx := proto.Clone()
+				for i := lo; i < hi; i++ {
+					vals, cix := ms.Row(i)
+					base := ms.RowPtr[i]
+					for k := range cix {
+						out.Values[base+k] = fn(ctx, vals[k], i, cix[k])
+					}
+				}
+			})
+			return matrix.NewSparseCSR(rows, cols, out)
+		}
+		out := matrix.NewDense(rows, cols)
+		od := out.Dense()
+		if op.VecProg.ChunkCompatible(main, sides) {
+			// Vectorized genexec: evaluate the plan chunk-wise with the
+			// shared vector primitives (the JIT-compiled-code analog).
+			md := main.Dense()
+			total := rows * cols
+			par.For((total+cplan.ChunkLen-1)/cplan.ChunkLen, 8, func(clo, chi int) {
+				ctx := proto.Clone()
+				buf := op.VecProg.NewBuf()
+				for ci := clo; ci < chi; ci++ {
+					lo := ci * cplan.ChunkLen
+					n := cplan.ChunkLen
+					if lo+n > total {
+						n = total - lo
+					}
+					res, ro := op.VecProg.Exec(ctx, buf, md, lo, n)
+					copy(od[lo:lo+n], res[ro:ro+n])
+				}
+			})
+			return out
+		}
+		par.For(rows, 64, func(lo, hi int) {
+			ctx := proto.Clone()
+			scratch := newRowScratch(main)
+			for i := lo; i < hi; i++ {
+				row, off := denseRowView(main, i, scratch)
+				base := i * cols
+				for j := 0; j < cols; j++ {
+					od[base+j] = fn(ctx, row[off+j], i, j)
+				}
+			}
+		})
+		return out
+
+	case cplan.CellRowAgg:
+		out := matrix.NewDense(rows, 1)
+		od := out.Dense()
+		par.For(rows, 64, func(lo, hi int) {
+			ctx := proto.Clone()
+			scratch := newRowScratch(main)
+			for i := lo; i < hi; i++ {
+				acc := aggInit(p.AggOp)
+				if sparseIter {
+					vals, cix := main.Sparse().Row(i)
+					for k := range cix {
+						acc = aggStep(p.AggOp, acc, fn(ctx, vals[k], i, cix[k]))
+					}
+				} else {
+					row, off := denseRowView(main, i, scratch)
+					for j := 0; j < cols; j++ {
+						acc = aggStep(p.AggOp, acc, fn(ctx, row[off+j], i, j))
+					}
+				}
+				od[i] = acc
+			}
+		})
+		return out
+
+	case cplan.CellColAgg:
+		nw, _ := par.Chunks(rows, 64)
+		partials := make([][]float64, nw)
+		par.ForIndexed(rows, 64, func(w, lo, hi int) {
+			ctx := proto.Clone()
+			scratch := newRowScratch(main)
+			part := make([]float64, cols)
+			for j := range part {
+				part[j] = aggInit(p.AggOp)
+			}
+			for i := lo; i < hi; i++ {
+				if sparseIter {
+					vals, cix := main.Sparse().Row(i)
+					for k := range cix {
+						j := cix[k]
+						part[j] = aggStep(p.AggOp, part[j], fn(ctx, vals[k], i, j))
+					}
+				} else {
+					row, off := denseRowView(main, i, scratch)
+					for j := 0; j < cols; j++ {
+						part[j] = aggStep(p.AggOp, part[j], fn(ctx, row[off+j], i, j))
+					}
+				}
+			}
+			partials[w] = part
+		})
+		out := matrix.NewDense(1, cols)
+		od := out.Dense()
+		for j := 0; j < cols; j++ {
+			od[j] = aggInit(p.AggOp)
+		}
+		for _, part := range partials {
+			if part == nil {
+				continue
+			}
+			for j := 0; j < cols; j++ {
+				od[j] = aggStep(p.AggOp, od[j], part[j])
+			}
+		}
+		return out
+
+	default: // CellFullAgg
+		nw, _ := par.Chunks(rows, 64)
+		partials := make([]float64, nw)
+		for i := range partials {
+			partials[i] = aggInit(p.AggOp)
+		}
+		sum := aggIsSum(p.AggOp) && p.AggOp != matrix.AggSumSq
+		if sum && op.VecProg.ChunkCompatible(main, sides) {
+			md := main.Dense()
+			total := rows * cols
+			nc := (total + cplan.ChunkLen - 1) / cplan.ChunkLen
+			nw2, _ := par.Chunks(nc, 8)
+			part2 := make([]float64, nw2)
+			par.ForIndexed(nc, 8, func(w, clo, chi int) {
+				ctx := proto.Clone()
+				buf := op.VecProg.NewBuf()
+				var acc float64
+				for ci := clo; ci < chi; ci++ {
+					lo := ci * cplan.ChunkLen
+					n := cplan.ChunkLen
+					if lo+n > total {
+						n = total - lo
+					}
+					res, ro := op.VecProg.Exec(ctx, buf, md, lo, n)
+					acc += cplan.SumChunk(res, ro, n)
+				}
+				part2[w] = acc
+			})
+			var acc float64
+			for _, v := range part2 {
+				acc += v
+			}
+			return matrix.NewScalar(acc)
+		}
+		par.ForIndexed(rows, 64, func(w, lo, hi int) {
+			ctx := proto.Clone()
+			scratch := newRowScratch(main)
+			acc := aggInit(p.AggOp)
+			for i := lo; i < hi; i++ {
+				switch {
+				case sparseIter:
+					vals, cix := main.Sparse().Row(i)
+					if sum {
+						for k := range cix {
+							acc += fn(ctx, vals[k], i, cix[k])
+						}
+					} else {
+						for k := range cix {
+							acc = aggStep(p.AggOp, acc, fn(ctx, vals[k], i, cix[k]))
+						}
+					}
+				case sum:
+					row, off := denseRowView(main, i, scratch)
+					for j := 0; j < cols; j++ {
+						acc += fn(ctx, row[off+j], i, j)
+					}
+				default:
+					row, off := denseRowView(main, i, scratch)
+					for j := 0; j < cols; j++ {
+						acc = aggStep(p.AggOp, acc, fn(ctx, row[off+j], i, j))
+					}
+				}
+			}
+			partials[w] = acc
+		})
+		acc := aggInit(p.AggOp)
+		for _, v := range partials {
+			acc = aggStep(p.AggOp, acc, v)
+		}
+		return matrix.NewScalar(acc)
+	}
+}
+
+// ExecMAgg runs a compiled multi-aggregate operator, producing a 1×k row
+// of aggregate values in one pass over the shared main input.
+func ExecMAgg(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix) *matrix.Matrix {
+	p := op.Plan
+	k := len(op.MAggFns)
+	proto := cplan.NewCtx(sides)
+	rows, cols := main.Rows, main.Cols
+	sparseIter := p.SparseSafe && main.IsSparse()
+	// Vectorized multi-aggregate: all programs chunk over the shared main
+	// input, so X is read once per chunk while it is cache-resident.
+	vecOK := !sparseIter
+	for q := 0; q < k && vecOK; q++ {
+		vecOK = op.MAggVecs[q].ChunkCompatible(main, sides) &&
+			(p.AggOps[q] == matrix.AggSum || p.AggOps[q] == matrix.AggSumSq)
+	}
+	if vecOK && k > 0 {
+		md := main.Dense()
+		total := rows * cols
+		nc := (total + cplan.ChunkLen - 1) / cplan.ChunkLen
+		nw, _ := par.Chunks(nc, 8)
+		partials := make([][]float64, nw)
+		par.ForIndexed(nc, 8, func(w, clo, chi int) {
+			ctx := proto.Clone()
+			bufs := make([]*cplan.CellVecBuf, k)
+			for q := range bufs {
+				bufs[q] = op.MAggVecs[q].NewBuf()
+			}
+			part := make([]float64, k)
+			for ci := clo; ci < chi; ci++ {
+				lo := ci * cplan.ChunkLen
+				n := cplan.ChunkLen
+				if lo+n > total {
+					n = total - lo
+				}
+				for q := 0; q < k; q++ {
+					res, ro := op.MAggVecs[q].Exec(ctx, bufs[q], md, lo, n)
+					if p.AggOps[q] == matrix.AggSumSq {
+						for t := 0; t < n; t++ {
+							part[q] += res[ro+t] * res[ro+t]
+						}
+					} else {
+						part[q] += cplan.SumChunk(res, ro, n)
+					}
+				}
+			}
+			partials[w] = part
+		})
+		out := matrix.NewDense(1, k)
+		od := out.Dense()
+		for _, part := range partials {
+			if part != nil {
+				for q := 0; q < k; q++ {
+					od[q] += part[q]
+				}
+			}
+		}
+		return out
+	}
+	nw, _ := par.Chunks(rows, 64)
+	partials := make([][]float64, nw)
+	par.ForIndexed(rows, 64, func(w, lo, hi int) {
+		ctx := proto.Clone()
+		scratch := newRowScratch(main)
+		part := make([]float64, k)
+		for q := 0; q < k; q++ {
+			part[q] = aggInit(p.AggOps[q])
+		}
+		for i := lo; i < hi; i++ {
+			if sparseIter {
+				vals, cix := main.Sparse().Row(i)
+				for kk := range cix {
+					for q := 0; q < k; q++ {
+						part[q] = aggStep(p.AggOps[q], part[q], op.MAggFns[q](ctx, vals[kk], i, cix[kk]))
+					}
+				}
+			} else {
+				row, off := denseRowView(main, i, scratch)
+				for j := 0; j < cols; j++ {
+					for q := 0; q < k; q++ {
+						part[q] = aggStep(p.AggOps[q], part[q], op.MAggFns[q](ctx, row[off+j], i, j))
+					}
+				}
+			}
+		}
+		partials[w] = part
+	})
+	out := matrix.NewDense(1, k)
+	od := out.Dense()
+	for q := 0; q < k; q++ {
+		od[q] = aggInit(p.AggOps[q])
+	}
+	for _, part := range partials {
+		if part == nil {
+			continue
+		}
+		for q := 0; q < k; q++ {
+			od[q] = aggStep(p.AggOps[q], od[q], part[q])
+		}
+	}
+	return out
+}
+
+func aggIsSum(op matrix.AggOp) bool {
+	return op == matrix.AggSum || op == matrix.AggSumSq
+}
+
+func aggInit(op matrix.AggOp) float64 {
+	switch op {
+	case matrix.AggMin:
+		return math.Inf(1)
+	case matrix.AggMax:
+		return math.Inf(-1)
+	}
+	return 0
+}
+
+func aggStep(op matrix.AggOp, acc, v float64) float64 {
+	switch op {
+	case matrix.AggMin:
+		return math.Min(acc, v)
+	case matrix.AggMax:
+		return math.Max(acc, v)
+	case matrix.AggSumSq:
+		return acc + v*v
+	}
+	return acc + v
+}
+
+func newRowScratch(m *matrix.Matrix) []float64 {
+	if m.IsSparse() {
+		return make([]float64, m.Cols)
+	}
+	return nil
+}
+
+func denseRowView(m *matrix.Matrix, i int, scratch []float64) ([]float64, int) {
+	if !m.IsSparse() {
+		return m.Dense(), i * m.Cols
+	}
+	for j := range scratch {
+		scratch[j] = 0
+	}
+	vals, cix := m.Sparse().Row(i)
+	for k, j := range cix {
+		scratch[j] = vals[k]
+	}
+	return scratch, 0
+}

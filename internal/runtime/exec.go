@@ -1,0 +1,134 @@
+package runtime
+
+import (
+	"fmt"
+
+	"sysml/internal/cplan"
+	"sysml/internal/hop"
+	"sysml/internal/matrix"
+)
+
+// Env maps variable names to matrices (SystemML's symbol table; scalars are
+// held as 1×1 matrices).
+type Env map[string]*matrix.Matrix
+
+// Options configures DAG execution.
+type Options struct {
+	// Dist, when non-nil, executes operators marked ExecDist through the
+	// simulated distributed backend.
+	Dist DistBackend
+}
+
+// DistBackend abstracts the simulated distributed runtime (implemented in
+// internal/dist; injected here to avoid a dependency cycle).
+type DistBackend interface {
+	// ExecHop executes one distributed operator over already-computed
+	// inputs and returns its result.
+	ExecHop(h *hop.Hop, inputs []*matrix.Matrix) (*matrix.Matrix, bool)
+}
+
+// ExecuteDAG evaluates all outputs of a HOP DAG against the environment
+// and returns the named results.
+func ExecuteDAG(d *hop.DAG, env Env, opts Options) (Env, error) {
+	cache := map[int64]*matrix.Matrix{}
+	for _, h := range hop.TopoOrder(d.Roots()) {
+		m, err := evalHop(h, cache, env, opts)
+		if err != nil {
+			return nil, err
+		}
+		cache[h.ID] = m
+	}
+	out := Env{}
+	for _, name := range d.OutputNames() {
+		out[name] = cache[d.Outputs[name].ID]
+	}
+	return out, nil
+}
+
+func evalHop(h *hop.Hop, cache map[int64]*matrix.Matrix, env Env, opts Options) (*matrix.Matrix, error) {
+	ins := make([]*matrix.Matrix, len(h.Inputs))
+	for i, in := range h.Inputs {
+		m, ok := cache[in.ID]
+		if !ok {
+			return nil, fmt.Errorf("runtime: input %v of %v not yet computed", in, h)
+		}
+		ins[i] = m
+	}
+	if h.ExecType == hop.ExecDist && opts.Dist != nil {
+		if m, ok := opts.Dist.ExecHop(h, ins); ok {
+			return m, nil
+		}
+	}
+	return evalLocal(h, ins, env)
+}
+
+func evalLocal(h *hop.Hop, ins []*matrix.Matrix, env Env) (*matrix.Matrix, error) {
+	switch h.Kind {
+	case hop.OpData:
+		m, ok := env[h.Name]
+		if !ok {
+			return nil, fmt.Errorf("runtime: unbound variable %q", h.Name)
+		}
+		return m, nil
+	case hop.OpLiteral:
+		return matrix.NewScalar(h.Value), nil
+	case hop.OpDataGen:
+		switch h.Gen {
+		case hop.GenRand:
+			return matrix.Rand(int(h.Rows), int(h.Cols), h.GenArgs[0], h.GenArgs[1], h.GenArgs[2], int64(h.GenArgs[3])), nil
+		case hop.GenFill:
+			return matrix.Fill(int(h.Rows), int(h.Cols), h.GenArgs[0]), nil
+		case hop.GenSeq:
+			return matrix.Seq(h.GenArgs[0], h.GenArgs[1], h.GenArgs[2]), nil
+		}
+	case hop.OpBinary:
+		return matrix.Binary(h.BinOp, ins[0], ins[1]), nil
+	case hop.OpUnary:
+		return matrix.Unary(h.UnOp, ins[0]), nil
+	case hop.OpAggUnary:
+		return matrix.Agg(h.AggOp, h.AggDir, ins[0]), nil
+	case hop.OpMatMult:
+		return matrix.MatMult(ins[0], ins[1]), nil
+	case hop.OpTranspose:
+		return matrix.Transpose(ins[0]), nil
+	case hop.OpIndex:
+		return matrix.IndexRange(ins[0], int(h.RL), int(h.RU), int(h.CL), int(h.CU)), nil
+	case hop.OpCBind:
+		return matrix.CBind(ins[0], ins[1]), nil
+	case hop.OpRBind:
+		return matrix.RBind(ins[0], ins[1]), nil
+	case hop.OpRowIndexMax:
+		return matrix.RowIndexMax(ins[0]), nil
+	case hop.OpDiag:
+		return matrix.Diag(ins[0]), nil
+	case hop.OpCumsum:
+		return matrix.Cumsum(ins[0]), nil
+	case hop.OpSpoof:
+		return ExecSpoof(h, ins)
+	}
+	return nil, fmt.Errorf("runtime: unsupported hop kind %v", h.Kind)
+}
+
+// ExecSpoof dispatches a fused operator to its template skeleton. Input
+// conventions: Cell/MAgg/Row operators receive [main, sides...]; Outer
+// operators receive [X, U, V, sides...].
+func ExecSpoof(h *hop.Hop, ins []*matrix.Matrix) (*matrix.Matrix, error) {
+	op, ok := h.Spoof.(*cplan.Operator)
+	if !ok {
+		return nil, fmt.Errorf("runtime: spoof hop %d has no compiled operator", h.ID)
+	}
+	switch op.Plan.Type {
+	case cplan.TemplateCell:
+		return ExecCellwise(op, ins[0], ins[1:]), nil
+	case cplan.TemplateMAgg:
+		return ExecMAgg(op, ins[0], ins[1:]), nil
+	case cplan.TemplateRow:
+		return ExecRowwise(op, ins[0], ins[1:]), nil
+	case cplan.TemplateOuter:
+		if len(ins) < 3 {
+			return nil, fmt.Errorf("runtime: outer operator needs X, U, V inputs, got %d", len(ins))
+		}
+		return ExecOuter(op, ins[0], ins[1], ins[2], ins[3:]), nil
+	}
+	return nil, fmt.Errorf("runtime: unknown template %v", op.Plan.Type)
+}

@@ -1,0 +1,85 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+
+	"sysml/internal/hop"
+	"sysml/internal/matrix"
+)
+
+func TestExecuteDAGAllBasicKinds(t *testing.T) {
+	d := hop.NewDAG()
+	x := d.Read("X", 6, 4, -1)
+	d.Output("lit", d.Lit(3))
+	d.Output("gen", d.Rand(4, 4, 1, 0, 1, 9))
+	d.Output("fill", d.FillGen(2, 2, 7))
+	d.Output("bin", d.Binary(matrix.BinAdd, x, x))
+	d.Output("un", d.Unary(matrix.UnAbs, x))
+	d.Output("agg", d.ColSums(x))
+	d.Output("mm", d.MatMult(x, d.Transpose(x)))
+	d.Output("tr", d.Transpose(x))
+	d.Output("ix", d.Index(x, 1, 3, 0, 2))
+	d.Output("cb", d.CBindOp(x, x))
+	d.Output("rb", d.RBindOp(x, x))
+	d.Output("rim", d.RowIndexMaxOp(x))
+	d.Output("diag", d.DiagOp(d.Read("v", 4, 1, -1)))
+	env := Env{
+		"X": matrix.Rand(6, 4, 1, -1, 1, 1),
+		"v": matrix.Rand(4, 1, 1, -1, 1, 2),
+	}
+	out, err := ExecuteDAG(d, env, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["lit"].Scalar() != 3 {
+		t.Fatal("literal")
+	}
+	if out["fill"].At(1, 1) != 7 {
+		t.Fatal("fill")
+	}
+	if out["mm"].Rows != 6 || out["mm"].Cols != 6 {
+		t.Fatal("matmult dims")
+	}
+	if out["cb"].Cols != 8 || out["rb"].Rows != 12 {
+		t.Fatal("bind dims")
+	}
+	if out["diag"].Rows != 4 || out["diag"].Cols != 4 {
+		t.Fatal("diag dims")
+	}
+}
+
+func TestExecuteDAGUnboundVariable(t *testing.T) {
+	d := hop.NewDAG()
+	d.Output("s", d.Sum(d.Read("missing", 3, 3, -1)))
+	_, err := ExecuteDAG(d, Env{}, Options{})
+	if err == nil || !strings.Contains(err.Error(), "unbound") {
+		t.Fatalf("expected unbound-variable error, got %v", err)
+	}
+}
+
+func TestSeqGeneration(t *testing.T) {
+	d := hop.NewDAG()
+	g := d.FillGen(5, 1, 0)
+	g.Gen = hop.GenSeq
+	g.GenArgs = []float64{2, 10, 2}
+	d.Output("s", g)
+	out, err := ExecuteDAG(d, Env{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["s"].At(0, 0) != 2 || out["s"].At(4, 0) != 10 {
+		t.Fatalf("seq = %v", out["s"])
+	}
+}
+
+func TestSpoofWithoutOperatorErrors(t *testing.T) {
+	d := hop.NewDAG()
+	x := d.Read("X", 3, 3, -1)
+	sp := d.NewSpoof("Cell", nil, 3, 3, -1, x)
+	d.Output("o", sp)
+	_, err := ExecuteDAG(d, Env{"X": matrix.Rand(3, 3, 1, 0, 1, 1)}, Options{})
+	if err == nil {
+		t.Fatal("expected error for spoof hop without compiled operator")
+	}
+}

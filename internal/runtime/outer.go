@@ -1,0 +1,167 @@
+package runtime
+
+import (
+	"sysml/internal/cplan"
+	"sysml/internal/matrix"
+	"sysml/internal/par"
+	"sysml/internal/vector"
+)
+
+// ExecOuter runs a compiled Outer-product-template operator over the
+// sparse driver X and factor matrices U (m×r) and V (n×r), exploiting
+// sparsity: the genexec body runs only for non-zero cells of X (paper
+// Fig. 3a). Dense X falls back to full iteration.
+func ExecOuter(op *cplan.Operator, x, u, v *matrix.Matrix, sides []*matrix.Matrix) *matrix.Matrix {
+	p := op.Plan
+	ud, vd := u.ToDense().Dense(), v.ToDense().Dense()
+	r := u.Cols
+	proto := cplan.NewCtx(sides)
+
+	switch p.Out {
+	case cplan.OuterRightMM:
+		// C (m×r): C_i += w_ij * V_j, row-disjoint across workers.
+		out := matrix.NewDense(x.Rows, r)
+		od := out.Dense()
+		iterateOuter(x, proto, ud, vd, r, op.CellFn, p.SparseSafe,
+			func(_ *cplan.Ctx, w float64, i, j int) {
+				vector.MultAdd(vd, w, od, j*r, i*r, r)
+			})
+		return out
+
+	case cplan.OuterLeftMM:
+		// C (n×r): C_j += w_ij * U_i. Iterate the transposed driver so that
+		// output rows are again disjoint across workers.
+		xt := matrix.Transpose(x)
+		out := matrix.NewDense(x.Cols, r)
+		od := out.Dense()
+		// Note the swapped roles: iterating X^T at (j, i) must still present
+		// genexec with rix=i, cix=j and U_i, V_j.
+		iterateOuterTransposed(xt, proto, ud, vd, r, op.CellFn, p.SparseSafe,
+			func(_ *cplan.Ctx, w float64, i, j int) {
+				vector.MultAdd(ud, w, od, i*r, j*r, r)
+			})
+		return out
+
+	case cplan.OuterNoAgg:
+		if x.IsSparse() && p.SparseSafe {
+			xs := x.Sparse()
+			outCSR := &matrix.CSR{
+				RowPtr: append([]int(nil), xs.RowPtr...),
+				ColIdx: append([]int(nil), xs.ColIdx...),
+				Values: make([]float64, len(xs.Values)),
+			}
+			par.For(x.Rows, 32, func(lo, hi int) {
+				ctx := proto.Clone()
+				for i := lo; i < hi; i++ {
+					vals, cix := xs.Row(i)
+					base := xs.RowPtr[i]
+					for k, j := range cix {
+						ctx.Dot = vector.DotProduct(ud, vd, i*r, j*r, r)
+						outCSR.Values[base+k] = op.CellFn(ctx, vals[k], i, j)
+					}
+				}
+			})
+			return matrix.NewSparseCSR(x.Rows, x.Cols, outCSR)
+		}
+		out := matrix.NewDense(x.Rows, x.Cols)
+		od := out.Dense()
+		cols := x.Cols
+		iterateOuter(x, proto, ud, vd, r, op.CellFn, false,
+			func(_ *cplan.Ctx, w float64, i, j int) { od[i*cols+j] = w })
+		return out
+
+	default: // OuterAgg
+		nw, _ := par.Chunks(x.Rows, 32)
+		partials := make([]float64, nw)
+		cols := x.Cols
+		par.ForIndexed(x.Rows, 32, func(wk, lo, hi int) {
+			ctx := proto.Clone()
+			var acc float64
+			if x.IsSparse() && p.SparseSafe {
+				xs := x.Sparse()
+				for i := lo; i < hi; i++ {
+					vals, cix := xs.Row(i)
+					for k, j := range cix {
+						ctx.Dot = vector.DotProduct(ud, vd, i*r, j*r, r)
+						acc += op.CellFn(ctx, vals[k], i, j)
+					}
+				}
+			} else {
+				scratch := newRowScratch(x)
+				for i := lo; i < hi; i++ {
+					row, off := denseRowView(x, i, scratch)
+					for j := 0; j < cols; j++ {
+						ctx.Dot = vector.DotProduct(ud, vd, i*r, j*r, r)
+						acc += op.CellFn(ctx, row[off+j], i, j)
+					}
+				}
+			}
+			partials[wk] = acc
+		})
+		var acc float64
+		for _, v := range partials {
+			acc += v
+		}
+		return matrix.NewScalar(acc)
+	}
+}
+
+// iterateOuter visits cells of x (non-zeros only when sparseSafe and x is
+// sparse), computing the genexec value w with ctx.Dot preset, and hands
+// (w, i, j) to the sink. Parallel over row ranges.
+func iterateOuter(x *matrix.Matrix, proto *cplan.Ctx, ud, vd []float64, r int,
+	fn cplan.CellFunc, sparseSafe bool, sink func(ctx *cplan.Ctx, w float64, i, j int)) {
+	cols := x.Cols
+	par.For(x.Rows, 32, func(lo, hi int) {
+		ctx := proto.Clone()
+		if x.IsSparse() && sparseSafe {
+			xs := x.Sparse()
+			for i := lo; i < hi; i++ {
+				vals, cix := xs.Row(i)
+				for k, j := range cix {
+					ctx.Dot = vector.DotProduct(ud, vd, i*r, j*r, r)
+					sink(ctx, fn(ctx, vals[k], i, j), i, j)
+				}
+			}
+			return
+		}
+		scratch := newRowScratch(x)
+		for i := lo; i < hi; i++ {
+			row, off := denseRowView(x, i, scratch)
+			for j := 0; j < cols; j++ {
+				ctx.Dot = vector.DotProduct(ud, vd, i*r, j*r, r)
+				sink(ctx, fn(ctx, row[off+j], i, j), i, j)
+			}
+		}
+	})
+}
+
+// iterateOuterTransposed is iterateOuter over X^T: the iteration row is j
+// (a column of X) and the inner index is i, preserving genexec's (i, j)
+// coordinate contract.
+func iterateOuterTransposed(xt *matrix.Matrix, proto *cplan.Ctx, ud, vd []float64, r int,
+	fn cplan.CellFunc, sparseSafe bool, sink func(ctx *cplan.Ctx, w float64, i, j int)) {
+	cols := xt.Cols
+	par.For(xt.Rows, 32, func(lo, hi int) {
+		ctx := proto.Clone()
+		if xt.IsSparse() && sparseSafe {
+			xs := xt.Sparse()
+			for j := lo; j < hi; j++ {
+				vals, iix := xs.Row(j)
+				for k, i := range iix {
+					ctx.Dot = vector.DotProduct(ud, vd, i*r, j*r, r)
+					sink(ctx, fn(ctx, vals[k], i, j), i, j)
+				}
+			}
+			return
+		}
+		scratch := newRowScratch(xt)
+		for j := lo; j < hi; j++ {
+			row, off := denseRowView(xt, j, scratch)
+			for i := 0; i < cols; i++ {
+				ctx.Dot = vector.DotProduct(ud, vd, i*r, j*r, r)
+				sink(ctx, fn(ctx, row[off+i], i, j), i, j)
+			}
+		}
+	})
+}

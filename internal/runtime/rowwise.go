@@ -1,0 +1,179 @@
+package runtime
+
+import (
+	"sysml/internal/cplan"
+	"sysml/internal/matrix"
+	"sysml/internal/par"
+	"sysml/internal/vector"
+)
+
+// ExecRowwise runs a compiled Row-template operator: one pass over the
+// rows of the main input with per-thread ring buffers for row
+// intermediates (paper Fig. 3c). Sparse main rows are densified into a
+// scratch vector; side matrices consumed by inner matrix products are
+// densified once up front.
+func ExecRowwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix) *matrix.Matrix {
+	prog := op.RowProg
+	sides = densifyMatMulSides(prog, sides)
+	proto := cplan.NewCtx(sides)
+	rows := main.Rows
+	w := prog.OutWidth
+
+	switch prog.RowT {
+	case cplan.RowNoAgg:
+		out := matrix.NewDense(rows, w)
+		od := out.Dense()
+		forEachRow(main, prog, proto, func(buf *cplan.RowBuf, i int) {
+			src, so := buf.Vec[prog.ResultReg], buf.Off[prog.ResultReg]
+			vector.CopyWrite(src, od, so, i*w, w)
+		})
+		return out
+
+	case cplan.RowRowAgg:
+		out := matrix.NewDense(rows, 1)
+		od := out.Dense()
+		forEachRow(main, prog, proto, func(buf *cplan.RowBuf, i int) {
+			od[i] = buf.Scal[prog.ResultReg]
+		})
+		return out
+
+	case cplan.RowColAgg:
+		nw, _ := par.Chunks(rows, 16)
+		partials := make([][]float64, nw)
+		forEachRowIndexed(main, prog, proto, func(wk int) any {
+			partials[wk] = make([]float64, w)
+			return partials[wk]
+		}, func(state any, buf *cplan.RowBuf, i int) {
+			part := state.([]float64)
+			src, so := buf.Vec[prog.ResultReg], buf.Off[prog.ResultReg]
+			vector.Add(src, part, so, 0, w)
+		})
+		out := matrix.NewDense(1, w)
+		od := out.Dense()
+		for _, part := range partials {
+			if part != nil {
+				vector.Add(part, od, 0, 0, w)
+			}
+		}
+		return out
+
+	case cplan.RowFullAgg:
+		nw, _ := par.Chunks(rows, 16)
+		partials := make([]float64, nw)
+		forEachRowIndexed(main, prog, proto, func(wk int) any {
+			return wk
+		}, func(state any, buf *cplan.RowBuf, i int) {
+			partials[state.(int)] += buf.Scal[prog.ResultReg]
+		})
+		var acc float64
+		for _, v := range partials {
+			acc += v
+		}
+		return matrix.NewScalar(acc)
+
+	default: // RowColAggT: C (mainWidth × w) += left_i ⊗ result_i
+		mw := prog.MainWidth
+		nw, _ := par.Chunks(rows, 16)
+		partials := make([][]float64, nw)
+		forEachRowIndexed(main, prog, proto, func(wk int) any {
+			partials[wk] = make([]float64, mw*w)
+			return partials[wk]
+		}, func(state any, buf *cplan.RowBuf, i int) {
+			part := state.([]float64)
+			if buf.SparseMain && prog.LeftReg == 0 {
+				// genexecSparse: accumulate over the non-zeros of X_i only.
+				if !prog.ResultVec {
+					q := buf.Scal[prog.ResultReg]
+					for k, j := range buf.SparseIdx {
+						part[j] += q * buf.SparseVals[k]
+					}
+					return
+				}
+				bvec, bo := buf.Vec[prog.ResultReg], buf.Off[prog.ResultReg]
+				vector.OuterMultAddSparse(buf.SparseVals, buf.SparseIdx, bvec, part, bo, 0, w)
+				return
+			}
+			a, ao := buf.Vec[prog.LeftReg], buf.Off[prog.LeftReg]
+			if !prog.ResultVec {
+				// Scalar result q_i: C (mw×1) += q_i * left_i.
+				vector.MultAdd(a, buf.Scal[prog.ResultReg], part, ao, 0, mw)
+				return
+			}
+			bvec, bo := buf.Vec[prog.ResultReg], buf.Off[prog.ResultReg]
+			vector.OuterMultAdd(a, bvec, part, ao, bo, 0, mw, w)
+		})
+		out := matrix.NewDense(mw, w)
+		od := out.Dense()
+		for _, part := range partials {
+			if part != nil {
+				vector.Add(part, od, 0, 0, mw*w)
+			}
+		}
+		return out
+	}
+}
+
+func forEachRow(main *matrix.Matrix, prog *cplan.RowProgram, proto *cplan.Ctx,
+	sink func(buf *cplan.RowBuf, i int)) {
+	sparseExec := main.IsSparse() && prog.MainSparseCapable()
+	par.For(main.Rows, 16, func(lo, hi int) {
+		ctx := proto.Clone()
+		buf := prog.NewBuf()
+		scratch := newRowScratch(main)
+		for i := lo; i < hi; i++ {
+			execProgRow(prog, ctx, buf, main, i, scratch, sparseExec)
+			sink(buf, i)
+		}
+	})
+}
+
+func forEachRowIndexed(main *matrix.Matrix, prog *cplan.RowProgram, proto *cplan.Ctx,
+	initState func(worker int) any, sink func(state any, buf *cplan.RowBuf, i int)) {
+	sparseExec := main.IsSparse() && prog.MainSparseCapable()
+	par.ForIndexed(main.Rows, 16, func(w, lo, hi int) {
+		ctx := proto.Clone()
+		buf := prog.NewBuf()
+		scratch := newRowScratch(main)
+		state := initState(w)
+		for i := lo; i < hi; i++ {
+			execProgRow(prog, ctx, buf, main, i, scratch, sparseExec)
+			sink(state, buf, i)
+		}
+	})
+}
+
+// execProgRow runs the program on row i, binding the main row sparse
+// (genexecSparse) when the program supports it, otherwise as a dense view.
+func execProgRow(prog *cplan.RowProgram, ctx *cplan.Ctx, buf *cplan.RowBuf,
+	main *matrix.Matrix, i int, scratch []float64, sparseExec bool) {
+	if sparseExec {
+		vals, cix := main.Sparse().Row(i)
+		buf.SparseMain, buf.SparseVals, buf.SparseIdx = true, vals, cix
+		prog.ExecRow(ctx, buf, nil, 0, i)
+		return
+	}
+	row, off := denseRowView(main, i, scratch)
+	buf.SparseMain = false
+	prog.ExecRow(ctx, buf, row, off, i)
+}
+
+// densifyMatMulSides converts side inputs consumed by RMatMul instructions
+// (the inner vector-matrix product requires dense layout) and sides read as
+// whole vectors (row-zero loads, where a sparse n×1 column vector would
+// otherwise be misread) to dense form.
+func densifyMatMulSides(prog *cplan.RowProgram, sides []*matrix.Matrix) []*matrix.Matrix {
+	var needed []int
+	for _, in := range prog.Instrs {
+		if in.Op == cplan.RMatMul || (in.Op == cplan.RLoadSideRow && in.RowZero) {
+			needed = append(needed, in.Side)
+		}
+	}
+	if len(needed) == 0 {
+		return sides
+	}
+	out := append([]*matrix.Matrix(nil), sides...)
+	for _, k := range needed {
+		out[k] = out[k].ToDense()
+	}
+	return out
+}

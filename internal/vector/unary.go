@@ -1,0 +1,110 @@
+package vector
+
+import "math"
+
+// Unary write primitives: c[ci+k] = f(a[ai+k]).
+
+// ExpWrite computes c = exp(a).
+func ExpWrite(a, c []float64, ai, ci, n int) {
+	for k := 0; k < n; k++ {
+		c[ci+k] = math.Exp(a[ai+k])
+	}
+}
+
+// LogWrite computes c = ln(a).
+func LogWrite(a, c []float64, ai, ci, n int) {
+	for k := 0; k < n; k++ {
+		c[ci+k] = math.Log(a[ai+k])
+	}
+}
+
+// SqrtWrite computes c = sqrt(a).
+func SqrtWrite(a, c []float64, ai, ci, n int) {
+	for k := 0; k < n; k++ {
+		c[ci+k] = math.Sqrt(a[ai+k])
+	}
+}
+
+// AbsWrite computes c = |a|.
+func AbsWrite(a, c []float64, ai, ci, n int) {
+	for k := 0; k < n; k++ {
+		c[ci+k] = math.Abs(a[ai+k])
+	}
+}
+
+// SignWrite computes c = sign(a) in {-1, 0, 1}.
+func SignWrite(a, c []float64, ai, ci, n int) {
+	for k := 0; k < n; k++ {
+		switch {
+		case a[ai+k] > 0:
+			c[ci+k] = 1
+		case a[ai+k] < 0:
+			c[ci+k] = -1
+		default:
+			c[ci+k] = 0
+		}
+	}
+}
+
+// RoundWrite computes c = round(a) (half away from zero).
+func RoundWrite(a, c []float64, ai, ci, n int) {
+	for k := 0; k < n; k++ {
+		c[ci+k] = math.Round(a[ai+k])
+	}
+}
+
+// FloorWrite computes c = floor(a).
+func FloorWrite(a, c []float64, ai, ci, n int) {
+	for k := 0; k < n; k++ {
+		c[ci+k] = math.Floor(a[ai+k])
+	}
+}
+
+// CeilWrite computes c = ceil(a).
+func CeilWrite(a, c []float64, ai, ci, n int) {
+	for k := 0; k < n; k++ {
+		c[ci+k] = math.Ceil(a[ai+k])
+	}
+}
+
+// NegWrite computes c = -a.
+func NegWrite(a, c []float64, ai, ci, n int) {
+	for k := 0; k < n; k++ {
+		c[ci+k] = -a[ai+k]
+	}
+}
+
+// SigmoidWrite computes c = 1/(1+exp(-a)).
+func SigmoidWrite(a, c []float64, ai, ci, n int) {
+	for k := 0; k < n; k++ {
+		c[ci+k] = 1 / (1 + math.Exp(-a[ai+k]))
+	}
+}
+
+// Pow2Write computes c = a*a.
+func Pow2Write(a, c []float64, ai, ci, n int) {
+	for k := 0; k < n; k++ {
+		c[ci+k] = a[ai+k] * a[ai+k]
+	}
+}
+
+// CopyWrite copies a into c.
+func CopyWrite(a, c []float64, ai, ci, n int) {
+	copy(c[ci:ci+n], a[ai:ai+n])
+}
+
+// Fill sets c[ci:ci+n] to v.
+func Fill(c []float64, v float64, ci, n int) {
+	for k := 0; k < n; k++ {
+		c[ci+k] = v
+	}
+}
+
+// CumsumWrite computes the running prefix sum of a into c.
+func CumsumWrite(a, c []float64, ai, ci, n int) {
+	var s float64
+	for k := 0; k < n; k++ {
+		s += a[ai+k]
+		c[ci+k] = s
+	}
+}

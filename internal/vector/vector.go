@@ -1,0 +1,228 @@
+// Package vector implements the library of vector primitives that generated
+// fused operators call into, mirroring the SPOOF/SystemML codegen primitive
+// library (dotProduct, vectMultAdd, vectMatMult, vectOuterMultAdd, ...).
+//
+// Keeping these primitives out of the generated operators keeps the per-
+// operator instruction footprint small (paper §5.2, Fig. 10); the hot loops
+// here are written with 8-fold unrolling like their Java counterparts.
+//
+// Conventions: dense vectors are slices with an explicit offset and length so
+// that rows of a row-major matrix can be addressed without sub-slicing;
+// sparse rows are (values, indexes) pairs relative to a column offset.
+package vector
+
+import "math"
+
+// DotProduct returns sum(a[ai+k]*b[bi+k]) for k in [0,n).
+func DotProduct(a, b []float64, ai, bi, n int) float64 {
+	var v0, v1, v2, v3 float64
+	k := 0
+	for ; k+8 <= n; k += 8 {
+		v0 += a[ai+k]*b[bi+k] + a[ai+k+4]*b[bi+k+4]
+		v1 += a[ai+k+1]*b[bi+k+1] + a[ai+k+5]*b[bi+k+5]
+		v2 += a[ai+k+2]*b[bi+k+2] + a[ai+k+6]*b[bi+k+6]
+		v3 += a[ai+k+3]*b[bi+k+3] + a[ai+k+7]*b[bi+k+7]
+	}
+	s := v0 + v1 + v2 + v3
+	for ; k < n; k++ {
+		s += a[ai+k] * b[bi+k]
+	}
+	return s
+}
+
+// DotProductSparse returns the inner product of a sparse row (avals over
+// column indexes aix) with a dense vector b starting at bi.
+func DotProductSparse(avals []float64, aix []int, b []float64, bi int) float64 {
+	var s float64
+	for k, j := range aix {
+		s += avals[k] * b[bi+j]
+	}
+	return s
+}
+
+// Sum returns the sum of a[ai:ai+n].
+func Sum(a []float64, ai, n int) float64 {
+	var v0, v1, v2, v3 float64
+	k := 0
+	for ; k+8 <= n; k += 8 {
+		v0 += a[ai+k] + a[ai+k+4]
+		v1 += a[ai+k+1] + a[ai+k+5]
+		v2 += a[ai+k+2] + a[ai+k+6]
+		v3 += a[ai+k+3] + a[ai+k+7]
+	}
+	s := v0 + v1 + v2 + v3
+	for ; k < n; k++ {
+		s += a[ai+k]
+	}
+	return s
+}
+
+// SumSq returns the sum of squares of a[ai:ai+n].
+func SumSq(a []float64, ai, n int) float64 {
+	var s float64
+	for k := 0; k < n; k++ {
+		s += a[ai+k] * a[ai+k]
+	}
+	return s
+}
+
+// Min returns the minimum of a[ai:ai+n]; +Inf for n == 0.
+func Min(a []float64, ai, n int) float64 {
+	m := math.Inf(1)
+	for k := 0; k < n; k++ {
+		if a[ai+k] < m {
+			m = a[ai+k]
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of a[ai:ai+n]; -Inf for n == 0.
+func Max(a []float64, ai, n int) float64 {
+	m := math.Inf(-1)
+	for k := 0; k < n; k++ {
+		if a[ai+k] > m {
+			m = a[ai+k]
+		}
+	}
+	return m
+}
+
+// IndexMax returns the zero-based index of the maximum of a[ai:ai+n]
+// (first occurrence); -1 for n == 0.
+func IndexMax(a []float64, ai, n int) int {
+	if n == 0 {
+		return -1
+	}
+	ix, m := 0, a[ai]
+	for k := 1; k < n; k++ {
+		if a[ai+k] > m {
+			ix, m = k, a[ai+k]
+		}
+	}
+	return ix
+}
+
+// CountNnz returns the number of non-zero entries in a[ai:ai+n].
+func CountNnz(a []float64, ai, n int) int {
+	c := 0
+	for k := 0; k < n; k++ {
+		if a[ai+k] != 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// MultAdd computes c[ci+k] += bval * a[ai+k] for k in [0,n)
+// (the vectMultAdd primitive used by the Outer template).
+func MultAdd(a []float64, bval float64, c []float64, ai, ci, n int) {
+	if bval == 0 {
+		return
+	}
+	if n < 8 {
+		for k := 0; k < n; k++ {
+			c[ci+k] += bval * a[ai+k]
+		}
+		return
+	}
+	k := 0
+	for ; k+8 <= n; k += 8 {
+		c[ci+k] += bval * a[ai+k]
+		c[ci+k+1] += bval * a[ai+k+1]
+		c[ci+k+2] += bval * a[ai+k+2]
+		c[ci+k+3] += bval * a[ai+k+3]
+		c[ci+k+4] += bval * a[ai+k+4]
+		c[ci+k+5] += bval * a[ai+k+5]
+		c[ci+k+6] += bval * a[ai+k+6]
+		c[ci+k+7] += bval * a[ai+k+7]
+	}
+	for ; k < n; k++ {
+		c[ci+k] += bval * a[ai+k]
+	}
+}
+
+// Add computes c[ci+k] += a[ai+k] for k in [0,n).
+func Add(a, c []float64, ai, ci, n int) {
+	for k := 0; k < n; k++ {
+		c[ci+k] += a[ai+k]
+	}
+}
+
+// AddSparse computes c[ci+j] += avals[k] for each sparse entry (j, avals[k]).
+func AddSparse(avals []float64, aix []int, c []float64, ci int) {
+	for k, j := range aix {
+		c[ci+j] += avals[k]
+	}
+}
+
+// MatMult computes the row-vector/matrix product c = a (1×n) * B (n×m),
+// with B row-major at offset bi; c must have length >= ci+m
+// (the vectMatMult primitive of the Row template).
+func MatMult(a, b, c []float64, ai, bi, ci, n, m int) {
+	for j := 0; j < m; j++ {
+		c[ci+j] = 0
+	}
+	if m < 8 {
+		// Narrow outputs: inline accumulation avoids per-row call overhead
+		// (the dominant case for Row templates with few classes/centroids).
+		for i := 0; i < n; i++ {
+			av := a[ai+i]
+			if av == 0 {
+				continue
+			}
+			bo := bi + i*m
+			for j := 0; j < m; j++ {
+				c[ci+j] += av * b[bo+j]
+			}
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		MultAdd(b, a[ai+i], c, bi+i*m, ci, m)
+	}
+}
+
+// MatMultSparse computes c = a * B for a sparse row a over an n×m dense B.
+func MatMultSparse(avals []float64, aix []int, b, c []float64, bi, ci, m int) {
+	for j := 0; j < m; j++ {
+		c[ci+j] = 0
+	}
+	for k, i := range aix {
+		MultAdd(b, avals[k], c, bi+i*m, ci, m)
+	}
+}
+
+// TMatMult computes c = t(B (n×m)) * a (n×1) = a^T B as a column result of
+// length m; equivalent to MatMult but kept for readability at call sites.
+func TMatMult(a, b, c []float64, ai, bi, ci, n, m int) {
+	MatMult(a, b, c, ai, bi, ci, n, m)
+}
+
+// OuterMultAdd accumulates the outer product a (len n) ⊗ b (len m) into the
+// row-major n×m matrix c (the vectOuterMultAdd primitive).
+func OuterMultAdd(a, b, c []float64, ai, bi, ci, n, m int) {
+	if m < 8 {
+		for i := 0; i < n; i++ {
+			av := a[ai+i]
+			if av == 0 {
+				continue
+			}
+			co := ci + i*m
+			for j := 0; j < m; j++ {
+				c[co+j] += av * b[bi+j]
+			}
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		MultAdd(b, a[ai+i], c, bi, ci+i*m, m)
+	}
+}
+
+// OuterMultAddSparse accumulates a sparse row (avals, aix) ⊗ b into c.
+func OuterMultAddSparse(avals []float64, aix []int, b, c []float64, bi, ci, m int) {
+	for k, i := range aix {
+		MultAdd(b, avals[k], c, bi, ci+i*m, m)
+	}
+}

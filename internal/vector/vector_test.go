@@ -1,0 +1,290 @@
+package vector
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	d := math.Abs(a - b)
+	return d <= 1e-9 || d <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestDotProduct(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	b := []float64{10, 9, 8, 7, 6, 5, 4, 3, 2, 1}
+	got := DotProduct(a, b, 0, 0, len(a))
+	var want float64
+	for i := range a {
+		want += a[i] * b[i]
+	}
+	if got != want {
+		t.Fatalf("DotProduct = %v, want %v", got, want)
+	}
+	// Offsets.
+	if got := DotProduct(a, b, 2, 3, 4); got != 3*7+4*6+5*5+6*4 {
+		t.Fatalf("offset DotProduct = %v", got)
+	}
+}
+
+func TestDotProductUnrolledMatchesNaive(t *testing.T) {
+	// Property: 8-fold unrolled loop equals the naive loop for all lengths.
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%40 + 1
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i], b[i] = rng.NormFloat64(), rng.NormFloat64()
+		}
+		var want float64
+		for i := range a {
+			want += a[i] * b[i]
+		}
+		return almostEq(DotProduct(a, b, 0, 0, n), want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDotProductSparse(t *testing.T) {
+	avals := []float64{2, 3}
+	aix := []int{1, 4}
+	b := []float64{9, 10, 11, 12, 13}
+	if got := DotProductSparse(avals, aix, b, 0); got != 2*10+3*13 {
+		t.Fatalf("DotProductSparse = %v", got)
+	}
+}
+
+func TestSumAggregates(t *testing.T) {
+	a := []float64{1, -2, 3, -4, 5, -6, 7, -8, 9}
+	if got := Sum(a, 0, len(a)); got != 5 {
+		t.Fatalf("Sum = %v", got)
+	}
+	if got := SumSq(a, 0, 3); got != 1+4+9 {
+		t.Fatalf("SumSq = %v", got)
+	}
+	if got := Min(a, 0, len(a)); got != -8 {
+		t.Fatalf("Min = %v", got)
+	}
+	if got := Max(a, 0, len(a)); got != 9 {
+		t.Fatalf("Max = %v", got)
+	}
+	if got := IndexMax(a, 0, len(a)); got != 8 {
+		t.Fatalf("IndexMax = %v", got)
+	}
+	if got := CountNnz([]float64{0, 1, 0, 2}, 0, 4); got != 2 {
+		t.Fatalf("CountNnz = %v", got)
+	}
+	if got := IndexMax(nil, 0, 0); got != -1 {
+		t.Fatalf("IndexMax(empty) = %v", got)
+	}
+}
+
+func TestMultAdd(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	c := make([]float64, 9)
+	MultAdd(a, 2, c, 0, 0, 9)
+	for i := range c {
+		if c[i] != 2*a[i] {
+			t.Fatalf("MultAdd c[%d] = %v", i, c[i])
+		}
+	}
+	MultAdd(a, 0, c, 0, 0, 9) // zero scale is a no-op
+	if c[0] != 2 {
+		t.Fatal("MultAdd with 0 modified output")
+	}
+}
+
+func TestMatMultPrimitive(t *testing.T) {
+	// a (1x3) * B (3x2) row-major.
+	a := []float64{1, 2, 3}
+	b := []float64{1, 2, 3, 4, 5, 6}
+	c := make([]float64, 2)
+	MatMult(a, b, c, 0, 0, 0, 3, 2)
+	if c[0] != 1*1+2*3+3*5 || c[1] != 1*2+2*4+3*6 {
+		t.Fatalf("MatMult = %v", c)
+	}
+	// Sparse row variant agrees.
+	cs := make([]float64, 2)
+	MatMultSparse([]float64{1, 2, 3}, []int{0, 1, 2}, b, cs, 0, 0, 2)
+	if cs[0] != c[0] || cs[1] != c[1] {
+		t.Fatalf("MatMultSparse = %v, want %v", cs, c)
+	}
+}
+
+func TestOuterMultAdd(t *testing.T) {
+	a := []float64{1, 2}
+	b := []float64{3, 4, 5}
+	c := make([]float64, 6)
+	OuterMultAdd(a, b, c, 0, 0, 0, 2, 3)
+	want := []float64{3, 4, 5, 6, 8, 10}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("OuterMultAdd = %v, want %v", c, want)
+		}
+	}
+	c2 := make([]float64, 6)
+	OuterMultAddSparse([]float64{1, 2}, []int{0, 1}, b, c2, 0, 0, 3)
+	for i := range want {
+		if c2[i] != want[i] {
+			t.Fatalf("OuterMultAddSparse = %v, want %v", c2, want)
+		}
+	}
+}
+
+func TestBinaryWritePrimitives(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	b := []float64{2, 2, 2, 2, 2, 2, 2, 2, 2, 2}
+	c := make([]float64, 10)
+	MultWrite(a, b, c, 0, 0, 0, 10)
+	for i := range a {
+		if c[i] != a[i]*2 {
+			t.Fatalf("MultWrite c[%d] = %v", i, c[i])
+		}
+	}
+	AddWrite(a, b, c, 0, 0, 0, 10)
+	if c[0] != 3 {
+		t.Fatalf("AddWrite = %v", c[0])
+	}
+	MinusWrite(a, b, c, 0, 0, 0, 10)
+	if c[0] != -1 {
+		t.Fatalf("MinusWrite = %v", c[0])
+	}
+	DivWrite(a, b, c, 0, 0, 0, 10)
+	if c[3] != 2 {
+		t.Fatalf("DivWrite = %v", c[3])
+	}
+	MinWrite(a, b, c, 0, 0, 0, 10)
+	if c[0] != 1 || c[9] != 2 {
+		t.Fatalf("MinWrite = %v", c)
+	}
+	MaxWrite(a, b, c, 0, 0, 0, 10)
+	if c[0] != 2 || c[9] != 10 {
+		t.Fatalf("MaxWrite = %v", c)
+	}
+}
+
+func TestScalarWritePrimitives(t *testing.T) {
+	a := []float64{1, 4, 9}
+	c := make([]float64, 3)
+	MultScalarWrite(a, 3, c, 0, 0, 3)
+	if c[1] != 12 {
+		t.Fatal("MultScalarWrite")
+	}
+	AddScalarWrite(a, 1, c, 0, 0, 3)
+	if c[2] != 10 {
+		t.Fatal("AddScalarWrite")
+	}
+	MinusScalarWrite(a, 1, c, 0, 0, 3)
+	if c[0] != 0 {
+		t.Fatal("MinusScalarWrite")
+	}
+	ScalarMinusWrite(10, a, c, 0, 0, 3)
+	if c[2] != 1 {
+		t.Fatal("ScalarMinusWrite")
+	}
+	DivScalarWrite(a, 2, c, 0, 0, 3)
+	if c[1] != 2 {
+		t.Fatal("DivScalarWrite")
+	}
+	ScalarDivWrite(36, a, c, 0, 0, 3)
+	if c[2] != 4 {
+		t.Fatal("ScalarDivWrite")
+	}
+	PowScalarWrite(a, 2, c, 0, 0, 3)
+	if c[1] != 16 {
+		t.Fatal("PowScalarWrite^2")
+	}
+	PowScalarWrite(a, 0.5, c, 0, 0, 3)
+	if c[2] != 3 {
+		t.Fatal("PowScalarWrite^0.5")
+	}
+	GreaterScalarWrite(a, 3, c, 0, 0, 3)
+	if c[0] != 0 || c[1] != 1 {
+		t.Fatal("GreaterScalarWrite")
+	}
+	NotEqualScalarWrite(a, 4, c, 0, 0, 3)
+	if c[0] != 1 || c[1] != 0 {
+		t.Fatal("NotEqualScalarWrite")
+	}
+}
+
+func TestUnaryWritePrimitives(t *testing.T) {
+	a := []float64{-1, 0, 1, 2.5}
+	c := make([]float64, 4)
+	ExpWrite(a, c, 0, 0, 4)
+	if !almostEq(c[2], math.E) {
+		t.Fatal("ExpWrite")
+	}
+	LogWrite([]float64{1, math.E}, c, 0, 0, 2)
+	if !almostEq(c[1], 1) {
+		t.Fatal("LogWrite")
+	}
+	SqrtWrite([]float64{4, 9}, c, 0, 0, 2)
+	if c[1] != 3 {
+		t.Fatal("SqrtWrite")
+	}
+	AbsWrite(a, c, 0, 0, 4)
+	if c[0] != 1 {
+		t.Fatal("AbsWrite")
+	}
+	SignWrite(a, c, 0, 0, 4)
+	if c[0] != -1 || c[1] != 0 || c[3] != 1 {
+		t.Fatal("SignWrite")
+	}
+	RoundWrite(a, c, 0, 0, 4)
+	if c[3] != 3 {
+		t.Fatal("RoundWrite")
+	}
+	FloorWrite(a, c, 0, 0, 4)
+	if c[3] != 2 {
+		t.Fatal("FloorWrite")
+	}
+	CeilWrite(a, c, 0, 0, 4)
+	if c[3] != 3 {
+		t.Fatal("CeilWrite")
+	}
+	NegWrite(a, c, 0, 0, 4)
+	if c[0] != 1 {
+		t.Fatal("NegWrite")
+	}
+	SigmoidWrite([]float64{0}, c, 0, 0, 1)
+	if c[0] != 0.5 {
+		t.Fatal("SigmoidWrite")
+	}
+	Pow2Write(a, c, 0, 0, 4)
+	if c[3] != 6.25 {
+		t.Fatal("Pow2Write")
+	}
+	CopyWrite(a, c, 0, 0, 4)
+	if c[3] != 2.5 {
+		t.Fatal("CopyWrite")
+	}
+	Fill(c, 7, 1, 2)
+	if c[0] != -1 || c[1] != 7 || c[2] != 7 || c[3] != 2.5 {
+		t.Fatal("Fill")
+	}
+	CumsumWrite([]float64{1, 2, 3}, c, 0, 0, 3)
+	if c[2] != 6 {
+		t.Fatal("CumsumWrite")
+	}
+}
+
+func TestAddPrimitives(t *testing.T) {
+	c := []float64{1, 1, 1, 1}
+	Add([]float64{1, 2, 3, 4}, c, 0, 0, 4)
+	if c[3] != 5 {
+		t.Fatal("Add")
+	}
+	AddSparse([]float64{10}, []int{2}, c, 0)
+	if c[2] != 14 {
+		t.Fatal("AddSparse")
+	}
+}

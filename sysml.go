@@ -1,0 +1,94 @@
+// Package sysml is a Go reproduction of "On Optimizing Operator Fusion
+// Plans for Large-Scale Machine Learning in SystemML" (Boehm et al., VLDB
+// 2018): a declarative machine-learning runtime with a cost-based operator
+// fusion optimizer.
+//
+// The public API exposes three layers:
+//
+//   - Matrices: dense/sparse FP64 matrices with multi-threaded kernels
+//     (NewDenseMatrix, RandMatrix, ...).
+//   - Sessions: execute DML-subset scripts; every statement block flows
+//     through rewrites and the fusion optimizer before execution
+//     (NewSession, Session.Run).
+//   - Configuration: choose the plan selection policy — Base (no fusion),
+//     Fused (hand-coded operators), Gen (cost-based optimizer, default),
+//     GenFA / GenFNR (the fuse-all and fuse-no-redundancy heuristics) —
+//     and inspect optimizer statistics.
+//
+// Quick start:
+//
+//	s := sysml.NewSession(sysml.DefaultConfig())
+//	s.Bind("X", sysml.RandMatrix(10000, 100, 1, -1, 1, 7))
+//	err := s.Run(`w = t(X) %*% (X %*% t(colSums(X / 100)))`)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-reproduction results.
+package sysml
+
+import (
+	"sysml/internal/codegen"
+	"sysml/internal/dist"
+	"sysml/internal/dml"
+	"sysml/internal/matrix"
+)
+
+// Matrix is a two-dimensional FP64 matrix in dense or sparse (CSR)
+// representation.
+type Matrix = matrix.Matrix
+
+// NewDenseMatrix returns an all-zero dense rows×cols matrix.
+func NewDenseMatrix(rows, cols int) *Matrix { return matrix.NewDense(rows, cols) }
+
+// NewDenseMatrixData wraps an existing row-major backing slice.
+func NewDenseMatrixData(rows, cols int, data []float64) *Matrix {
+	return matrix.NewDenseData(rows, cols, data)
+}
+
+// RandMatrix generates a random matrix with the given non-zero fraction
+// and value range, deterministically from the seed.
+func RandMatrix(rows, cols int, sparsity, lo, hi float64, seed int64) *Matrix {
+	return matrix.Rand(rows, cols, sparsity, lo, hi, seed)
+}
+
+// Scalar wraps a float64 as a 1×1 matrix (how scalars flow through the
+// runtime).
+func Scalar(v float64) *Matrix { return matrix.NewScalar(v) }
+
+// Config controls the fusion optimizer; construct with DefaultConfig and
+// adjust fields.
+type Config = codegen.Config
+
+// Mode selects the plan selection policy.
+type Mode = codegen.Mode
+
+// Plan selection policies (paper §4-5 baselines).
+const (
+	ModeBase   = codegen.ModeBase
+	ModeFused  = codegen.ModeFused
+	ModeGen    = codegen.ModeGen
+	ModeGenFA  = codegen.ModeGenFA
+	ModeGenFNR = codegen.ModeGenFNR
+)
+
+// DefaultConfig returns the production configuration: the cost-based
+// optimizer with plan cache and both pruning techniques enabled.
+func DefaultConfig() Config { return codegen.DefaultConfig() }
+
+// Session executes DML-subset scripts against bound inputs.
+type Session = dml.Session
+
+// NewSession creates a script session with the given configuration.
+func NewSession(cfg Config) *Session { return dml.NewSession(cfg) }
+
+// Stats aggregates codegen statistics (compiled plans, cache hits,
+// evaluated plans, compile time).
+type Stats = codegen.Stats
+
+// Cluster is the simulated distributed backend; assign it to
+// Session.Dist to execute large operators across simulated executors with
+// broadcast/shuffle accounting.
+type Cluster = dist.Cluster
+
+// NewCluster returns a simulated cluster mirroring the paper's 6-executor
+// setup.
+func NewCluster() *Cluster { return dist.NewCluster() }

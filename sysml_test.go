@@ -1,0 +1,84 @@
+package sysml
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	s := NewSession(DefaultConfig())
+	s.Out = &bytes.Buffer{}
+	x := RandMatrix(500, 20, 1, -1, 1, 7)
+	s.Bind("X", x)
+	s.BindScalar("alpha", 2)
+	err := s.Run(`
+		s = alpha * sum(X * X)
+		w = t(X) %*% (X %*% matrix(1, rows=ncol(X), cols=1))
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Scalar("s")
+	if !ok {
+		t.Fatal("missing scalar s")
+	}
+	var want float64
+	for i := 0; i < x.Rows; i++ {
+		for j := 0; j < x.Cols; j++ {
+			want += x.At(i, j) * x.At(i, j)
+		}
+	}
+	if math.Abs(got-2*want) > 1e-7*want {
+		t.Fatalf("s = %v, want %v", got, 2*want)
+	}
+	w, _ := s.Get("w")
+	if w.Rows != 20 || w.Cols != 1 {
+		t.Fatalf("w dims %dx%d", w.Rows, w.Cols)
+	}
+	if s.Stats.CPlansConstructed == 0 {
+		t.Fatal("expected fused operators under the default config")
+	}
+}
+
+func TestModesExported(t *testing.T) {
+	for _, m := range []Mode{ModeBase, ModeFused, ModeGen, ModeGenFA, ModeGenFNR} {
+		cfg := DefaultConfig()
+		cfg.Mode = m
+		s := NewSession(cfg)
+		s.Out = &bytes.Buffer{}
+		s.Bind("X", RandMatrix(50, 5, 1, 0, 1, 1))
+		if err := s.Run(`y = sum(X + 1)`); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+	}
+}
+
+func TestClusterExport(t *testing.T) {
+	cl := NewCluster()
+	cfg := DefaultConfig()
+	cfg.Exec.MemBudgetBytes = 1
+	s := NewSession(cfg)
+	s.Out = &bytes.Buffer{}
+	s.Dist = cl
+	s.Bind("X", RandMatrix(4000, 20, 1, -1, 1, 3))
+	if err := s.Run(`q = X %*% matrix(1, rows=20, cols=1)`); err != nil {
+		t.Fatal(err)
+	}
+	if cl.BytesBroadcast() == 0 {
+		t.Fatal("distributed execution recorded no broadcast traffic")
+	}
+}
+
+func TestScalarHelper(t *testing.T) {
+	if Scalar(2.5).Scalar() != 2.5 {
+		t.Fatal("Scalar round trip")
+	}
+	m := NewDenseMatrixData(2, 2, []float64{1, 2, 3, 4})
+	if m.At(1, 0) != 3 {
+		t.Fatal("NewDenseMatrixData layout")
+	}
+	if NewDenseMatrix(3, 3).At(2, 2) != 0 {
+		t.Fatal("NewDenseMatrix not zeroed")
+	}
+}
