@@ -3,28 +3,36 @@
 //
 //	dmlrun -mode Gen script.dml
 //	dmlrun -mode Base -stats script.dml
+//	dmlrun -explain script.dml
 //
-// Input matrices can be generated inside the script with rand(...); there
-// is no file-based matrix I/O in this reproduction.
+// -explain prints the EXPLAIN report of every optimized block (plan
+// partitions, chosen templates, estimated cost, fused operators) plus a
+// compile/optimize/execute phase-time breakdown. Input matrices can be
+// generated inside the script with rand(...); there is no file-based
+// matrix I/O in this reproduction.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"sysml/internal/bench"
 	"sysml/internal/codegen"
 	"sysml/internal/dml"
+	"sysml/internal/obs"
 )
 
 func main() {
 	mode := flag.String("mode", "Gen", "optimizer mode: Base|Fused|Gen|Gen-FA|Gen-FNR")
 	stats := flag.Bool("stats", false, "print codegen statistics after the run")
-	explain := flag.Bool("explain", false, "print the optimized HOP DAG of every block")
+	explain := flag.Bool("explain", false, "print per-block EXPLAIN reports and a phase-time breakdown")
+	metrics := flag.Bool("metrics", false, "print the full metrics snapshot after the run")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: dmlrun [-mode Gen] [-stats] script.dml")
+		fmt.Fprintln(os.Stderr, "usage: dmlrun [-mode Gen] [-stats] [-explain] [-metrics] script.dml")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -46,16 +54,48 @@ func main() {
 	}
 	s := dml.NewSession(cfg)
 	if *explain {
-		s.ExplainOut = os.Stderr
+		s.Sink = obs.NewWriterSink(os.Stderr)
 	}
 	if err := s.Run(string(src)); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *explain {
+		printPhases(s.Metrics())
 	}
 	if *stats {
 		st := s.Stats
 		fmt.Printf("blocks=%d dags=%d cplans=%d compiled=%d cacheHits=%d plansEvaluated=%d codegen=%v compile=%v\n",
 			s.Blocks, st.DAGsOptimized, st.CPlansConstructed, st.OperatorsCompiled,
 			st.CacheHits, st.PlansEvaluated, st.CodegenTime, st.CompileTime)
+	}
+	if *metrics {
+		fmt.Print(s.Metrics())
+	}
+}
+
+// printPhases writes the compile/optimize/execute wall-time breakdown
+// recorded by the session's trace spans.
+func printPhases(snap obs.Snapshot) {
+	var names []string
+	for name := range snap.Hists {
+		if strings.HasPrefix(name, "phase.") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var total float64
+	for _, name := range names {
+		total += snap.Hists[name].Sum
+	}
+	fmt.Fprintln(os.Stderr, "# phase breakdown")
+	for _, name := range names {
+		h := snap.Hists[name]
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * h.Sum / total
+		}
+		fmt.Fprintf(os.Stderr, "  %-16s %10.3fms  %5.1f%%  (%d calls)\n",
+			strings.TrimPrefix(name, "phase."), h.Sum*1e3, pct, h.Count)
 	}
 }

@@ -2,6 +2,7 @@ package sysml_test
 
 import (
 	"fmt"
+	"strings"
 
 	"sysml"
 )
@@ -9,7 +10,7 @@ import (
 // ExampleSession_Run compiles and executes a script; every statement block
 // runs through the fusion optimizer.
 func ExampleSession_Run() {
-	s := sysml.NewSession(sysml.DefaultConfig())
+	s := sysml.NewSession()
 	s.Bind("X", sysml.NewDenseMatrixData(2, 3, []float64{1, 2, 3, 4, 5, 6}))
 	if err := s.Run(`
 		s = sum(X * X)           # fused cell aggregate
@@ -26,11 +27,30 @@ func ExampleSession_Run() {
 	// rowSums = [6 15]
 }
 
+// ExampleSession_Explain shows the optimizer's plan report for a script
+// without disturbing the session: the mmchain t(X)(Xv) fuses into a
+// single Row-template operator.
+func ExampleSession_Explain() {
+	s := sysml.NewSession()
+	s.Bind("X", sysml.RandMatrix(2000, 100, 1, -1, 1, 7))
+	s.Bind("v", sysml.RandMatrix(100, 1, 1, -1, 1, 8))
+	report, err := s.Explain(`w = t(X) %*% (X %*% v)`)
+	if err != nil {
+		panic(err)
+	}
+	for _, line := range strings.Split(report, "\n") {
+		if strings.HasPrefix(line, "fused operators:") {
+			fmt.Println(line)
+		}
+	}
+	// Output:
+	// fused operators: 1 (Row)
+}
+
 // ExampleConfig demonstrates selecting a plan-selection policy.
 func ExampleConfig() {
-	cfg := sysml.DefaultConfig()
-	cfg.Mode = sysml.ModeGenFNR // fuse-no-redundancy heuristic
-	s := sysml.NewSession(cfg)
+	// fuse-no-redundancy heuristic
+	s := sysml.NewSession(sysml.WithMode(sysml.ModeGenFNR))
 	s.Bind("X", sysml.NewDenseMatrixData(2, 2, []float64{1, 2, 3, 4}))
 	if err := s.Run(`y = sum(X + 1)`); err != nil {
 		panic(err)

@@ -50,9 +50,7 @@ const script = `
 `
 
 func run(mode sysml.Mode, rows, cols, rank int) time.Duration {
-	cfg := sysml.DefaultConfig()
-	cfg.Mode = mode
-	s := sysml.NewSession(cfg)
+	s := sysml.NewSession(sysml.WithMode(mode))
 	// A sparse ratings-like matrix (0.5% filled, values 1..5).
 	x := sysml.RandMatrix(rows, cols, 0.005, 1, 6, 42)
 	s.Bind("X", x)

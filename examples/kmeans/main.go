@@ -36,14 +36,13 @@ func main() {
 	distributed := flag.Bool("dist", false, "run on the simulated cluster")
 	flag.Parse()
 
-	cfg := sysml.DefaultConfig()
-	s := sysml.NewSession(cfg)
+	s := sysml.NewSession()
 	x := sysml.RandMatrix(100000, 20, 1, 0, 10, 3)
 	if *distributed {
+		cfg := sysml.DefaultConfig()
 		cfg.Exec.MemBudgetBytes = x.SizeBytes() / 2 // force ExecDist
-		s = sysml.NewSession(cfg)
 		cl := sysml.NewCluster()
-		s.Dist = cl
+		s = sysml.NewSession(sysml.WithConfig(cfg), sysml.WithCluster(cl))
 		defer func() {
 			fmt.Printf("simulated cluster: %.1f MB broadcast, %.1f MB shuffled, net time %v\n",
 				float64(cl.BytesBroadcast())/1e6, float64(cl.BytesShuffled())/1e6, cl.NetTime())

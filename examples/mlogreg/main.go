@@ -49,8 +49,7 @@ const predictScript = `
 func main() {
 	const n, m, k = 20000, 40, 3
 	// Synthetic k-class data from a random linear model.
-	cfg := sysml.DefaultConfig()
-	gen := sysml.NewSession(cfg)
+	gen := sysml.NewSession()
 	gen.Bind("X", sysml.RandMatrix(n, m, 1, -1, 1, 11))
 	gen.BindScalar("k", k)
 	if err := gen.Run(`
@@ -71,7 +70,7 @@ func main() {
 		}
 	}
 
-	train := sysml.NewSession(cfg)
+	train := sysml.NewSession()
 	train.Bind("X", x)
 	train.Bind("Yind", yind)
 	train.BindScalar("k", k)
@@ -83,7 +82,7 @@ func main() {
 	}
 	b, _ := train.Get("B")
 
-	eval := sysml.NewSession(cfg)
+	eval := sysml.NewSession()
 	eval.Bind("X", x)
 	eval.Bind("B", b)
 	eval.Bind("labels", labels)

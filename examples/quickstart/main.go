@@ -13,7 +13,7 @@ func main() {
 	// Bind a dense feature matrix and run a small analysis script. Every
 	// statement block is compiled to a HOP DAG, rewritten, fusion-optimized
 	// (cost-based plan selection over the memo table), and executed.
-	s := sysml.NewSession(sysml.DefaultConfig())
+	s := sysml.NewSession()
 	s.Bind("X", sysml.RandMatrix(100000, 50, 1, -1, 1, 7))
 
 	script := `
@@ -36,7 +36,7 @@ func main() {
 		st.PlansEvaluated, st.CodegenTime, st.CompileTime)
 
 	// Compare against unfused execution.
-	base := sysml.NewSession(func() sysml.Config { c := sysml.DefaultConfig(); c.Mode = sysml.ModeBase; return c }())
+	base := sysml.NewSession(sysml.WithMode(sysml.ModeBase))
 	base.Bind("X", sysml.RandMatrix(100000, 50, 1, -1, 1, 7))
 	if err := base.Run(script); err != nil {
 		log.Fatal(err)

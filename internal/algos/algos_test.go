@@ -25,9 +25,9 @@ func runModes(t *testing.T, a Algorithm, rows, cols int, overrides map[string]fl
 		if err != nil {
 			t.Fatalf("%s/%v: %v", a.Name, mode, err)
 		}
-		out, ok := s.Get(a.Outputs[0])
-		if !ok {
-			t.Fatalf("%s/%v: missing output %s", a.Name, mode, a.Outputs[0])
+		out, err := s.Get(a.Outputs[0])
+		if err != nil {
+			t.Fatalf("%s/%v: missing output %s: %v", a.Name, mode, a.Outputs[0], err)
 		}
 		results[mode] = out
 		if mode == codegen.ModeBase {

@@ -144,6 +144,27 @@ func timeScript(mode codegen.Mode, reps int, script string,
 	})
 }
 
+// PhaseBreakdown runs a script once under the given mode and attributes
+// wall time to the pipeline phases recorded by the session's trace spans:
+// "parse", "compile" (block HOP construction + rewrites), "optimize"
+// (fusion plan selection + code generation), and "execute" (kernels and
+// fused operators). The map is keyed by phase name.
+func PhaseBreakdown(mode codegen.Mode, script string, inputs map[string]*matrix.Matrix,
+	scalars map[string]float64) (map[string]time.Duration, error) {
+	s, err := runScript(mode, script, inputs, scalars)
+	if err != nil {
+		return nil, err
+	}
+	snap := s.Metrics()
+	out := map[string]time.Duration{}
+	for name, h := range snap.Hists {
+		if phase, ok := strings.CutPrefix(name, "phase."); ok {
+			out[phase] = time.Duration(h.Sum * float64(time.Second))
+		}
+	}
+	return out, nil
+}
+
 // Options configures the harness scale; Scale multiplies default row
 // counts (1.0 = laptop default documented in EXPERIMENTS.md).
 type Options struct {

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"sysml/internal/matrix"
+)
+
+// PhaseAttribution breaks one representative workload (the Fig. 8e
+// mmchain t(X)(Xv) plus a cellwise aggregate) down by pipeline phase per
+// mode, attributing wall time to script compilation, fusion plan
+// optimization + code generation, and kernel execution. This separates
+// codegen overhead from runtime benefit: Base pays nothing in optimize
+// but more in execute; the Gen variants shift time the other way.
+func PhaseAttribution(o Options) *Table {
+	rows := o.rows(50000)
+	cols := 100
+	x := matrix.Rand(rows, cols, 1, -1, 1, 7)
+	v := matrix.Rand(cols, 1, 1, -1, 1, 8)
+	inputs := map[string]*matrix.Matrix{"X": x, "v": v}
+	script := `
+		w = t(X) %*% (X %*% v)
+		s = sum(X * X)
+	`
+	t := &Table{
+		Title:   fmt.Sprintf("Phase attribution, t(X)(Xv) + sum(X*X), %dx%d", rows, cols),
+		Columns: []string{"mode", "parse", "compile", "optimize", "execute", "total"},
+	}
+	for _, mode := range Modes {
+		phases, err := PhaseBreakdown(mode, script, inputs, nil)
+		if err != nil {
+			panic(fmt.Sprintf("phase breakdown failed (%v): %v", mode, err))
+		}
+		var total time.Duration
+		for _, d := range phases {
+			total += d
+		}
+		t.Add(mode.String(), ms(phases["parse"]), ms(phases["compile"]),
+			ms(phases["optimize"]), ms(phases["execute"]), ms(total))
+	}
+	return t
+}

@@ -14,13 +14,22 @@ import (
 type PlanCache struct {
 	mu      sync.Mutex
 	enabled bool
+	max     int // 0 = unbounded
 	ops     map[uint64]*cplan.Operator
+	order   []uint64 // insertion order for FIFO eviction when bounded
 }
 
 // NewPlanCache returns a plan cache; when disabled it compiles every
 // request fresh (the Fig. 11 "without plan cache" configuration).
 func NewPlanCache(enabled bool) *PlanCache {
-	return &PlanCache{enabled: enabled, ops: map[uint64]*cplan.Operator{}}
+	return NewPlanCacheSized(enabled, 0)
+}
+
+// NewPlanCacheSized returns a plan cache holding at most maxEntries
+// compiled operators (0 = unbounded); when full, the oldest entry is
+// evicted.
+func NewPlanCacheSized(enabled bool, maxEntries int) *PlanCache {
+	return &PlanCache{enabled: enabled, max: maxEntries, ops: map[uint64]*cplan.Operator{}}
 }
 
 // GetOrCompile returns the cached operator for an equivalent CPlan or
@@ -46,7 +55,16 @@ func (pc *PlanCache) GetOrCompile(p *cplan.Plan, cfg *Config, nextClass func() s
 	}
 	if pc.enabled {
 		pc.mu.Lock()
-		pc.ops[h] = op
+		if _, exists := pc.ops[h]; !exists {
+			if pc.max > 0 {
+				for len(pc.order) >= pc.max {
+					delete(pc.ops, pc.order[0])
+					pc.order = pc.order[1:]
+				}
+				pc.order = append(pc.order, h)
+			}
+			pc.ops[h] = op
+		}
 		pc.mu.Unlock()
 	}
 	return op, false, nil

@@ -1,6 +1,9 @@
 package codegen
 
 import (
+	"math"
+	"math/big"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -16,9 +19,26 @@ func nextClassID() int { return int(atomic.AddInt64(&classSeq, 1)) }
 // construction, operator compilation (through the plan cache), and DAG
 // modification. The DAG is modified in place and returned.
 func Optimize(d *hop.DAG, cfg *Config, cache *PlanCache, stats *Stats) *hop.DAG {
+	return OptimizeReport(d, cfg, cache, stats, nil)
+}
+
+// OptimizeReport is Optimize with an optional EXPLAIN record: when rep is
+// non-nil it is filled with the plan choices of this DAG (see PlanReport).
+func OptimizeReport(d *hop.DAG, cfg *Config, cache *PlanCache, stats *Stats, rep *PlanReport) *hop.DAG {
 	start := time.Now()
-	defer func() { stats.CodegenTime += time.Since(start) }()
+	defer func() {
+		dt := time.Since(start)
+		stats.CodegenTime += dt
+		if rep != nil {
+			rep.CodegenTime = dt
+		}
+	}()
 	hop.AssignExecTypes(d.Roots(), cfg.Exec)
+	if rep != nil {
+		rep.Mode = cfg.Mode.String()
+		rep.HopsBefore = hop.Explain(d.Roots())
+		defer func() { rep.HopsAfter = hop.Explain(d.Roots()) }()
+	}
 
 	switch cfg.Mode {
 	case ModeBase:
@@ -42,6 +62,8 @@ func Optimize(d *hop.DAG, cfg *Config, cache *PlanCache, stats *Stats) *hop.DAG 
 	}
 	q := map[Edge]bool{}
 	for _, p := range parts {
+		var evaluated int64
+		var hypothetical *big.Int
 		switch cfg.Mode {
 		case ModeGen:
 			en := NewEnumerator(cfg, memo, p)
@@ -52,8 +74,10 @@ func Optimize(d *hop.DAG, cfg *Config, cache *PlanCache, stats *Stats) *hop.DAG 
 			}
 			stats.PlansEvaluated += en.Evaluated
 			stats.HypotheticalPlans.Add(stats.HypotheticalPlans, en.Hypothetical)
+			evaluated, hypothetical = en.Evaluated, en.Hypothetical
 		case ModeGenFA:
 			// Fuse-all: no materialization points (all assignments false).
+			hypothetical = new(big.Int).Lsh(big.NewInt(1), uint(len(p.Points)))
 		case ModeGenFNR:
 			// Fuse-no-redundancy: materialize every multi-consumer target.
 			for _, pt := range p.Points {
@@ -61,10 +85,40 @@ func Optimize(d *hop.DAG, cfg *Config, cache *PlanCache, stats *Stats) *hop.DAG 
 					q[pt] = true
 				}
 			}
+			hypothetical = new(big.Int).Lsh(big.NewInt(1), uint(len(p.Points)))
+		}
+		if rep != nil {
+			rep.Partitions = append(rep.Partitions,
+				partitionReport(memo, p, q, cfg, evaluated, hypothetical))
 		}
 	}
-	_ = construct(d, memo, parts, q, cfg, cache, stats)
+	_ = construct(d, memo, parts, q, cfg, cache, stats, rep)
 	return d
+}
+
+// partitionReport summarizes the chosen plan of one partition, recosting
+// the selected assignment so heuristic modes also report an estimate.
+func partitionReport(memo *Memo, p *Partition, q map[Edge]bool, cfg *Config,
+	evaluated int64, hypothetical *big.Int) PartitionReport {
+	pr := PartitionReport{
+		Nodes:          len(p.Nodes),
+		PlansEvaluated: evaluated,
+		Hypothetical:   hypothetical,
+		EstCost:        math.NaN(),
+	}
+	qp := map[Edge]bool{}
+	for _, pt := range p.Points {
+		pr.Points = append(pr.Points, pointLabel(memo, pt))
+		if q[pt] {
+			qp[pt] = true
+			pr.Materialized++
+		}
+	}
+	sort.Strings(pr.Points)
+	if cost := NewCoster(cfg, memo, p).PlanCost(qp, math.Inf(1)); !math.IsInf(cost, 1) {
+		pr.EstCost = cost
+	}
+	return pr
 }
 
 func mergePartitions(parts []*Partition) *Partition {

@@ -41,8 +41,10 @@ type Config struct {
 	Compiler CompilerKind
 
 	// PlanCache enables reuse of compiled operators across DAGs keyed by
-	// CPlan hash.
-	PlanCache bool
+	// CPlan hash. PlanCacheSize bounds the number of cached operators
+	// (0 = unbounded); when full, the oldest entry is evicted.
+	PlanCache     bool
+	PlanCacheSize int
 
 	// ReuseBlockPlans lets the script interpreter reuse a block's optimized
 	// DAG across loop iterations while structure, sizes, and sparsity stay

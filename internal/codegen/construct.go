@@ -18,6 +18,7 @@ type constructor struct {
 	q     map[Edge]bool
 	cache *PlanCache
 	stats *Stats
+	rep   *PlanReport // optional EXPLAIN record (nil when not observing)
 
 	coster *Coster // reused for its entry-pick rule
 	done   map[int64]bool
@@ -25,13 +26,13 @@ type constructor struct {
 }
 
 func construct(d *hop.DAG, m *Memo, parts []*Partition, q map[Edge]bool,
-	cfg *Config, cache *PlanCache, stats *Stats) error {
+	cfg *Config, cache *PlanCache, stats *Stats, rep *PlanReport) error {
 	// Multi-aggregates combine across partitions: their fusion opportunity
 	// is a *shared input*, which creates no fusion reference and therefore
 	// no partition connectivity.
 	merged := mergePartitions(parts)
 	c := &constructor{
-		cfg: cfg, memo: m, d: d, q: q, cache: cache, stats: stats,
+		cfg: cfg, memo: m, d: d, q: q, cache: cache, stats: stats, rep: rep,
 		coster: &Coster{cfg: cfg, memo: m, part: merged, q: q},
 		done:   map[int64]bool{},
 		inMAgg: map[int64]bool{},
@@ -140,21 +141,22 @@ func (c *constructor) buildAndSplice(h *hop.Hop, entry Entry, r *region) (bool, 
 	if plan == nil {
 		return false, nil
 	}
-	op, err := c.compile(plan)
+	op, hit, err := c.compile(plan)
 	if err != nil {
 		return false, nil
 	}
+	c.record(plan.Type.String(), op.ClassName, len(inputs), h.Rows, h.Cols, hit)
 	spoof := c.d.NewSpoof(plan.Type.String(), op, h.Rows, h.Cols, h.Nnz, inputs...)
 	spoof.ExecType = h.ExecType
 	c.splice(h, spoof)
 	return true, r.leaves
 }
 
-func (c *constructor) compile(p *cplan.Plan) (*cplan.Operator, error) {
+func (c *constructor) compile(p *cplan.Plan) (*cplan.Operator, bool, error) {
 	start := time.Now()
 	op, hit, err := c.cache.GetOrCompile(p, c.cfg, c.nextClass)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	c.stats.CPlansConstructed++
 	if hit {
@@ -163,7 +165,18 @@ func (c *constructor) compile(p *cplan.Plan) (*cplan.Operator, error) {
 		c.stats.OperatorsCompiled++
 		c.stats.CompileTime += time.Since(start)
 	}
-	return op, nil
+	return op, hit, nil
+}
+
+// record appends one constructed operator to the EXPLAIN report.
+func (c *constructor) record(template, class string, inputs int, rows, cols int64, hit bool) {
+	if c.rep == nil {
+		return
+	}
+	c.rep.Operators = append(c.rep.Operators, OperatorReport{
+		Template: template, ClassName: class, NumInputs: inputs,
+		Rows: rows, Cols: cols, CacheHit: hit,
+	})
 }
 
 func (c *constructor) splice(h, spoof *hop.Hop) {
@@ -488,11 +501,12 @@ func (c *constructor) buildMAggGroup(group []maggCand) bool {
 		NumSides:   len(env.sides),
 		SparseSafe: cplan.ProbeSparseSafe(roots...),
 	}
-	op, err := c.compile(plan)
+	op, hit, err := c.compile(plan)
 	if err != nil {
 		return false
 	}
 	inputs := append([]*hop.Hop{main}, env.sides...)
+	c.record("MAgg", op.ClassName, len(inputs), 1, int64(len(roots)), hit)
 	spoof := c.d.NewSpoof("MAgg", op, 1, int64(len(roots)), int64(len(roots)), inputs...)
 	for k, it := range group {
 		extract := c.d.Index(spoof, 0, 1, int64(k), int64(k)+1)

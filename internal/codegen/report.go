@@ -1,0 +1,127 @@
+package codegen
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"sort"
+	"strings"
+	"time"
+)
+
+// PlanReport is the structured EXPLAIN record of one Optimize call: the
+// HOP DAG before and after fusion, the per-partition search-space summary
+// (memo-table interesting points, evaluated vs. hypothetical plans,
+// estimated cost of the chosen plan), and the fused operators that were
+// constructed. It is filled by OptimizeReport and rendered by String.
+type PlanReport struct {
+	Mode       string
+	HopsBefore string
+	HopsAfter  string
+	Partitions []PartitionReport
+	Operators  []OperatorReport
+	// CodegenTime is the wall time of the Optimize call that produced this
+	// report. Excluded from String so explain output stays deterministic
+	// for golden tests.
+	CodegenTime time.Duration
+}
+
+// PartitionReport summarizes plan selection over one plan partition.
+type PartitionReport struct {
+	Nodes int
+	// Points renders the memo table's interesting points, one
+	// "consumer->input (op->op)" string per materialization decision.
+	Points []string
+	// Materialized counts the points the chosen plan materializes.
+	Materialized int
+	// PlansEvaluated counts fully costed plans; Hypothetical is the
+	// unpruned search-space size 2^|points|.
+	PlansEvaluated int64
+	Hypothetical   *big.Int
+	// EstCost is the analytical cost (seconds) of the chosen plan;
+	// NaN when the partition was not costed (heuristic modes skip it).
+	EstCost float64
+}
+
+// OperatorReport describes one constructed fused operator.
+type OperatorReport struct {
+	Template   string
+	ClassName  string
+	NumInputs  int
+	Rows, Cols int64
+	CacheHit   bool
+}
+
+// FusedOperators counts constructed operators by template type, rendered
+// deterministically as e.g. "2 (Cell, Row)".
+func (r *PlanReport) FusedOperators() string {
+	if len(r.Operators) == 0 {
+		return "0"
+	}
+	byType := map[string]int{}
+	for _, op := range r.Operators {
+		byType[op.Template]++
+	}
+	types := make([]string, 0, len(byType))
+	for t := range byType {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	return fmt.Sprintf("%d (%s)", len(r.Operators), strings.Join(types, ", "))
+}
+
+// String renders the report in the EXPLAIN layout consumed by
+// cmd/dmlrun -explain and Session.Explain. All lines are deterministic for
+// a fixed script and configuration (no wall-clock values).
+func (r *PlanReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mode: %s\n", r.Mode)
+	fmt.Fprintf(&b, "hops before fusion:\n%s", indent(r.HopsBefore))
+	for i, p := range r.Partitions {
+		fmt.Fprintf(&b, "partition %d: %d nodes, %d interesting points\n",
+			i, p.Nodes, len(p.Points))
+		for _, pt := range p.Points {
+			fmt.Fprintf(&b, "  point %s\n", pt)
+		}
+		if p.Hypothetical != nil && p.Hypothetical.Sign() > 0 {
+			fmt.Fprintf(&b, "  plans: evaluated %d of %s hypothetical, materialized %d points\n",
+				p.PlansEvaluated, p.Hypothetical.String(), p.Materialized)
+		}
+		if !math.IsNaN(p.EstCost) {
+			fmt.Fprintf(&b, "  estimated cost: %.3g\n", p.EstCost)
+		}
+	}
+	fmt.Fprintf(&b, "fused operators: %s\n", r.FusedOperators())
+	for _, op := range r.Operators {
+		hit := ""
+		if op.CacheHit {
+			hit = " [cache hit]"
+		}
+		fmt.Fprintf(&b, "  %s %s: %d inputs, %dx%d output%s\n",
+			op.Template, op.ClassName, op.NumInputs, op.Rows, op.Cols, hit)
+	}
+	if r.HopsAfter != r.HopsBefore {
+		fmt.Fprintf(&b, "hops after fusion:\n%s", indent(r.HopsAfter))
+	}
+	return b.String()
+}
+
+func indent(s string) string {
+	if s == "" {
+		return ""
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = "  " + l
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// pointLabel renders one interesting point with operator context.
+func pointLabel(m *Memo, e Edge) string {
+	from, to := m.Hop(e.From), m.Hop(e.To)
+	if from == nil || to == nil {
+		return fmt.Sprintf("%d->%d", e.From, e.To)
+	}
+	return fmt.Sprintf("%d->%d (%s -> %s)", e.From, e.To, from.String(), to.String())
+}

@@ -1,8 +1,6 @@
 package dml
 
 import (
-	"fmt"
-
 	"sysml/internal/hop"
 	"sysml/internal/matrix"
 	"sysml/internal/runtime"
@@ -55,7 +53,7 @@ func (c *blockCompiler) varHop(name string, line int) (*hop.Hop, error) {
 	}
 	m, ok := c.env[name]
 	if !ok {
-		return nil, fmt.Errorf("dml: line %d: undefined variable %q", line, name)
+		return nil, &UnboundVarError{Line: line, Name: name}
 	}
 	nnz := int64(m.Nnz())
 	h := c.d.Read(name, int64(m.Rows), int64(m.Cols), nnz)
@@ -94,14 +92,14 @@ func (c *blockCompiler) compile(e Expr) (*hop.Hop, error) {
 				return nil, err
 			}
 			if l.Cols != r.Rows {
-				return nil, fmt.Errorf("dml: line %d: %%*%% shape mismatch %dx%d vs %dx%d",
-					n.Line, l.Rows, l.Cols, r.Rows, r.Cols)
+				return nil, shapeErrf(n.Line, "%%*%% shape mismatch %dx%d vs %dx%d",
+					l.Rows, l.Cols, r.Rows, r.Cols)
 			}
 			return c.d.MatMult(l, r), nil
 		}
 		op, ok := binOps[n.Op]
 		if !ok {
-			return nil, fmt.Errorf("dml: line %d: unsupported operator %q", n.Line, n.Op)
+			return nil, parseErrf(n.Line, "unsupported operator %q", n.Op)
 		}
 		l, err := c.compile(n.L)
 		if err != nil {
@@ -126,9 +124,9 @@ func (c *blockCompiler) compile(e Expr) (*hop.Hop, error) {
 	case *IndexExpr:
 		return c.compileIndex(n)
 	case *Str:
-		return nil, fmt.Errorf("dml: string literal outside print")
+		return nil, parseErrf(0, "string literal outside print")
 	}
-	return nil, fmt.Errorf("dml: unsupported expression %T", e)
+	return nil, parseErrf(0, "unsupported expression %T", e)
 }
 
 func (c *blockCompiler) compileCall(n *Call) (*hop.Hop, error) {
@@ -217,7 +215,7 @@ func (c *blockCompiler) compileCall(n *Call) (*hop.Hop, error) {
 		return c.d.RowIndexMaxOp(in), nil
 	case "cbind", "rbind":
 		if len(n.Args) != 2 {
-			return nil, fmt.Errorf("dml: line %d: %s needs 2 arguments", n.Line, n.Name)
+			return nil, parseErrf(n.Line, "%s needs 2 arguments", n.Name)
 		}
 		l, err := c.compile(n.Args[0])
 		if err != nil {
@@ -275,7 +273,7 @@ func (c *blockCompiler) compileCall(n *Call) (*hop.Hop, error) {
 		return c.d.Rand(int64(rows), int64(cols), sp, lo, hi, int64(seed)), nil
 	case "seq":
 		if len(n.Args) < 2 {
-			return nil, fmt.Errorf("dml: line %d: seq needs from, to", n.Line)
+			return nil, parseErrf(n.Line, "seq needs from, to")
 		}
 		from, ok1 := c.constEval(n.Args[0])
 		to, ok2 := c.constEval(n.Args[1])
@@ -285,19 +283,19 @@ func (c *blockCompiler) compileCall(n *Call) (*hop.Hop, error) {
 			incr, ok3 = c.constEval(n.Args[2])
 		}
 		if !ok1 || !ok2 || !ok3 {
-			return nil, fmt.Errorf("dml: line %d: seq arguments must be compile-time constants", n.Line)
+			return nil, parseErrf(n.Line, "seq arguments must be compile-time constants")
 		}
 		g := c.d.FillGen(int64((to-from)/incr)+1, 1, 0)
 		g.Gen = hop.GenSeq
 		g.GenArgs = []float64{from, to, incr}
 		return g, nil
 	}
-	return nil, fmt.Errorf("dml: line %d: unknown function %q", n.Line, n.Name)
+	return nil, parseErrf(n.Line, "unknown function %q", n.Name)
 }
 
 func (c *blockCompiler) oneArg(n *Call) (*hop.Hop, error) {
 	if len(n.Args) != 1 {
-		return nil, fmt.Errorf("dml: line %d: %s needs 1 argument", n.Line, n.Name)
+		return nil, parseErrf(n.Line, "%s needs 1 argument", n.Name)
 	}
 	return c.compile(n.Args[0])
 }
@@ -311,11 +309,11 @@ func (c *blockCompiler) constArg(n *Call, pos int, name string) (float64, error)
 		e = n.Args[pos]
 	}
 	if e == nil {
-		return 0, fmt.Errorf("dml: line %d: %s missing argument %s", n.Line, n.Name, name)
+		return 0, parseErrf(n.Line, "%s missing argument %s", n.Name, name)
 	}
 	v, ok := c.constEval(e)
 	if !ok {
-		return 0, fmt.Errorf("dml: line %d: argument %s of %s must be a compile-time constant", n.Line, name, n.Name)
+		return 0, parseErrf(n.Line, "argument %s of %s must be a compile-time constant", name, n.Name)
 	}
 	return v, nil
 }
@@ -401,7 +399,7 @@ func (c *blockCompiler) compileIndex(n *IndexExpr) (*hop.Hop, error) {
 		}
 		v, ok := c.constEval(e)
 		if !ok {
-			return 0, fmt.Errorf("dml: line %d: index bounds must be compile-time constants", n.Line)
+			return 0, shapeErrf(n.Line, "index bounds must be compile-time constants")
 		}
 		return int64(v), nil
 	}

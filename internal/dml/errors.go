@@ -1,0 +1,82 @@
+package dml
+
+import "fmt"
+
+// Typed errors for the script front end. All implement error with the
+// traditional "dml: line N: ..." message and support errors.As for field
+// access plus errors.Is against a zero value of the same type for
+// class-level matching (e.g. errors.Is(err, &ParseError{})).
+
+// ParseError reports a lexical, syntactic, or compile-time error in a
+// script. Line is 1-based; 0 means the location is unknown (e.g. an
+// unexpected end of script).
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("dml: line %d: %s", e.Line, e.Msg)
+	}
+	return "dml: " + e.Msg
+}
+
+// Is matches any *ParseError, so errors.Is(err, &ParseError{}) tests the
+// error class without comparing fields.
+func (e *ParseError) Is(target error) bool {
+	_, ok := target.(*ParseError)
+	return ok
+}
+
+// UnboundVarError reports a reference to a variable that is not bound in
+// the session environment. Line is 0 for lookups outside script execution
+// (Session.Get, Session.Scalar).
+type UnboundVarError struct {
+	Line int
+	Name string
+}
+
+func (e *UnboundVarError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("dml: line %d: undefined variable %q", e.Line, e.Name)
+	}
+	return fmt.Sprintf("dml: unbound variable %q", e.Name)
+}
+
+// Is matches any *UnboundVarError.
+func (e *UnboundVarError) Is(target error) bool {
+	_, ok := target.(*UnboundVarError)
+	return ok
+}
+
+// ShapeError reports a dimension mismatch: incompatible matrix-multiply
+// shapes, a non-scalar where a scalar is required, or out-of-range
+// indexing.
+type ShapeError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ShapeError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("dml: line %d: %s", e.Line, e.Msg)
+	}
+	return "dml: " + e.Msg
+}
+
+// Is matches any *ShapeError.
+func (e *ShapeError) Is(target error) bool {
+	_, ok := target.(*ShapeError)
+	return ok
+}
+
+// parseErrf builds a *ParseError with a formatted message.
+func parseErrf(line int, format string, args ...any) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// shapeErrf builds a *ShapeError with a formatted message.
+func shapeErrf(line int, format string, args ...any) error {
+	return &ShapeError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,14 +1,18 @@
 package dml
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"sysml/internal/codegen"
 	"sysml/internal/hop"
 	"sysml/internal/matrix"
+	"sysml/internal/obs"
+	"sysml/internal/par"
 	"sysml/internal/rewrite"
 	"sysml/internal/runtime"
 )
@@ -25,8 +29,17 @@ type Session struct {
 	Out    io.Writer
 	Dist   runtime.DistBackend
 
-	// ExplainOut, when set, receives the optimized HOP DAG of every
-	// compiled block (SystemML's EXPLAIN hops output).
+	// Obs collects runtime metrics (per-operator timings, fused-operator
+	// invocations, phase breakdowns). Always non-nil for sessions built via
+	// NewSession; a nil Obs disables collection (all methods are nil-safe).
+	Obs *obs.Metrics
+
+	// Sink, when non-nil, receives explain reports and trace spans for
+	// every optimized statement block.
+	Sink obs.Sink
+
+	// ExplainOut, when set, receives the textual EXPLAIN report of every
+	// freshly optimized block (SystemML's EXPLAIN hops output).
 	ExplainOut io.Writer
 
 	// Blocks counts compiled statement blocks (optimized HOP DAGs);
@@ -41,10 +54,11 @@ type Session struct {
 func NewSession(cfg codegen.Config) *Session {
 	return &Session{
 		Config: cfg,
-		Cache:  codegen.NewPlanCache(cfg.PlanCache),
+		Cache:  codegen.NewPlanCacheSized(cfg.PlanCache, cfg.PlanCacheSize),
 		Stats:  codegen.NewStats(),
 		Env:    runtime.Env{},
 		Out:    os.Stdout,
+		Obs:    obs.NewMetrics(),
 	}
 }
 
@@ -57,39 +71,138 @@ func (s *Session) BindScalar(name string, v float64) { s.Env[name] = matrix.NewS
 // Run parses and executes a script against the bound inputs; results stay
 // in the session environment.
 func (s *Session) Run(script string) error {
+	return s.RunContext(context.Background(), script)
+}
+
+// RunContext is Run with cancellation: the context is checked between
+// statement blocks and polled inside fused-operator and control-flow
+// loops, so canceling promptly aborts even long-running scripts. The
+// session environment keeps all results of blocks that completed before
+// the cancellation; the partial output of the canceled block is discarded.
+func (s *Session) RunContext(ctx context.Context, script string) error {
+	sp := obs.StartSpan(s.Obs, s.Sink, "parse")
 	prog, err := Parse(script)
+	sp.End()
 	if err != nil {
 		return err
 	}
-	return s.exec(prog.Stmts)
+	return s.exec(ctx, prog.Stmts)
 }
 
-// Get returns a variable from the environment.
-func (s *Session) Get(name string) (*matrix.Matrix, bool) {
+// Get returns a variable from the environment, or an *UnboundVarError if
+// the name is not bound.
+func (s *Session) Get(name string) (*matrix.Matrix, error) {
 	m, ok := s.Env[name]
-	return m, ok
-}
-
-// Scalar returns a scalar variable's value.
-func (s *Session) Scalar(name string) (float64, bool) {
-	m, ok := s.Env[name]
-	if !ok || m.Rows != 1 || m.Cols != 1 {
-		return 0, false
+	if !ok {
+		return nil, &UnboundVarError{Name: name}
 	}
-	return m.Scalar(), true
+	return m, nil
 }
 
-func (s *Session) exec(stmts []Stmt) error {
+// Scalar returns a scalar variable's value. It returns an
+// *UnboundVarError if the name is not bound and a *ShapeError if the
+// variable is not 1x1.
+func (s *Session) Scalar(name string) (float64, error) {
+	m, ok := s.Env[name]
+	if !ok {
+		return 0, &UnboundVarError{Name: name}
+	}
+	if m.Rows != 1 || m.Cols != 1 {
+		return 0, shapeErrf(0, "variable %q is not scalar (%dx%d)", name, m.Rows, m.Cols)
+	}
+	return m.Scalar(), nil
+}
+
+// Explain compiles and runs the script on a shadow of this session (same
+// configuration and input bindings, separate environment and statistics)
+// and returns the concatenated EXPLAIN reports of every optimized block:
+// HOP DAG before/after fusion, memo-table interesting points, evaluated
+// vs. hypothetical plan counts, estimated plan cost, and constructed
+// fused operators. The receiving session is left untouched.
+func (s *Session) Explain(script string) (string, error) {
+	col := &obs.Collector{}
+	env := runtime.Env{}
+	for k, v := range s.Env {
+		env[k] = v
+	}
+	shadow := &Session{
+		Config: s.Config,
+		Cache:  codegen.NewPlanCacheSized(s.Config.PlanCache, s.Config.PlanCacheSize),
+		Stats:  codegen.NewStats(),
+		Env:    env,
+		Out:    io.Discard,
+		Dist:   s.Dist,
+		Obs:    obs.NewMetrics(),
+		Sink:   col,
+	}
+	if err := shadow.Run(script); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, e := range col.Events() {
+		if e.Kind == obs.EventExplain {
+			b.WriteString(e.Text)
+		}
+	}
+	return b.String(), nil
+}
+
+// distStats is the slice of the distributed backend the metrics layer
+// reads; internal/dist.Cluster satisfies it (declared here to avoid a
+// package dependency cycle through internal/runtime).
+type distStats interface {
+	BytesBroadcast() int64
+	BytesShuffled() int64
+	NetTime() time.Duration
+}
+
+// Metrics returns a point-in-time snapshot of all session metrics:
+// runtime counters and histograms from execution, codegen optimizer
+// statistics, parallel-for utilization (process-wide), and — when a
+// distributed backend is attached — broadcast/shuffle volumes.
+func (s *Session) Metrics() obs.Snapshot {
+	snap := s.Obs.Snapshot()
+	if s.Stats != nil {
+		snap.Counters["codegen.dags.optimized"] = s.Stats.DAGsOptimized
+		snap.Counters["codegen.cplans.constructed"] = s.Stats.CPlansConstructed
+		snap.Counters["codegen.operators.compiled"] = s.Stats.OperatorsCompiled
+		snap.Counters["codegen.plancache.hits"] = s.Stats.CacheHits
+		snap.Counters["codegen.plans.evaluated"] = s.Stats.PlansEvaluated
+		snap.Gauges["codegen.time.seconds"] = s.Stats.CodegenTime.Seconds()
+		snap.Gauges["codegen.compile.seconds"] = s.Stats.CompileTime.Seconds()
+	}
+	if s.Cache != nil {
+		snap.Gauges["plancache.size"] = float64(s.Cache.Size())
+	}
+	snap.Counters["block.optimized"] = s.Blocks
+	snap.Counters["block.reused"] = s.BlockCacheHits
+	u := par.Stats()
+	snap.Counters["par.calls"] = u.Calls
+	snap.Counters["par.goroutines"] = u.Goroutines
+	snap.Counters["par.sequential"] = u.Sequential
+	snap.Gauges["par.utilization"] = u.Utilization(par.MaxWorkers())
+	if d, ok := s.Dist.(distStats); ok {
+		snap.Counters["dist.bytes.broadcast"] = d.BytesBroadcast()
+		snap.Counters["dist.bytes.shuffled"] = d.BytesShuffled()
+		snap.Gauges["dist.net.seconds"] = d.NetTime().Seconds()
+	}
+	return snap
+}
+
+func (s *Session) exec(ctx context.Context, stmts []Stmt) error {
 	var pending []Stmt
 	flush := func() error {
 		if len(pending) == 0 {
 			return nil
 		}
-		err := s.runBlock(pending)
+		err := s.runBlock(ctx, pending)
 		pending = pending[:0]
 		return err
 	}
 	for _, st := range stmts {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		switch n := st.(type) {
 		case *Assign, *PrintStmt:
 			pending = append(pending, st)
@@ -97,16 +210,16 @@ func (s *Session) exec(stmts []Stmt) error {
 			if err := flush(); err != nil {
 				return err
 			}
-			cond, err := s.evalScalar(n.Cond)
+			cond, err := s.evalScalar(ctx, n.Cond)
 			if err != nil {
 				return err
 			}
 			if cond != 0 {
-				if err := s.exec(n.Then); err != nil {
+				if err := s.exec(ctx, n.Then); err != nil {
 					return err
 				}
 			} else if len(n.Else) > 0 {
-				if err := s.exec(n.Else); err != nil {
+				if err := s.exec(ctx, n.Else); err != nil {
 					return err
 				}
 			}
@@ -118,14 +231,17 @@ func (s *Session) exec(stmts []Stmt) error {
 				if iter > 1_000_000 {
 					return fmt.Errorf("dml: line %d: while loop exceeded iteration bound", n.Line)
 				}
-				cond, err := s.evalScalar(n.Cond)
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				cond, err := s.evalScalar(ctx, n.Cond)
 				if err != nil {
 					return err
 				}
 				if cond == 0 {
 					break
 				}
-				if err := s.exec(n.Body); err != nil {
+				if err := s.exec(ctx, n.Body); err != nil {
 					return err
 				}
 			}
@@ -133,17 +249,20 @@ func (s *Session) exec(stmts []Stmt) error {
 			if err := flush(); err != nil {
 				return err
 			}
-			from, err := s.evalScalar(n.From)
+			from, err := s.evalScalar(ctx, n.From)
 			if err != nil {
 				return err
 			}
-			to, err := s.evalScalar(n.To)
+			to, err := s.evalScalar(ctx, n.To)
 			if err != nil {
 				return err
 			}
 			for i := from; i <= to; i++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
 				s.Env[n.Var] = matrix.NewScalar(i)
-				if err := s.exec(n.Body); err != nil {
+				if err := s.exec(ctx, n.Body); err != nil {
 					return err
 				}
 			}
@@ -152,8 +271,11 @@ func (s *Session) exec(stmts []Stmt) error {
 	return flush()
 }
 
-// runBlock compiles, optimizes, and executes one statement block.
-func (s *Session) runBlock(stmts []Stmt) error {
+// runBlock compiles, optimizes, and executes one statement block,
+// recording a trace span per phase and emitting an EXPLAIN report for
+// every fresh optimization when a sink or ExplainOut is attached.
+func (s *Session) runBlock(ctx context.Context, stmts []Stmt) error {
+	spc := obs.StartSpan(s.Obs, s.Sink, "compile")
 	c := newBlockCompiler(s.Env)
 	type printOut struct {
 		line  int
@@ -165,6 +287,7 @@ func (s *Session) runBlock(stmts []Stmt) error {
 		switch n := st.(type) {
 		case *Assign:
 			if err := c.assign(n.Target, n.Value); err != nil {
+				spc.End()
 				return err
 			}
 		case *PrintStmt:
@@ -176,6 +299,7 @@ func (s *Session) runBlock(stmts []Stmt) error {
 				}
 				h, err := c.compile(part)
 				if err != nil {
+					spc.End()
 					return err
 				}
 				name := fmt.Sprintf("__print%d", npr)
@@ -187,30 +311,56 @@ func (s *Session) runBlock(stmts []Stmt) error {
 		}
 	}
 	d, _ := rewrite.Apply(c.d)
+	spc.End()
+
+	spo := obs.StartSpan(s.Obs, s.Sink, "optimize")
+	wantExplain := s.Sink != nil || s.ExplainOut != nil
+	var rep *codegen.PlanReport
+	optimize := func(d0 *hop.DAG) *hop.DAG {
+		if wantExplain {
+			rep = &codegen.PlanReport{}
+		}
+		return codegen.OptimizeReport(d0, &s.Config, s.Cache, s.Stats, rep)
+	}
 	// Reuse the optimized plan while the block's structure, sizes, and
 	// sparsity are unchanged (SystemML recompiles only dirty blocks).
-	var key string
 	if s.Config.ReuseBlockPlans {
-		key = blockKey(d)
+		key := blockKey(d)
 		if cached, ok := s.blockCache[key]; ok {
 			d = cached
 			s.BlockCacheHits++
+			s.Obs.Inc("block.cache.hits")
 		} else {
-			d = codegen.Optimize(d, &s.Config, s.Cache, s.Stats)
+			d = optimize(d)
 			s.Blocks++
+			s.Obs.Inc("block.cache.misses")
 			if s.blockCache == nil {
 				s.blockCache = map[string]*hop.DAG{}
 			}
 			s.blockCache[key] = d
 		}
 	} else {
-		d = codegen.Optimize(d, &s.Config, s.Cache, s.Stats)
+		d = optimize(d)
 		s.Blocks++
 	}
-	if s.ExplainOut != nil {
-		fmt.Fprintf(s.ExplainOut, "# EXPLAIN block %d\n%s", s.Blocks, hop.Explain(d.Roots()))
+	spo.End()
+	if rep != nil {
+		text := fmt.Sprintf("# EXPLAIN block %d\n%s", s.Blocks, rep.String())
+		if s.ExplainOut != nil {
+			io.WriteString(s.ExplainOut, text)
+		}
+		if s.Sink != nil {
+			s.Sink.Emit(obs.Event{
+				Kind: obs.EventExplain,
+				Name: fmt.Sprintf("block %d", s.Blocks),
+				Text: text,
+			})
+		}
 	}
-	out, err := runtime.ExecuteDAG(d, s.Env, runtime.Options{Dist: s.Dist})
+
+	spe := obs.StartSpan(s.Obs, s.Sink, "execute")
+	out, err := runtime.ExecuteDAG(d, s.Env, runtime.Options{Dist: s.Dist, Ctx: ctx, Metrics: s.Obs})
+	spe.End()
 	if err != nil {
 		return err
 	}
@@ -281,7 +431,7 @@ func containsStr(e Expr) bool {
 // evalScalar evaluates a predicate or loop-bound expression through the
 // regular block pipeline (a one-output DAG), mirroring SystemML's handling
 // of scalar instructions.
-func (s *Session) evalScalar(e Expr) (float64, error) {
+func (s *Session) evalScalar(ctx context.Context, e Expr) (float64, error) {
 	c := newBlockCompiler(s.Env)
 	h, err := c.compile(e)
 	if err != nil {
@@ -289,13 +439,13 @@ func (s *Session) evalScalar(e Expr) (float64, error) {
 	}
 	c.d.Output("__cond", h)
 	d, _ := rewrite.Apply(c.d)
-	out, err := runtime.ExecuteDAG(d, s.Env, runtime.Options{Dist: s.Dist})
+	out, err := runtime.ExecuteDAG(d, s.Env, runtime.Options{Dist: s.Dist, Ctx: ctx, Metrics: s.Obs})
 	if err != nil {
 		return 0, err
 	}
 	m := out["__cond"]
 	if m.Rows != 1 || m.Cols != 1 {
-		return 0, fmt.Errorf("dml: condition is not scalar (%dx%d)", m.Rows, m.Cols)
+		return 0, shapeErrf(0, "condition is not scalar (%dx%d)", m.Rows, m.Cols)
 	}
 	return m.Scalar(), nil
 }

@@ -7,7 +7,6 @@
 package dml
 
 import (
-	"fmt"
 	"strings"
 	"unicode"
 )
@@ -127,12 +126,12 @@ func (l *lexer) lexString() error {
 	l.pos++
 	for l.pos < len(l.src) && l.src[l.pos] != '"' {
 		if l.src[l.pos] == '\n' {
-			return fmt.Errorf("dml: line %d: unterminated string", l.line)
+			return parseErrf(l.line, "unterminated string")
 		}
 		l.pos++
 	}
 	if l.pos >= len(l.src) {
-		return fmt.Errorf("dml: line %d: unterminated string", l.line)
+		return parseErrf(l.line, "unterminated string")
 	}
 	l.pos++
 	l.emit(tokString, l.src[start+1:l.pos-1])
@@ -156,5 +155,5 @@ func (l *lexer) lexOp() error {
 		l.emit(tokOp, string(c))
 		return nil
 	}
-	return fmt.Errorf("dml: line %d: unexpected character %q", l.line, c)
+	return parseErrf(l.line, "unexpected character %q", c)
 }

@@ -1,7 +1,6 @@
 package dml
 
 import (
-	"fmt"
 	"strconv"
 )
 
@@ -49,7 +48,7 @@ func (p *parser) expect(kind tokKind, text string) (token, error) {
 		return p.next(), nil
 	}
 	t := p.cur()
-	return t, fmt.Errorf("dml: line %d: expected %q, found %q", t.line, text, t.text)
+	return t, parseErrf(t.line, "expected %q, found %q", text, t.text)
 }
 
 func (p *parser) stmt() (Stmt, error) {
@@ -77,7 +76,7 @@ func (p *parser) stmt() (Stmt, error) {
 	case t.kind == tokIdent:
 		name := p.next().text
 		if !p.accept(tokOp, "=") && !p.accept(tokOp, "<-") {
-			return nil, fmt.Errorf("dml: line %d: expected assignment after %q", t.line, name)
+			return nil, parseErrf(t.line, "expected assignment after %q", name)
 		}
 		e, err := p.expr()
 		if err != nil {
@@ -85,7 +84,7 @@ func (p *parser) stmt() (Stmt, error) {
 		}
 		return &Assign{Target: name, Value: e, Line: t.line}, nil
 	}
-	return nil, fmt.Errorf("dml: line %d: unexpected token %q", t.line, t.text)
+	return nil, parseErrf(t.line, "unexpected token %q", t.text)
 }
 
 func (p *parser) block() ([]Stmt, error) {
@@ -95,7 +94,7 @@ func (p *parser) block() ([]Stmt, error) {
 	var stmts []Stmt
 	for !p.at(tokOp, "}") {
 		if p.at(tokEOF, "") {
-			return nil, fmt.Errorf("dml: unexpected end of script in block")
+			return nil, parseErrf(0, "unexpected end of script in block")
 		}
 		s, err := p.stmt()
 		if err != nil {
@@ -344,7 +343,7 @@ func (p *parser) primary() (Expr, error) {
 		p.next()
 		v, err := strconv.ParseFloat(t.text, 64)
 		if err != nil {
-			return nil, fmt.Errorf("dml: line %d: bad number %q", t.line, t.text)
+			return nil, parseErrf(t.line, "bad number %q", t.text)
 		}
 		return &Num{Value: v}, nil
 	case t.kind == tokString:
@@ -400,5 +399,5 @@ func (p *parser) primary() (Expr, error) {
 		}
 		return call, nil
 	}
-	return nil, fmt.Errorf("dml: line %d: unexpected token %q in expression", t.line, t.text)
+	return nil, parseErrf(t.line, "unexpected token %q in expression", t.text)
 }

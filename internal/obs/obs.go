@@ -1,0 +1,303 @@
+// Package obs is the observability substrate of the runtime: counters,
+// gauges, and histograms aggregated into immutable snapshots, lightweight
+// trace spans for phase-time attribution, and a pluggable event sink that
+// receives EXPLAIN output and span completions. Everything is standard
+// library only and safe for concurrent use; the hot-path cost of an
+// unobserved metric is one atomic add.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is a registry of named counters, gauges, and histograms.
+// Instruments are created lazily on first use; updates after creation are
+// lock-free.
+type Metrics struct {
+	mu       sync.RWMutex
+	counters map[string]*int64
+	gauges   map[string]*uint64 // float64 bits
+	hists    map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: map[string]*int64{},
+		gauges:   map[string]*uint64{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+func (m *Metrics) counter(name string) *int64 {
+	m.mu.RLock()
+	c, ok := m.counters[name]
+	m.mu.RUnlock()
+	if ok {
+		return c
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok = m.counters[name]; !ok {
+		c = new(int64)
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Add increments the named counter by delta.
+func (m *Metrics) Add(name string, delta int64) {
+	if m == nil {
+		return
+	}
+	atomic.AddInt64(m.counter(name), delta)
+}
+
+// Inc increments the named counter by one.
+func (m *Metrics) Inc(name string) { m.Add(name, 1) }
+
+// Counter returns the current value of the named counter (0 if absent).
+func (m *Metrics) Counter(name string) int64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.RLock()
+	c, ok := m.counters[name]
+	m.mu.RUnlock()
+	if !ok {
+		return 0
+	}
+	return atomic.LoadInt64(c)
+}
+
+// SetGauge sets the named gauge to v (last write wins).
+func (m *Metrics) SetGauge(name string, v float64) {
+	if m == nil {
+		return
+	}
+	m.mu.RLock()
+	g, ok := m.gauges[name]
+	m.mu.RUnlock()
+	if !ok {
+		m.mu.Lock()
+		if g, ok = m.gauges[name]; !ok {
+			g = new(uint64)
+			m.gauges[name] = g
+		}
+		m.mu.Unlock()
+	}
+	atomic.StoreUint64(g, math.Float64bits(v))
+}
+
+// Hist returns the named histogram, creating it on first use.
+func (m *Metrics) Hist(name string) *Histogram {
+	if m == nil {
+		return nil
+	}
+	m.mu.RLock()
+	h, ok := m.hists[name]
+	m.mu.RUnlock()
+	if ok {
+		return h
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h, ok = m.hists[name]; !ok {
+		h = newHistogram()
+		m.hists[name] = h
+	}
+	return h
+}
+
+// Observe records v into the named histogram.
+func (m *Metrics) Observe(name string, v float64) { m.Hist(name).Observe(v) }
+
+// ObserveDuration records d (in seconds) into the named histogram.
+func (m *Metrics) ObserveDuration(name string, d time.Duration) {
+	m.Observe(name, d.Seconds())
+}
+
+// Snapshot returns a consistent point-in-time copy of every instrument.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters: map[string]int64{},
+		Gauges:   map[string]float64{},
+		Hists:    map[string]HistSnapshot{},
+	}
+	if m == nil {
+		return s
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for name, c := range m.counters {
+		s.Counters[name] = atomic.LoadInt64(c)
+	}
+	for name, g := range m.gauges {
+		s.Gauges[name] = math.Float64frombits(atomic.LoadUint64(g))
+	}
+	for name, h := range m.hists {
+		s.Hists[name] = h.Snapshot()
+	}
+	return s
+}
+
+// numHistBuckets is the number of finite histogram buckets; one overflow
+// bucket is appended for values above the last bound.
+const numHistBuckets = 16
+
+// histBuckets are the upper bounds (in seconds when used for durations) of
+// the exponential histogram buckets: 1µs · 4^i, plus a +Inf overflow.
+var histBuckets = func() []float64 {
+	b := make([]float64, numHistBuckets)
+	v := 1e-6
+	for i := range b {
+		b[i] = v
+		v *= 4
+	}
+	return b
+}()
+
+// Histogram is a fixed-bucket exponential histogram with lock-free
+// updates. It tracks count, sum, min, and max exactly and the distribution
+// by bucket.
+type Histogram struct {
+	count   int64
+	sumBits uint64
+	minBits uint64
+	maxBits uint64
+	buckets [numHistBuckets + 1]int64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	atomic.StoreUint64(&h.minBits, math.Float64bits(math.Inf(1)))
+	atomic.StoreUint64(&h.maxBits, math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	atomic.AddInt64(&h.count, 1)
+	for {
+		old := atomic.LoadUint64(&h.sumBits)
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if atomic.CompareAndSwapUint64(&h.sumBits, old, nw) {
+			break
+		}
+	}
+	for {
+		old := atomic.LoadUint64(&h.minBits)
+		if v >= math.Float64frombits(old) || atomic.CompareAndSwapUint64(&h.minBits, old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := atomic.LoadUint64(&h.maxBits)
+		if v <= math.Float64frombits(old) || atomic.CompareAndSwapUint64(&h.maxBits, old, math.Float64bits(v)) {
+			break
+		}
+	}
+	i := sort.SearchFloat64s(histBuckets, v)
+	atomic.AddInt64(&h.buckets[i], 1)
+}
+
+// Snapshot returns a copy of the histogram state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{
+		Count: atomic.LoadInt64(&h.count),
+		Sum:   math.Float64frombits(atomic.LoadUint64(&h.sumBits)),
+		Min:   math.Float64frombits(atomic.LoadUint64(&h.minBits)),
+		Max:   math.Float64frombits(atomic.LoadUint64(&h.maxBits)),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = atomic.LoadInt64(&h.buckets[i])
+	}
+	if s.Count == 0 {
+		s.Min, s.Max = 0, 0
+	}
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of one histogram.
+type HistSnapshot struct {
+	Count   int64
+	Sum     float64
+	Min     float64
+	Max     float64
+	Buckets [numHistBuckets + 1]int64
+}
+
+// Mean returns the arithmetic mean of the observed values (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Snapshot is a point-in-time copy of a Metrics registry, plus any
+// externally merged values (codegen stats, par utilization, cluster
+// traffic).
+type Snapshot struct {
+	Counters map[string]int64
+	Gauges   map[string]float64
+	Hists    map[string]HistSnapshot
+}
+
+// Counter returns a counter value (0 if absent).
+func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// Gauge returns a gauge value (0 if absent).
+func (s Snapshot) Gauge(name string) float64 { return s.Gauges[name] }
+
+// Hist returns a histogram snapshot (zero value if absent).
+func (s Snapshot) Hist(name string) HistSnapshot { return s.Hists[name] }
+
+// String renders the snapshot sorted by instrument name, durations as
+// histogram count/total/mean.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s %d\n", n, s.Counters[n])
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s %g\n", n, s.Gauges[n])
+	}
+	names = names[:0]
+	for n := range s.Hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Hists[n]
+		fmt.Fprintf(&b, "%s count=%d total=%s mean=%s\n", n, h.Count,
+			fmtSeconds(h.Sum), fmtSeconds(h.Mean()))
+	}
+	return b.String()
+}
+
+func fmtSeconds(v float64) string {
+	return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
+}

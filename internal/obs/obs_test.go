@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountersConcurrent(t *testing.T) {
+	m := NewMetrics()
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.Inc("a")
+				m.Add("b", 2)
+				m.SetGauge("g", float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Counter("a"); got != workers*per {
+		t.Fatalf("counter a = %d, want %d", got, workers*per)
+	}
+	snap := m.Snapshot()
+	if got := snap.Counter("b"); got != 2*workers*per {
+		t.Fatalf("counter b = %d, want %d", got, 2*workers*per)
+	}
+	if g := snap.Gauge("g"); g != per-1 {
+		t.Fatalf("gauge g = %g, want %d", g, per-1)
+	}
+	if got := m.Counter("missing"); got != 0 {
+		t.Fatalf("missing counter = %d", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	m := NewMetrics()
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.Observe("h", float64(i%10)+1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	h := m.Snapshot().Hist("h")
+	if h.Count != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count, workers*per)
+	}
+	// Sum of 1..10 repeated evenly.
+	want := float64(workers*per/10) * 55
+	if math.Abs(h.Sum-want) > 1e-6 {
+		t.Fatalf("sum = %g, want %g", h.Sum, want)
+	}
+	if h.Min != 1 || h.Max != 10 {
+		t.Fatalf("min/max = %g/%g, want 1/10", h.Min, h.Max)
+	}
+	if got := h.Mean(); math.Abs(got-5.5) > 1e-9 {
+		t.Fatalf("mean = %g, want 5.5", got)
+	}
+	var total int64
+	for _, b := range h.Buckets {
+		total += b
+	}
+	if total != h.Count {
+		t.Fatalf("bucket total = %d, count = %d", total, h.Count)
+	}
+}
+
+func TestEmptyHistogramSnapshot(t *testing.T) {
+	h := NewMetrics().Hist("empty").Snapshot()
+	if h.Count != 0 || h.Min != 0 || h.Max != 0 || h.Mean() != 0 {
+		t.Fatalf("empty snapshot not zeroed: %+v", h)
+	}
+}
+
+func TestSpanRecordsPhase(t *testing.T) {
+	m := NewMetrics()
+	var c Collector
+	sp := StartSpan(m, &c, "compile")
+	time.Sleep(time.Millisecond)
+	d := sp.End()
+	if d <= 0 {
+		t.Fatal("span duration not positive")
+	}
+	h := m.Snapshot().Hist("phase.compile")
+	if h.Count != 1 || h.Sum <= 0 {
+		t.Fatalf("phase histogram not recorded: %+v", h)
+	}
+	ev := c.Events()
+	if len(ev) != 1 || ev[0].Kind != EventSpan || ev[0].Name != "compile" {
+		t.Fatalf("sink events = %+v", ev)
+	}
+	// Zero-instrument span is a no-op.
+	if d := StartSpan(nil, nil, "x").End(); d != 0 {
+		t.Fatalf("nil span duration = %v", d)
+	}
+}
+
+func TestWriterSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewWriterSink(&buf)
+	s.Emit(Event{Kind: EventExplain, Name: "block 1", Text: "# EXPLAIN\n"})
+	s.Emit(Event{Kind: EventSpan, Name: "execute", Dur: time.Millisecond})
+	if got := buf.String(); got != "# EXPLAIN\n" {
+		t.Fatalf("spans must be off by default, got %q", got)
+	}
+	s.IncludeSpans = true
+	s.Emit(Event{Kind: EventSpan, Name: "execute", Dur: time.Millisecond})
+	if !strings.Contains(buf.String(), "span execute: 1ms") {
+		t.Fatalf("span line missing: %q", buf.String())
+	}
+}
+
+func TestMultiSink(t *testing.T) {
+	var a, b Collector
+	MultiSink{&a, nil, &b}.Emit(Event{Kind: EventExplain, Text: "x"})
+	if len(a.Events()) != 1 || len(b.Events()) != 1 {
+		t.Fatal("multi sink did not fan out")
+	}
+}
+
+func TestNilMetricsSafe(t *testing.T) {
+	var m *Metrics
+	m.Inc("a")
+	m.Observe("h", 1)
+	m.SetGauge("g", 1)
+	if m.Counter("a") != 0 {
+		t.Fatal("nil metrics counter")
+	}
+	s := m.Snapshot()
+	if len(s.Counters) != 0 {
+		t.Fatal("nil metrics snapshot")
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	m := NewMetrics()
+	m.Inc("exec.ops")
+	m.SetGauge("par.workers", 8)
+	m.ObserveDuration("phase.execute", 2*time.Millisecond)
+	out := m.Snapshot().String()
+	for _, want := range []string{"exec.ops 1", "par.workers 8", "phase.execute count=1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("snapshot string missing %q:\n%s", want, out)
+		}
+	}
+}

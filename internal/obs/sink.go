@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// EventKind classifies sink events.
+type EventKind int
+
+const (
+	// EventExplain carries the rendered EXPLAIN report of one optimized
+	// statement block in Text.
+	EventExplain EventKind = iota
+	// EventSpan reports a completed trace span: Name and Dur are set.
+	EventSpan
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventExplain:
+		return "explain"
+	case EventSpan:
+		return "span"
+	}
+	return "unknown"
+}
+
+// Event is one observability record pushed to a Sink.
+type Event struct {
+	Kind EventKind
+	Name string        // block label for explains, phase name for spans
+	Text string        // rendered report (EventExplain)
+	Dur  time.Duration // span duration (EventSpan)
+}
+
+// Sink receives observability events. Implementations must be safe for
+// concurrent use; Emit must not retain e.Text beyond the call unless it
+// copies it.
+type Sink interface {
+	Emit(e Event)
+}
+
+// WriterSink renders events as text to an io.Writer. Explain reports are
+// written verbatim; span events are written as one-line phase timings when
+// IncludeSpans is set.
+type WriterSink struct {
+	mu sync.Mutex
+	w  io.Writer
+
+	// IncludeSpans also renders EventSpan completions (off by default so
+	// explain output stays stable for golden tests).
+	IncludeSpans bool
+}
+
+// NewWriterSink returns a sink writing to w.
+func NewWriterSink(w io.Writer) *WriterSink { return &WriterSink{w: w} }
+
+// Emit implements Sink.
+func (s *WriterSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch e.Kind {
+	case EventExplain:
+		fmt.Fprint(s.w, e.Text)
+	case EventSpan:
+		if s.IncludeSpans {
+			fmt.Fprintf(s.w, "span %s: %v\n", e.Name, e.Dur.Round(time.Microsecond))
+		}
+	}
+}
+
+// Collector buffers events in memory; used by Session.Explain and tests.
+type Collector struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements Sink.
+func (c *Collector) Emit(e Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// Events returns a copy of the buffered events.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
+// MultiSink fans events out to several sinks.
+type MultiSink []Sink
+
+// Emit implements Sink.
+func (m MultiSink) Emit(e Event) {
+	for _, s := range m {
+		if s != nil {
+			s.Emit(e)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package obs
+
+import "time"
+
+// Span is one in-flight trace region. Ending a span records its duration
+// into the owning Metrics registry (histogram "phase.<name>") and emits an
+// EventSpan to the sink, so both the metrics snapshot and a live sink see
+// the phase-time breakdown.
+type Span struct {
+	m     *Metrics
+	sink  Sink
+	name  string
+	start time.Time
+}
+
+// StartSpan begins a span. Both m and sink may be nil; a zero-overhead
+// span is returned when both are nil.
+func StartSpan(m *Metrics, sink Sink, name string) Span {
+	if m == nil && sink == nil {
+		return Span{}
+	}
+	return Span{m: m, sink: sink, name: name, start: time.Now()}
+}
+
+// End closes the span and returns its duration.
+func (sp Span) End() time.Duration {
+	if sp.m == nil && sp.sink == nil {
+		return 0
+	}
+	d := time.Since(sp.start)
+	if sp.m != nil {
+		sp.m.ObserveDuration("phase."+sp.name, d)
+	}
+	if sp.sink != nil {
+		sp.sink.Emit(Event{Kind: EventSpan, Name: sp.name, Dur: d})
+	}
+	return d
+}

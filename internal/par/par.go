@@ -7,6 +7,7 @@ package par
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultGrain is the minimum number of work items per spawned goroutine.
@@ -31,6 +32,47 @@ func SetMaxWorkers(n int) int {
 // MaxWorkers reports the current worker cap.
 func MaxWorkers() int { return maxWorkers }
 
+// Utilization counters: every For/ForIndexed call is counted, along with
+// the goroutines it spawned (0 for calls that ran sequentially). The ratio
+// goroutines / (calls * MaxWorkers) approximates worker-pool utilization.
+var (
+	statCalls      atomic.Int64
+	statGoroutines atomic.Int64
+	statSequential atomic.Int64
+)
+
+// Usage is a snapshot of the parallel-for utilization counters.
+type Usage struct {
+	Calls      int64 // For/ForIndexed invocations
+	Goroutines int64 // goroutines spawned across all parallel calls
+	Sequential int64 // calls that ran inline on the caller's goroutine
+}
+
+// Utilization returns spawned goroutines as a fraction of the maximum the
+// worker cap would have allowed (1.0 = every call saturated the cap).
+func (u Usage) Utilization(workers int) float64 {
+	if u.Calls == 0 || workers <= 0 {
+		return 0
+	}
+	return float64(u.Goroutines) / float64(u.Calls*int64(workers))
+}
+
+// Stats returns the current utilization counters.
+func Stats() Usage {
+	return Usage{
+		Calls:      statCalls.Load(),
+		Goroutines: statGoroutines.Load(),
+		Sequential: statSequential.Load(),
+	}
+}
+
+// ResetStats zeroes the utilization counters.
+func ResetStats() {
+	statCalls.Store(0)
+	statGoroutines.Store(0)
+	statSequential.Store(0)
+}
+
 // For executes fn over the half-open ranges that partition [0, n) into
 // roughly equal chunks of at least grain items, running chunks on separate
 // goroutines. fn must be safe for concurrent invocation on disjoint ranges.
@@ -49,10 +91,13 @@ func For(n, grain int, fn func(lo, hi int)) {
 	if chunks > workers {
 		chunks = workers
 	}
+	statCalls.Add(1)
 	if chunks <= 1 {
+		statSequential.Add(1)
 		fn(0, n)
 		return
 	}
+	statGoroutines.Add(int64(chunks))
 	chunk := (n + chunks - 1) / chunks
 	var wg sync.WaitGroup
 	for lo := 0; lo < n; lo += chunk {
@@ -77,10 +122,13 @@ func ForIndexed(n, grain int, fn func(worker, lo, hi int)) {
 		return
 	}
 	nc, chunk := Chunks(n, grain)
+	statCalls.Add(1)
 	if nc <= 1 {
+		statSequential.Add(1)
 		fn(0, 0, n)
 		return
 	}
+	statGoroutines.Add(int64(nc))
 	var wg sync.WaitGroup
 	w := 0
 	for lo := 0; lo < n; lo += chunk {

@@ -16,6 +16,10 @@ import (
 
 // ExecCellwise runs a compiled Cell-template operator over the main input.
 func ExecCellwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix) *matrix.Matrix {
+	return execCellwise(op, main, sides, nil)
+}
+
+func execCellwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix, stop StopFn) *matrix.Matrix {
 	p := op.Plan
 	fn := op.CellFn
 	rows, cols := main.Rows, main.Cols
@@ -36,6 +40,9 @@ func ExecCellwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matri
 			par.For(rows, 64, func(lo, hi int) {
 				ctx := proto.Clone()
 				for i := lo; i < hi; i++ {
+					if pollStop(stop, i-lo) {
+						return
+					}
 					vals, cix := ms.Row(i)
 					base := ms.RowPtr[i]
 					for k := range cix {
@@ -56,6 +63,9 @@ func ExecCellwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matri
 				ctx := proto.Clone()
 				buf := op.VecProg.NewBuf()
 				for ci := clo; ci < chi; ci++ {
+					if stop != nil && stop() {
+						return
+					}
 					lo := ci * cplan.ChunkLen
 					n := cplan.ChunkLen
 					if lo+n > total {
@@ -71,6 +81,9 @@ func ExecCellwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matri
 			ctx := proto.Clone()
 			scratch := newRowScratch(main)
 			for i := lo; i < hi; i++ {
+				if pollStop(stop, i-lo) {
+					return
+				}
 				row, off := denseRowView(main, i, scratch)
 				base := i * cols
 				for j := 0; j < cols; j++ {
@@ -87,6 +100,9 @@ func ExecCellwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matri
 			ctx := proto.Clone()
 			scratch := newRowScratch(main)
 			for i := lo; i < hi; i++ {
+				if pollStop(stop, i-lo) {
+					return
+				}
 				acc := aggInit(p.AggOp)
 				if sparseIter {
 					vals, cix := main.Sparse().Row(i)
@@ -115,6 +131,9 @@ func ExecCellwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matri
 				part[j] = aggInit(p.AggOp)
 			}
 			for i := lo; i < hi; i++ {
+				if pollStop(stop, i-lo) {
+					break
+				}
 				if sparseIter {
 					vals, cix := main.Sparse().Row(i)
 					for k := range cix {
@@ -163,6 +182,9 @@ func ExecCellwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matri
 				buf := op.VecProg.NewBuf()
 				var acc float64
 				for ci := clo; ci < chi; ci++ {
+					if stop != nil && stop() {
+						break
+					}
 					lo := ci * cplan.ChunkLen
 					n := cplan.ChunkLen
 					if lo+n > total {
@@ -184,6 +206,9 @@ func ExecCellwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matri
 			scratch := newRowScratch(main)
 			acc := aggInit(p.AggOp)
 			for i := lo; i < hi; i++ {
+				if pollStop(stop, i-lo) {
+					break
+				}
 				switch {
 				case sparseIter:
 					vals, cix := main.Sparse().Row(i)
@@ -221,6 +246,10 @@ func ExecCellwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matri
 // ExecMAgg runs a compiled multi-aggregate operator, producing a 1×k row
 // of aggregate values in one pass over the shared main input.
 func ExecMAgg(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix) *matrix.Matrix {
+	return execMAgg(op, main, sides, nil)
+}
+
+func execMAgg(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix, stop StopFn) *matrix.Matrix {
 	p := op.Plan
 	k := len(op.MAggFns)
 	proto := cplan.NewCtx(sides)
@@ -247,6 +276,9 @@ func ExecMAgg(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix) *
 			}
 			part := make([]float64, k)
 			for ci := clo; ci < chi; ci++ {
+				if stop != nil && stop() {
+					break
+				}
 				lo := ci * cplan.ChunkLen
 				n := cplan.ChunkLen
 				if lo+n > total {
@@ -286,6 +318,9 @@ func ExecMAgg(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix) *
 			part[q] = aggInit(p.AggOps[q])
 		}
 		for i := lo; i < hi; i++ {
+			if pollStop(stop, i-lo) {
+				break
+			}
 			if sparseIter {
 				vals, cix := main.Sparse().Row(i)
 				for kk := range cix {

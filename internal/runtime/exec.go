@@ -1,11 +1,14 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"sysml/internal/cplan"
 	"sysml/internal/hop"
 	"sysml/internal/matrix"
+	"sysml/internal/obs"
 )
 
 // Env maps variable names to matrices (SystemML's symbol table; scalars are
@@ -17,6 +20,28 @@ type Options struct {
 	// Dist, when non-nil, executes operators marked ExecDist through the
 	// simulated distributed backend.
 	Dist DistBackend
+
+	// Ctx, when non-nil, cancels execution: checked between operators and
+	// polled inside the fused-operator skeleton loops.
+	Ctx context.Context
+
+	// Metrics, when non-nil, receives per-operator wall time, FLOP/byte
+	// estimates vs. actual output bytes, and fused-operator invocation
+	// counts.
+	Metrics *obs.Metrics
+}
+
+// StopFn polls for cancellation; fused-operator loops call it at chunk
+// boundaries and every stopCheckMask+1 rows. A nil StopFn never stops.
+type StopFn func() bool
+
+// stopCheckMask throttles cancellation polls inside row loops: a check
+// every 1024 rows keeps the overhead unmeasurable while bounding the
+// cancellation latency of even the largest fused operators.
+const stopCheckMask = 1023
+
+func pollStop(stop StopFn, i int) bool {
+	return stop != nil && i&stopCheckMask == 0 && stop()
 }
 
 // DistBackend abstracts the simulated distributed runtime (implemented in
@@ -30,11 +55,37 @@ type DistBackend interface {
 // ExecuteDAG evaluates all outputs of a HOP DAG against the environment
 // and returns the named results.
 func ExecuteDAG(d *hop.DAG, env Env, opts Options) (Env, error) {
+	var stop StopFn
+	if opts.Ctx != nil {
+		ctx := opts.Ctx
+		stop = func() bool {
+			select {
+			case <-ctx.Done():
+				return true
+			default:
+				return false
+			}
+		}
+	}
 	cache := map[int64]*matrix.Matrix{}
 	for _, h := range hop.TopoOrder(d.Roots()) {
-		m, err := evalHop(h, cache, env, opts)
+		if stop != nil && stop() {
+			return nil, opts.Ctx.Err()
+		}
+		var start time.Time
+		if opts.Metrics != nil {
+			start = time.Now()
+		}
+		m, err := evalHop(h, cache, env, opts, stop)
 		if err != nil {
 			return nil, err
+		}
+		if stop != nil && stop() {
+			// A canceled skeleton returns a partial result: discard it.
+			return nil, opts.Ctx.Err()
+		}
+		if opts.Metrics != nil {
+			observeHop(opts.Metrics, h, m, time.Since(start))
 		}
 		cache[h.ID] = m
 	}
@@ -45,7 +96,52 @@ func ExecuteDAG(d *hop.DAG, env Env, opts Options) (Env, error) {
 	return out, nil
 }
 
-func evalHop(h *hop.Hop, cache map[int64]*matrix.Matrix, env Env, opts Options) (*matrix.Matrix, error) {
+// observeHop records one executed operator: wall time per operator kind,
+// the analytical FLOP and output-byte estimates next to the actual output
+// bytes, and fused-operator invocation counts per template.
+func observeHop(m *obs.Metrics, h *hop.Hop, out *matrix.Matrix, d time.Duration) {
+	m.Inc("exec.ops")
+	m.ObserveDuration("op."+h.Kind.String(), d)
+	m.Add("exec.est.flops", int64(EstFlops(h)))
+	m.Add("exec.est.bytes", h.OutputSizeBytes())
+	if out != nil {
+		m.Add("exec.actual.bytes", out.SizeBytes())
+	}
+	if h.Kind == hop.OpSpoof {
+		m.Inc("spoof.invocations")
+		m.Inc("spoof." + h.SpoofType)
+		m.ObserveDuration("op.spoof."+h.SpoofType, d)
+	}
+	if h.ExecType == hop.ExecDist {
+		m.Inc("exec.dist.ops")
+	}
+}
+
+// EstFlops is the analytical floating-point-operation estimate of one
+// operator, mirroring the optimizer's cost model at the granularity the
+// metrics layer needs (estimate vs. actual attribution, not plan choice).
+func EstFlops(h *hop.Hop) float64 {
+	cells := float64(h.Cells())
+	switch h.Kind {
+	case hop.OpBinary, hop.OpUnary, hop.OpCumsum:
+		return cells
+	case hop.OpAggUnary:
+		return float64(h.Inputs[0].Cells())
+	case hop.OpMatMult:
+		if len(h.Inputs) == 2 {
+			return 2 * float64(h.Inputs[0].Rows) * float64(h.Inputs[0].Cols) * float64(h.Inputs[1].Cols)
+		}
+	case hop.OpSpoof:
+		// One pass over the main input per covered operator is a lower
+		// bound; the invocation count is what the metrics layer tracks.
+		if len(h.Inputs) > 0 {
+			return float64(h.Inputs[0].Cells())
+		}
+	}
+	return 0
+}
+
+func evalHop(h *hop.Hop, cache map[int64]*matrix.Matrix, env Env, opts Options, stop StopFn) (*matrix.Matrix, error) {
 	ins := make([]*matrix.Matrix, len(h.Inputs))
 	for i, in := range h.Inputs {
 		m, ok := cache[in.ID]
@@ -59,10 +155,10 @@ func evalHop(h *hop.Hop, cache map[int64]*matrix.Matrix, env Env, opts Options) 
 			return m, nil
 		}
 	}
-	return evalLocal(h, ins, env)
+	return evalLocal(h, ins, env, stop)
 }
 
-func evalLocal(h *hop.Hop, ins []*matrix.Matrix, env Env) (*matrix.Matrix, error) {
+func evalLocal(h *hop.Hop, ins []*matrix.Matrix, env Env, stop StopFn) (*matrix.Matrix, error) {
 	switch h.Kind {
 	case hop.OpData:
 		m, ok := env[h.Name]
@@ -104,7 +200,7 @@ func evalLocal(h *hop.Hop, ins []*matrix.Matrix, env Env) (*matrix.Matrix, error
 	case hop.OpCumsum:
 		return matrix.Cumsum(ins[0]), nil
 	case hop.OpSpoof:
-		return ExecSpoof(h, ins)
+		return ExecSpoofStop(h, ins, stop)
 	}
 	return nil, fmt.Errorf("runtime: unsupported hop kind %v", h.Kind)
 }
@@ -113,22 +209,29 @@ func evalLocal(h *hop.Hop, ins []*matrix.Matrix, env Env) (*matrix.Matrix, error
 // conventions: Cell/MAgg/Row operators receive [main, sides...]; Outer
 // operators receive [X, U, V, sides...].
 func ExecSpoof(h *hop.Hop, ins []*matrix.Matrix) (*matrix.Matrix, error) {
+	return ExecSpoofStop(h, ins, nil)
+}
+
+// ExecSpoofStop is ExecSpoof with a cancellation poll threaded into the
+// skeleton loops; a canceled operator returns a partial (invalid) result,
+// so callers must check cancellation before using it.
+func ExecSpoofStop(h *hop.Hop, ins []*matrix.Matrix, stop StopFn) (*matrix.Matrix, error) {
 	op, ok := h.Spoof.(*cplan.Operator)
 	if !ok {
 		return nil, fmt.Errorf("runtime: spoof hop %d has no compiled operator", h.ID)
 	}
 	switch op.Plan.Type {
 	case cplan.TemplateCell:
-		return ExecCellwise(op, ins[0], ins[1:]), nil
+		return execCellwise(op, ins[0], ins[1:], stop), nil
 	case cplan.TemplateMAgg:
-		return ExecMAgg(op, ins[0], ins[1:]), nil
+		return execMAgg(op, ins[0], ins[1:], stop), nil
 	case cplan.TemplateRow:
-		return ExecRowwise(op, ins[0], ins[1:]), nil
+		return execRowwise(op, ins[0], ins[1:], stop), nil
 	case cplan.TemplateOuter:
 		if len(ins) < 3 {
 			return nil, fmt.Errorf("runtime: outer operator needs X, U, V inputs, got %d", len(ins))
 		}
-		return ExecOuter(op, ins[0], ins[1], ins[2], ins[3:]), nil
+		return execOuter(op, ins[0], ins[1], ins[2], ins[3:], stop), nil
 	}
 	return nil, fmt.Errorf("runtime: unknown template %v", op.Plan.Type)
 }

@@ -12,6 +12,10 @@ import (
 // sparsity: the genexec body runs only for non-zero cells of X (paper
 // Fig. 3a). Dense X falls back to full iteration.
 func ExecOuter(op *cplan.Operator, x, u, v *matrix.Matrix, sides []*matrix.Matrix) *matrix.Matrix {
+	return execOuter(op, x, u, v, sides, nil)
+}
+
+func execOuter(op *cplan.Operator, x, u, v *matrix.Matrix, sides []*matrix.Matrix, stop StopFn) *matrix.Matrix {
 	p := op.Plan
 	ud, vd := u.ToDense().Dense(), v.ToDense().Dense()
 	r := u.Cols
@@ -22,7 +26,7 @@ func ExecOuter(op *cplan.Operator, x, u, v *matrix.Matrix, sides []*matrix.Matri
 		// C (m×r): C_i += w_ij * V_j, row-disjoint across workers.
 		out := matrix.NewDense(x.Rows, r)
 		od := out.Dense()
-		iterateOuter(x, proto, ud, vd, r, op.CellFn, p.SparseSafe,
+		iterateOuter(x, proto, ud, vd, r, op.CellFn, p.SparseSafe, stop,
 			func(_ *cplan.Ctx, w float64, i, j int) {
 				vector.MultAdd(vd, w, od, j*r, i*r, r)
 			})
@@ -36,7 +40,7 @@ func ExecOuter(op *cplan.Operator, x, u, v *matrix.Matrix, sides []*matrix.Matri
 		od := out.Dense()
 		// Note the swapped roles: iterating X^T at (j, i) must still present
 		// genexec with rix=i, cix=j and U_i, V_j.
-		iterateOuterTransposed(xt, proto, ud, vd, r, op.CellFn, p.SparseSafe,
+		iterateOuterTransposed(xt, proto, ud, vd, r, op.CellFn, p.SparseSafe, stop,
 			func(_ *cplan.Ctx, w float64, i, j int) {
 				vector.MultAdd(ud, w, od, i*r, j*r, r)
 			})
@@ -53,6 +57,9 @@ func ExecOuter(op *cplan.Operator, x, u, v *matrix.Matrix, sides []*matrix.Matri
 			par.For(x.Rows, 32, func(lo, hi int) {
 				ctx := proto.Clone()
 				for i := lo; i < hi; i++ {
+					if pollStop(stop, i-lo) {
+						return
+					}
 					vals, cix := xs.Row(i)
 					base := xs.RowPtr[i]
 					for k, j := range cix {
@@ -66,7 +73,7 @@ func ExecOuter(op *cplan.Operator, x, u, v *matrix.Matrix, sides []*matrix.Matri
 		out := matrix.NewDense(x.Rows, x.Cols)
 		od := out.Dense()
 		cols := x.Cols
-		iterateOuter(x, proto, ud, vd, r, op.CellFn, false,
+		iterateOuter(x, proto, ud, vd, r, op.CellFn, false, stop,
 			func(_ *cplan.Ctx, w float64, i, j int) { od[i*cols+j] = w })
 		return out
 
@@ -80,6 +87,9 @@ func ExecOuter(op *cplan.Operator, x, u, v *matrix.Matrix, sides []*matrix.Matri
 			if x.IsSparse() && p.SparseSafe {
 				xs := x.Sparse()
 				for i := lo; i < hi; i++ {
+					if pollStop(stop, i-lo) {
+						break
+					}
 					vals, cix := xs.Row(i)
 					for k, j := range cix {
 						ctx.Dot = vector.DotProduct(ud, vd, i*r, j*r, r)
@@ -89,6 +99,9 @@ func ExecOuter(op *cplan.Operator, x, u, v *matrix.Matrix, sides []*matrix.Matri
 			} else {
 				scratch := newRowScratch(x)
 				for i := lo; i < hi; i++ {
+					if pollStop(stop, i-lo) {
+						break
+					}
 					row, off := denseRowView(x, i, scratch)
 					for j := 0; j < cols; j++ {
 						ctx.Dot = vector.DotProduct(ud, vd, i*r, j*r, r)
@@ -110,13 +123,16 @@ func ExecOuter(op *cplan.Operator, x, u, v *matrix.Matrix, sides []*matrix.Matri
 // sparse), computing the genexec value w with ctx.Dot preset, and hands
 // (w, i, j) to the sink. Parallel over row ranges.
 func iterateOuter(x *matrix.Matrix, proto *cplan.Ctx, ud, vd []float64, r int,
-	fn cplan.CellFunc, sparseSafe bool, sink func(ctx *cplan.Ctx, w float64, i, j int)) {
+	fn cplan.CellFunc, sparseSafe bool, stop StopFn, sink func(ctx *cplan.Ctx, w float64, i, j int)) {
 	cols := x.Cols
 	par.For(x.Rows, 32, func(lo, hi int) {
 		ctx := proto.Clone()
 		if x.IsSparse() && sparseSafe {
 			xs := x.Sparse()
 			for i := lo; i < hi; i++ {
+				if pollStop(stop, i-lo) {
+					return
+				}
 				vals, cix := xs.Row(i)
 				for k, j := range cix {
 					ctx.Dot = vector.DotProduct(ud, vd, i*r, j*r, r)
@@ -127,6 +143,9 @@ func iterateOuter(x *matrix.Matrix, proto *cplan.Ctx, ud, vd []float64, r int,
 		}
 		scratch := newRowScratch(x)
 		for i := lo; i < hi; i++ {
+			if pollStop(stop, i-lo) {
+				return
+			}
 			row, off := denseRowView(x, i, scratch)
 			for j := 0; j < cols; j++ {
 				ctx.Dot = vector.DotProduct(ud, vd, i*r, j*r, r)
@@ -140,13 +159,16 @@ func iterateOuter(x *matrix.Matrix, proto *cplan.Ctx, ud, vd []float64, r int,
 // (a column of X) and the inner index is i, preserving genexec's (i, j)
 // coordinate contract.
 func iterateOuterTransposed(xt *matrix.Matrix, proto *cplan.Ctx, ud, vd []float64, r int,
-	fn cplan.CellFunc, sparseSafe bool, sink func(ctx *cplan.Ctx, w float64, i, j int)) {
+	fn cplan.CellFunc, sparseSafe bool, stop StopFn, sink func(ctx *cplan.Ctx, w float64, i, j int)) {
 	cols := xt.Cols
 	par.For(xt.Rows, 32, func(lo, hi int) {
 		ctx := proto.Clone()
 		if xt.IsSparse() && sparseSafe {
 			xs := xt.Sparse()
 			for j := lo; j < hi; j++ {
+				if pollStop(stop, j-lo) {
+					return
+				}
 				vals, iix := xs.Row(j)
 				for k, i := range iix {
 					ctx.Dot = vector.DotProduct(ud, vd, i*r, j*r, r)
@@ -157,6 +179,9 @@ func iterateOuterTransposed(xt *matrix.Matrix, proto *cplan.Ctx, ud, vd []float6
 		}
 		scratch := newRowScratch(xt)
 		for j := lo; j < hi; j++ {
+			if pollStop(stop, j-lo) {
+				return
+			}
 			row, off := denseRowView(xt, j, scratch)
 			for i := 0; i < cols; i++ {
 				ctx.Dot = vector.DotProduct(ud, vd, i*r, j*r, r)

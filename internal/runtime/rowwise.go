@@ -13,6 +13,10 @@ import (
 // scratch vector; side matrices consumed by inner matrix products are
 // densified once up front.
 func ExecRowwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix) *matrix.Matrix {
+	return execRowwise(op, main, sides, nil)
+}
+
+func execRowwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix, stop StopFn) *matrix.Matrix {
 	prog := op.RowProg
 	sides = densifyMatMulSides(prog, sides)
 	proto := cplan.NewCtx(sides)
@@ -23,7 +27,7 @@ func ExecRowwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix
 	case cplan.RowNoAgg:
 		out := matrix.NewDense(rows, w)
 		od := out.Dense()
-		forEachRow(main, prog, proto, func(buf *cplan.RowBuf, i int) {
+		forEachRow(main, prog, proto, stop, func(buf *cplan.RowBuf, i int) {
 			src, so := buf.Vec[prog.ResultReg], buf.Off[prog.ResultReg]
 			vector.CopyWrite(src, od, so, i*w, w)
 		})
@@ -32,7 +36,7 @@ func ExecRowwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix
 	case cplan.RowRowAgg:
 		out := matrix.NewDense(rows, 1)
 		od := out.Dense()
-		forEachRow(main, prog, proto, func(buf *cplan.RowBuf, i int) {
+		forEachRow(main, prog, proto, stop, func(buf *cplan.RowBuf, i int) {
 			od[i] = buf.Scal[prog.ResultReg]
 		})
 		return out
@@ -40,7 +44,7 @@ func ExecRowwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix
 	case cplan.RowColAgg:
 		nw, _ := par.Chunks(rows, 16)
 		partials := make([][]float64, nw)
-		forEachRowIndexed(main, prog, proto, func(wk int) any {
+		forEachRowIndexed(main, prog, proto, stop, func(wk int) any {
 			partials[wk] = make([]float64, w)
 			return partials[wk]
 		}, func(state any, buf *cplan.RowBuf, i int) {
@@ -60,7 +64,7 @@ func ExecRowwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix
 	case cplan.RowFullAgg:
 		nw, _ := par.Chunks(rows, 16)
 		partials := make([]float64, nw)
-		forEachRowIndexed(main, prog, proto, func(wk int) any {
+		forEachRowIndexed(main, prog, proto, stop, func(wk int) any {
 			return wk
 		}, func(state any, buf *cplan.RowBuf, i int) {
 			partials[state.(int)] += buf.Scal[prog.ResultReg]
@@ -75,7 +79,7 @@ func ExecRowwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix
 		mw := prog.MainWidth
 		nw, _ := par.Chunks(rows, 16)
 		partials := make([][]float64, nw)
-		forEachRowIndexed(main, prog, proto, func(wk int) any {
+		forEachRowIndexed(main, prog, proto, stop, func(wk int) any {
 			partials[wk] = make([]float64, mw*w)
 			return partials[wk]
 		}, func(state any, buf *cplan.RowBuf, i int) {
@@ -114,13 +118,16 @@ func ExecRowwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix
 }
 
 func forEachRow(main *matrix.Matrix, prog *cplan.RowProgram, proto *cplan.Ctx,
-	sink func(buf *cplan.RowBuf, i int)) {
+	stop StopFn, sink func(buf *cplan.RowBuf, i int)) {
 	sparseExec := main.IsSparse() && prog.MainSparseCapable()
 	par.For(main.Rows, 16, func(lo, hi int) {
 		ctx := proto.Clone()
 		buf := prog.NewBuf()
 		scratch := newRowScratch(main)
 		for i := lo; i < hi; i++ {
+			if pollStop(stop, i-lo) {
+				return
+			}
 			execProgRow(prog, ctx, buf, main, i, scratch, sparseExec)
 			sink(buf, i)
 		}
@@ -128,7 +135,7 @@ func forEachRow(main *matrix.Matrix, prog *cplan.RowProgram, proto *cplan.Ctx,
 }
 
 func forEachRowIndexed(main *matrix.Matrix, prog *cplan.RowProgram, proto *cplan.Ctx,
-	initState func(worker int) any, sink func(state any, buf *cplan.RowBuf, i int)) {
+	stop StopFn, initState func(worker int) any, sink func(state any, buf *cplan.RowBuf, i int)) {
 	sparseExec := main.IsSparse() && prog.MainSparseCapable()
 	par.ForIndexed(main.Rows, 16, func(w, lo, hi int) {
 		ctx := proto.Clone()
@@ -136,6 +143,9 @@ func forEachRowIndexed(main *matrix.Matrix, prog *cplan.RowProgram, proto *cplan
 		scratch := newRowScratch(main)
 		state := initState(w)
 		for i := lo; i < hi; i++ {
+			if pollStop(stop, i-lo) {
+				return
+			}
 			execProgRow(prog, ctx, buf, main, i, scratch, sparseExec)
 			sink(state, buf, i)
 		}

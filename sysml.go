@@ -17,19 +17,27 @@
 //
 // Quick start:
 //
-//	s := sysml.NewSession(sysml.DefaultConfig())
+//	s := sysml.NewSession()
 //	s.Bind("X", sysml.RandMatrix(10000, 100, 1, -1, 1, 7))
 //	err := s.Run(`w = t(X) %*% (X %*% t(colSums(X / 100)))`)
+//
+// Sessions are observable: Session.Explain returns the optimizer's plan
+// report for a script, Session.Metrics snapshots runtime counters and
+// phase timings, and WithSink streams explain reports and trace spans to
+// any writer.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-reproduction results.
 package sysml
 
 import (
+	"io"
+
 	"sysml/internal/codegen"
 	"sysml/internal/dist"
 	"sysml/internal/dml"
 	"sysml/internal/matrix"
+	"sysml/internal/obs"
 )
 
 // Matrix is a two-dimensional FP64 matrix in dense or sparse (CSR)
@@ -77,8 +85,101 @@ func DefaultConfig() Config { return codegen.DefaultConfig() }
 // Session executes DML-subset scripts against bound inputs.
 type Session = dml.Session
 
-// NewSession creates a script session with the given configuration.
-func NewSession(cfg Config) *Session { return dml.NewSession(cfg) }
+// Option configures a Session at construction time.
+type Option func(*sessionOpts)
+
+type sessionOpts struct {
+	cfg     Config
+	sink    Sink
+	cluster *Cluster
+}
+
+// WithConfig replaces the whole optimizer configuration (the default is
+// DefaultConfig). Apply it before options that adjust single fields.
+func WithConfig(cfg Config) Option {
+	return func(o *sessionOpts) { o.cfg = cfg }
+}
+
+// WithMode selects the fusion plan selection policy.
+func WithMode(m Mode) Option {
+	return func(o *sessionOpts) { o.cfg.Mode = m }
+}
+
+// WithCluster attaches a simulated distributed backend; operators marked
+// for distributed execution then run across its executors with
+// broadcast/shuffle accounting.
+func WithCluster(c *Cluster) Option {
+	return func(o *sessionOpts) { o.cluster = c }
+}
+
+// WithSink streams observability events — per-block EXPLAIN reports and
+// compile/optimize/execute trace spans — to the given sink.
+func WithSink(sink Sink) Option {
+	return func(o *sessionOpts) { o.sink = sink }
+}
+
+// WithPlanCacheSize bounds the compiled-operator plan cache to n entries
+// (0 = unbounded); the oldest entry is evicted when full.
+func WithPlanCacheSize(n int) Option {
+	return func(o *sessionOpts) {
+		o.cfg.PlanCache = true
+		o.cfg.PlanCacheSize = n
+	}
+}
+
+// NewSession creates a script session. With no options it uses
+// DefaultConfig; combine options to adjust it:
+//
+//	s := sysml.NewSession(
+//		sysml.WithMode(sysml.ModeGen),
+//		sysml.WithSink(sysml.NewWriterSink(os.Stderr)),
+//	)
+func NewSession(opts ...Option) *Session {
+	so := sessionOpts{cfg: DefaultConfig()}
+	for _, opt := range opts {
+		opt(&so)
+	}
+	s := dml.NewSession(so.cfg)
+	s.Sink = so.sink
+	if so.cluster != nil {
+		s.Dist = so.cluster
+	}
+	return s
+}
+
+// NewSessionFromConfig creates a session from an explicit configuration.
+//
+// Deprecated: use NewSession(WithConfig(cfg)).
+func NewSessionFromConfig(cfg Config) *Session { return dml.NewSession(cfg) }
+
+// Sink receives observability events (explain reports, trace spans) from
+// a session; see WithSink and NewWriterSink.
+type Sink = obs.Sink
+
+// WriterSink is a Sink that writes events to an io.Writer.
+type WriterSink = obs.WriterSink
+
+// NewWriterSink returns a Sink printing explain reports to w. Set
+// IncludeSpans on the result to also print phase trace spans.
+func NewWriterSink(w io.Writer) *WriterSink { return obs.NewWriterSink(w) }
+
+// MetricsSnapshot is a point-in-time copy of a session's metrics
+// (counters, gauges, histograms); returned by Session.Metrics.
+type MetricsSnapshot = obs.Snapshot
+
+// Typed errors returned by sessions: match with errors.As for field
+// access, or errors.Is against a zero value for class-level tests, e.g.
+// errors.Is(err, &sysml.ParseError{}).
+type (
+	// ParseError reports a lexical, syntactic, or compile-time script
+	// error with its 1-based line.
+	ParseError = dml.ParseError
+	// UnboundVarError reports a reference to an unbound variable.
+	UnboundVarError = dml.UnboundVarError
+	// ShapeError reports a dimension mismatch (matmul shapes, non-scalar
+	// where a scalar is required, index bounds).
+	ShapeError = dml.ShapeError
+)
 
 // Stats aggregates codegen statistics (compiled plans, cache hits,
 // evaluated plans, compile time).

@@ -7,7 +7,7 @@ import (
 )
 
 func TestPublicAPIRoundTrip(t *testing.T) {
-	s := NewSession(DefaultConfig())
+	s := NewSession()
 	s.Out = &bytes.Buffer{}
 	x := RandMatrix(500, 20, 1, -1, 1, 7)
 	s.Bind("X", x)
@@ -19,9 +19,9 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, ok := s.Scalar("s")
-	if !ok {
-		t.Fatal("missing scalar s")
+	got, err := s.Scalar("s")
+	if err != nil {
+		t.Fatal(err)
 	}
 	var want float64
 	for i := 0; i < x.Rows; i++ {
@@ -43,9 +43,7 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 
 func TestModesExported(t *testing.T) {
 	for _, m := range []Mode{ModeBase, ModeFused, ModeGen, ModeGenFA, ModeGenFNR} {
-		cfg := DefaultConfig()
-		cfg.Mode = m
-		s := NewSession(cfg)
+		s := NewSession(WithMode(m))
 		s.Out = &bytes.Buffer{}
 		s.Bind("X", RandMatrix(50, 5, 1, 0, 1, 1))
 		if err := s.Run(`y = sum(X + 1)`); err != nil {
@@ -58,9 +56,8 @@ func TestClusterExport(t *testing.T) {
 	cl := NewCluster()
 	cfg := DefaultConfig()
 	cfg.Exec.MemBudgetBytes = 1
-	s := NewSession(cfg)
+	s := NewSession(WithConfig(cfg), WithCluster(cl))
 	s.Out = &bytes.Buffer{}
-	s.Dist = cl
 	s.Bind("X", RandMatrix(4000, 20, 1, -1, 1, 3))
 	if err := s.Run(`q = X %*% matrix(1, rows=20, cols=1)`); err != nil {
 		t.Fatal(err)
