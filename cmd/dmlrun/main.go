@@ -7,9 +7,12 @@
 //
 // -explain prints the EXPLAIN report of every optimized block (plan
 // partitions, chosen templates, estimated cost, fused operators) plus a
-// compile/optimize/execute phase-time breakdown. Input matrices can be
-// generated inside the script with rand(...); there is no file-based
-// matrix I/O in this reproduction.
+// compile/optimize/execute phase-time breakdown. -trace out.json exports
+// the run's hierarchical spans as Chrome trace-event JSON (load in
+// chrome://tracing or Perfetto). -audit prints the cost-audit ledger:
+// predicted vs measured cost per fused-operator template. Input matrices
+// can be generated inside the script with rand(...); there is no
+// file-based matrix I/O in this reproduction.
 package main
 
 import (
@@ -30,9 +33,11 @@ func main() {
 	stats := flag.Bool("stats", false, "print codegen statistics after the run")
 	explain := flag.Bool("explain", false, "print per-block EXPLAIN reports and a phase-time breakdown")
 	metrics := flag.Bool("metrics", false, "print the full metrics snapshot after the run")
+	trace := flag.String("trace", "", "write the run's spans as Chrome trace-event JSON to this file")
+	audit := flag.Bool("audit", false, "print the cost-audit ledger (predicted vs measured operator cost)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: dmlrun [-mode Gen] [-stats] [-explain] [-metrics] script.dml")
+		fmt.Fprintln(os.Stderr, "usage: dmlrun [-mode Gen] [-stats] [-explain] [-metrics] [-trace out.json] [-audit] script.dml")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -53,12 +58,31 @@ func main() {
 		os.Exit(2)
 	}
 	s := dml.NewSession(cfg)
+	var sinks obs.MultiSink
 	if *explain {
-		s.Sink = obs.NewWriterSink(os.Stderr)
+		sinks = append(sinks, obs.NewWriterSink(os.Stderr))
+	}
+	var ts *obs.TraceSink
+	if *trace != "" {
+		ts = obs.NewTraceSink()
+		sinks = append(sinks, ts)
+	}
+	if len(sinks) > 0 {
+		s.Sink = sinks
 	}
 	if err := s.Run(string(src)); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if ts != nil {
+		if err := ts.WriteFile(*trace); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", ts.Len(), *trace)
+	}
+	if *audit {
+		fmt.Print(s.CostAudit())
 	}
 	if *explain {
 		printPhases(s.Metrics())

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"sysml/internal/codegen"
+	"sysml/internal/dml"
+	"sysml/internal/matrix"
+)
+
+// obsOverheadFile is the JSON artifact ObsOverhead writes next to the
+// harness output; CI gates on its "pass" field.
+const obsOverheadFile = "BENCH_obs_overhead.json"
+
+// obsOverheadLimitPct is the acceptable observability tax on the cellwise
+// microbench with no sink attached.
+const obsOverheadLimitPct = 5.0
+
+// ObsOverheadResult is the serialized outcome of the overhead experiment.
+type ObsOverheadResult struct {
+	Bench          string  `json:"bench"`
+	Script         string  `json:"script"`
+	Cells          int     `json:"cells"`
+	Reps           int     `json:"reps"`
+	InstrumentedMS float64 `json:"instrumented_ms"`
+	StrippedMS     float64 `json:"stripped_ms"`
+	OverheadPct    float64 `json:"overhead_pct"`
+	ThresholdPct   float64 `json:"threshold_pct"`
+	Pass           bool    `json:"pass"`
+}
+
+// ObsOverhead measures the observability tax of the default session
+// (phase metrics + cost-audit ledger, no sink attached) against a fully
+// stripped session (Obs and Audit nil) on the cellwise microbench
+// sum(X*Y*Z), and writes the result as BENCH_obs_overhead.json. The span
+// fast paths are designed to make this free: sinkless Child spans are
+// no-ops and per-operator observation is skipped entirely when both the
+// metrics registry and the audit ledger are nil.
+func ObsOverhead(o Options) *Table {
+	script := `s = sum(X * Y * Z)`
+	rows, cols := o.rows(10000), 100
+	inputs := map[string]*matrix.Matrix{
+		"X": matrix.Rand(rows, cols, 1, -1, 1, 1),
+		"Y": matrix.Rand(rows, cols, 1, -1, 1, 2),
+		"Z": matrix.Rand(rows, cols, 1, -1, 1, 3),
+	}
+	reps := o.Reps * 10 // runs are cheap; many reps de-noise the minimum
+
+	session := func(strip bool) func() {
+		cfg := codegen.DefaultConfig()
+		s := dml.NewSession(cfg)
+		s.Out = io.Discard
+		if strip {
+			s.Obs = nil
+			s.Audit = nil
+		}
+		for n, m := range inputs {
+			s.Bind(n, m)
+		}
+		return func() {
+			if err := s.Run(script); err != nil {
+				panic(fmt.Sprintf("obs overhead bench failed: %v", err))
+			}
+		}
+	}
+
+	// Interleave the two variants and compare best-case times: on a shared
+	// machine the minimum is far more stable than the median of separate
+	// batches, and scheduler noise hits both variants alike.
+	runFull, runStripped := session(false), session(true)
+	runFull()
+	runStripped()
+	instrumented, stripped := time.Duration(1<<62), time.Duration(1<<62)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		runFull()
+		if d := time.Since(start); d < instrumented {
+			instrumented = d
+		}
+		start = time.Now()
+		runStripped()
+		if d := time.Since(start); d < stripped {
+			stripped = d
+		}
+	}
+	overhead := 0.0
+	if stripped > 0 {
+		overhead = 100 * (float64(instrumented-stripped) / float64(stripped))
+	}
+	res := ObsOverheadResult{
+		Bench:          "cellwise sum(X*Y*Z) dense",
+		Script:         script,
+		Cells:          rows * cols,
+		Reps:           reps,
+		InstrumentedMS: float64(instrumented.Nanoseconds()) / 1e6,
+		StrippedMS:     float64(stripped.Nanoseconds()) / 1e6,
+		OverheadPct:    overhead,
+		ThresholdPct:   obsOverheadLimitPct,
+		Pass:           overhead < obsOverheadLimitPct,
+	}
+	if data, err := json.MarshalIndent(res, "", "  "); err == nil {
+		if err := os.WriteFile(obsOverheadFile, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(o.Out, "obs overhead: cannot write %s: %v\n", obsOverheadFile, err)
+		}
+	}
+
+	t := &Table{
+		Title:   "Observability overhead: metrics+audit vs stripped, nil sink",
+		Columns: []string{"bench", "instrumented[ms]", "stripped[ms]", "overhead[%]", "pass(<5%)"},
+	}
+	t.Add(res.Bench, ms(instrumented), ms(stripped),
+		fmt.Sprintf("%.2f", overhead), fmt.Sprintf("%v", res.Pass))
+	return t
+}

@@ -65,6 +65,9 @@ var Experiments = []struct {
 		AblationMAgg(o).Print(o.Out)
 		AblationDominance(o).Print(o.Out)
 	}},
+	{"obsoverhead", "Observability overhead: instrumented vs stripped session (emits BENCH_obs_overhead.json)", func(o Options) {
+		ObsOverhead(o).Print(o.Out)
+	}},
 }
 
 // RunAll executes every experiment.

@@ -17,6 +17,10 @@ type PlanCache struct {
 	max     int // 0 = unbounded
 	ops     map[uint64]*cplan.Operator
 	order   []uint64 // insertion order for FIFO eviction when bounded
+
+	hits      int64
+	misses    int64
+	evictions int64
 }
 
 // NewPlanCache returns a plan cache; when disabled it compiles every
@@ -39,6 +43,11 @@ func (pc *PlanCache) GetOrCompile(p *cplan.Plan, cfg *Config, nextClass func() s
 	if pc.enabled {
 		pc.mu.Lock()
 		cached, ok := pc.ops[h]
+		if ok {
+			pc.hits++
+		} else {
+			pc.misses++
+		}
 		pc.mu.Unlock()
 		if ok {
 			return cached, true, nil
@@ -60,6 +69,7 @@ func (pc *PlanCache) GetOrCompile(p *cplan.Plan, cfg *Config, nextClass func() s
 				for len(pc.order) >= pc.max {
 					delete(pc.ops, pc.order[0])
 					pc.order = pc.order[1:]
+					pc.evictions++
 				}
 				pc.order = append(pc.order, h)
 			}
@@ -75,6 +85,14 @@ func (pc *PlanCache) Size() int {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	return len(pc.ops)
+}
+
+// Counters returns the lifetime hit/miss/eviction counts. A disabled cache
+// counts nothing (every compile bypasses it).
+func (pc *PlanCache) Counters() (hits, misses, evictions int64) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.hits, pc.misses, pc.evictions
 }
 
 // Stats aggregates codegen statistics across DAG compilations (paper

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"sysml/internal/hop"
+	"sysml/internal/obs"
 )
 
 var classSeq int64
@@ -19,12 +20,20 @@ func nextClassID() int { return int(atomic.AddInt64(&classSeq, 1)) }
 // construction, operator compilation (through the plan cache), and DAG
 // modification. The DAG is modified in place and returned.
 func Optimize(d *hop.DAG, cfg *Config, cache *PlanCache, stats *Stats) *hop.DAG {
-	return OptimizeReport(d, cfg, cache, stats, nil)
+	return OptimizeTraced(d, cfg, cache, stats, nil, obs.Span{})
 }
 
 // OptimizeReport is Optimize with an optional EXPLAIN record: when rep is
 // non-nil it is filled with the plan choices of this DAG (see PlanReport).
 func OptimizeReport(d *hop.DAG, cfg *Config, cache *PlanCache, stats *Stats, rep *PlanReport) *hop.DAG {
+	return OptimizeTraced(d, cfg, cache, stats, rep, obs.Span{})
+}
+
+// OptimizeTraced is OptimizeReport under a trace span: when sp has a sink
+// attached, the optimizer emits one child span per partition enumeration
+// and one for operator construction, so plan-search time shows up in the
+// trace timeline.
+func OptimizeTraced(d *hop.DAG, cfg *Config, cache *PlanCache, stats *Stats, rep *PlanReport, sp obs.Span) *hop.DAG {
 	start := time.Now()
 	defer func() {
 		dt := time.Since(start)
@@ -33,6 +42,16 @@ func OptimizeReport(d *hop.DAG, cfg *Config, cache *PlanCache, stats *Stats, rep
 			rep.CodegenTime = dt
 		}
 	}()
+	if rep != nil && cache != nil {
+		h0, m0, e0 := cache.Counters()
+		defer func() {
+			h1, m1, e1 := cache.Counters()
+			rep.CacheHits, rep.CacheMisses, rep.CacheEvictions = h1-h0, m1-m0, e1-e0
+		}()
+	}
+	// Every executable operator leaves with a cost prediction attached so
+	// the runtime can audit the model, whichever mode produced the DAG.
+	defer AnnotatePredictions(d, cfg)
 	hop.AssignExecTypes(d.Roots(), cfg.Exec)
 	if rep != nil {
 		rep.Mode = cfg.Mode.String()
@@ -49,7 +68,9 @@ func OptimizeReport(d *hop.DAG, cfg *Config, cache *PlanCache, stats *Stats, rep
 	}
 
 	stats.DAGsOptimized++
+	esp := sp.Child("explore")
 	memo := Explore(d.Roots(), cfg)
+	esp.End()
 	if len(memo.Groups) == 0 {
 		return d
 	}
@@ -61,7 +82,14 @@ func OptimizeReport(d *hop.DAG, cfg *Config, cache *PlanCache, stats *Stats, rep
 		PruneDominated(memo)
 	}
 	q := map[Edge]bool{}
-	for _, p := range parts {
+	for i, p := range parts {
+		var psp obs.Span
+		if sp.Active() {
+			psp = sp.Child("enumerate",
+				obs.KV("partition", i),
+				obs.KV("nodes", len(p.Nodes)),
+				obs.KV("points", len(p.Points)))
+		}
 		var evaluated int64
 		var hypothetical *big.Int
 		switch cfg.Mode {
@@ -87,12 +115,18 @@ func OptimizeReport(d *hop.DAG, cfg *Config, cache *PlanCache, stats *Stats, rep
 			}
 			hypothetical = new(big.Int).Lsh(big.NewInt(1), uint(len(p.Points)))
 		}
+		if psp.Active() {
+			psp.Annotate(obs.KV("evaluated", evaluated))
+		}
+		psp.End()
 		if rep != nil {
 			rep.Partitions = append(rep.Partitions,
 				partitionReport(memo, p, q, cfg, evaluated, hypothetical))
 		}
 	}
+	csp := sp.Child("construct")
 	_ = construct(d, memo, parts, q, cfg, cache, stats, rep)
+	csp.End()
 	return d
 }
 

@@ -148,6 +148,7 @@ func (c *constructor) buildAndSplice(h *hop.Hop, entry Entry, r *region) (bool, 
 	c.record(plan.Type.String(), op.ClassName, len(inputs), h.Rows, h.Cols, hit)
 	spoof := c.d.NewSpoof(plan.Type.String(), op, h.Rows, h.Cols, h.Nnz, inputs...)
 	spoof.ExecType = h.ExecType
+	c.predictSpoof(spoof, entry.Type, []*region{r}, h)
 	c.splice(h, spoof)
 	return true, r.leaves
 }
@@ -508,6 +509,11 @@ func (c *constructor) buildMAggGroup(group []maggCand) bool {
 	inputs := append([]*hop.Hop{main}, env.sides...)
 	c.record("MAgg", op.ClassName, len(inputs), 1, int64(len(roots)), hit)
 	spoof := c.d.NewSpoof("MAgg", op, 1, int64(len(roots)), int64(len(roots)), inputs...)
+	regions := make([]*region, 0, len(group))
+	for _, it := range group {
+		regions = append(regions, it.region)
+	}
+	c.predictSpoof(spoof, cplan.TemplateMAgg, regions, nil)
 	for k, it := range group {
 		extract := c.d.Index(spoof, 0, 1, int64(k), int64(k)+1)
 		c.splice(it.h, extract)

@@ -1,0 +1,122 @@
+package codegen
+
+import (
+	"math"
+
+	"sysml/internal/cplan"
+	"sysml/internal/hop"
+)
+
+// Cost-audit support: after plan selection, the optimizer annotates every
+// executable HOP with the cost model's predicted time, FLOPs, and IO
+// volume (hop.PredSec/PredFlops/PredBytes). The runtime records these next
+// to measured wall time and data-touch work in the obs.Audit ledger, which
+// is how we find out where the §4.3 analytical model diverges from
+// reality — the prerequisite for feeding measured calibration constants
+// back into CostParams.
+
+// predictHop fills h's prediction fields from the model inputs: fl raw
+// FLOPs, inBytes distinct input bytes, and scale the sparsity-exploitation
+// factor. Mirrors Coster.addOpCost (Tw + max(Tr·scale, Tc), with side
+// inputs of distributed operators charged at broadcast bandwidth).
+func predictHop(cfg *Config, h *hop.Hop, fl, inBytes, scale float64) {
+	m := cfg.Costs
+	outBytes := float64(h.OutputSizeBytes())
+	tw := outBytes / m.WriteBW
+	tr := inBytes / m.ReadBW
+	if h.ExecType == hop.ExecDist {
+		var largest float64
+		for _, in := range h.Inputs {
+			if s := float64(in.OutputSizeBytes()); s > largest {
+				largest = s
+			}
+		}
+		side := inBytes - largest
+		if side > 0 {
+			tr = largest/m.ReadBW + side/m.BroadcastBW
+		}
+	}
+	tc := fl * scale / m.ComputeBW
+	h.PredSec = tw + math.Max(tr*scale, tc)
+	h.PredFlops = fl * scale
+	h.PredBytes = int64(inBytes) + int64(outBytes)
+}
+
+// spoofScale mirrors Coster.sparsityScale for a constructed operator: the
+// factor by which sparsity exploitation shrinks the estimates, driven by
+// the largest input.
+func spoofScale(t cplan.TemplateType, inputs []*hop.Hop) float64 {
+	var main *hop.Hop
+	for _, in := range inputs {
+		if main == nil || in.Cells() > main.Cells() {
+			main = in
+		}
+	}
+	if main == nil || !main.IsSparse() {
+		return 1
+	}
+	switch t {
+	case cplan.TemplateOuter:
+		return main.Sparsity()
+	case cplan.TemplateRow:
+		return math.Max(main.Sparsity(), 0.05)
+	default:
+		return math.Max(main.Sparsity(), 0.01)
+	}
+}
+
+// predictSpoof annotates a freshly spliced fused operator with the cost
+// vector of its covered region: summed covered-HOP FLOPs (plus the Row
+// per-row dispatch overhead the coster charges), distinct input bytes, and
+// the template's sparsity scale.
+func (c *constructor) predictSpoof(spoof *hop.Hop, t cplan.TemplateType,
+	regions []*region, rowRoot *hop.Hop) {
+	var fl float64
+	numOps := 0
+	for _, r := range regions {
+		for id := range r.covered {
+			if x := c.memo.Hop(id); x != nil {
+				fl += flops(x)
+				numOps++
+			}
+		}
+	}
+	if t == cplan.TemplateRow && rowRoot != nil {
+		fl += float64(rowMainRows(rowRoot)) * float64(numOps) * rowDispatchFlops
+	}
+	var inBytes float64
+	for _, in := range spoof.Inputs {
+		inBytes += float64(in.OutputSizeBytes())
+	}
+	predictHop(c.cfg, spoof, fl, inBytes, spoofScale(t, spoof.Inputs))
+}
+
+// AnnotatePredictions walks an optimized DAG and attaches cost predictions
+// to every executable operator that construction did not already annotate
+// (fused operators get their covered-region estimate at splice time; this
+// pass covers the remaining basic operators). Data reads, literals, and
+// data generators carry no prediction — the model does not cost them.
+func AnnotatePredictions(d *hop.DAG, cfg *Config) {
+	seen := map[int64]bool{}
+	var walk func(h *hop.Hop)
+	walk = func(h *hop.Hop) {
+		if seen[h.ID] {
+			return
+		}
+		seen[h.ID] = true
+		for _, in := range h.Inputs {
+			walk(in)
+		}
+		switch h.Kind {
+		case hop.OpData, hop.OpLiteral, hop.OpDataGen:
+			return
+		}
+		if h.PredSec > 0 {
+			return
+		}
+		predictHop(cfg, h, flops(h), float64(h.InputSizeBytes()), 1)
+	}
+	for _, r := range d.Roots() {
+		walk(r)
+	}
+}

@@ -20,6 +20,11 @@ type PlanReport struct {
 	HopsAfter  string
 	Partitions []PartitionReport
 	Operators  []OperatorReport
+	// Plan-cache activity attributable to this Optimize call (deltas of the
+	// session cache's lifetime counters).
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
 	// CodegenTime is the wall time of the Optimize call that produced this
 	// report. Excluded from String so explain output stays deterministic
 	// for golden tests.
@@ -99,6 +104,10 @@ func (r *PlanReport) String() string {
 		}
 		fmt.Fprintf(&b, "  %s %s: %d inputs, %dx%d output%s\n",
 			op.Template, op.ClassName, op.NumInputs, op.Rows, op.Cols, hit)
+	}
+	if r.CacheHits+r.CacheMisses+r.CacheEvictions > 0 {
+		fmt.Fprintf(&b, "plan cache: %d hits, %d misses, %d evictions\n",
+			r.CacheHits, r.CacheMisses, r.CacheEvictions)
 	}
 	if r.HopsAfter != r.HopsBefore {
 		fmt.Fprintf(&b, "hops after fusion:\n%s", indent(r.HopsAfter))

@@ -14,6 +14,7 @@ import (
 	"sysml/internal/cplan"
 	"sysml/internal/hop"
 	"sysml/internal/matrix"
+	"sysml/internal/obs"
 	rt "sysml/internal/runtime"
 )
 
@@ -69,17 +70,19 @@ func (c *Cluster) addShuffle(bytes int64) {
 
 // ExecHop implements runtime.DistBackend: it executes one operator over
 // row panels of its main input across the simulated executors. Unsupported
-// shapes report ok=false and fall back to local execution.
-func (c *Cluster) ExecHop(h *hop.Hop, inputs []*matrix.Matrix) (*matrix.Matrix, bool) {
+// shapes report ok=false and fall back to local execution. sp is the
+// operator's trace span; broadcast, map, and shuffle stages emit child
+// spans with byte-size and partition-count attributes.
+func (c *Cluster) ExecHop(h *hop.Hop, inputs []*matrix.Matrix, sp obs.Span) (*matrix.Matrix, bool) {
 	switch h.Kind {
 	case hop.OpBinary, hop.OpUnary:
-		return c.mapOp(h, inputs)
+		return c.mapOp(h, inputs, sp)
 	case hop.OpAggUnary:
-		return c.aggOp(h, inputs)
+		return c.aggOp(h, inputs, sp)
 	case hop.OpMatMult:
-		return c.matMult(h, inputs)
+		return c.matMult(h, inputs, sp)
 	case hop.OpSpoof:
-		return c.spoof(h, inputs)
+		return c.spoof(h, inputs, sp)
 	}
 	return nil, false
 }
@@ -97,9 +100,15 @@ func (c *Cluster) panels(rows int) [][2]int {
 	return out
 }
 
-// runPanels executes fn per panel on NumExecutors workers.
-func (c *Cluster) runPanels(rows int, fn func(panel int, lo, hi int)) int {
+// runPanels executes fn per panel on NumExecutors workers, under a
+// "dist.map" span carrying the partition count.
+func (c *Cluster) runPanels(sp obs.Span, rows int, fn func(panel int, lo, hi int)) int {
 	ps := c.panels(rows)
+	msp := sp.Child("dist.map",
+		obs.KV("partitions", len(ps)),
+		obs.KV("rows", rows),
+		obs.KV("executors", c.NumExecutors))
+	defer msp.End()
 	var wg sync.WaitGroup
 	work := make(chan int)
 	workers := c.NumExecutors
@@ -128,16 +137,36 @@ func rowSlice(m *matrix.Matrix, lo, hi int) *matrix.Matrix {
 }
 
 // broadcastAll accounts for shipping the given side inputs to every
-// executor.
-func (c *Cluster) broadcastAll(sides []*matrix.Matrix) {
+// executor, under a "dist.broadcast" span carrying the shipped volume.
+func (c *Cluster) broadcastAll(sides []*matrix.Matrix, sp obs.Span) {
+	var bytes int64
 	for _, s := range sides {
 		if s != nil {
-			c.addBroadcast(s.SizeBytes() * int64(c.NumExecutors))
+			bytes += s.SizeBytes() * int64(c.NumExecutors)
 		}
 	}
+	if bytes == 0 {
+		return
+	}
+	bsp := sp.Child("dist.broadcast",
+		obs.KV("bytes", bytes),
+		obs.KV("sides", len(sides)),
+		obs.KV("executors", c.NumExecutors))
+	c.addBroadcast(bytes)
+	bsp.End()
 }
 
-func (c *Cluster) mapOp(h *hop.Hop, inputs []*matrix.Matrix) (*matrix.Matrix, bool) {
+// shuffle accounts for moving n partial results of partialBytes each to the
+// reducer, under a "dist.shuffle" span carrying volume and partition count.
+func (c *Cluster) shuffle(sp obs.Span, n int, partialBytes int64) {
+	ssp := sp.Child("dist.shuffle",
+		obs.KV("bytes", int64(n)*partialBytes),
+		obs.KV("partitions", n))
+	c.addShuffle(int64(n) * partialBytes)
+	ssp.End()
+}
+
+func (c *Cluster) mapOp(h *hop.Hop, inputs []*matrix.Matrix, sp obs.Span) (*matrix.Matrix, bool) {
 	main := inputs[0]
 	if main.Rows < 2 {
 		return nil, false
@@ -149,10 +178,10 @@ func (c *Cluster) mapOp(h *hop.Hop, inputs []*matrix.Matrix) (*matrix.Matrix, bo
 			bcast = append(bcast, in)
 		}
 	}
-	c.broadcastAll(bcast)
+	c.broadcastAll(bcast, sp)
 	out := matrix.NewDense(main.Rows, int(h.Cols))
 	od := out.Dense()
-	c.runPanels(main.Rows, func(_, lo, hi int) {
+	c.runPanels(sp, main.Rows, func(_, lo, hi int) {
 		var part *matrix.Matrix
 		switch h.Kind {
 		case hop.OpUnary:
@@ -171,7 +200,7 @@ func (c *Cluster) mapOp(h *hop.Hop, inputs []*matrix.Matrix) (*matrix.Matrix, bo
 	return out.InPreferredFormat(), true
 }
 
-func (c *Cluster) aggOp(h *hop.Hop, inputs []*matrix.Matrix) (*matrix.Matrix, bool) {
+func (c *Cluster) aggOp(h *hop.Hop, inputs []*matrix.Matrix, sp obs.Span) (*matrix.Matrix, bool) {
 	main := inputs[0]
 	if main.Rows < 2 || h.AggDir == matrix.DirCol && h.AggOp != matrix.AggSum {
 		return nil, false
@@ -180,7 +209,7 @@ func (c *Cluster) aggOp(h *hop.Hop, inputs []*matrix.Matrix) (*matrix.Matrix, bo
 	case matrix.DirRow:
 		out := matrix.NewDense(main.Rows, 1)
 		od := out.Dense()
-		c.runPanels(main.Rows, func(_, lo, hi int) {
+		c.runPanels(sp, main.Rows, func(_, lo, hi int) {
 			part := matrix.Agg(h.AggOp, matrix.DirRow, rowSlice(main, lo, hi))
 			copy(od[lo:hi], part.Dense())
 		})
@@ -188,14 +217,14 @@ func (c *Cluster) aggOp(h *hop.Hop, inputs []*matrix.Matrix) (*matrix.Matrix, bo
 	case matrix.DirCol, matrix.DirAll:
 		var mu sync.Mutex
 		var partials []*matrix.Matrix
-		n := c.runPanels(main.Rows, func(_, lo, hi int) {
+		n := c.runPanels(sp, main.Rows, func(_, lo, hi int) {
 			part := matrix.Agg(h.AggOp, h.AggDir, rowSlice(main, lo, hi))
 			mu.Lock()
 			partials = append(partials, part)
 			mu.Unlock()
 		})
 		// Partial aggregates shuffle to the reducer.
-		c.addShuffle(int64(n) * partials[0].SizeBytes())
+		c.shuffle(sp, n, partials[0].SizeBytes())
 		acc := partials[0]
 		for _, p := range partials[1:] {
 			switch h.AggOp {
@@ -217,15 +246,15 @@ func (c *Cluster) aggOp(h *hop.Hop, inputs []*matrix.Matrix) (*matrix.Matrix, bo
 
 // matMult executes the broadcast-based mapmm: the larger side stays
 // partitioned, the smaller side is broadcast.
-func (c *Cluster) matMult(h *hop.Hop, inputs []*matrix.Matrix) (*matrix.Matrix, bool) {
+func (c *Cluster) matMult(h *hop.Hop, inputs []*matrix.Matrix, sp obs.Span) (*matrix.Matrix, bool) {
 	a, b := inputs[0], inputs[1]
 	if b.SizeBytes() > c.ExecutorMemBytes/2 || a.Rows < 2 {
 		return nil, false
 	}
-	c.broadcastAll([]*matrix.Matrix{b})
+	c.broadcastAll([]*matrix.Matrix{b}, sp)
 	out := matrix.NewDense(a.Rows, b.Cols)
 	od := out.Dense()
-	c.runPanels(a.Rows, func(_, lo, hi int) {
+	c.runPanels(sp, a.Rows, func(_, lo, hi int) {
 		part := matrix.MatMult(rowSlice(a, lo, hi), b)
 		copy(od[lo*out.Cols:], part.Dense())
 	})
@@ -234,7 +263,7 @@ func (c *Cluster) matMult(h *hop.Hop, inputs []*matrix.Matrix) (*matrix.Matrix, 
 
 // spoof executes a fused operator over row panels of the main input with
 // broadcast side inputs, reducing aggregated variants.
-func (c *Cluster) spoof(h *hop.Hop, inputs []*matrix.Matrix) (*matrix.Matrix, bool) {
+func (c *Cluster) spoof(h *hop.Hop, inputs []*matrix.Matrix, sp obs.Span) (*matrix.Matrix, bool) {
 	op, ok := h.Spoof.(*cplan.Operator)
 	if !ok {
 		return nil, false
@@ -260,7 +289,7 @@ func (c *Cluster) spoof(h *hop.Hop, inputs []*matrix.Matrix) (*matrix.Matrix, bo
 			return nil, false
 		}
 	}
-	c.broadcastAll(inputs[1:])
+	c.broadcastAll(inputs[1:], sp)
 
 	rowAligned := op.Plan.Type == cplan.TemplateCell &&
 		(op.Plan.Cell == cplan.CellNoAgg || op.Plan.Cell == cplan.CellRowAgg) ||
@@ -283,7 +312,7 @@ func (c *Cluster) spoof(h *hop.Hop, inputs []*matrix.Matrix) (*matrix.Matrix, bo
 	if rowAligned {
 		var mu sync.Mutex
 		parts := map[int]*matrix.Matrix{}
-		c.runPanels(main.Rows, func(p, lo, hi int) {
+		c.runPanels(sp, main.Rows, func(p, lo, hi int) {
 			res, err := rt.ExecSpoof(h, slicedInputs(lo, hi))
 			if err != nil {
 				return
@@ -306,7 +335,7 @@ func (c *Cluster) spoof(h *hop.Hop, inputs []*matrix.Matrix) (*matrix.Matrix, bo
 	var mu sync.Mutex
 	var partials []*matrix.Matrix
 	bad := false
-	n := c.runPanels(main.Rows, func(_, lo, hi int) {
+	n := c.runPanels(sp, main.Rows, func(_, lo, hi int) {
 		res, err := rt.ExecSpoof(h, slicedInputs(lo, hi))
 		if err != nil {
 			mu.Lock()
@@ -321,7 +350,7 @@ func (c *Cluster) spoof(h *hop.Hop, inputs []*matrix.Matrix) (*matrix.Matrix, bo
 	if bad || len(partials) == 0 {
 		return nil, false
 	}
-	c.addShuffle(int64(n) * partials[0].SizeBytes())
+	c.shuffle(sp, n, partials[0].SizeBytes())
 	acc := partials[0]
 	for _, p := range partials[1:] {
 		acc = matrix.Binary(matrix.BinAdd, acc, p)

@@ -35,8 +35,14 @@ type Session struct {
 	Obs *obs.Metrics
 
 	// Sink, when non-nil, receives explain reports and trace spans for
-	// every optimized statement block.
+	// every optimized statement block. Attach an *obs.TraceSink to export
+	// a run as Chrome trace-event JSON.
 	Sink obs.Sink
+
+	// Audit is the cost-audit ledger: predicted vs measured cost of every
+	// executed operator that carries an optimizer prediction. Always
+	// non-nil for sessions built via NewSession; nil disables auditing.
+	Audit *obs.Audit
 
 	// ExplainOut, when set, receives the textual EXPLAIN report of every
 	// freshly optimized block (SystemML's EXPLAIN hops output).
@@ -59,6 +65,7 @@ func NewSession(cfg codegen.Config) *Session {
 		Env:    runtime.Env{},
 		Out:    os.Stdout,
 		Obs:    obs.NewMetrics(),
+		Audit:  obs.NewAudit(),
 	}
 }
 
@@ -80,13 +87,15 @@ func (s *Session) Run(script string) error {
 // session environment keeps all results of blocks that completed before
 // the cancellation; the partial output of the canceled block is discarded.
 func (s *Session) RunContext(ctx context.Context, script string) error {
-	sp := obs.StartSpan(s.Obs, s.Sink, "parse")
+	root := obs.StartSpan(nil, s.Sink, "run")
+	defer root.End()
+	sp := root.Phase(s.Obs, "parse")
 	prog, err := Parse(script)
 	sp.End()
 	if err != nil {
 		return err
 	}
-	return s.exec(ctx, prog.Stmts)
+	return s.exec(ctx, root, prog.Stmts)
 }
 
 // Get returns a variable from the environment, or an *UnboundVarError if
@@ -133,6 +142,7 @@ func (s *Session) Explain(script string) (string, error) {
 		Out:    io.Discard,
 		Dist:   s.Dist,
 		Obs:    obs.NewMetrics(),
+		Audit:  obs.NewAudit(),
 		Sink:   col,
 	}
 	if err := shadow.Run(script); err != nil {
@@ -172,6 +182,13 @@ func (s *Session) Metrics() obs.Snapshot {
 		snap.Gauges["codegen.compile.seconds"] = s.Stats.CompileTime.Seconds()
 	}
 	if s.Cache != nil {
+		hits, misses, evictions := s.Cache.Counters()
+		snap.Counters["plancache.hits"] = hits
+		snap.Counters["plancache.misses"] = misses
+		snap.Counters["plancache.evictions"] = evictions
+		if lookups := hits + misses; lookups > 0 {
+			snap.Gauges["plancache.hitrate"] = float64(hits) / float64(lookups)
+		}
 		snap.Gauges["plancache.size"] = float64(s.Cache.Size())
 	}
 	snap.Counters["block.optimized"] = s.Blocks
@@ -189,13 +206,21 @@ func (s *Session) Metrics() obs.Snapshot {
 	return snap
 }
 
-func (s *Session) exec(ctx context.Context, stmts []Stmt) error {
+// CostAudit returns the session's cost-audit summary: per-template
+// relative-error histograms of the optimizer's predicted cost against the
+// measured wall time of every executed operator, plus the worst-predicted
+// operator groups. Empty when no audited statements have run.
+func (s *Session) CostAudit() obs.AuditSummary {
+	return s.Audit.Summary()
+}
+
+func (s *Session) exec(ctx context.Context, root obs.Span, stmts []Stmt) error {
 	var pending []Stmt
 	flush := func() error {
 		if len(pending) == 0 {
 			return nil
 		}
-		err := s.runBlock(ctx, pending)
+		err := s.runBlock(ctx, root, pending)
 		pending = pending[:0]
 		return err
 	}
@@ -210,16 +235,16 @@ func (s *Session) exec(ctx context.Context, stmts []Stmt) error {
 			if err := flush(); err != nil {
 				return err
 			}
-			cond, err := s.evalScalar(ctx, n.Cond)
+			cond, err := s.evalScalar(ctx, root, n.Cond)
 			if err != nil {
 				return err
 			}
 			if cond != 0 {
-				if err := s.exec(ctx, n.Then); err != nil {
+				if err := s.exec(ctx, root, n.Then); err != nil {
 					return err
 				}
 			} else if len(n.Else) > 0 {
-				if err := s.exec(ctx, n.Else); err != nil {
+				if err := s.exec(ctx, root, n.Else); err != nil {
 					return err
 				}
 			}
@@ -234,14 +259,14 @@ func (s *Session) exec(ctx context.Context, stmts []Stmt) error {
 				if err := ctx.Err(); err != nil {
 					return err
 				}
-				cond, err := s.evalScalar(ctx, n.Cond)
+				cond, err := s.evalScalar(ctx, root, n.Cond)
 				if err != nil {
 					return err
 				}
 				if cond == 0 {
 					break
 				}
-				if err := s.exec(ctx, n.Body); err != nil {
+				if err := s.exec(ctx, root, n.Body); err != nil {
 					return err
 				}
 			}
@@ -249,11 +274,11 @@ func (s *Session) exec(ctx context.Context, stmts []Stmt) error {
 			if err := flush(); err != nil {
 				return err
 			}
-			from, err := s.evalScalar(ctx, n.From)
+			from, err := s.evalScalar(ctx, root, n.From)
 			if err != nil {
 				return err
 			}
-			to, err := s.evalScalar(ctx, n.To)
+			to, err := s.evalScalar(ctx, root, n.To)
 			if err != nil {
 				return err
 			}
@@ -262,7 +287,7 @@ func (s *Session) exec(ctx context.Context, stmts []Stmt) error {
 					return err
 				}
 				s.Env[n.Var] = matrix.NewScalar(i)
-				if err := s.exec(ctx, n.Body); err != nil {
+				if err := s.exec(ctx, root, n.Body); err != nil {
 					return err
 				}
 			}
@@ -274,8 +299,8 @@ func (s *Session) exec(ctx context.Context, stmts []Stmt) error {
 // runBlock compiles, optimizes, and executes one statement block,
 // recording a trace span per phase and emitting an EXPLAIN report for
 // every fresh optimization when a sink or ExplainOut is attached.
-func (s *Session) runBlock(ctx context.Context, stmts []Stmt) error {
-	spc := obs.StartSpan(s.Obs, s.Sink, "compile")
+func (s *Session) runBlock(ctx context.Context, root obs.Span, stmts []Stmt) error {
+	spc := root.Phase(s.Obs, "compile")
 	c := newBlockCompiler(s.Env)
 	type printOut struct {
 		line  int
@@ -313,14 +338,14 @@ func (s *Session) runBlock(ctx context.Context, stmts []Stmt) error {
 	d, _ := rewrite.Apply(c.d)
 	spc.End()
 
-	spo := obs.StartSpan(s.Obs, s.Sink, "optimize")
+	spo := root.Phase(s.Obs, "optimize")
 	wantExplain := s.Sink != nil || s.ExplainOut != nil
 	var rep *codegen.PlanReport
 	optimize := func(d0 *hop.DAG) *hop.DAG {
 		if wantExplain {
 			rep = &codegen.PlanReport{}
 		}
-		return codegen.OptimizeReport(d0, &s.Config, s.Cache, s.Stats, rep)
+		return codegen.OptimizeTraced(d0, &s.Config, s.Cache, s.Stats, rep, spo)
 	}
 	// Reuse the optimized plan while the block's structure, sizes, and
 	// sparsity are unchanged (SystemML recompiles only dirty blocks).
@@ -358,8 +383,10 @@ func (s *Session) runBlock(ctx context.Context, stmts []Stmt) error {
 		}
 	}
 
-	spe := obs.StartSpan(s.Obs, s.Sink, "execute")
-	out, err := runtime.ExecuteDAG(d, s.Env, runtime.Options{Dist: s.Dist, Ctx: ctx, Metrics: s.Obs})
+	spe := root.Phase(s.Obs, "execute")
+	out, err := runtime.ExecuteDAG(d, s.Env, runtime.Options{
+		Dist: s.Dist, Ctx: ctx, Metrics: s.Obs, Trace: spe, Audit: s.Audit,
+	})
 	spe.End()
 	if err != nil {
 		return err
@@ -431,7 +458,7 @@ func containsStr(e Expr) bool {
 // evalScalar evaluates a predicate or loop-bound expression through the
 // regular block pipeline (a one-output DAG), mirroring SystemML's handling
 // of scalar instructions.
-func (s *Session) evalScalar(ctx context.Context, e Expr) (float64, error) {
+func (s *Session) evalScalar(ctx context.Context, root obs.Span, e Expr) (float64, error) {
 	c := newBlockCompiler(s.Env)
 	h, err := c.compile(e)
 	if err != nil {
@@ -439,7 +466,11 @@ func (s *Session) evalScalar(ctx context.Context, e Expr) (float64, error) {
 	}
 	c.d.Output("__cond", h)
 	d, _ := rewrite.Apply(c.d)
-	out, err := runtime.ExecuteDAG(d, s.Env, runtime.Options{Dist: s.Dist, Ctx: ctx, Metrics: s.Obs})
+	sp := root.Child("evalScalar")
+	out, err := runtime.ExecuteDAG(d, s.Env, runtime.Options{
+		Dist: s.Dist, Ctx: ctx, Metrics: s.Obs, Trace: sp, Audit: s.Audit,
+	})
+	sp.End()
 	if err != nil {
 		return 0, err
 	}

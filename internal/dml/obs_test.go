@@ -55,6 +55,7 @@ partition 1: 3 nodes, 0 interesting points
 fused operators: 2 (Cell, Row)
   Cell TMP#: 1 inputs, 1x1 output
   Row TMP#: 2 inputs, 100x1 output
+plan cache: 0 hits, 2 misses, 0 evictions
 hops after fusion:
   1 data(X) [] 2000x100 nnz=200000 LOCAL
   8 spoof(Cell) [1] 1x1 nnz=1 LOCAL

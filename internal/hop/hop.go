@@ -95,6 +95,13 @@ type Hop struct {
 	ExecType  ExecType
 	Spoof     any // compiled fused operator (set by codegen)
 	SpoofType string
+
+	// Cost-model predictions, annotated by codegen after optimization and
+	// consumed by the runtime's cost-audit ledger (internal/obs.Audit).
+	// PredSec 0 means "not annotated" and suppresses auditing.
+	PredSec   float64 // predicted execution time (seconds)
+	PredFlops float64 // predicted floating-point work
+	PredBytes int64   // predicted IO volume (input reads + output write)
 }
 
 // IsScalar reports whether the node produces a scalar (held as a 1×1

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAuditRelErrBuckets(t *testing.T) {
+	var h RelErrHist
+	for _, rel := range []float64{0.05, -0.2, 0.4, -0.9, 1.5, 4, 100} {
+		h.add(rel)
+	}
+	want := [NumRelErrBuckets]int64{1, 1, 1, 1, 1, 1, 1}
+	if h.Buckets != want {
+		t.Fatalf("buckets = %v, want %v", h.Buckets, want)
+	}
+	if h.Under != 2 || h.Over != 5 {
+		t.Fatalf("under/over = %d/%d, want 2/5", h.Under, h.Over)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+}
+
+func TestAuditSummary(t *testing.T) {
+	a := NewAudit()
+	// Two Cell observations of the same operator: one accurate, one 3x over.
+	a.Record(AuditEntry{Op: "spoof(Cell)", Template: "Cell",
+		PredSec: 0.010, ActualSec: 0.010, PredFlops: 1e6, ActualFlops: 1e6})
+	a.Record(AuditEntry{Op: "spoof(Cell)", Template: "Cell",
+		PredSec: 0.030, ActualSec: 0.010})
+	// One Row observation under a different label.
+	a.Record(AuditEntry{Op: "spoof(Row)", Template: "Row",
+		PredSec: 0.001, ActualSec: 0.100, PredBytes: 800, ActualBytes: 1600})
+	// An unfused operator lands in the "basic" template.
+	a.Record(AuditEntry{Op: "ba(+*)", PredSec: 0.002, ActualSec: 0.002})
+
+	s := a.Summary()
+	if len(s.Groups) != 3 {
+		t.Fatalf("groups = %d, want 3", len(s.Groups))
+	}
+	// Worst offender first: spoof(Row) mispredicts by 0.099s.
+	if s.Groups[0].Op != "spoof(Row)" {
+		t.Fatalf("worst offender = %s, want spoof(Row)", s.Groups[0].Op)
+	}
+	cell := s.Templates["Cell"]
+	if cell.Count != 2 || cell.PredSec != 0.040 {
+		t.Fatalf("Cell roll-up = %+v", cell)
+	}
+	// relerr 0 → bucket 0; relerr +2 → the <=2 bucket (index 4).
+	if cell.RelErr.Buckets[0] != 1 || cell.RelErr.Buckets[4] != 1 {
+		t.Fatalf("Cell rel-err buckets = %v", cell.RelErr.Buckets)
+	}
+	row := s.Templates["Row"]
+	if row.Count != 1 || row.RelErr.Under != 1 {
+		t.Fatalf("Row roll-up = %+v", row)
+	}
+	if basic := s.Templates["basic"]; basic.Count != 1 {
+		t.Fatalf("basic roll-up = %+v", basic)
+	}
+	if math.Abs(s.TotalActualSec-0.122) > 1e-12 {
+		t.Fatalf("total actual = %g, want 0.122", s.TotalActualSec)
+	}
+
+	out := s.String()
+	for _, want := range []string{"# COST AUDIT", "Cell", "Row", "basic", "spoof(Row)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+
+	// Per-group worst tracking: the 3x over-estimate must win for Cell.
+	for _, g := range s.Groups {
+		if g.Op == "spoof(Cell)" {
+			if g.Worst.PredSec != 0.030 || math.Abs(g.WorstRel-2) > 1e-9 {
+				t.Fatalf("worst = %+v rel=%g", g.Worst, g.WorstRel)
+			}
+		}
+	}
+}
+
+func TestAuditNilSafe(t *testing.T) {
+	var a *Audit
+	a.Record(AuditEntry{Op: "x", PredSec: 1, ActualSec: 1})
+	s := a.Summary()
+	if len(s.Groups) != 0 || len(s.Templates) != 0 {
+		t.Fatalf("nil audit summary = %+v", s)
+	}
+	if !strings.Contains(s.String(), "no audited operators") {
+		t.Fatal("empty summary must say so")
+	}
+}
+
+func TestAuditZeroActualFloored(t *testing.T) {
+	e := AuditEntry{Op: "x", PredSec: 1e-7, ActualSec: 0}
+	if r := e.RelErr(); math.IsInf(r, 0) || math.IsNaN(r) {
+		t.Fatalf("rel err on zero actual = %g", r)
+	}
+}

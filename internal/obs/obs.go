@@ -1,9 +1,12 @@
 // Package obs is the observability substrate of the runtime: counters,
-// gauges, and histograms aggregated into immutable snapshots, lightweight
-// trace spans for phase-time attribution, and a pluggable event sink that
-// receives EXPLAIN output and span completions. Everything is standard
-// library only and safe for concurrent use; the hot-path cost of an
-// unobserved metric is one atomic add.
+// gauges, and histograms aggregated into immutable snapshots, hierarchical
+// trace spans exportable as Chrome trace-event JSON (TraceSink), a
+// cost-audit ledger comparing optimizer predictions against measured
+// execution (Audit), a live HTTP endpoint (Serve), and a pluggable event
+// sink that receives EXPLAIN output and span completions. Everything is
+// standard library only and safe for concurrent use; the hot-path cost of
+// an unobserved metric is one atomic add, and of an unsunk span one nil
+// check.
 package obs
 
 import (

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"strings"
+)
+
+// ServeSource supplies the live observability state exposed by Serve.
+// dml.Session satisfies it.
+type ServeSource interface {
+	Metrics() Snapshot
+	CostAudit() AuditSummary
+}
+
+// Server is a running observability HTTP endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve exposes src's metrics snapshot, cost-audit summary, and plan-cache
+// statistics as JSON over HTTP on addr (e.g. "127.0.0.1:0" to pick a free
+// port). Endpoints:
+//
+//	/metrics   full metrics snapshot (counters, gauges, histograms)
+//	/audit     cost-audit summary (per-template rel-err histograms, worst offenders)
+//	/plancache plan-cache counters and gauges (the "plancache." slice of /metrics)
+//	/healthz   liveness probe
+//
+// The server runs on its own goroutine until Close. Stdlib only; intended
+// for long-running benchmark sessions, not production exposure.
+func Serve(addr string, src ServeSource) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(v)
+	}
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, src.Metrics())
+	})
+	mux.HandleFunc("/audit", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, src.CostAudit())
+	})
+	mux.HandleFunc("/plancache", func(w http.ResponseWriter, r *http.Request) {
+		snap := src.Metrics()
+		pc := struct {
+			Counters map[string]int64   `json:"counters"`
+			Gauges   map[string]float64 `json:"gauges"`
+		}{map[string]int64{}, map[string]float64{}}
+		for k, v := range snap.Counters {
+			if strings.HasPrefix(k, "plancache.") {
+				pc.Counters[k] = v
+			}
+		}
+		for k, v := range snap.Gauges {
+			if strings.HasPrefix(k, "plancache.") {
+				pc.Gauges[k] = v
+			}
+		}
+		writeJSON(w, pc)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, map[string]string{
+			"/metrics":   "full metrics snapshot",
+			"/audit":     "cost-audit summary",
+			"/plancache": "plan cache counters",
+			"/healthz":   "liveness probe",
+		})
+	})
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }

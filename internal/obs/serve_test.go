@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+type fakeSource struct{}
+
+func (fakeSource) Metrics() Snapshot {
+	m := NewMetrics()
+	m.Inc("exec.hops")
+	m.Add("plancache.hits", 3)
+	m.Add("plancache.misses", 1)
+	m.SetGauge("plancache.size", 2)
+	return m.Snapshot()
+}
+
+func (fakeSource) CostAudit() AuditSummary {
+	a := NewAudit()
+	a.Record(AuditEntry{Op: "spoof(Cell)", Template: "Cell", PredSec: 0.01, ActualSec: 0.02})
+	return a.Summary()
+}
+
+func TestServeEndpoints(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", fakeSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) map[string]any {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		var v map[string]any
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatalf("GET %s: invalid JSON: %v\n%s", path, err, body)
+		}
+		return v
+	}
+
+	metrics := get("/metrics")
+	counters, ok := metrics["Counters"].(map[string]any)
+	if !ok || counters["exec.hops"] != float64(1) {
+		t.Fatalf("/metrics counters = %+v", metrics["Counters"])
+	}
+
+	audit := get("/audit")
+	tmpl, ok := audit["Templates"].(map[string]any)
+	if !ok || tmpl["Cell"] == nil {
+		t.Fatalf("/audit templates = %+v", audit["Templates"])
+	}
+
+	pc := get("/plancache")
+	pcCounters, ok := pc["counters"].(map[string]any)
+	if !ok || pcCounters["plancache.hits"] != float64(3) {
+		t.Fatalf("/plancache = %+v", pc)
+	}
+	if _, filtered := pcCounters["exec.hops"]; filtered {
+		t.Fatal("/plancache must only expose plancache.* keys")
+	}
+
+	if resp, err := http.Get("http://" + srv.Addr() + "/healthz"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz: %v %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+	if resp, err := http.Get("http://" + srv.Addr() + "/nosuch"); err != nil || resp.StatusCode != 404 {
+		t.Fatalf("unknown path must 404: %v %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+}

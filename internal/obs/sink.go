@@ -31,9 +31,16 @@ func (k EventKind) String() string {
 // Event is one observability record pushed to a Sink.
 type Event struct {
 	Kind EventKind
-	Name string        // block label for explains, phase name for spans
+	Name string        // block label for explains, span name for spans
 	Text string        // rendered report (EventExplain)
 	Dur  time.Duration // span duration (EventSpan)
+
+	// Span identity and payload (EventSpan only). Span is the span's
+	// process-unique ID, Parent the enclosing span's ID (0 for roots).
+	Span   uint64
+	Parent uint64
+	Start  time.Time
+	Attrs  []Attr
 }
 
 // Sink receives observability events. Implementations must be safe for

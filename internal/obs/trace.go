@@ -1,25 +1,97 @@
 package obs
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+)
 
-// Span is one in-flight trace region. Ending a span records its duration
-// into the owning Metrics registry (histogram "phase.<name>") and emits an
-// EventSpan to the sink, so both the metrics snapshot and a live sink see
-// the phase-time breakdown.
-type Span struct {
-	m     *Metrics
-	sink  Sink
-	name  string
-	start time.Time
+// spanSeq issues process-wide unique span IDs; ID 0 means "no span".
+var spanSeq uint64
+
+// Attr is one key/value attribute attached to a span (partition counts,
+// byte sizes, operator shapes). Values should be strings, integers, or
+// floats so they serialize cleanly into trace-event args.
+type Attr struct {
+	Key   string
+	Value any
 }
 
-// StartSpan begins a span. Both m and sink may be nil; a zero-overhead
-// span is returned when both are nil.
+// KV constructs a span attribute.
+func KV(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// Span is one in-flight trace region. Spans form a hierarchy: StartSpan
+// opens a root, Child opens a sub-region for the trace timeline, and Phase
+// opens a sub-region that additionally records a "phase.<name>" duration
+// histogram in a Metrics registry. Each span carries a process-unique ID
+// and its parent's ID so sinks can reconstruct the tree.
+//
+// Spans are values; each is started and ended by one goroutine, but
+// different goroutines may hold children of the same parent concurrently.
+type Span struct {
+	m      *Metrics
+	sink   Sink
+	name   string
+	start  time.Time
+	id     uint64
+	parent uint64
+	attrs  []Attr
+}
+
+func newSpan(m *Metrics, sink Sink, name string, parent uint64, attrs []Attr) Span {
+	return Span{
+		m:      m,
+		sink:   sink,
+		name:   name,
+		start:  time.Now(),
+		id:     atomic.AddUint64(&spanSeq, 1),
+		parent: parent,
+		attrs:  attrs,
+	}
+}
+
+// StartSpan begins a root span. Ending it records histogram "phase.<name>"
+// into m (if non-nil) and emits an EventSpan to sink (if non-nil). Both may
+// be nil; a zero-overhead no-op span is returned when both are.
 func StartSpan(m *Metrics, sink Sink, name string) Span {
 	if m == nil && sink == nil {
 		return Span{}
 	}
-	return Span{m: m, sink: sink, name: name, start: time.Now()}
+	return newSpan(m, sink, name, 0, nil)
+}
+
+// Active reports whether ending the span will emit a sink event. Use it to
+// skip attribute construction on hot paths when no sink is attached.
+func (sp Span) Active() bool { return sp.sink != nil }
+
+// ID returns the span's process-unique ID (0 for a no-op span).
+func (sp Span) ID() uint64 { return sp.id }
+
+// Child begins a sub-span for the trace timeline. Children record no phase
+// histogram — per-operator metrics are aggregated separately — so with no
+// sink attached the returned span is a zero-cost no-op.
+func (sp Span) Child(name string, attrs ...Attr) Span {
+	if sp.sink == nil {
+		return Span{}
+	}
+	return newSpan(nil, sp.sink, name, sp.id, attrs)
+}
+
+// Phase begins a sub-span that also records its duration into m as
+// histogram "phase.<name>". It works on a zero receiver so phase timings
+// survive sinkless sessions.
+func (sp Span) Phase(m *Metrics, name string) Span {
+	if m == nil && sp.sink == nil {
+		return Span{}
+	}
+	return newSpan(m, sp.sink, name, sp.id, nil)
+}
+
+// Annotate appends attributes discovered after the span started. Not safe
+// for concurrent use on the same span.
+func (sp *Span) Annotate(attrs ...Attr) {
+	if sp.id != 0 {
+		sp.attrs = append(sp.attrs, attrs...)
+	}
 }
 
 // End closes the span and returns its duration.
@@ -32,7 +104,15 @@ func (sp Span) End() time.Duration {
 		sp.m.ObserveDuration("phase."+sp.name, d)
 	}
 	if sp.sink != nil {
-		sp.sink.Emit(Event{Kind: EventSpan, Name: sp.name, Dur: d})
+		sp.sink.Emit(Event{
+			Kind:   EventSpan,
+			Name:   sp.name,
+			Dur:    d,
+			Span:   sp.id,
+			Parent: sp.parent,
+			Start:  sp.start,
+			Attrs:  sp.attrs,
+		})
 	}
 	return d
 }

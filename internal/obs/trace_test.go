@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestSpanHierarchy(t *testing.T) {
+	var c Collector
+	root := StartSpan(nil, &c, "run")
+	child := root.Child("optimize", KV("partition", 0))
+	grand := child.Child("enumerate")
+	if root.ID() == 0 || child.ID() == 0 || grand.ID() == 0 {
+		t.Fatal("spans with a sink must have nonzero IDs")
+	}
+	if root.ID() == child.ID() || child.ID() == grand.ID() {
+		t.Fatal("span IDs must be unique")
+	}
+	grand.End()
+	child.Annotate(KV("evaluated", 7))
+	child.End()
+	root.End()
+
+	ev := c.Events()
+	if len(ev) != 3 {
+		t.Fatalf("got %d events, want 3", len(ev))
+	}
+	byName := map[string]Event{}
+	for _, e := range ev {
+		byName[e.Name] = e
+	}
+	if byName["optimize"].Parent != byName["run"].Span {
+		t.Fatalf("optimize.Parent = %d, want run's ID %d",
+			byName["optimize"].Parent, byName["run"].Span)
+	}
+	if byName["enumerate"].Parent != byName["optimize"].Span {
+		t.Fatal("enumerate must be a child of optimize")
+	}
+	if byName["run"].Parent != 0 {
+		t.Fatal("root span must have Parent 0")
+	}
+	attrs := byName["optimize"].Attrs
+	if len(attrs) != 2 || attrs[0].Key != "partition" || attrs[1].Key != "evaluated" {
+		t.Fatalf("optimize attrs = %+v", attrs)
+	}
+}
+
+func TestChildWithoutSinkIsNoop(t *testing.T) {
+	m := NewMetrics()
+	root := StartSpan(m, nil, "run")
+	if root.Active() {
+		t.Fatal("sinkless span must not be Active")
+	}
+	child := root.Child("op")
+	if child.ID() != 0 {
+		t.Fatal("sinkless child must be a zero span")
+	}
+	if d := child.End(); d != 0 {
+		t.Fatal("sinkless child End must be free")
+	}
+	// Phase still records its histogram without a sink — and even on a
+	// zero root span.
+	ph := Span{}.Phase(m, "compile")
+	time.Sleep(100 * time.Microsecond)
+	ph.End()
+	if h := m.Snapshot().Hist("phase.compile"); h.Count != 1 {
+		t.Fatalf("phase histogram not recorded on zero receiver: %+v", h)
+	}
+}
+
+func TestTraceSinkChromeJSON(t *testing.T) {
+	ts := NewTraceSink()
+	root := StartSpan(nil, ts, "run")
+	time.Sleep(200 * time.Microsecond)
+	child := root.Child("execute", KV("hop", "spoof(Cell)"))
+	time.Sleep(200 * time.Microsecond)
+	child.End()
+	root.End()
+	ts.Emit(Event{Kind: EventExplain, Text: "ignored"})
+
+	if ts.Len() != 2 {
+		t.Fatalf("buffered %d spans, want 2", ts.Len())
+	}
+	var buf bytes.Buffer
+	if _, err := ts.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The output must parse as a plain JSON array of trace events.
+	var evs []TraceEvent
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(evs) != 2 {
+		t.Fatalf("got %d trace events, want 2", len(evs))
+	}
+	// Sorted parent-first, ts in µs relative to trace start, ph "X".
+	run, exec := evs[0], evs[1]
+	if run.Name != "run" || exec.Name != "execute" {
+		t.Fatalf("order = %s, %s; want run, execute", run.Name, exec.Name)
+	}
+	for _, e := range evs {
+		if e.Ph != "X" || e.PID != 1 || e.TID != 1 {
+			t.Fatalf("bad event header: %+v", e)
+		}
+	}
+	if run.TS != 0 {
+		t.Fatalf("trace must start at ts 0, got %g", run.TS)
+	}
+	if exec.TS < run.TS || exec.TS+exec.Dur > run.TS+run.Dur+1e-9 {
+		t.Fatalf("child [%g, %g] not contained in parent [%g, %g]",
+			exec.TS, exec.TS+exec.Dur, run.TS, run.TS+run.Dur)
+	}
+	if exec.Args["hop"] != "spoof(Cell)" {
+		t.Fatalf("child args = %+v", exec.Args)
+	}
+	if exec.Args["parent"] == nil {
+		t.Fatal("child must carry its parent span ID in args")
+	}
+}

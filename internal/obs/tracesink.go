@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TraceEvent is one record in the Chrome trace-event ("catapult") format.
+// All spans are exported as complete events (ph "X") with microsecond
+// timestamps relative to the earliest span start, so the file loads
+// directly in Perfetto or chrome://tracing.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`            // µs since trace start
+	Dur  float64        `json:"dur,omitempty"` // µs
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceSink buffers completed spans and renders them as a Chrome
+// trace-event JSON array. Spans arrive end-first (children complete before
+// parents), so the sink re-sorts by start time at export; viewers nest
+// events on the same track by time containment, which holds because every
+// child's [start, start+dur) lies inside its parent's.
+type TraceSink struct {
+	mu    sync.Mutex
+	spans []Event
+}
+
+// NewTraceSink returns an empty trace collector.
+func NewTraceSink() *TraceSink { return &TraceSink{} }
+
+// Emit implements Sink; non-span events are ignored.
+func (t *TraceSink) Emit(e Event) {
+	if e.Kind != EventSpan {
+		return
+	}
+	e.Attrs = append([]Attr(nil), e.Attrs...) // detach from the emitting span
+	t.mu.Lock()
+	t.spans = append(t.spans, e)
+	t.mu.Unlock()
+}
+
+// Len returns the number of buffered spans.
+func (t *TraceSink) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Events returns the buffered spans as trace-event records sorted by start
+// time (ties broken longest-first so parents precede their children).
+func (t *TraceSink) Events() []TraceEvent {
+	t.mu.Lock()
+	spans := append([]Event(nil), t.spans...)
+	t.mu.Unlock()
+
+	var base time.Time
+	for _, e := range spans {
+		if base.IsZero() || e.Start.Before(base) {
+			base = e.Start
+		}
+	}
+	out := make([]TraceEvent, 0, len(spans))
+	for _, e := range spans {
+		te := TraceEvent{
+			Name: e.Name,
+			Cat:  "sysml",
+			Ph:   "X",
+			TS:   float64(e.Start.Sub(base)) / 1e3,
+			Dur:  float64(e.Dur) / 1e3,
+			PID:  1,
+			TID:  1,
+			Args: map[string]any{"span": e.Span},
+		}
+		if e.Parent != 0 {
+			te.Args["parent"] = e.Parent
+		}
+		for _, a := range e.Attrs {
+			te.Args[a.Key] = a.Value
+		}
+		out = append(out, te)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TS != out[j].TS {
+			return out[i].TS < out[j].TS
+		}
+		return out[i].Dur > out[j].Dur
+	})
+	return out
+}
+
+// WriteTo writes the trace as an indented JSON array.
+func (t *TraceSink) WriteTo(w io.Writer) (int64, error) {
+	b, err := json.MarshalIndent(t.Events(), "", " ")
+	if err != nil {
+		return 0, err
+	}
+	b = append(b, '\n')
+	n, err := w.Write(b)
+	return int64(n), err
+}
+
+// WriteFile writes the trace to path, ready to open in Perfetto.
+func (t *TraceSink) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := t.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

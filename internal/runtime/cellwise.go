@@ -355,6 +355,31 @@ func execMAgg(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix, s
 	return out
 }
 
+// workCellwise measures the data-touch work of one Cell invocation: the
+// cells the skeleton visits (stored entries under sparse-safe non-zero
+// iteration, all cells otherwise) times the covered operations evaluated
+// per cell. Mirrors execCellwise's iteration decision; feeds the
+// cost-audit ledger's "actual FLOPs".
+func workCellwise(op *cplan.Operator, main *matrix.Matrix) float64 {
+	p := op.Plan
+	visited := float64(main.Rows) * float64(main.Cols)
+	if p.SparseSafe && main.IsSparse() && (p.Cell == cplan.CellNoAgg || aggIsSum(p.AggOp)) {
+		visited = storedCells(main)
+	}
+	return visited * float64(p.NumNodes())
+}
+
+// workMAgg is workCellwise for the multi-aggregate skeleton: one pass over
+// the shared main input evaluating every aggregate's expression per cell.
+func workMAgg(op *cplan.Operator, main *matrix.Matrix) float64 {
+	p := op.Plan
+	visited := float64(main.Rows) * float64(main.Cols)
+	if p.SparseSafe && main.IsSparse() {
+		visited = storedCells(main)
+	}
+	return visited * float64(p.NumNodes())
+}
+
 func aggIsSum(op matrix.AggOp) bool {
 	return op == matrix.AggSum || op == matrix.AggSumSq
 }

@@ -29,6 +29,16 @@ type Options struct {
 	// estimates vs. actual output bytes, and fused-operator invocation
 	// counts.
 	Metrics *obs.Metrics
+
+	// Trace, when active (a sink-attached span), becomes the parent of one
+	// child span per executed operator and of the distributed backend's
+	// broadcast/shuffle spans, for timeline export via obs.TraceSink.
+	Trace obs.Span
+
+	// Audit, when non-nil, receives one predicted-vs-measured entry per
+	// executed operator that carries a cost-model prediction
+	// (hop.PredSec > 0, annotated by codegen.AnnotatePredictions).
+	Audit *obs.Audit
 }
 
 // StopFn polls for cancellation; fused-operator loops call it at chunk
@@ -48,8 +58,9 @@ func pollStop(stop StopFn, i int) bool {
 // internal/dist; injected here to avoid a dependency cycle).
 type DistBackend interface {
 	// ExecHop executes one distributed operator over already-computed
-	// inputs and returns its result.
-	ExecHop(h *hop.Hop, inputs []*matrix.Matrix) (*matrix.Matrix, bool)
+	// inputs and returns its result. sp is the executing operator's trace
+	// span; the backend hangs broadcast/shuffle stage spans off it.
+	ExecHop(h *hop.Hop, inputs []*matrix.Matrix, sp obs.Span) (*matrix.Matrix, bool)
 }
 
 // ExecuteDAG evaluates all outputs of a HOP DAG against the environment
@@ -68,24 +79,39 @@ func ExecuteDAG(d *hop.DAG, env Env, opts Options) (Env, error) {
 		}
 	}
 	cache := map[int64]*matrix.Matrix{}
+	observed := opts.Metrics != nil || opts.Audit != nil
 	for _, h := range hop.TopoOrder(d.Roots()) {
 		if stop != nil && stop() {
 			return nil, opts.Ctx.Err()
 		}
-		var start time.Time
-		if opts.Metrics != nil {
-			start = time.Now()
-		}
-		m, err := evalHop(h, cache, env, opts, stop)
+		ins, err := gatherInputs(h, cache)
 		if err != nil {
 			return nil, err
 		}
+		var sp obs.Span
+		if opts.Trace.Active() {
+			sp = opts.Trace.Child(h.String(),
+				obs.KV("hop", h.ID),
+				obs.KV("rows", h.Rows),
+				obs.KV("cols", h.Cols),
+				obs.KV("exec", h.ExecType.String()))
+		}
+		var start time.Time
+		if observed {
+			start = time.Now()
+		}
+		m, err := evalHop(h, ins, env, opts, stop, sp)
+		if err != nil {
+			sp.End()
+			return nil, err
+		}
+		if observed {
+			observeHop(opts.Metrics, opts.Audit, h, ins, m, time.Since(start))
+		}
+		sp.End()
 		if stop != nil && stop() {
 			// A canceled skeleton returns a partial result: discard it.
 			return nil, opts.Ctx.Err()
-		}
-		if opts.Metrics != nil {
-			observeHop(opts.Metrics, h, m, time.Since(start))
 		}
 		cache[h.ID] = m
 	}
@@ -98,12 +124,15 @@ func ExecuteDAG(d *hop.DAG, env Env, opts Options) (Env, error) {
 
 // observeHop records one executed operator: wall time per operator kind,
 // the analytical FLOP and output-byte estimates next to the actual output
-// bytes, and fused-operator invocation counts per template.
-func observeHop(m *obs.Metrics, h *hop.Hop, out *matrix.Matrix, d time.Duration) {
+// bytes and measured work, fused-operator invocation counts per template,
+// and (when auditing) one predicted-vs-measured ledger entry.
+func observeHop(m *obs.Metrics, audit *obs.Audit, h *hop.Hop, ins []*matrix.Matrix, out *matrix.Matrix, d time.Duration) {
+	actualFlops := ActualFlops(h, ins, out)
 	m.Inc("exec.ops")
 	m.ObserveDuration("op."+h.Kind.String(), d)
 	m.Add("exec.est.flops", int64(EstFlops(h)))
 	m.Add("exec.est.bytes", h.OutputSizeBytes())
+	m.Add("exec.actual.flops", int64(actualFlops))
 	if out != nil {
 		m.Add("exec.actual.bytes", out.SizeBytes())
 	}
@@ -115,6 +144,78 @@ func observeHop(m *obs.Metrics, h *hop.Hop, out *matrix.Matrix, d time.Duration)
 	if h.ExecType == hop.ExecDist {
 		m.Inc("exec.dist.ops")
 	}
+	if audit != nil && h.PredSec > 0 {
+		var actualBytes int64
+		for _, in := range ins {
+			actualBytes += in.SizeBytes()
+		}
+		if out != nil {
+			actualBytes += out.SizeBytes()
+		}
+		audit.Record(obs.AuditEntry{
+			Op:          h.String(),
+			Template:    h.SpoofType,
+			PredSec:     h.PredSec,
+			PredFlops:   h.PredFlops,
+			PredBytes:   h.PredBytes,
+			ActualSec:   d.Seconds(),
+			ActualFlops: actualFlops,
+			ActualBytes: actualBytes,
+		})
+	}
+}
+
+// storedCells returns the number of stored entries of a matrix — the cells
+// a sparse-aware kernel actually touches — without triggering a dense
+// non-zero scan.
+func storedCells(m *matrix.Matrix) float64 {
+	if m == nil {
+		return 0
+	}
+	if m.IsSparse() {
+		return float64(len(m.Sparse().Values))
+	}
+	return float64(m.Rows) * float64(m.Cols)
+}
+
+// ActualFlops measures the data-touch work of one executed operator from
+// its realized inputs and output. Unlike EstFlops (the static estimate
+// from size metadata), it reflects the kernel's actual iteration strategy:
+// sparse non-zero iteration counts stored entries, dense scans count
+// cells. Fused operators dispatch to per-skeleton work measures.
+func ActualFlops(h *hop.Hop, ins []*matrix.Matrix, out *matrix.Matrix) float64 {
+	if h.Kind == hop.OpSpoof {
+		op, ok := h.Spoof.(*cplan.Operator)
+		if !ok || len(ins) == 0 {
+			return 0
+		}
+		switch op.Plan.Type {
+		case cplan.TemplateCell:
+			return workCellwise(op, ins[0])
+		case cplan.TemplateMAgg:
+			return workMAgg(op, ins[0])
+		case cplan.TemplateRow:
+			return workRowwise(op, ins[0])
+		case cplan.TemplateOuter:
+			return workOuter(op, ins[0])
+		}
+		return 0
+	}
+	switch h.Kind {
+	case hop.OpBinary, hop.OpUnary, hop.OpCumsum:
+		return storedCells(out)
+	case hop.OpAggUnary, hop.OpRowIndexMax:
+		if len(ins) > 0 {
+			return storedCells(ins[0])
+		}
+	case hop.OpMatMult:
+		if len(ins) == 2 {
+			return 2 * storedCells(ins[0]) * float64(ins[1].Cols)
+		}
+	case hop.OpTranspose, hop.OpIndex, hop.OpCBind, hop.OpRBind, hop.OpDiag:
+		return storedCells(out)
+	}
+	return 0
 }
 
 // EstFlops is the analytical floating-point-operation estimate of one
@@ -141,7 +242,7 @@ func EstFlops(h *hop.Hop) float64 {
 	return 0
 }
 
-func evalHop(h *hop.Hop, cache map[int64]*matrix.Matrix, env Env, opts Options, stop StopFn) (*matrix.Matrix, error) {
+func gatherInputs(h *hop.Hop, cache map[int64]*matrix.Matrix) ([]*matrix.Matrix, error) {
 	ins := make([]*matrix.Matrix, len(h.Inputs))
 	for i, in := range h.Inputs {
 		m, ok := cache[in.ID]
@@ -150,8 +251,12 @@ func evalHop(h *hop.Hop, cache map[int64]*matrix.Matrix, env Env, opts Options, 
 		}
 		ins[i] = m
 	}
+	return ins, nil
+}
+
+func evalHop(h *hop.Hop, ins []*matrix.Matrix, env Env, opts Options, stop StopFn, sp obs.Span) (*matrix.Matrix, error) {
 	if h.ExecType == hop.ExecDist && opts.Dist != nil {
-		if m, ok := opts.Dist.ExecHop(h, ins); ok {
+		if m, ok := opts.Dist.ExecHop(h, ins, sp); ok {
 			return m, nil
 		}
 	}

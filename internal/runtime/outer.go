@@ -15,6 +15,19 @@ func ExecOuter(op *cplan.Operator, x, u, v *matrix.Matrix, sides []*matrix.Matri
 	return execOuter(op, x, u, v, sides, nil)
 }
 
+// workOuter measures the data-touch work of one Outer invocation: the
+// driver cells the skeleton visits (non-zeros when sparse-safe) times the
+// per-cell cost of the rank-r dot product plus the genexec body. Feeds the
+// cost-audit ledger.
+func workOuter(op *cplan.Operator, x *matrix.Matrix) float64 {
+	p := op.Plan
+	visited := float64(x.Rows) * float64(x.Cols)
+	if p.SparseSafe && x.IsSparse() {
+		visited = storedCells(x)
+	}
+	return visited * float64(p.OuterRank+p.NumNodes())
+}
+
 func execOuter(op *cplan.Operator, x, u, v *matrix.Matrix, sides []*matrix.Matrix, stop StopFn) *matrix.Matrix {
 	p := op.Plan
 	ud, vd := u.ToDense().Dense(), v.ToDense().Dense()

@@ -16,6 +16,19 @@ func ExecRowwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix
 	return execRowwise(op, main, sides, nil)
 }
 
+// workRowwise measures the data-touch work of one Row invocation: the
+// main-input elements the row program streams (stored entries when it
+// executes directly over sparse rows, all cells otherwise) times the
+// instruction count applied per element. Feeds the cost-audit ledger.
+func workRowwise(op *cplan.Operator, main *matrix.Matrix) float64 {
+	prog := op.RowProg
+	elems := float64(main.Rows) * float64(main.Cols)
+	if main.IsSparse() && prog.MainSparseCapable() {
+		elems = storedCells(main)
+	}
+	return elems * float64(len(prog.Instrs))
+}
+
 func execRowwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix, stop StopFn) *matrix.Matrix {
 	prog := op.RowProg
 	sides = densifyMatMulSides(prog, sides)

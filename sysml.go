@@ -163,9 +163,41 @@ type WriterSink = obs.WriterSink
 // IncludeSpans on the result to also print phase trace spans.
 func NewWriterSink(w io.Writer) *WriterSink { return obs.NewWriterSink(w) }
 
+// MultiSink fans observability events out to several sinks; use it to
+// combine e.g. a WriterSink for explain output with a TraceSink.
+type MultiSink = obs.MultiSink
+
+// TraceSink buffers a run's hierarchical trace spans and exports them as
+// Chrome trace-event JSON loadable in chrome://tracing or Perfetto; see
+// NewTraceSink.
+type TraceSink = obs.TraceSink
+
+// NewTraceSink returns an empty TraceSink. Attach it via WithSink, run
+// scripts, then call WriteFile (or WriteTo) to export the trace:
+//
+//	ts := sysml.NewTraceSink()
+//	s := sysml.NewSession(sysml.WithSink(ts))
+//	_ = s.Run(script)
+//	_ = ts.WriteFile("trace.json")
+func NewTraceSink() *TraceSink { return obs.NewTraceSink() }
+
 // MetricsSnapshot is a point-in-time copy of a session's metrics
 // (counters, gauges, histograms); returned by Session.Metrics.
 type MetricsSnapshot = obs.Snapshot
+
+// CostAuditSummary reports the optimizer's predicted cost against measured
+// execution per fused-operator template; returned by Session.CostAudit.
+type CostAuditSummary = obs.AuditSummary
+
+// ObsServer is a live metrics HTTP server started by Serve.
+type ObsServer = obs.Server
+
+// Serve starts an HTTP server on addr (e.g. "localhost:9090", or
+// "127.0.0.1:0" for an ephemeral port) exposing the session's live
+// observability state as JSON: /metrics (full snapshot), /audit
+// (cost-audit summary), /plancache (plan-cache statistics), /healthz.
+// Close the returned server to stop it.
+func Serve(addr string, s *Session) (*ObsServer, error) { return obs.Serve(addr, s) }
 
 // Typed errors returned by sessions: match with errors.As for field
 // access, or errors.Is against a zero value for class-level tests, e.g.
