@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI gate for the sysml repo: static checks, full test suite under the race
+# detector, and the kernel performance gates (BENCH_kernels.json must report
+# "pass": true).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== kernel gates (fusebench -exp kernels) =="
+go run ./cmd/fusebench -exp kernels
+if ! grep -q '"pass": true' BENCH_kernels.json; then
+  echo "FAIL: BENCH_kernels.json gates did not pass" >&2
+  cat BENCH_kernels.json >&2
+  exit 1
+fi
+echo "OK: all CI gates passed"

@@ -25,6 +25,7 @@ import (
 	"sysml/internal/bench"
 	"sysml/internal/codegen"
 	"sysml/internal/dml"
+	"sysml/internal/matrix"
 	"sysml/internal/obs"
 )
 
@@ -70,6 +71,7 @@ func main() {
 	if len(sinks) > 0 {
 		s.Sink = sinks
 	}
+	poolBefore := matrix.PoolStats()
 	if err := s.Run(string(src)); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -86,6 +88,7 @@ func main() {
 	}
 	if *explain {
 		printPhases(s.Metrics())
+		printPool(poolBefore, matrix.PoolStats())
 	}
 	if *stats {
 		st := s.Stats
@@ -96,6 +99,22 @@ func main() {
 	if *metrics {
 		fmt.Print(s.Metrics())
 	}
+}
+
+// printPool writes the buffer-pool delta over the run: how many
+// intermediate allocations the lineage refcounting turned into recycled
+// buffers.
+func printPool(before, after matrix.PoolUsage) {
+	gets, hits, puts := after.Gets-before.Gets, after.Hits-before.Hits, after.Puts-before.Puts
+	recycled := after.BytesRecycled - before.BytesRecycled
+	rate := 0.0
+	if gets > 0 {
+		rate = 100 * float64(hits) / float64(gets)
+	}
+	fmt.Fprintln(os.Stderr, "# buffer pool")
+	fmt.Fprintf(os.Stderr, "  pooled allocations: %d (hits %d, misses %d)\n", gets, hits, gets-hits)
+	fmt.Fprintf(os.Stderr, "  buffers returned:   %d\n", puts)
+	fmt.Fprintf(os.Stderr, "  bytes recycled:     %d (hit rate %.1f%%)\n", recycled, rate)
 }
 
 // printPhases writes the compile/optimize/execute wall-time breakdown

@@ -1,0 +1,232 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"sysml/internal/codegen"
+	"sysml/internal/dml"
+	"sysml/internal/matrix"
+	"sysml/internal/par"
+	"sysml/internal/vector"
+)
+
+// kernelsFile is the JSON artifact Kernels writes next to the harness
+// output; CI gates on its "pass" field.
+const kernelsFile = "BENCH_kernels.json"
+
+// Kernel-gate thresholds.
+const (
+	// tsmmMinSpeedup: TSMM with 8 workers must beat the retained pre-overhaul
+	// sequential kernel by at least this factor (from rank-4 register
+	// blocking plus parallel partial triangles).
+	tsmmMinSpeedup = 2.0
+
+	// allocMinReductionPct: the pooled executor must cut allocated bytes on
+	// the cellwise microbench by at least this much.
+	allocMinReductionPct = 50.0
+
+	// mmMaxRegressionPct: the blocked dense matmult may not regress the
+	// single-worker case by more than this vs the pre-overhaul row-at-a-time
+	// kernel.
+	mmMaxRegressionPct = 2.0
+)
+
+// KernelsResult is the serialized outcome of the kernel-overhaul gates.
+type KernelsResult struct {
+	TSMMSeqMS      float64 `json:"tsmm_seq_ms"`       // pre-overhaul sequential reference
+	TSMM8MS        float64 `json:"tsmm_8workers_ms"`  // new kernel, 8 workers
+	TSMMSpeedup    float64 `json:"tsmm_speedup"`      // seq / 8-workers
+	TSMMPass       bool    `json:"tsmm_pass"`         // speedup >= 2.0
+	AllocUnpooledB int64   `json:"alloc_unpooled_bytes"`
+	AllocPooledB   int64   `json:"alloc_pooled_bytes"`
+	AllocReduction float64 `json:"alloc_reduction_pct"`
+	AllocPass      bool    `json:"alloc_pass"` // reduction >= 50%
+	MMRefMS        float64 `json:"mm_ref_ms"`  // pre-overhaul row-at-a-time kernel
+	MMNewMS        float64 `json:"mm_new_ms"`  // blocked kernel, 1 worker
+	MMRegression   float64 `json:"mm_regression_pct"`
+	MMPass         bool    `json:"mm_pass"` // regression < 2%
+	Pass           bool    `json:"pass"`
+}
+
+// tsmmSeqReference is the pre-overhaul TSMM retained as the benchmark
+// baseline: a single-threaded row-at-a-time upper-triangle accumulation
+// (one load and store of each output element per multiply).
+func tsmmSeqReference(x *matrix.Matrix) *matrix.Matrix {
+	xd := x.Dense()
+	m, n := x.Rows, x.Cols
+	out := matrix.NewDense(n, n)
+	od := out.Dense()
+	for r := 0; r < m; r++ {
+		off := r * n
+		for i := 0; i < n; i++ {
+			v := xd[off+i]
+			if v == 0 {
+				continue
+			}
+			vector.MultAdd(xd, v, od, off+i, i*n+i, n-i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			od[j*n+i] = od[i*n+j]
+		}
+	}
+	return out
+}
+
+// mmSeqReference is the pre-overhaul dense matmult retained as the
+// benchmark baseline: an unblocked ikj loop over rows of A (no k/n tiling,
+// no rank-4 unrolling), run single-threaded.
+func mmSeqReference(a, b *matrix.Matrix) *matrix.Matrix {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	out := matrix.NewDense(m, n)
+	ad, bd, cd := a.Dense(), b.Dense(), out.Dense()
+	for i := 0; i < m; i++ {
+		ai, ci := i*k, i*n
+		for kk := 0; kk < k; kk++ {
+			vector.MultAdd(bd, ad[ai+kk], cd, kk*n, ci, n)
+		}
+	}
+	return out
+}
+
+// minTime returns the minimum wall time of fn over reps runs (after one
+// warmup); the minimum is far more stable than a mean on shared machines.
+func minTime(reps int, fn func()) time.Duration {
+	fn()
+	best := time.Duration(1 << 62)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		fn()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Kernels measures the kernel-and-memory overhaul against retained
+// pre-overhaul baselines and writes BENCH_kernels.json:
+//
+//  1. TSMM: new rank-4 blocked parallel kernel at 8 workers vs the
+//     sequential row-at-a-time reference (gate: >= 2x).
+//  2. Allocation: bytes allocated by an iterative base-mode (unfused)
+//     cellwise workload with the buffer pool on vs off (gate: >= 50% cut —
+//     the lineage-aware executor recycles every dead intermediate).
+//  3. Dense matmult, single worker: blocked kernel vs unblocked reference
+//     (gate: < 2% regression; blocking should win outright).
+func Kernels(o Options) *Table {
+	reps := o.Reps
+	if reps < 3 {
+		reps = 3
+	}
+
+	// --- Gate 1: TSMM, 8 workers vs sequential reference. ---
+	x := matrix.Rand(o.rows(2000), 200, 1, -1, 1, 1)
+	oldProcs := runtime.GOMAXPROCS(8)
+	oldWorkers := par.SetMaxWorkers(8)
+	tsmmNew := minTime(reps, func() { matrix.TSMM(x).Release() })
+	par.SetMaxWorkers(1)
+	tsmmSeq := minTime(reps, func() { tsmmSeqReference(x).Release() })
+	tsmmSpeedup := float64(tsmmSeq) / float64(tsmmNew)
+
+	// --- Gate 2: allocation reduction on the cellwise microbench. ---
+	// Base mode materializes every intermediate of sum(X*Y*Z), which the
+	// lineage-refcounting executor can recycle the moment its consumer runs.
+	par.SetMaxWorkers(8)
+	allocSession := func() func() {
+		cfg := codegen.DefaultConfig()
+		cfg.Mode = codegen.ModeBase
+		s := dml.NewSession(cfg)
+		s.Out = io.Discard
+		s.Bind("X", matrix.Rand(o.rows(2000), 100, 1, -1, 1, 2))
+		s.Bind("Y", matrix.Rand(o.rows(2000), 100, 1, -1, 1, 3))
+		s.Bind("Z", matrix.Rand(o.rows(2000), 100, 1, -1, 1, 4))
+		return func() {
+			if err := s.Run(`s = sum(X * Y * Z)`); err != nil {
+				panic(fmt.Sprintf("kernels bench failed: %v", err))
+			}
+		}
+	}
+	measureAlloc := func(pooled bool) int64 {
+		old := matrix.SetPoolEnabled(pooled)
+		defer matrix.SetPoolEnabled(old)
+		run := allocSession()
+		run() // warm: parse caches, pool population
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for i := 0; i < 10; i++ {
+			run()
+		}
+		runtime.ReadMemStats(&after)
+		return int64(after.TotalAlloc - before.TotalAlloc)
+	}
+	allocUnpooled := measureAlloc(false)
+	allocPooled := measureAlloc(true)
+	allocReduction := 0.0
+	if allocUnpooled > 0 {
+		allocReduction = 100 * float64(allocUnpooled-allocPooled) / float64(allocUnpooled)
+	}
+
+	// --- Gate 3: single-worker dense matmult, blocked vs reference. ---
+	par.SetMaxWorkers(1)
+	a := matrix.Rand(256, 256, 1, -1, 1, 5)
+	b := matrix.Rand(256, 256, 1, -1, 1, 6)
+	// Interleaved minimums: scheduler noise hits both variants alike.
+	mmRef, mmNew := time.Duration(1<<62), time.Duration(1<<62)
+	matrix.MatMult(a, b).Release()
+	mmSeqReference(a, b).Release()
+	for i := 0; i < reps*3; i++ {
+		start := time.Now()
+		matrix.MatMult(a, b).Release()
+		if d := time.Since(start); d < mmNew {
+			mmNew = d
+		}
+		start = time.Now()
+		mmSeqReference(a, b).Release()
+		if d := time.Since(start); d < mmRef {
+			mmRef = d
+		}
+	}
+	mmRegression := 100 * (float64(mmNew) - float64(mmRef)) / float64(mmRef)
+	par.SetMaxWorkers(oldWorkers)
+	runtime.GOMAXPROCS(oldProcs)
+
+	res := KernelsResult{
+		TSMMSeqMS:      float64(tsmmSeq.Nanoseconds()) / 1e6,
+		TSMM8MS:        float64(tsmmNew.Nanoseconds()) / 1e6,
+		TSMMSpeedup:    tsmmSpeedup,
+		TSMMPass:       tsmmSpeedup >= tsmmMinSpeedup,
+		AllocUnpooledB: allocUnpooled,
+		AllocPooledB:   allocPooled,
+		AllocReduction: allocReduction,
+		AllocPass:      allocReduction >= allocMinReductionPct,
+		MMRefMS:        float64(mmRef.Nanoseconds()) / 1e6,
+		MMNewMS:        float64(mmNew.Nanoseconds()) / 1e6,
+		MMRegression:   mmRegression,
+		MMPass:         mmRegression < mmMaxRegressionPct,
+	}
+	res.Pass = res.TSMMPass && res.AllocPass && res.MMPass
+	if data, err := json.MarshalIndent(res, "", "  "); err == nil {
+		if err := os.WriteFile(kernelsFile, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(o.Out, "kernels: cannot write %s: %v\n", kernelsFile, err)
+		}
+	}
+
+	t := &Table{
+		Title:   "Kernel overhaul gates: TSMM speedup, pooled allocations, matmult regression",
+		Columns: []string{"gate", "baseline", "new", "delta", "pass"},
+	}
+	t.Add("tsmm 8w vs seq", ms(tsmmSeq), ms(tsmmNew),
+		fmt.Sprintf("%.2fx (need >=%.1fx)", tsmmSpeedup, tsmmMinSpeedup), fmt.Sprintf("%v", res.TSMMPass))
+	t.Add("alloc bytes (pool)", fmt.Sprintf("%d", allocUnpooled), fmt.Sprintf("%d", allocPooled),
+		fmt.Sprintf("-%.1f%% (need >=%.0f%%)", allocReduction, allocMinReductionPct), fmt.Sprintf("%v", res.AllocPass))
+	t.Add("matmult 1w", ms(mmRef), ms(mmNew),
+		fmt.Sprintf("%+.2f%% (limit <%.0f%%)", mmRegression, mmMaxRegressionPct), fmt.Sprintf("%v", res.MMPass))
+	return t
+}

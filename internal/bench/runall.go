@@ -68,6 +68,9 @@ var Experiments = []struct {
 	{"obsoverhead", "Observability overhead: instrumented vs stripped session (emits BENCH_obs_overhead.json)", func(o Options) {
 		ObsOverhead(o).Print(o.Out)
 	}},
+	{"kernels", "Kernel overhaul gates: TSMM speedup, buffer-pool allocations, matmult regression (emits BENCH_kernels.json)", func(o Options) {
+		Kernels(o).Print(o.Out)
+	}},
 }
 
 // RunAll executes every experiment.

@@ -1,6 +1,8 @@
 package cplan
 
 import (
+	"sync"
+
 	"sysml/internal/matrix"
 	"sysml/internal/vector"
 )
@@ -21,6 +23,10 @@ type CellVecProgram struct {
 	// ChunkSides lists side indexes loaded as flat chunks (they must be
 	// dense and main-shaped at execution time).
 	ChunkSides []int
+
+	// bufPool recycles chunk registers across invocations (see
+	// RowProgram.GetBuf).
+	bufPool sync.Pool
 }
 
 // ChunkLen is the number of cells processed per vectorized step.
@@ -150,6 +156,24 @@ func (p *CellVecProgram) NewBuf() *CellVecBuf {
 		b.buf.Vec[i] = make([]float64, ChunkLen)
 	}
 	return b
+}
+
+// GetBuf returns chunk registers from the per-program recycling pool.
+func (p *CellVecProgram) GetBuf() *CellVecBuf {
+	if b, ok := p.bufPool.Get().(*CellVecBuf); ok {
+		return b
+	}
+	return p.NewBuf()
+}
+
+// PutBuf parks chunk registers for reuse, dropping the main-chunk view
+// (register 0) so the pool does not pin the input matrix.
+func (p *CellVecProgram) PutBuf(b *CellVecBuf) {
+	if b == nil {
+		return
+	}
+	b.buf.Vec[0], b.buf.Off[0] = nil, 0
+	p.bufPool.Put(b)
 }
 
 // Exec evaluates the program over n cells starting at flat offset lo of

@@ -2,6 +2,7 @@ package cplan
 
 import (
 	"fmt"
+	"sync"
 
 	"sysml/internal/matrix"
 	"sysml/internal/vector"
@@ -61,6 +62,12 @@ type RowProgram struct {
 	// LeftReg is the left vector of the ColAggT outer accumulation
 	// (typically register 0, the main row itself).
 	LeftReg int
+
+	// bufPool recycles ring buffers across invocations of this operator:
+	// workers GetBuf at closure entry and PutBuf on exit, so iterative
+	// workloads reuse the same scratch rings instead of reallocating them
+	// every call.
+	bufPool sync.Pool
 }
 
 // MainSparseCapable reports whether the program can execute directly over
@@ -131,6 +138,27 @@ func (p *RowProgram) NewBuf() *RowBuf {
 		b.Vec[i] = make([]float64, w)
 	}
 	return b
+}
+
+// GetBuf returns a ring buffer from the per-program recycling pool,
+// allocating one when none is parked.
+func (p *RowProgram) GetBuf() *RowBuf {
+	if b, ok := p.bufPool.Get().(*RowBuf); ok {
+		return b
+	}
+	return p.NewBuf()
+}
+
+// PutBuf parks a ring buffer for reuse. Views into caller data are cleared
+// first so the pool does not pin input matrices: register 0 aliases the
+// main row and the sparse binding aliases the input CSR.
+func (p *RowProgram) PutBuf(b *RowBuf) {
+	if b == nil {
+		return
+	}
+	b.Vec[0], b.Off[0] = nil, 0
+	b.SparseMain, b.SparseVals, b.SparseIdx = false, nil, nil
+	p.bufPool.Put(b)
 }
 
 // ExecRow runs the program for one row. main is a dense view of the row at

@@ -145,15 +145,29 @@ func (s *Session) Explain(script string) (string, error) {
 		Audit:  obs.NewAudit(),
 		Sink:   col,
 	}
+	before := matrix.PoolStats()
 	if err := shadow.Run(script); err != nil {
 		return "", err
 	}
+	after := matrix.PoolStats()
 	var b strings.Builder
 	for _, e := range col.Events() {
 		if e.Kind == obs.EventExplain {
 			b.WriteString(e.Text)
 		}
 	}
+	// Buffer-pool lifecycle over the shadow run: how many intermediate
+	// allocations the lineage refcounting turned into recycled buffers.
+	gets, hits, puts := after.Gets-before.Gets, after.Hits-before.Hits, after.Puts-before.Puts
+	recycled := after.BytesRecycled - before.BytesRecycled
+	b.WriteString("\nBUFFER POOL (this run)\n")
+	fmt.Fprintf(&b, "  pooled allocations: %d (hits %d, misses %d)\n", gets, hits, gets-hits)
+	fmt.Fprintf(&b, "  buffers returned:   %d\n", puts)
+	rate := 0.0
+	if gets > 0 {
+		rate = float64(hits) / float64(gets) * 100
+	}
+	fmt.Fprintf(&b, "  bytes recycled:     %d (hit rate %.1f%%)\n", recycled, rate)
 	return b.String(), nil
 }
 
@@ -198,6 +212,14 @@ func (s *Session) Metrics() obs.Snapshot {
 	snap.Counters["par.goroutines"] = u.Goroutines
 	snap.Counters["par.sequential"] = u.Sequential
 	snap.Gauges["par.utilization"] = u.Utilization(par.MaxWorkers())
+	pu := matrix.PoolStats()
+	snap.Counters["pool.gets"] = pu.Gets
+	snap.Counters["pool.hits"] = pu.Hits
+	snap.Counters["pool.misses"] = pu.Misses
+	snap.Counters["pool.puts"] = pu.Puts
+	snap.Counters["pool.bytes.recycled"] = pu.BytesRecycled
+	snap.Gauges["pool.hitrate"] = pu.HitRate()
+	snap.Gauges["pool.bytes.parked"] = float64(pu.BytesParked)
 	if d, ok := s.Dist.(distStats); ok {
 		snap.Counters["dist.bytes.broadcast"] = d.BytesBroadcast()
 		snap.Counters["dist.bytes.shuffled"] = d.BytesShuffled()

@@ -16,15 +16,17 @@ import (
 var (
 	costRe  = regexp.MustCompile(`estimated cost: [0-9.e+-]+`)
 	classRe = regexp.MustCompile(`TMP\d+`)
+	poolRe  = regexp.MustCompile(`(?s)\nBUFFER POOL \(this run\)\n.*$`)
 )
 
-// normalizeExplain strips the two non-deterministic parts of an EXPLAIN
+// normalizeExplain strips the non-deterministic parts of an EXPLAIN
 // report: analytical cost values (stable for a fixed config but tied to
-// cost-model constants) and compiled class names (a process-global
-// counter).
+// cost-model constants), compiled class names (a process-global counter),
+// and the buffer-pool section (counters depend on process-wide pool state).
 func normalizeExplain(s string) string {
 	s = costRe.ReplaceAllString(s, "estimated cost: #")
 	s = classRe.ReplaceAllString(s, "TMP#")
+	s = poolRe.ReplaceAllString(s, "")
 	return s
 }
 
@@ -64,6 +66,22 @@ hops after fusion:
 `
 	if got := normalizeExplain(text); got != want {
 		t.Errorf("explain mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestExplainBufferPoolSection checks that EXPLAIN reports the buffer-pool
+// lifecycle of the run it shadows.
+func TestExplainBufferPoolSection(t *testing.T) {
+	s := NewSession(codegen.DefaultConfig())
+	s.Bind("X", matrix.Rand(500, 100, 1, -1, 1, 7))
+	text, err := s.Explain("Y = X * 2\nZ = Y + 1\nq = sum(Z %*% t(Z))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"BUFFER POOL (this run)", "pooled allocations:", "buffers returned:", "bytes recycled:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("explain output missing %q:\n%s", want, text)
+		}
 	}
 }
 

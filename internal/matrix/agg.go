@@ -39,16 +39,15 @@ func aggAll(op AggOp, a *Matrix) float64 {
 				s = vector.Sum(vals, 0, len(vals))
 			}
 		} else {
-			nc, size := par.Chunks(len(a.dense), 4096)
+			nc, _ := par.Chunks(len(a.dense), 4096)
 			partial := make([]float64, nc)
 			par.ForIndexed(len(a.dense), 4096, func(w, lo, hi int) {
 				if op == AggSumSq {
-					partial[w] = vector.SumSq(a.dense, lo, hi-lo)
+					partial[w] += vector.SumSq(a.dense, lo, hi-lo)
 				} else {
-					partial[w] = vector.Sum(a.dense, lo, hi-lo)
+					partial[w] += vector.Sum(a.dense, lo, hi-lo)
 				}
 			})
-			_ = size
 			s = vector.Sum(partial, 0, len(partial))
 		}
 		if op == AggMean {

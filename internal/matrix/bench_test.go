@@ -1,0 +1,98 @@
+package matrix
+
+import (
+	"testing"
+
+	"sysml/internal/par"
+)
+
+// Microbenchmarks for the matrix-multiplication kernels and the buffer
+// pool. Run with:
+//
+//	go test ./internal/matrix -bench . -benchmem
+func benchRand(rows, cols int, sparsity float64, seed int64) *Matrix {
+	return Rand(rows, cols, sparsity, -1, 1, seed)
+}
+
+func BenchmarkMatMultDenseDense(b *testing.B) {
+	x := benchRand(256, 256, 1, 1)
+	y := benchRand(256, 256, 1, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMult(x, y).Release()
+	}
+}
+
+func BenchmarkMatMultDenseDenseSingleWorker(b *testing.B) {
+	old := par.SetMaxWorkers(1)
+	defer par.SetMaxWorkers(old)
+	x := benchRand(256, 256, 1, 1)
+	y := benchRand(256, 256, 1, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMult(x, y).Release()
+	}
+}
+
+func BenchmarkMatMultSparseDense(b *testing.B) {
+	x := benchRand(512, 256, 0.05, 1).ToSparse()
+	y := benchRand(256, 128, 1, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMult(x, y).Release()
+	}
+}
+
+func BenchmarkMatMultSparseSparse(b *testing.B) {
+	x := benchRand(512, 512, 0.01, 1).ToSparse()
+	y := benchRand(512, 512, 0.01, 2).ToSparse()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMult(x, y).Release()
+	}
+}
+
+func BenchmarkTSMM(b *testing.B) {
+	x := benchRand(2000, 200, 1, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TSMM(x).Release()
+	}
+}
+
+func BenchmarkTSMMSparse(b *testing.B) {
+	x := benchRand(2000, 200, 0.05, 1).ToSparse()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TSMM(x).Release()
+	}
+}
+
+// BenchmarkNewDensePooled / Unpooled isolate the buffer pool: an
+// allocate-release cycle of a 512×512 matrix hits the free list when the
+// pool is on and the Go allocator when it is off.
+func BenchmarkNewDensePooled(b *testing.B) {
+	old := SetPoolEnabled(true)
+	defer SetPoolEnabled(old)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewDense(512, 512).Release()
+	}
+}
+
+func BenchmarkNewDenseUnpooled(b *testing.B) {
+	old := SetPoolEnabled(false)
+	defer SetPoolEnabled(old)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewDense(512, 512).Release()
+	}
+}

@@ -2,18 +2,55 @@ package matrix
 
 import (
 	"fmt"
+	"math"
+	"sort"
+	"sync"
 
 	"sysml/internal/par"
 	"sysml/internal/vector"
 )
 
+// Matrix-multiplication kernel dispatch thresholds. Representation choice
+// (dense vs. CSR input kernels) follows the inputs; only the sparse×sparse
+// product chooses its own output format, via spspOutputSparseThreshold.
+const (
+	// mmNarrowCols: below this output width, inline scalar accumulation
+	// beats per-row vector-primitive calls (call overhead dominates).
+	mmNarrowCols = 8
+
+	// mmRowGrain is the minimum number of output rows per parallel chunk
+	// for the dense and sparse-input kernels.
+	mmRowGrain = 8
+
+	// mmKTile and mmNTile are the cache-blocking tile sizes of the dense
+	// kernel: the inner loops touch a kTile×nTile panel of B (128×1024
+	// doubles = 1 MB, sized for L2) while streaming rows of A and C.
+	mmKTile = 128
+	mmNTile = 1024
+
+	// spspOutputSparseThreshold: a sparse×sparse product whose estimated
+	// output sparsity is below this builds a CSR result directly (avoiding
+	// a dense rows×cols allocation); denser products accumulate into a
+	// dense output. Deliberately below SparsityThreshold so borderline
+	// products stay dense (matrix products densify quickly).
+	spspOutputSparseThreshold = 0.1
+
+	// spspOutputSparseMinCols: tiny outputs always stay dense — CSR
+	// overhead only pays off with enough columns per row.
+	spspOutputSparseMinCols = 64
+)
+
 // MatMult computes C = A %*% B, dispatching on representations. Dense×dense
-// uses a cache-blocked ikj loop parallelized over row blocks; sparse left
-// inputs iterate nonzeros per row. The output is dense (matrix products of
-// sparse inputs are typically much denser than their inputs).
+// runs a cache-blocked (k- and n-tiled) rank-4 ikj loop parallelized over
+// row blocks; sparse left inputs iterate nonzeros per row. The output is
+// dense except for very sparse sparse×sparse products, which build CSR
+// directly (see spspOutputSparseThreshold).
 func MatMult(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("matrix: matmult shape mismatch %dx%d x %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if a.IsSparse() && b.IsSparse() {
+		return matMultSparseSparse(a, b)
 	}
 	out := NewDense(a.Rows, b.Cols)
 	switch {
@@ -21,10 +58,8 @@ func MatMult(a, b *Matrix) *Matrix {
 		matMultDenseDense(a, b, out)
 	case a.IsSparse() && !b.IsSparse():
 		matMultSparseDense(a, b, out)
-	case !a.IsSparse() && b.IsSparse():
-		matMultDenseSparse(a, b, out)
 	default:
-		matMultSparseSparse(a, b, out)
+		matMultDenseSparse(a, b, out)
 	}
 	return out
 }
@@ -41,9 +76,9 @@ func matMultDenseDense(a, b, c *Matrix) {
 		})
 		return
 	}
-	if n < 8 {
+	if n < mmNarrowCols {
 		// Narrow outputs: inline accumulation beats per-row primitive calls.
-		par.For(m, 8, func(lo, hi int) {
+		par.For(m, mmRowGrain, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				ci := i * n
 				ai := i * k
@@ -61,12 +96,35 @@ func matMultDenseDense(a, b, c *Matrix) {
 		})
 		return
 	}
-	par.For(m, 8, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ci := i * n
-			ai := i * k
-			for kk := 0; kk < k; kk++ {
-				vector.MultAdd(bd, ad[ai+kk], cd, kk*n, ci, n)
+	// Cache-blocked ikj: tile over k (mmKTile) and n (mmNTile) so the inner
+	// loops reuse an L2-resident panel of B across the rows of the chunk,
+	// and unroll k by 4 (MultAdd4) so each C element is loaded and stored
+	// once per four multiplies.
+	par.For(m, mmRowGrain, func(lo, hi int) {
+		for jj := 0; jj < n; jj += mmNTile {
+			jn := n - jj
+			if jn > mmNTile {
+				jn = mmNTile
+			}
+			for kk := 0; kk < k; kk += mmKTile {
+				kmax := kk + mmKTile
+				if kmax > k {
+					kmax = k
+				}
+				for i := lo; i < hi; i++ {
+					ai := i * k
+					ci := i*n + jj
+					k4 := kk
+					for ; k4+4 <= kmax; k4 += 4 {
+						vector.MultAdd4(bd,
+							ad[ai+k4], ad[ai+k4+1], ad[ai+k4+2], ad[ai+k4+3],
+							cd, k4*n+jj, (k4+1)*n+jj, (k4+2)*n+jj, (k4+3)*n+jj,
+							ci, jn)
+					}
+					for ; k4 < kmax; k4++ {
+						vector.MultAdd(bd, ad[ai+k4], cd, k4*n+jj, ci, jn)
+					}
+				}
 			}
 		}
 	})
@@ -84,7 +142,7 @@ func matMultSparseDense(a, b, c *Matrix) {
 		})
 		return
 	}
-	par.For(a.Rows, 8, func(lo, hi int) {
+	par.For(a.Rows, mmRowGrain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			vals, cols := as.Row(i)
 			ci := i * n
@@ -98,7 +156,7 @@ func matMultSparseDense(a, b, c *Matrix) {
 func matMultDenseSparse(a, b, c *Matrix) {
 	m, k, n := a.Rows, a.Cols, b.Cols
 	ad, bs, cd := a.dense, b.sparse, c.dense
-	par.For(m, 8, func(lo, hi int) {
+	par.For(m, mmRowGrain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			ai, ci := i*k, i*n
 			for kk := 0; kk < k; kk++ {
@@ -115,10 +173,23 @@ func matMultDenseSparse(a, b, c *Matrix) {
 	})
 }
 
-func matMultSparseSparse(a, b, c *Matrix) {
+// estProductSparsity estimates the output sparsity of A %*% B under the
+// standard independence assumption (Boehm et al., metadata propagation):
+// P[c_ij != 0] = 1 - (1 - spA*spB)^k.
+func estProductSparsity(a, b *Matrix) float64 {
+	spA := float64(a.sparse.Nnz()) / (float64(a.Rows) * float64(a.Cols))
+	spB := float64(b.sparse.Nnz()) / (float64(b.Rows) * float64(b.Cols))
+	return 1 - math.Pow(1-spA*spB, float64(a.Cols))
+}
+
+func matMultSparseSparse(a, b *Matrix) *Matrix {
 	n := b.Cols
-	as, bs, cd := a.sparse, b.sparse, c.dense
-	par.For(a.Rows, 8, func(lo, hi int) {
+	if n >= spspOutputSparseMinCols && estProductSparsity(a, b) < spspOutputSparseThreshold {
+		return matMultSparseSparseSparseOut(a, b)
+	}
+	out := NewDense(a.Rows, n)
+	as, bs, cd := a.sparse, b.sparse, out.dense
+	par.For(a.Rows, mmRowGrain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			avals, acols := as.Row(i)
 			ci := i * n
@@ -131,41 +202,219 @@ func matMultSparseSparse(a, b, c *Matrix) {
 			}
 		}
 	})
+	return out
 }
 
-// TSMM computes t(X) %*% X exploiting symmetry of the result.
+// spa is a per-worker sparse accumulator (dense row accumulator with a
+// touched-column list and per-row generation marks), reused across all
+// chunks a worker claims.
+type spa struct {
+	acc     []float64
+	mark    []int
+	touched []int
+}
+
+func newSPA(n int) *spa {
+	s := &spa{acc: PoolGet(n), mark: make([]int, n), touched: make([]int, 0, 256)}
+	for j := range s.mark {
+		s.mark[j] = -1
+	}
+	return s
+}
+
+func (s *spa) release() { PoolPut(s.acc) }
+
+// matMultSparseSparseSparseOut builds a CSR product: each worker scatters
+// B-rows into its dense row accumulator, gathers the touched columns in
+// sorted order, and appends finished rows to a per-chunk CSR fragment; the
+// fragments are stitched in row order at the end.
+func matMultSparseSparseSparseOut(a, b *Matrix) *Matrix {
+	n := b.Cols
+	as, bs := a.sparse, b.sparse
+	type frag struct {
+		lo, hi int
+		rowPtr []int // nnz per row, later prefix-summed globally
+		cols   []int
+		vals   []float64
+	}
+	var mu sync.Mutex
+	var frags []*frag
+	nw, _ := par.Chunks(a.Rows, mmRowGrain)
+	spas := make([]*spa, nw)
+	par.ForIndexed(a.Rows, mmRowGrain, func(w, lo, hi int) {
+		s := spas[w]
+		if s == nil {
+			s = newSPA(n)
+			spas[w] = s
+		}
+		f := &frag{lo: lo, hi: hi, rowPtr: make([]int, 0, hi-lo)}
+		for i := lo; i < hi; i++ {
+			avals, acols := as.Row(i)
+			s.touched = s.touched[:0]
+			for ka, kk := range acols {
+				av := avals[ka]
+				bvals, bcols := bs.Row(kk)
+				for p, j := range bcols {
+					if s.mark[j] != i {
+						s.mark[j] = i
+						s.acc[j] = 0
+						s.touched = append(s.touched, j)
+					}
+					s.acc[j] += av * bvals[p]
+				}
+			}
+			sort.Ints(s.touched)
+			nnz := 0
+			for _, j := range s.touched {
+				if v := s.acc[j]; v != 0 {
+					f.cols = append(f.cols, j)
+					f.vals = append(f.vals, v)
+					nnz++
+				}
+			}
+			f.rowPtr = append(f.rowPtr, nnz)
+		}
+		mu.Lock()
+		frags = append(frags, f)
+		mu.Unlock()
+	})
+	for _, s := range spas {
+		if s != nil {
+			s.release()
+		}
+	}
+	sort.Slice(frags, func(i, j int) bool { return frags[i].lo < frags[j].lo })
+	csr := &CSR{RowPtr: make([]int, a.Rows+1)}
+	total := 0
+	for _, f := range frags {
+		total += len(f.vals)
+	}
+	csr.ColIdx = make([]int, 0, total)
+	csr.Values = make([]float64, 0, total)
+	for _, f := range frags {
+		for r, nnz := range f.rowPtr {
+			csr.RowPtr[f.lo+r+1] = csr.RowPtr[f.lo+r] + nnz
+		}
+		csr.ColIdx = append(csr.ColIdx, f.cols...)
+		csr.Values = append(csr.Values, f.vals...)
+	}
+	return NewSparseCSR(a.Rows, b.Cols, csr)
+}
+
+// TSMM row-blocking parameters.
+const (
+	// tsmmRowGrain is the minimum number of input rows per parallel chunk.
+	tsmmRowGrain = 16
+
+	// tsmmPartialCapBytes caps the total memory spent on per-worker
+	// upper-triangle accumulators; beyond it TSMM runs single-threaded
+	// (the result itself would dominate memory anyway).
+	tsmmPartialCapBytes = 64 << 20
+)
+
+// TSMM computes t(X) %*% X exploiting symmetry of the result: only the
+// upper triangle is accumulated — in parallel into per-worker accumulators
+// drawn from the buffer pool — then reduced and mirrored in parallel.
+// The dense kernel is rank-4 row-blocked (MultAdd4): four input rows per
+// pass over the triangle, so each output element is loaded and stored once
+// per four updates.
 func TSMM(x *Matrix) *Matrix {
 	n := x.Cols
 	out := NewDense(n, n)
 	od := out.dense
-	if x.IsSparse() {
-		xs := x.sparse
-		for i := 0; i < x.Rows; i++ {
-			vals, cols := xs.Row(i)
-			for p, jp := range cols {
-				vp := vals[p]
-				for q := p; q < len(cols); q++ {
-					od[jp*n+cols[q]] += vp * vals[q]
+	nw, _ := par.Chunks(x.Rows, tsmmRowGrain)
+	if nw > 1 && int64(nw)*int64(n)*int64(n)*8 <= tsmmPartialCapBytes {
+		partials := make([][]float64, nw)
+		par.ForIndexed(x.Rows, tsmmRowGrain, func(w, lo, hi int) {
+			part := partials[w]
+			if part == nil {
+				part = PoolGet(n * n)
+				partials[w] = part
+			}
+			tsmmUpper(x, part, lo, hi)
+		})
+		// Reduce per-worker triangles into the output, parallel over rows
+		// (row i owns the triangle segment [i, n)).
+		par.For(n, 32, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				off := i*n + i
+				for _, part := range partials {
+					if part != nil {
+						vector.Add(part, od, off, off, n-i)
+					}
 				}
+			}
+		})
+		for _, part := range partials {
+			if part != nil {
+				PoolPut(part)
 			}
 		}
 	} else {
-		xd := x.dense
-		for i := 0; i < x.Rows; i++ {
-			off := i * n
-			for jp := 0; jp < n; jp++ {
-				vp := xd[off+jp]
-				if vp == 0 {
-					continue
-				}
-				vector.MultAdd(xd, vp, od, off+jp, jp*n+jp, n-jp)
+		tsmmUpper(x, od, 0, x.Rows)
+	}
+	// Mirror the upper triangle, parallel over output rows: row j receives
+	// column j of the triangle above it (disjoint contiguous writes).
+	par.For(n, 64, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			for i := 0; i < j; i++ {
+				od[j*n+i] = od[i*n+j]
 			}
 		}
+	})
+	return out
+}
+
+// tsmmUpper accumulates the upper triangle of t(X[lo:hi]) %*% X[lo:hi]
+// into od (a zeroed or partially accumulated n×n buffer).
+func tsmmUpper(x *Matrix, od []float64, lo, hi int) {
+	n := x.Cols
+	if x.IsSparse() {
+		xs := x.sparse
+		for i := lo; i < hi; i++ {
+			vals, cols := xs.Row(i)
+			for p, jp := range cols {
+				vp := vals[p]
+				off := jp * n
+				for q := p; q < len(cols); q++ {
+					od[off+cols[q]] += vp * vals[q]
+				}
+			}
+		}
+		return
 	}
-	for i := 0; i < n; i++ { // mirror upper triangle
-		for j := i + 1; j < n; j++ {
-			od[j*n+i] = od[i*n+j]
+	xd := x.dense
+	i := lo
+	for ; i+8 <= hi; i += 8 {
+		o0 := i * n
+		o1, o2, o3 := o0+n, o0+2*n, o0+3*n
+		o4, o5, o6, o7 := o0+4*n, o0+5*n, o0+6*n, o0+7*n
+		for jp := 0; jp < n; jp++ {
+			vector.MultAdd8(xd,
+				xd[o0+jp], xd[o1+jp], xd[o2+jp], xd[o3+jp],
+				xd[o4+jp], xd[o5+jp], xd[o6+jp], xd[o7+jp],
+				od, o0+jp, o1+jp, o2+jp, o3+jp, o4+jp, o5+jp, o6+jp, o7+jp,
+				jp*n+jp, n-jp)
 		}
 	}
-	return out
+	for ; i+4 <= hi; i += 4 {
+		o0 := i * n
+		o1, o2, o3 := o0+n, o0+2*n, o0+3*n
+		for jp := 0; jp < n; jp++ {
+			vector.MultAdd4(xd,
+				xd[o0+jp], xd[o1+jp], xd[o2+jp], xd[o3+jp],
+				od, o0+jp, o1+jp, o2+jp, o3+jp,
+				jp*n+jp, n-jp)
+		}
+	}
+	for ; i < hi; i++ {
+		off := i * n
+		for jp := 0; jp < n; jp++ {
+			vp := xd[off+jp]
+			if vp == 0 {
+				continue
+			}
+			vector.MultAdd(xd, vp, od, off+jp, jp*n+jp, n-jp)
+		}
+	}
 }

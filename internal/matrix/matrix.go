@@ -38,13 +38,16 @@ type Matrix struct {
 	Rows, Cols int
 	dense      []float64
 	sparse     *CSR
-	nnzCache   int // 0 unknown, -2 scanned-zero, >0 count; Set invalidates
+	nnzCache   int  // 0 unknown, -2 scanned-zero, >0 count; Set invalidates
+	pooled     bool // dense storage came from the buffer pool (Release recycles it)
 }
 
-// NewDense returns an all-zero dense rows×cols matrix.
+// NewDense returns an all-zero dense rows×cols matrix. Storage is drawn
+// from the buffer pool when a matching buffer is available; Release returns
+// it there.
 func NewDense(rows, cols int) *Matrix {
 	checkDims(rows, cols)
-	return &Matrix{Rows: rows, Cols: cols, dense: make([]float64, rows*cols)}
+	return &Matrix{Rows: rows, Cols: cols, dense: PoolGet(rows * cols), pooled: true}
 }
 
 // NewDenseData wraps an existing row-major backing slice (not copied).
@@ -121,7 +124,7 @@ func (m *Matrix) At(i, j int) float64 {
 func (m *Matrix) Set(i, j int, v float64) {
 	if m.dense == nil {
 		d := m.ToDense()
-		m.dense, m.sparse = d.dense, nil
+		m.dense, m.sparse, m.pooled = d.dense, nil, d.pooled
 	}
 	m.nnzCache = 0 // invalidate
 	m.dense[i*m.Cols+j] = v
@@ -130,7 +133,7 @@ func (m *Matrix) Set(i, j int, v float64) {
 // Nnz counts the non-zero values (cached after the first scan).
 func (m *Matrix) Nnz() int {
 	if m.nnzCache > 0 || m.nnzScanned() {
-		return m.nnzCache
+		return m.countNnzCached()
 	}
 	m.nnzCache = m.countNnz()
 	if m.nnzCache == 0 {

@@ -1,0 +1,165 @@
+package matrix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The buffer pool is a size-keyed free list of float64 backing slices.
+// NewDense draws from it and the runtime executor returns dead
+// intermediates' storage to it (lineage-aware reuse: iterative workloads
+// allocate the same handful of shapes over and over, so exact-size reuse
+// hits almost always after the first iteration). Scratch buffers of the
+// parallel kernels (TSMM partial triangles, sparse accumulators, row
+// densification scratch) cycle through the same pool.
+//
+// Unlike sync.Pool the free list is deterministic — nothing is dropped on
+// GC — so allocation-reduction benchmarks and tests are stable; retention
+// is instead bounded by poolMaxPerSize slices per size and poolCapBytes
+// total.
+const (
+	// poolMinFloats: slices smaller than this are cheaper to allocate than
+	// to recycle (they also tend to be long-lived scalars and tiny vectors).
+	poolMinFloats = 64
+
+	// poolMaxPerSize bounds the free slices retained per exact size.
+	poolMaxPerSize = 8
+
+	// poolCapBytes bounds the total bytes parked in the pool; surplus
+	// returned buffers are dropped for the GC to take.
+	poolCapBytes = 512 << 20
+)
+
+type bufferPool struct {
+	mu      sync.Mutex
+	free    map[int][][]float64
+	bytes   int64 // bytes currently parked
+	enabled atomic.Bool
+
+	gets, hits, puts, discards atomic.Int64
+	bytesRecycled              atomic.Int64 // bytes served from the free list
+}
+
+var pool = func() *bufferPool {
+	p := &bufferPool{free: map[int][][]float64{}}
+	p.enabled.Store(true)
+	return p
+}()
+
+// PoolEnabled reports whether NewDense and the kernels draw from the pool.
+func PoolEnabled() bool { return pool.enabled.Load() }
+
+// SetPoolEnabled toggles the buffer pool (benchmarking and debugging) and
+// returns the previous setting. Disabling also drops all parked buffers.
+func SetPoolEnabled(on bool) bool {
+	old := pool.enabled.Swap(on)
+	if !on {
+		pool.mu.Lock()
+		pool.free = map[int][][]float64{}
+		pool.bytes = 0
+		pool.mu.Unlock()
+	}
+	return old
+}
+
+// PoolGet returns a zeroed slice of exactly n float64s, recycled from the
+// free list when a same-sized buffer is parked there.
+func PoolGet(n int) []float64 {
+	if n < poolMinFloats || !pool.enabled.Load() {
+		return make([]float64, n)
+	}
+	pool.gets.Add(1)
+	pool.mu.Lock()
+	list := pool.free[n]
+	if len(list) == 0 {
+		pool.mu.Unlock()
+		return make([]float64, n)
+	}
+	s := list[len(list)-1]
+	pool.free[n] = list[:len(list)-1]
+	pool.bytes -= int64(n) * 8
+	pool.mu.Unlock()
+	pool.hits.Add(1)
+	pool.bytesRecycled.Add(int64(n) * 8)
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// PoolPut parks a slice for reuse. The buffer may be dirty (PoolGet zeroes
+// on the way out); the caller must not use it afterwards.
+func PoolPut(s []float64) {
+	n := len(s)
+	if n < poolMinFloats || !pool.enabled.Load() {
+		return
+	}
+	pool.puts.Add(1)
+	pool.mu.Lock()
+	if len(pool.free[n]) >= poolMaxPerSize || pool.bytes+int64(n)*8 > poolCapBytes {
+		pool.mu.Unlock()
+		pool.discards.Add(1)
+		return
+	}
+	pool.free[n] = append(pool.free[n], s)
+	pool.bytes += int64(n) * 8
+	pool.mu.Unlock()
+}
+
+// PoolUsage is a snapshot of the buffer-pool counters.
+type PoolUsage struct {
+	Gets          int64 // pool-eligible allocation requests
+	Hits          int64 // requests served from the free list
+	Misses        int64 // requests that fell through to make()
+	Puts          int64 // buffers returned to the pool
+	Discards      int64 // returned buffers dropped (per-size or byte cap)
+	BytesRecycled int64 // bytes served from the free list
+	BytesParked   int64 // bytes currently held by the free list
+}
+
+// HitRate returns Hits/Gets (0 when no requests were made).
+func (u PoolUsage) HitRate() float64 {
+	if u.Gets == 0 {
+		return 0
+	}
+	return float64(u.Hits) / float64(u.Gets)
+}
+
+// PoolStats returns the current buffer-pool counters.
+func PoolStats() PoolUsage {
+	gets := pool.gets.Load()
+	hits := pool.hits.Load()
+	pool.mu.Lock()
+	parked := pool.bytes
+	pool.mu.Unlock()
+	return PoolUsage{
+		Gets:          gets,
+		Hits:          hits,
+		Misses:        gets - hits,
+		Puts:          pool.puts.Load(),
+		Discards:      pool.discards.Load(),
+		BytesRecycled: pool.bytesRecycled.Load(),
+		BytesParked:   parked,
+	}
+}
+
+// ResetPoolStats zeroes the buffer-pool counters (parked buffers stay).
+func ResetPoolStats() {
+	pool.gets.Store(0)
+	pool.hits.Store(0)
+	pool.puts.Store(0)
+	pool.discards.Store(0)
+	pool.bytesRecycled.Store(0)
+}
+
+// Release returns the matrix's backing storage to the buffer pool and
+// clears the matrix; the caller asserts nothing references the matrix (or
+// its storage) anymore. Only dense storage allocated by NewDense is
+// recycled — wrapped user slices (NewDenseData) and CSR storage are simply
+// dropped. Safe to call on an already released matrix.
+func (m *Matrix) Release() {
+	if m.pooled && m.dense != nil {
+		PoolPut(m.dense)
+	}
+	m.dense, m.sparse, m.pooled = nil, nil, false
+}

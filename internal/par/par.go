@@ -2,6 +2,14 @@
 // kernels and fused-operator skeletons. All helpers degrade gracefully to
 // sequential execution for small inputs so that parallelization overhead
 // never dominates.
+//
+// Parallel regions run on a persistent worker pool (goroutines started
+// lazily and kept alive for the process lifetime) instead of spawning fresh
+// goroutines per call. Work is split into more chunks than workers and
+// participants claim chunks through an atomic counter, so skewed work —
+// ragged sparse rows, uneven row-template iterations — load-balances
+// dynamically: a worker that finishes its chunk early simply claims the
+// next one.
 package par
 
 import (
@@ -10,31 +18,41 @@ import (
 	"sync/atomic"
 )
 
-// DefaultGrain is the minimum number of work items per spawned goroutine.
-// Work smaller than one grain runs on the calling goroutine.
+// DefaultGrain is the minimum number of work items per chunk. Work smaller
+// than one grain runs on the calling goroutine.
 const DefaultGrain = 1024
 
-// maxWorkers caps the number of goroutines spawned by For. It can be
-// overridden for tests via SetMaxWorkers.
-var maxWorkers = runtime.GOMAXPROCS(0)
+// chunkFactor is the target number of dynamically claimed chunks per
+// participant. Values above 1 trade slightly more dispatch overhead for
+// load balancing of skewed chunks; 4 keeps the claim counter cold while
+// bounding the idle tail at ~1/4 of a worker's share.
+const chunkFactor = 4
+
+// maxWorkers caps the number of participants of a parallel region. It is
+// read on every For/ForIndexed/Chunks call and written by SetMaxWorkers
+// (tests, concurrent sessions), hence atomic.
+var maxWorkers atomic.Int64
+
+func init() { maxWorkers.Store(int64(runtime.GOMAXPROCS(0))) }
 
 // SetMaxWorkers overrides the worker cap and returns the previous value.
-// Passing n <= 0 resets to GOMAXPROCS.
+// Passing n <= 0 resets to GOMAXPROCS. Raising the cap grows the
+// persistent pool so that future regions can use the extra workers.
 func SetMaxWorkers(n int) int {
-	old := maxWorkers
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	maxWorkers = n
-	return old
+	old := maxWorkers.Swap(int64(n))
+	ensureWorkers(n - 1)
+	return int(old)
 }
 
 // MaxWorkers reports the current worker cap.
-func MaxWorkers() int { return maxWorkers }
+func MaxWorkers() int { return int(maxWorkers.Load()) }
 
 // Utilization counters: every For/ForIndexed call is counted, along with
-// the goroutines it spawned (0 for calls that ran sequentially). The ratio
-// goroutines / (calls * MaxWorkers) approximates worker-pool utilization.
+// the pool workers it engaged (0 for calls that ran sequentially). The
+// ratio workers / (calls * MaxWorkers) approximates pool utilization.
 var (
 	statCalls      atomic.Int64
 	statGoroutines atomic.Int64
@@ -44,11 +62,11 @@ var (
 // Usage is a snapshot of the parallel-for utilization counters.
 type Usage struct {
 	Calls      int64 // For/ForIndexed invocations
-	Goroutines int64 // goroutines spawned across all parallel calls
+	Goroutines int64 // pool workers engaged across all parallel calls
 	Sequential int64 // calls that ran inline on the caller's goroutine
 }
 
-// Utilization returns spawned goroutines as a fraction of the maximum the
+// Utilization returns engaged workers as a fraction of the maximum the
 // worker cap would have allowed (1.0 = every call saturated the cap).
 func (u Usage) Utilization(workers int) float64 {
 	if u.Calls == 0 || workers <= 0 {
@@ -73,99 +91,172 @@ func ResetStats() {
 	statSequential.Store(0)
 }
 
-// For executes fn over the half-open ranges that partition [0, n) into
-// roughly equal chunks of at least grain items, running chunks on separate
-// goroutines. fn must be safe for concurrent invocation on disjoint ranges.
+// The persistent pool: workers block on the task channel between regions.
+// The pool grows to (max requested workers - 1) — the caller of a region is
+// always participant 0 — and never shrinks; idle workers cost only a
+// blocked goroutine each.
+var (
+	poolMu      sync.Mutex
+	poolTasks   chan *region
+	poolWorkers int
+)
+
+func ensureWorkers(n int) {
+	if n <= 0 {
+		return
+	}
+	poolMu.Lock()
+	if poolTasks == nil {
+		// Buffered far beyond any realistic fan-out so that region dispatch
+		// never blocks; dispatch falls back to inline execution if full.
+		poolTasks = make(chan *region, 1024)
+	}
+	for poolWorkers < n {
+		poolWorkers++
+		go func() {
+			for r := range poolTasks {
+				r.help()
+			}
+		}()
+	}
+	poolMu.Unlock()
+}
+
+// region is one parallel-for invocation: participants claim chunk indexes
+// from next until all nchunks are taken.
+type region struct {
+	fn      func(worker, lo, hi int)
+	n       int
+	chunk   int
+	nchunks int64
+	next    atomic.Int64
+	ids     atomic.Int64 // participant id allocator (caller is 0)
+	wg      sync.WaitGroup
+}
+
+// help is run by a pool worker: claim a participant id and drain chunks.
+// Exactly (participants-1) help entries are enqueued per region, so ids
+// stay within [1, participants).
+func (r *region) help() {
+	defer r.wg.Done()
+	r.run(int(r.ids.Add(1)))
+}
+
+func (r *region) run(worker int) {
+	for {
+		c := r.next.Add(1) - 1
+		if c >= r.nchunks {
+			return
+		}
+		lo := int(c) * r.chunk
+		hi := lo + r.chunk
+		if hi > r.n {
+			hi = r.n
+		}
+		r.fn(worker, lo, hi)
+	}
+}
+
+// plan computes the chunking of n items: the participant count, the chunk
+// size, and the chunk count. Chunks are at least one grain; the chunk
+// count targets chunkFactor chunks per participant for dynamic balance.
+func plan(n, grain int) (workers, chunk, nchunks int) {
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	w := int(maxWorkers.Load())
+	if w < 1 {
+		w = 1
+	}
+	maxChunks := (n + grain - 1) / grain
+	workers = w
+	if workers > maxChunks {
+		workers = maxChunks
+	}
+	if workers <= 1 {
+		return 1, n, 1
+	}
+	nchunks = workers * chunkFactor
+	if nchunks > maxChunks {
+		nchunks = maxChunks
+	}
+	chunk = (n + nchunks - 1) / nchunks
+	nchunks = (n + chunk - 1) / chunk
+	if nchunks < workers {
+		workers = nchunks
+	}
+	return workers, chunk, nchunks
+}
+
+// dispatch runs fn over the chunks of [0, n) on the worker pool, with the
+// caller participating as worker 0. Enqueueing never blocks: when the pool
+// is saturated (e.g. nested regions), the caller simply drains the chunks
+// itself, so dispatch is deadlock-free under arbitrary nesting.
+func dispatch(n int, workers, chunk, nchunks int, fn func(worker, lo, hi int)) {
+	ensureWorkers(workers - 1)
+	r := &region{fn: fn, n: n, chunk: chunk, nchunks: int64(nchunks)}
+	engaged := 1 // the caller
+	for i := 1; i < workers; i++ {
+		r.wg.Add(1)
+		select {
+		case poolTasks <- r:
+			engaged++
+		default:
+			r.wg.Done() // pool saturated: caller covers the work
+		}
+	}
+	statGoroutines.Add(int64(engaged))
+	r.run(0)
+	r.wg.Wait()
+}
+
+// For executes fn over half-open ranges that partition [0, n) into chunks
+// of at least grain items, running chunks on the persistent worker pool.
+// fn must be safe for concurrent invocation on disjoint ranges.
 func For(n, grain int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	if grain <= 0 {
-		grain = DefaultGrain
-	}
-	workers := maxWorkers
-	if workers < 1 {
-		workers = 1
-	}
-	chunks := (n + grain - 1) / grain
-	if chunks > workers {
-		chunks = workers
-	}
+	workers, chunk, nchunks := plan(n, grain)
 	statCalls.Add(1)
-	if chunks <= 1 {
+	if workers <= 1 {
 		statSequential.Add(1)
 		fn(0, n)
 		return
 	}
-	statGoroutines.Add(int64(chunks))
-	chunk := (n + chunks - 1) / chunks
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	dispatch(n, workers, chunk, nchunks, func(_, lo, hi int) { fn(lo, hi) })
 }
 
-// ForIndexed is like For but also passes the zero-based chunk index, which
-// callers use to select per-worker scratch buffers (e.g. the row-template
-// ring buffers). The chunk count is returned by Chunks for preallocation.
+// ForIndexed is like For but also passes a zero-based worker index, which
+// callers use to select per-worker state (scratch buffers, partial
+// aggregates). Worker indexes are dense in [0, count) where count is
+// reported by Chunks for preallocation.
+//
+// Unlike a static partition, a worker may be invoked several times with
+// distinct disjoint ranges (dynamic chunk claiming): per-worker state must
+// therefore be initialized lazily on first use and accumulated across
+// invocations, never reset per invocation.
 func ForIndexed(n, grain int, fn func(worker, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	nc, chunk := Chunks(n, grain)
+	workers, chunk, nchunks := plan(n, grain)
 	statCalls.Add(1)
-	if nc <= 1 {
+	if workers <= 1 {
 		statSequential.Add(1)
 		fn(0, 0, n)
 		return
 	}
-	statGoroutines.Add(int64(nc))
-	var wg sync.WaitGroup
-	w := 0
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			fn(w, lo, hi)
-		}(w, lo, hi)
-		w++
-	}
-	wg.Wait()
+	dispatch(n, workers, chunk, nchunks, fn)
 }
 
-// Chunks reports how many chunks ForIndexed will use for n items with the
-// given grain, along with the chunk size.
+// Chunks reports how many workers ForIndexed will use for n items with the
+// given grain — the size needed for per-worker state arrays — along with
+// the dynamic chunk size (ranges handed to each fn invocation).
 func Chunks(n, grain int) (count, size int) {
 	if n <= 0 {
 		return 0, 0
 	}
-	if grain <= 0 {
-		grain = DefaultGrain
-	}
-	workers := maxWorkers
-	if workers < 1 {
-		workers = 1
-	}
-	count = (n + grain - 1) / grain
-	if count > workers {
-		count = workers
-	}
-	if count < 1 {
-		count = 1
-	}
-	size = (n + count - 1) / count
+	count, size, _ = plan(n, grain)
 	return count, size
 }

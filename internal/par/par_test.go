@@ -1,6 +1,7 @@
 package par
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -21,6 +22,23 @@ func TestForCoversRangeExactlyOnce(t *testing.T) {
 	}
 }
 
+func TestForCoversRangeWithManyWorkers(t *testing.T) {
+	old := SetMaxWorkers(8)
+	defer SetMaxWorkers(old)
+	n := 100_000
+	seen := make([]int32, n)
+	For(n, 16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&seen[i], 1)
+		}
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
 func TestForSmallRunsSequential(t *testing.T) {
 	calls := 0
 	For(10, 100, func(lo, hi int) {
@@ -35,23 +53,56 @@ func TestForSmallRunsSequential(t *testing.T) {
 }
 
 func TestForIndexedWorkerIndexes(t *testing.T) {
+	old := SetMaxWorkers(4)
+	defer SetMaxWorkers(old)
 	nc, size := Chunks(1000, 10)
-	if nc < 1 || size < 1 || nc*size < 1000 {
+	if nc < 1 || size < 1 {
 		t.Fatalf("Chunks(1000,10) = %d,%d", nc, size)
 	}
-	used := make([]int32, nc)
+	var mu sync.Mutex
+	used := map[int]int{}
 	var total int64
 	ForIndexed(1000, 10, func(w, lo, hi int) {
-		atomic.AddInt32(&used[w], 1)
+		if w < 0 || w >= nc {
+			t.Errorf("worker index %d outside [0,%d)", w, nc)
+		}
+		mu.Lock()
+		used[w]++
+		mu.Unlock()
 		atomic.AddInt64(&total, int64(hi-lo))
 	})
 	if total != 1000 {
 		t.Fatalf("covered %d of 1000", total)
 	}
-	for w, c := range used {
-		if c != 1 {
-			t.Fatalf("worker %d used %d times", w, c)
+	// Worker 0 (the caller) always participates; a worker may be invoked
+	// several times under dynamic chunk claiming.
+	if used[0] == 0 {
+		t.Fatal("caller (worker 0) claimed no chunks")
+	}
+}
+
+// TestForIndexedAccumulation exercises the documented per-worker state
+// contract: lazily initialized, accumulated across invocations.
+func TestForIndexedAccumulation(t *testing.T) {
+	old := SetMaxWorkers(8)
+	defer SetMaxWorkers(old)
+	n := 100_000
+	nw, _ := Chunks(n, 64)
+	partials := make([]int64, nw)
+	ForIndexed(n, 64, func(w, lo, hi int) {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += int64(i)
 		}
+		partials[w] += s // accumulate, never assign
+	})
+	var got int64
+	for _, p := range partials {
+		got += p
+	}
+	want := int64(n) * int64(n-1) / 2
+	if got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
 	}
 }
 
@@ -68,5 +119,76 @@ func TestSetMaxWorkers(t *testing.T) {
 	SetMaxWorkers(0) // reset to GOMAXPROCS
 	if MaxWorkers() < 1 {
 		t.Fatal("reset failed")
+	}
+}
+
+// TestSetMaxWorkersConcurrent runs SetMaxWorkers concurrently with
+// parallel-for regions; with -race this verifies the worker cap has no
+// unsynchronized access (concurrent sessions adjust it at will).
+func TestSetMaxWorkersConcurrent(t *testing.T) {
+	old := MaxWorkers()
+	defer SetMaxWorkers(old)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			SetMaxWorkers(1 + i%4)
+		}
+	}()
+	for r := 0; r < 50; r++ {
+		var total int64
+		For(10_000, 16, func(lo, hi int) {
+			atomic.AddInt64(&total, int64(hi-lo))
+		})
+		if total != 10_000 {
+			t.Fatalf("run %d covered %d of 10000", r, total)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestNestedFor ensures nested parallel regions cannot deadlock the pool:
+// inner regions fall back to inline execution when the pool is saturated.
+func TestNestedFor(t *testing.T) {
+	old := SetMaxWorkers(4)
+	defer SetMaxWorkers(old)
+	var total int64
+	For(64, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			For(1000, 10, func(ilo, ihi int) {
+				atomic.AddInt64(&total, int64(ihi-ilo))
+			})
+		}
+	})
+	if total != 64*1000 {
+		t.Fatalf("covered %d of %d", total, 64*1000)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	ResetStats()
+	For(10, 100, func(lo, hi int) {}) // sequential
+	u := Stats()
+	if u.Calls != 1 || u.Sequential != 1 {
+		t.Fatalf("sequential call not counted: %+v", u)
+	}
+	old := SetMaxWorkers(4)
+	defer SetMaxWorkers(old)
+	ResetStats()
+	For(100_000, 16, func(lo, hi int) {})
+	u = Stats()
+	if u.Calls != 1 {
+		t.Fatalf("calls = %d", u.Calls)
+	}
+	if u.Goroutines < 1 {
+		t.Fatalf("no workers engaged: %+v", u)
 	}
 }

@@ -61,7 +61,8 @@ func execCellwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matri
 			total := rows * cols
 			par.For((total+cplan.ChunkLen-1)/cplan.ChunkLen, 8, func(clo, chi int) {
 				ctx := proto.Clone()
-				buf := op.VecProg.NewBuf()
+				buf := op.VecProg.GetBuf()
+				defer op.VecProg.PutBuf(buf)
 				for ci := clo; ci < chi; ci++ {
 					if stop != nil && stop() {
 						return
@@ -80,6 +81,7 @@ func execCellwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matri
 		par.For(rows, 64, func(lo, hi int) {
 			ctx := proto.Clone()
 			scratch := newRowScratch(main)
+			defer releaseRowScratch(scratch)
 			for i := lo; i < hi; i++ {
 				if pollStop(stop, i-lo) {
 					return
@@ -99,6 +101,7 @@ func execCellwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matri
 		par.For(rows, 64, func(lo, hi int) {
 			ctx := proto.Clone()
 			scratch := newRowScratch(main)
+			defer releaseRowScratch(scratch)
 			for i := lo; i < hi; i++ {
 				if pollStop(stop, i-lo) {
 					return
@@ -126,9 +129,16 @@ func execCellwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matri
 		par.ForIndexed(rows, 64, func(w, lo, hi int) {
 			ctx := proto.Clone()
 			scratch := newRowScratch(main)
-			part := make([]float64, cols)
-			for j := range part {
-				part[j] = aggInit(p.AggOp)
+			defer releaseRowScratch(scratch)
+			// Per-worker state is lazily initialized and accumulated: a
+			// worker id may be handed several chunks by the pool.
+			part := partials[w]
+			if part == nil {
+				part = make([]float64, cols)
+				for j := range part {
+					part[j] = aggInit(p.AggOp)
+				}
+				partials[w] = part
 			}
 			for i := lo; i < hi; i++ {
 				if pollStop(stop, i-lo) {
@@ -147,7 +157,6 @@ func execCellwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matri
 					}
 				}
 			}
-			partials[w] = part
 		})
 		out := matrix.NewDense(1, cols)
 		od := out.Dense()
@@ -179,7 +188,8 @@ func execCellwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matri
 			part2 := make([]float64, nw2)
 			par.ForIndexed(nc, 8, func(w, clo, chi int) {
 				ctx := proto.Clone()
-				buf := op.VecProg.NewBuf()
+				buf := op.VecProg.GetBuf()
+				defer op.VecProg.PutBuf(buf)
 				var acc float64
 				for ci := clo; ci < chi; ci++ {
 					if stop != nil && stop() {
@@ -193,7 +203,7 @@ func execCellwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matri
 					res, ro := op.VecProg.Exec(ctx, buf, md, lo, n)
 					acc += cplan.SumChunk(res, ro, n)
 				}
-				part2[w] = acc
+				part2[w] += acc
 			})
 			var acc float64
 			for _, v := range part2 {
@@ -204,7 +214,8 @@ func execCellwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matri
 		par.ForIndexed(rows, 64, func(w, lo, hi int) {
 			ctx := proto.Clone()
 			scratch := newRowScratch(main)
-			acc := aggInit(p.AggOp)
+			defer releaseRowScratch(scratch)
+			acc := partials[w] // resume this worker's accumulator
 			for i := lo; i < hi; i++ {
 				if pollStop(stop, i-lo) {
 					break
@@ -272,9 +283,14 @@ func execMAgg(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix, s
 			ctx := proto.Clone()
 			bufs := make([]*cplan.CellVecBuf, k)
 			for q := range bufs {
-				bufs[q] = op.MAggVecs[q].NewBuf()
+				bufs[q] = op.MAggVecs[q].GetBuf()
+				defer op.MAggVecs[q].PutBuf(bufs[q])
 			}
-			part := make([]float64, k)
+			part := partials[w] // lazily initialized, accumulated across chunks
+			if part == nil {
+				part = make([]float64, k)
+				partials[w] = part
+			}
 			for ci := clo; ci < chi; ci++ {
 				if stop != nil && stop() {
 					break
@@ -295,7 +311,6 @@ func execMAgg(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix, s
 					}
 				}
 			}
-			partials[w] = part
 		})
 		out := matrix.NewDense(1, k)
 		od := out.Dense()
@@ -313,9 +328,14 @@ func execMAgg(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix, s
 	par.ForIndexed(rows, 64, func(w, lo, hi int) {
 		ctx := proto.Clone()
 		scratch := newRowScratch(main)
-		part := make([]float64, k)
-		for q := 0; q < k; q++ {
-			part[q] = aggInit(p.AggOps[q])
+		defer releaseRowScratch(scratch)
+		part := partials[w] // lazily initialized, accumulated across chunks
+		if part == nil {
+			part = make([]float64, k)
+			for q := 0; q < k; q++ {
+				part[q] = aggInit(p.AggOps[q])
+			}
+			partials[w] = part
 		}
 		for i := lo; i < hi; i++ {
 			if pollStop(stop, i-lo) {
@@ -337,7 +357,6 @@ func execMAgg(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix, s
 				}
 			}
 		}
-		partials[w] = part
 	})
 	out := matrix.NewDense(1, k)
 	od := out.Dense()
@@ -406,11 +425,20 @@ func aggStep(op matrix.AggOp, acc, v float64) float64 {
 	return acc + v
 }
 
+// newRowScratch returns a densification scratch row for sparse main inputs
+// (nil for dense ones), drawn from the matrix buffer pool. Callers release
+// it with releaseRowScratch when the worker closure finishes.
 func newRowScratch(m *matrix.Matrix) []float64 {
 	if m.IsSparse() {
-		return make([]float64, m.Cols)
+		return matrix.PoolGet(m.Cols)
 	}
 	return nil
+}
+
+func releaseRowScratch(s []float64) {
+	if s != nil {
+		matrix.PoolPut(s)
+	}
 }
 
 func denseRowView(m *matrix.Matrix, i int, scratch []float64) ([]float64, int) {

@@ -78,9 +78,32 @@ func ExecuteDAG(d *hop.DAG, env Env, opts Options) (Env, error) {
 			}
 		}
 	}
+	topo := hop.TopoOrder(d.Roots())
+
+	// Lineage-aware buffer recycling: refs[id] counts the remaining readers
+	// of each hop's result (one per consumer occurrence, plus one if the hop
+	// is a named DAG output). When the count hits zero the intermediate is
+	// dead and its backing storage returns to the matrix buffer pool, where
+	// the next NewDense of the same shape picks it up.
+	refs := make(map[int64]int, len(topo))
+	for _, h := range topo {
+		for _, in := range h.Inputs {
+			refs[in.ID]++
+		}
+	}
+	for _, name := range d.OutputNames() {
+		refs[d.Outputs[name].ID]++
+	}
+	// held counts live cache entries per matrix pointer and owned marks
+	// results whose storage the executor may recycle — both guard against
+	// aliasing: ops such as ToDense can return an input unchanged, and
+	// OpData results belong to the caller's environment, never to us.
+	held := map[*matrix.Matrix]int{}
+	owned := map[*matrix.Matrix]bool{}
+
 	cache := map[int64]*matrix.Matrix{}
 	observed := opts.Metrics != nil || opts.Audit != nil
-	for _, h := range hop.TopoOrder(d.Roots()) {
+	for _, h := range topo {
 		if stop != nil && stop() {
 			return nil, opts.Ctx.Err()
 		}
@@ -114,6 +137,31 @@ func ExecuteDAG(d *hop.DAG, env Env, opts Options) (Env, error) {
 			return nil, opts.Ctx.Err()
 		}
 		cache[h.ID] = m
+		held[m]++
+		if h.Kind != hop.OpData && !aliasesAny(m, ins) {
+			owned[m] = true
+		}
+		// This hop has consumed its inputs; release the ones it killed.
+		for _, in := range h.Inputs {
+			refs[in.ID]--
+			if refs[in.ID] > 0 {
+				continue
+			}
+			im := cache[in.ID]
+			delete(cache, in.ID)
+			if im == nil {
+				continue
+			}
+			held[im]--
+			if held[im] > 0 {
+				continue
+			}
+			delete(held, im)
+			if owned[im] {
+				delete(owned, im)
+				im.Release()
+			}
+		}
 	}
 	out := Env{}
 	for _, name := range d.OutputNames() {
@@ -240,6 +288,17 @@ func EstFlops(h *hop.Hop) float64 {
 		}
 	}
 	return 0
+}
+
+// aliasesAny reports whether m is one of the input matrices (an operator
+// returned its input unchanged, e.g. ToDense on an already dense matrix).
+func aliasesAny(m *matrix.Matrix, ins []*matrix.Matrix) bool {
+	for _, in := range ins {
+		if in == m {
+			return true
+		}
+	}
+	return false
 }
 
 func gatherInputs(h *hop.Hop, cache map[int64]*matrix.Matrix) ([]*matrix.Matrix, error) {

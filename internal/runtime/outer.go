@@ -111,6 +111,7 @@ func execOuter(op *cplan.Operator, x, u, v *matrix.Matrix, sides []*matrix.Matri
 				}
 			} else {
 				scratch := newRowScratch(x)
+				defer releaseRowScratch(scratch)
 				for i := lo; i < hi; i++ {
 					if pollStop(stop, i-lo) {
 						break
@@ -122,7 +123,7 @@ func execOuter(op *cplan.Operator, x, u, v *matrix.Matrix, sides []*matrix.Matri
 					}
 				}
 			}
-			partials[wk] = acc
+			partials[wk] += acc // accumulate: a worker may claim several chunks
 		})
 		var acc float64
 		for _, v := range partials {
@@ -155,6 +156,7 @@ func iterateOuter(x *matrix.Matrix, proto *cplan.Ctx, ud, vd []float64, r int,
 			return
 		}
 		scratch := newRowScratch(x)
+		defer releaseRowScratch(scratch)
 		for i := lo; i < hi; i++ {
 			if pollStop(stop, i-lo) {
 				return
@@ -191,6 +193,7 @@ func iterateOuterTransposed(xt *matrix.Matrix, proto *cplan.Ctx, ud, vd []float6
 			return
 		}
 		scratch := newRowScratch(xt)
+		defer releaseRowScratch(scratch)
 		for j := lo; j < hi; j++ {
 			if pollStop(stop, j-lo) {
 				return

@@ -58,7 +58,9 @@ func execRowwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix
 		nw, _ := par.Chunks(rows, 16)
 		partials := make([][]float64, nw)
 		forEachRowIndexed(main, prog, proto, stop, func(wk int) any {
-			partials[wk] = make([]float64, w)
+			if partials[wk] == nil {
+				partials[wk] = make([]float64, w)
+			}
 			return partials[wk]
 		}, func(state any, buf *cplan.RowBuf, i int) {
 			part := state.([]float64)
@@ -93,7 +95,9 @@ func execRowwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix
 		nw, _ := par.Chunks(rows, 16)
 		partials := make([][]float64, nw)
 		forEachRowIndexed(main, prog, proto, stop, func(wk int) any {
-			partials[wk] = make([]float64, mw*w)
+			if partials[wk] == nil {
+				partials[wk] = make([]float64, mw*w)
+			}
 			return partials[wk]
 		}, func(state any, buf *cplan.RowBuf, i int) {
 			part := state.([]float64)
@@ -135,8 +139,10 @@ func forEachRow(main *matrix.Matrix, prog *cplan.RowProgram, proto *cplan.Ctx,
 	sparseExec := main.IsSparse() && prog.MainSparseCapable()
 	par.For(main.Rows, 16, func(lo, hi int) {
 		ctx := proto.Clone()
-		buf := prog.NewBuf()
+		buf := prog.GetBuf()
+		defer prog.PutBuf(buf)
 		scratch := newRowScratch(main)
+		defer releaseRowScratch(scratch)
 		for i := lo; i < hi; i++ {
 			if pollStop(stop, i-lo) {
 				return
@@ -147,13 +153,18 @@ func forEachRow(main *matrix.Matrix, prog *cplan.RowProgram, proto *cplan.Ctx,
 	})
 }
 
+// forEachRowIndexed streams rows through the program with per-worker state.
+// initState may be invoked several times for the same worker id (the pool
+// hands a worker multiple chunks), so it must memoize, not reallocate.
 func forEachRowIndexed(main *matrix.Matrix, prog *cplan.RowProgram, proto *cplan.Ctx,
 	stop StopFn, initState func(worker int) any, sink func(state any, buf *cplan.RowBuf, i int)) {
 	sparseExec := main.IsSparse() && prog.MainSparseCapable()
 	par.ForIndexed(main.Rows, 16, func(w, lo, hi int) {
 		ctx := proto.Clone()
-		buf := prog.NewBuf()
+		buf := prog.GetBuf()
+		defer prog.PutBuf(buf)
 		scratch := newRowScratch(main)
+		defer releaseRowScratch(scratch)
 		state := initState(w)
 		for i := lo; i < hi; i++ {
 			if pollStop(stop, i-lo) {

@@ -142,6 +142,48 @@ func MultAdd(a []float64, bval float64, c []float64, ai, ci, n int) {
 	}
 }
 
+// MultAdd4 computes the rank-4 update
+//
+//	c[ci+k] += b0*a[a0+k] + b1*a[a1+k] + b2*a[a2+k] + b3*a[a3+k]
+//
+// for k in [0,n). Fusing four MultAdd calls into one pass loads and stores
+// each c element once per four multiplies instead of once per multiply,
+// which is what makes the blocked matmult and TSMM kernels faster than
+// their row-at-a-time versions even single-threaded.
+func MultAdd4(a []float64, b0, b1, b2, b3 float64, c []float64, a0, a1, a2, a3, ci, n int) {
+	if b0 == 0 && b1 == 0 && b2 == 0 && b3 == 0 {
+		return
+	}
+	k := 0
+	for ; k+4 <= n; k += 4 {
+		s0 := b0*a[a0+k] + b1*a[a1+k] + b2*a[a2+k] + b3*a[a3+k]
+		s1 := b0*a[a0+k+1] + b1*a[a1+k+1] + b2*a[a2+k+1] + b3*a[a3+k+1]
+		s2 := b0*a[a0+k+2] + b1*a[a1+k+2] + b2*a[a2+k+2] + b3*a[a3+k+2]
+		s3 := b0*a[a0+k+3] + b1*a[a1+k+3] + b2*a[a2+k+3] + b3*a[a3+k+3]
+		c[ci+k] += s0
+		c[ci+k+1] += s1
+		c[ci+k+2] += s2
+		c[ci+k+3] += s3
+	}
+	for ; k < n; k++ {
+		c[ci+k] += b0*a[a0+k] + b1*a[a1+k] + b2*a[a2+k] + b3*a[a3+k]
+	}
+}
+
+// MultAdd8 is the rank-8 variant of MultAdd4: eight scaled rows of a are
+// accumulated into c in one pass, so each c element is loaded and stored
+// once per eight multiplies. The pre-sliced row views let the compiler
+// eliminate bounds checks in the hot loop.
+func MultAdd8(a []float64, b0, b1, b2, b3, b4, b5, b6, b7 float64, c []float64, a0, a1, a2, a3, a4, a5, a6, a7, ci, n int) {
+	r0, r1, r2, r3 := a[a0:a0+n], a[a1:a1+n], a[a2:a2+n], a[a3:a3+n]
+	r4, r5, r6, r7 := a[a4:a4+n], a[a5:a5+n], a[a6:a6+n], a[a7:a7+n]
+	cc := c[ci : ci+n]
+	for k := range cc {
+		cc[k] += b0*r0[k] + b1*r1[k] + b2*r2[k] + b3*r3[k] +
+			b4*r4[k] + b5*r5[k] + b6*r6[k] + b7*r7[k]
+	}
+}
+
 // Add computes c[ci+k] += a[ai+k] for k in [0,n).
 func Add(a, c []float64, ai, ci, n int) {
 	for k := 0; k < n; k++ {
