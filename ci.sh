@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI gate for the sysml repo: static checks, full test suite under the race
-# detector, and the kernel performance gates (BENCH_kernels.json must report
-# "pass": true).
+# detector, the kernel performance gates (BENCH_kernels.json must report
+# "pass": true), and the distributed-backend gates (BENCH_dist.json likewise).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -19,6 +19,13 @@ go run ./cmd/fusebench -exp kernels
 if ! grep -q '"pass": true' BENCH_kernels.json; then
   echo "FAIL: BENCH_kernels.json gates did not pass" >&2
   cat BENCH_kernels.json >&2
+  exit 1
+fi
+echo "== distributed gates (fusebench -exp dist) =="
+go run ./cmd/fusebench -exp dist
+if ! grep -q '"pass": true' BENCH_dist.json; then
+  echo "FAIL: BENCH_dist.json gates did not pass" >&2
+  cat BENCH_dist.json >&2
   exit 1
 fi
 echo "OK: all CI gates passed"

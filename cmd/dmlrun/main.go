@@ -24,6 +24,7 @@ import (
 
 	"sysml/internal/bench"
 	"sysml/internal/codegen"
+	"sysml/internal/dist"
 	"sysml/internal/dml"
 	"sysml/internal/matrix"
 	"sysml/internal/obs"
@@ -36,9 +37,12 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print the full metrics snapshot after the run")
 	trace := flag.String("trace", "", "write the run's spans as Chrome trace-event JSON to this file")
 	audit := flag.Bool("audit", false, "print the cost-audit ledger (predicted vs measured operator cost)")
+	useDist := flag.Bool("dist", false, "attach the simulated distributed backend (operators over -membudget run distributed)")
+	executors := flag.Int("executors", 6, "simulated executor count for -dist")
+	memBudget := flag.Int64("membudget", 0, "local memory budget in bytes; operators estimated above it run distributed (0 keeps the default)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: dmlrun [-mode Gen] [-stats] [-explain] [-metrics] [-trace out.json] [-audit] script.dml")
+		fmt.Fprintln(os.Stderr, "usage: dmlrun [-mode Gen] [-stats] [-explain] [-metrics] [-trace out.json] [-audit] [-dist [-executors N] [-membudget B]] script.dml")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -58,7 +62,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
+	if *memBudget > 0 {
+		cfg.Exec.MemBudgetBytes = *memBudget
+	}
 	s := dml.NewSession(cfg)
+	var cluster *dist.Cluster
+	if *useDist {
+		cluster = dist.NewCluster()
+		cluster.NumExecutors = *executors
+		s.Dist = cluster
+	}
 	var sinks obs.MultiSink
 	if *explain {
 		sinks = append(sinks, obs.NewWriterSink(os.Stderr))
@@ -89,6 +102,9 @@ func main() {
 	if *explain {
 		printPhases(s.Metrics())
 		printPool(poolBefore, matrix.PoolStats())
+		if cluster != nil {
+			printDist(cluster)
+		}
 	}
 	if *stats {
 		st := s.Stats
@@ -115,6 +131,28 @@ func printPool(before, after matrix.PoolUsage) {
 	fmt.Fprintf(os.Stderr, "  pooled allocations: %d (hits %d, misses %d)\n", gets, hits, gets-hits)
 	fmt.Fprintf(os.Stderr, "  buffers returned:   %d\n", puts)
 	fmt.Fprintf(os.Stderr, "  bytes recycled:     %d (hit rate %.1f%%)\n", recycled, rate)
+}
+
+// printDist writes the distributed backend's traffic summary: broadcast
+// and shuffle volumes, the simulated network time they imply, broadcast
+// handle-cache effectiveness, and shuffle bytes per reduction stage.
+func printDist(c *dist.Cluster) {
+	hits, misses, invals := c.BroadcastCacheStats()
+	fmt.Fprintln(os.Stderr, "# distributed")
+	fmt.Fprintf(os.Stderr, "  executors:          %d\n", c.NumExecutors)
+	fmt.Fprintf(os.Stderr, "  bytes broadcast:    %d\n", c.BytesBroadcast())
+	fmt.Fprintf(os.Stderr, "  bytes shuffled:     %d\n", c.BytesShuffled())
+	fmt.Fprintf(os.Stderr, "  simulated net time: %v\n", c.NetTime())
+	fmt.Fprintf(os.Stderr, "  broadcast cache:    hits %d, misses %d, invalidations %d\n", hits, misses, invals)
+	stages := c.ShuffleStageBytes()
+	var names []string
+	for stage := range stages {
+		names = append(names, stage)
+	}
+	sort.Strings(names)
+	for _, stage := range names {
+		fmt.Fprintf(os.Stderr, "  shuffle[%-5s]:     %d\n", stage, stages[stage])
+	}
 }
 
 // printPhases writes the compile/optimize/execute wall-time breakdown

@@ -71,6 +71,9 @@ var Experiments = []struct {
 	{"kernels", "Kernel overhaul gates: TSMM speedup, buffer-pool allocations, matmult regression (emits BENCH_kernels.json)", func(o Options) {
 		Kernels(o).Print(o.Out)
 	}},
+	{"dist", "Distributed backend gates: broadcast cache, tree shuffle, zero-copy panels (emits BENCH_dist.json)", func(o Options) {
+		Dist(o).Print(o.Out)
+	}},
 }
 
 // RunAll executes every experiment.

@@ -1,0 +1,250 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"sysml/internal/codegen"
+	"sysml/internal/dml"
+	"sysml/internal/hop"
+	"sysml/internal/matrix"
+	"sysml/internal/obs"
+)
+
+// TestDistMatchesLocalProperty sweeps operator × shape × sparsity ×
+// representation × executor count (including the degenerate one-executor
+// cluster) and requires every distributed result to match the local kernel
+// within 1e-9. Guards the zero-copy panel path: a row-view aliasing bug or
+// a mis-assembled tree reduction shows up as a numeric mismatch somewhere
+// in this grid.
+func TestDistMatchesLocalProperty(t *testing.T) {
+	shapes := []struct{ r, c int }{{2, 1}, {7, 5}, {64, 33}, {257, 12}}
+	sparsities := []float64{1, 0.3, 0.05}
+	executors := []int{1, 3, 6}
+
+	check := func(name string, cl *Cluster, h *hop.Hop, ins []*matrix.Matrix, want *matrix.Matrix) {
+		t.Helper()
+		got, ok := cl.ExecHop(h, ins, obs.Span{})
+		if !ok {
+			t.Fatalf("%s: unexpected fallback to local", name)
+		}
+		if !got.EqualsApprox(want, 1e-9) {
+			t.Fatalf("%s: distributed result differs from local", name)
+		}
+	}
+
+	seed := int64(1)
+	for _, sh := range shapes {
+		for _, sparsity := range sparsities {
+			seed++
+			base := matrix.Rand(sh.r, sh.c, sparsity, -2, 2, seed)
+			for _, rep := range []*matrix.Matrix{base.ToDense(), base.ToSparse()} {
+				for _, e := range executors {
+					cl := NewCluster()
+					cl.NumExecutors = e
+					cl.Blocksize = 16
+					tag := fmt.Sprintf("%dx%d sp=%.2f sparse=%v e=%d", sh.r, sh.c, sparsity, rep.IsSparse(), e)
+
+					// Unary map.
+					check("abs "+tag, cl,
+						&hop.Hop{Kind: hop.OpUnary, UnOp: matrix.UnAbs, Cols: int64(sh.c)},
+						[]*matrix.Matrix{rep}, matrix.Unary(matrix.UnAbs, rep))
+
+					// Binary with a co-partitioned same-shape rhs.
+					y := matrix.Rand(sh.r, sh.c, 1, -1, 1, seed+100)
+					check("add/same "+tag, cl,
+						&hop.Hop{Kind: hop.OpBinary, BinOp: matrix.BinAdd, Cols: int64(sh.c)},
+						[]*matrix.Matrix{rep, y}, matrix.Binary(matrix.BinAdd, rep, y))
+
+					// Binary with a co-partitioned column vector (the side the
+					// seed mis-charged as broadcast).
+					cv := matrix.Rand(sh.r, 1, 1, -1, 1, seed+200)
+					check("mul/colvec "+tag, cl,
+						&hop.Hop{Kind: hop.OpBinary, BinOp: matrix.BinMul, Cols: int64(sh.c)},
+						[]*matrix.Matrix{rep, cv}, matrix.Binary(matrix.BinMul, rep, cv))
+
+					// Binary with a broadcast row vector and a broadcast scalar.
+					rv := matrix.Rand(1, sh.c, 1, 1, 2, seed+300)
+					check("div/rowvec "+tag, cl,
+						&hop.Hop{Kind: hop.OpBinary, BinOp: matrix.BinDiv, Cols: int64(sh.c)},
+						[]*matrix.Matrix{rep, rv}, matrix.Binary(matrix.BinDiv, rep, rv))
+					sc := matrix.NewScalar(1.5)
+					check("max/scalar "+tag, cl,
+						&hop.Hop{Kind: hop.OpBinary, BinOp: matrix.BinMax, Cols: int64(sh.c)},
+						[]*matrix.Matrix{rep, sc}, matrix.Binary(matrix.BinMax, rep, sc))
+
+					// Aggregations through the per-executor pre-reduce + tree.
+					for _, agg := range []struct {
+						op  matrix.AggOp
+						dir matrix.AggDir
+					}{
+						{matrix.AggSum, matrix.DirAll},
+						{matrix.AggSum, matrix.DirRow},
+						{matrix.AggSum, matrix.DirCol},
+						{matrix.AggSumSq, matrix.DirAll},
+						{matrix.AggMin, matrix.DirAll},
+						{matrix.AggMax, matrix.DirRow},
+					} {
+						check(fmt.Sprintf("agg%v/%v %s", agg.op, agg.dir, tag), cl,
+							&hop.Hop{Kind: hop.OpAggUnary, AggOp: agg.op, AggDir: agg.dir},
+							[]*matrix.Matrix{rep}, matrix.Agg(agg.op, agg.dir, rep))
+					}
+
+					// Broadcast-based mapmm.
+					w := matrix.Rand(sh.c, 4, 1, -1, 1, seed+400)
+					check("mapmm "+tag, cl,
+						&hop.Hop{Kind: hop.OpMatMult, Rows: int64(sh.r), Cols: 4},
+						[]*matrix.Matrix{rep, w}, matrix.MatMult(rep, w))
+				}
+			}
+		}
+	}
+}
+
+// TestColumnVectorSideNotBroadcast pins the mapOp accounting fix: a column
+// vector row-aligned with the main input is co-partitioned (the kernel row
+// slices it), so it must not be charged as broadcast traffic. A 1xc row
+// vector on the same cluster must be.
+func TestColumnVectorSideNotBroadcast(t *testing.T) {
+	cl := distCluster()
+	x := matrix.Rand(1000, 8, 1, -1, 1, 3)
+	cv := matrix.Rand(1000, 1, 1, -1, 1, 4)
+	h := &hop.Hop{Kind: hop.OpBinary, BinOp: matrix.BinAdd, Cols: 8}
+	if _, ok := cl.ExecHop(h, []*matrix.Matrix{x, cv}, obs.Span{}); !ok {
+		t.Fatal("unexpected fallback")
+	}
+	if got := cl.BytesBroadcast(); got != 0 {
+		t.Fatalf("row-aligned column vector charged %d broadcast bytes, want 0", got)
+	}
+	rv := matrix.Rand(1, 8, 1, -1, 1, 5)
+	if _, ok := cl.ExecHop(h, []*matrix.Matrix{x, rv}, obs.Span{}); !ok {
+		t.Fatal("unexpected fallback")
+	}
+	want := rv.SizeBytes() * int64(cl.NumExecutors)
+	if got := cl.BytesBroadcast(); got != want {
+		t.Fatalf("row vector broadcast %d bytes, want %d", got, want)
+	}
+}
+
+// TestBroadcastCacheHitsAndInvalidation exercises the handle-cache life
+// cycle directly: second broadcast of the same matrix is free, Invalidate
+// forces a re-shipment, and scalars are never cached.
+func TestBroadcastCacheHitsAndInvalidation(t *testing.T) {
+	cl := distCluster()
+	x := matrix.Rand(500, 8, 1, -1, 1, 6)
+	w := matrix.Rand(8, 3, 1, -1, 1, 7)
+	h := &hop.Hop{Kind: hop.OpMatMult, Rows: 500, Cols: 3}
+	run := func() {
+		if _, ok := cl.ExecHop(h, []*matrix.Matrix{x, w}, obs.Span{}); !ok {
+			t.Fatal("unexpected fallback")
+		}
+	}
+	run()
+	first := cl.BytesBroadcast()
+	if first != w.SizeBytes()*int64(cl.NumExecutors) {
+		t.Fatalf("first broadcast %d bytes, want %d", first, w.SizeBytes()*int64(cl.NumExecutors))
+	}
+	run()
+	if cl.BytesBroadcast() != first {
+		t.Fatalf("cached re-broadcast charged bytes: %d -> %d", first, cl.BytesBroadcast())
+	}
+	hits, misses, invals := cl.BroadcastCacheStats()
+	if hits != 1 || misses != 1 || invals != 0 {
+		t.Fatalf("cache stats = %d/%d/%d, want 1/1/0", hits, misses, invals)
+	}
+	cl.Invalidate(w)
+	run()
+	if cl.BytesBroadcast() != 2*first {
+		t.Fatalf("post-invalidation broadcast = %d, want %d", cl.BytesBroadcast(), 2*first)
+	}
+	if _, _, invals = cl.BroadcastCacheStats(); invals != 1 {
+		t.Fatalf("invalidations = %d, want 1", invals)
+	}
+}
+
+// TestRebindInvalidatesBroadcastHandle checks the interpreter wiring:
+// rebinding a session variable drops the cluster's broadcast handle for
+// the old matrix, so the next use of the NEW binding is a miss (a fresh
+// shipment), never a stale hit.
+func TestRebindInvalidatesBroadcastHandle(t *testing.T) {
+	cfg := codegen.DefaultConfig()
+	cfg.Mode = codegen.ModeBase
+	x := matrix.Rand(2000, 20, 1, -1, 1, 8)
+	cfg.Exec.MemBudgetBytes = x.SizeBytes() / 2
+	cl := distCluster()
+	s := dml.NewSession(cfg)
+	s.Dist = cl
+	s.Out = io.Discard
+	s.Bind("X", x)
+	s.Bind("W", matrix.Rand(20, 5, 1, -1, 1, 9))
+	if err := s.Run("acc = X %*% W\nacc2 = X %*% W"); err != nil {
+		t.Fatal(err)
+	}
+	_, misses0, _ := cl.BroadcastCacheStats()
+	old, _ := s.Get("W")
+	s.Bind("W", matrix.Rand(20, 5, 1, -1, 1, 10))
+	if _, _, invals := cl.BroadcastCacheStats(); invals == 0 {
+		t.Fatal("rebinding W did not invalidate its broadcast handle")
+	}
+	cl.Invalidate(old) // idempotent on an already-dropped handle
+	if err := s.Run("acc3 = X %*% W"); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses1, _ := cl.BroadcastCacheStats(); misses1 != misses0+1 {
+		t.Fatalf("new W binding: misses %d -> %d, want a fresh shipment", misses0, misses1)
+	}
+}
+
+// TestClusterConcurrentSessions hammers a single Cluster from concurrent
+// sessions (shared broadcast cache, shared traffic counters) — run under
+// -race in CI, this is the backend's thread-safety gate.
+func TestClusterConcurrentSessions(t *testing.T) {
+	cl := distCluster()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			cfg := codegen.DefaultConfig()
+			cfg.Mode = codegen.ModeBase
+			x := matrix.Rand(700, 16, 1, -1, 1, seed)
+			w := matrix.Rand(16, 4, 1, -1, 1, seed+50)
+			cfg.Exec.MemBudgetBytes = x.SizeBytes() / 2
+			s := dml.NewSession(cfg)
+			s.Dist = cl
+			s.Out = io.Discard
+			s.Bind("X", x)
+			s.Bind("W", w)
+			script := `acc = X %*% W
+for (i in 1:4) {
+  acc = acc + X %*% W
+}
+cs = colSums(X)
+s = sum(acc)`
+			if err := s.Run(script); err != nil {
+				errs <- err
+				return
+			}
+			got, err := s.Get("acc")
+			if err != nil {
+				errs <- err
+				return
+			}
+			want := matrix.Binary(matrix.BinMul, matrix.MatMult(x, w), matrix.NewScalar(5))
+			if !got.EqualsApprox(want, 1e-9) {
+				errs <- fmt.Errorf("seed %d: concurrent distributed result differs from local", seed)
+			}
+		}(int64(g + 1))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if cl.BytesBroadcast() == 0 || cl.BytesShuffled() == 0 {
+		t.Error("concurrent sessions recorded no cluster traffic")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -70,10 +71,22 @@ func NewSession(cfg codegen.Config) *Session {
 }
 
 // Bind sets an input variable.
-func (s *Session) Bind(name string, m *matrix.Matrix) { s.Env[name] = m }
+func (s *Session) Bind(name string, m *matrix.Matrix) { s.setEnv(name, m) }
 
 // BindScalar sets a scalar input variable.
-func (s *Session) BindScalar(name string, v float64) { s.Env[name] = matrix.NewScalar(v) }
+func (s *Session) BindScalar(name string, v float64) { s.setEnv(name, matrix.NewScalar(v)) }
+
+// setEnv rebinds a variable, dropping the distributed backend's broadcast
+// handle of the previous binding: after a rebind the old matrix may be
+// recycled or mutated out from under a cached handle, so reusing it would
+// serve stale data. (The matrix may still reach executors through another
+// binding — that costs a conservative re-broadcast, never wrong results.)
+func (s *Session) setEnv(name string, m *matrix.Matrix) {
+	if old, ok := s.Env[name]; ok && old != m && s.Dist != nil {
+		s.Dist.Invalidate(old)
+	}
+	s.Env[name] = m
+}
 
 // Run parses and executes a script against the bound inputs; results stay
 // in the session environment.
@@ -146,6 +159,8 @@ func (s *Session) Explain(script string) (string, error) {
 		Sink:   col,
 	}
 	before := matrix.PoolStats()
+	var db distExplainDeltas
+	db.capture(s.Dist)
 	if err := shadow.Run(script); err != nil {
 		return "", err
 	}
@@ -168,7 +183,63 @@ func (s *Session) Explain(script string) (string, error) {
 		rate = float64(hits) / float64(gets) * 100
 	}
 	fmt.Fprintf(&b, "  bytes recycled:     %d (hit rate %.1f%%)\n", recycled, rate)
+	db.report(&b, s.Dist)
 	return b.String(), nil
+}
+
+// distExplainDeltas snapshots the distributed backend's cumulative traffic
+// counters around an Explain shadow run, so the DISTRIBUTED section shows
+// only the traffic this run caused. The shadow session shares the cluster,
+// so the broadcast handle cache behaves exactly as it would live (a side
+// already cached by earlier real runs stays a hit).
+type distExplainDeltas struct {
+	active                   bool
+	bcastBytes, shuffleBytes int64
+	hits, misses, invals     int64
+	netNanos                 int64
+	stages                   map[string]int64
+}
+
+func (d *distExplainDeltas) capture(b runtime.DistBackend) {
+	st, ok := b.(distStats)
+	if !ok {
+		return
+	}
+	d.active = true
+	d.bcastBytes, d.shuffleBytes = st.BytesBroadcast(), st.BytesShuffled()
+	d.netNanos = int64(st.NetTime())
+	if det, ok := b.(distDetail); ok {
+		d.hits, d.misses, d.invals = det.BroadcastCacheStats()
+		d.stages = det.ShuffleStageBytes()
+	}
+}
+
+func (d *distExplainDeltas) report(w io.Writer, b runtime.DistBackend) {
+	st, ok := b.(distStats)
+	if !ok || !d.active {
+		return
+	}
+	fmt.Fprintf(w, "\nDISTRIBUTED (this run)\n")
+	fmt.Fprintf(w, "  bytes broadcast:    %d\n", st.BytesBroadcast()-d.bcastBytes)
+	fmt.Fprintf(w, "  bytes shuffled:     %d\n", st.BytesShuffled()-d.shuffleBytes)
+	fmt.Fprintf(w, "  simulated net time: %v\n", st.NetTime()-time.Duration(d.netNanos))
+	det, ok := b.(distDetail)
+	if !ok {
+		return
+	}
+	hits, misses, invals := det.BroadcastCacheStats()
+	fmt.Fprintf(w, "  broadcast cache:    hits %d, misses %d, invalidations %d\n",
+		hits-d.hits, misses-d.misses, invals-d.invals)
+	stages := det.ShuffleStageBytes()
+	names := make([]string, 0, len(stages))
+	for stage := range stages {
+		names = append(names, stage)
+	}
+	sort.Strings(names)
+	for _, stage := range names {
+		fmt.Fprintf(w, "  shuffle[%s]:%s%d\n", stage,
+			strings.Repeat(" ", max(1, 8-len(stage))), stages[stage]-d.stages[stage])
+	}
 }
 
 // distStats is the slice of the distributed backend the metrics layer
@@ -178,6 +249,14 @@ type distStats interface {
 	BytesBroadcast() int64
 	BytesShuffled() int64
 	NetTime() time.Duration
+}
+
+// distDetail is the optional richer slice of the backend: broadcast
+// handle-cache counters and per-stage shuffle volumes (the overhauled
+// internal/dist.Cluster satisfies it; simpler backends need not).
+type distDetail interface {
+	BroadcastCacheStats() (hits, misses, invalidations int64)
+	ShuffleStageBytes() map[string]int64
 }
 
 // Metrics returns a point-in-time snapshot of all session metrics:
@@ -224,6 +303,18 @@ func (s *Session) Metrics() obs.Snapshot {
 		snap.Counters["dist.bytes.broadcast"] = d.BytesBroadcast()
 		snap.Counters["dist.bytes.shuffled"] = d.BytesShuffled()
 		snap.Gauges["dist.net.seconds"] = d.NetTime().Seconds()
+	}
+	if d, ok := s.Dist.(distDetail); ok {
+		hits, misses, invals := d.BroadcastCacheStats()
+		snap.Counters["dist.bcast.hits"] = hits
+		snap.Counters["dist.bcast.misses"] = misses
+		snap.Counters["dist.bcast.invalidations"] = invals
+		if lookups := hits + misses; lookups > 0 {
+			snap.Gauges["dist.bcast.hitrate"] = float64(hits) / float64(lookups)
+		}
+		for stage, bytes := range d.ShuffleStageBytes() {
+			snap.Counters["dist.shuffle.bytes."+stage] = bytes
+		}
 	}
 	return snap
 }
@@ -308,7 +399,7 @@ func (s *Session) exec(ctx context.Context, root obs.Span, stmts []Stmt) error {
 				if err := ctx.Err(); err != nil {
 					return err
 				}
-				s.Env[n.Var] = matrix.NewScalar(i)
+				s.setEnv(n.Var, matrix.NewScalar(i))
 				if err := s.exec(ctx, root, n.Body); err != nil {
 					return err
 				}
@@ -414,7 +505,7 @@ func (s *Session) runBlock(ctx context.Context, root obs.Span, stmts []Stmt) err
 		return err
 	}
 	for name, m := range out {
-		s.Env[name] = m
+		s.setEnv(name, m)
 	}
 	for _, po := range prints {
 		line := ""

@@ -135,10 +135,12 @@ func TestTraceDistSpans(t *testing.T) {
 	cfg.Exec.Blocksize = 64
 	cluster := dist.NewCluster()
 	cluster.Blocksize = 64
+	// Y is a 1x20 row vector: NOT row-aligned with X, so it must ship as a
+	// broadcast (a 500x20 Y would be co-partitioned — sliced, not shipped).
 	evs, _ := runTraced(t, cfg, cluster,
 		map[string]*matrix.Matrix{
 			"X": matrix.Rand(500, 20, 1, -1, 1, 1),
-			"Y": matrix.Rand(500, 20, 1, -1, 1, 2),
+			"Y": matrix.Rand(1, 20, 1, -1, 1, 2),
 		},
 		"s = sum(X * Y)")
 

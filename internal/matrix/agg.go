@@ -84,7 +84,13 @@ func aggAll(op AggOp, a *Matrix) float64 {
 
 func aggRows(op AggOp, a *Matrix) *Matrix {
 	out := NewDense(a.Rows, 1)
-	od := out.dense
+	aggRowsInto(out.dense, op, a)
+	return out
+}
+
+// aggRowsInto writes the per-row aggregate into a caller-provided a.Rows
+// destination slice (the backing of AggInto's zero-copy row views).
+func aggRowsInto(od []float64, op AggOp, a *Matrix) {
 	n := a.Cols
 	par.For(a.Rows, 64, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -119,7 +125,6 @@ func aggRows(op AggOp, a *Matrix) *Matrix {
 			}
 		}
 	})
-	return out
 }
 
 func aggCols(op AggOp, a *Matrix) *Matrix {

@@ -1,0 +1,182 @@
+package matrix
+
+import "fmt"
+
+// Row views and destination-passing ("Into") kernel variants. They exist
+// for the distributed backend's zero-copy panel execution: a map task reads
+// its row panel through a view of the partitioned input (no extraction
+// copy) and writes its result through a view of the pooled output (no
+// per-panel intermediate plus copy-back). Views share storage with their
+// parent: they are never pooled (Release on a view leaves the parent's
+// storage alone) and must not outlive or mutate the parent beyond the
+// writer contract stated on each function.
+
+// RowView returns the row panel [lo, hi) of m as a matrix sharing m's
+// storage. Dense views alias the backing slice directly; sparse views
+// share Values/ColIdx and rebase a copy of the RowPtr window (O(rows)
+// ints, no payload copy). The view must not be written unless the caller
+// owns the parent, and must not be Released for reuse (it is unpooled).
+func (m *Matrix) RowView(lo, hi int) *Matrix {
+	if lo < 0 || hi > m.Rows || lo >= hi {
+		panic(fmt.Sprintf("matrix: invalid row view [%d:%d) of %dx%d", lo, hi, m.Rows, m.Cols))
+	}
+	if m.dense != nil {
+		return &Matrix{Rows: hi - lo, Cols: m.Cols, dense: m.dense[lo*m.Cols : hi*m.Cols]}
+	}
+	rp := m.sparse.RowPtr
+	base := rp[lo]
+	rowPtr := make([]int, hi-lo+1)
+	for i := range rowPtr {
+		rowPtr[i] = rp[lo+i] - base
+	}
+	return &Matrix{Rows: hi - lo, Cols: m.Cols, sparse: &CSR{
+		RowPtr: rowPtr,
+		ColIdx: m.sparse.ColIdx[base:rp[hi]],
+		Values: m.sparse.Values[base:rp[hi]],
+	}}
+}
+
+// checkInto validates the destination of an Into kernel: dense storage of
+// exactly rows×cols.
+func checkInto(dst *Matrix, rows, cols int, kernel string) {
+	if dst.dense == nil {
+		panic(fmt.Sprintf("matrix: %s destination must be dense", kernel))
+	}
+	if dst.Rows != rows || dst.Cols != cols {
+		panic(fmt.Sprintf("matrix: %s destination %dx%d, result %dx%d", kernel, dst.Rows, dst.Cols, rows, cols))
+	}
+}
+
+// CopyInto writes src into dst's dense storage (densifying sparse sources
+// row by row). dst must be dense and shape-equal; cells of dst not covered
+// by sparse nonzeros are zeroed.
+func CopyInto(dst, src *Matrix) {
+	checkInto(dst, src.Rows, src.Cols, "CopyInto")
+	if src.dense != nil {
+		copy(dst.dense, src.dense)
+		return
+	}
+	n := src.Cols
+	for i := 0; i < src.Rows; i++ {
+		row := dst.dense[i*n : (i+1)*n]
+		for j := range row {
+			row[j] = 0
+		}
+		vals, cols := src.sparse.Row(i)
+		for k, j := range cols {
+			row[j] = vals[k]
+		}
+	}
+}
+
+// BinaryInto evaluates dst = A op B without allocating the result,
+// supporting the same shape combinations as Binary. dst must be dense with
+// the result shape; aliasing dst with a dense A or B is allowed (the loops
+// are element-local). Sparse operands fall back to the allocating kernel
+// with the scratch result returned to the buffer pool.
+func BinaryInto(dst *Matrix, op BinOp, a, b *Matrix) {
+	rows, cols := a.Rows, a.Cols
+	if rows == 1 && cols == 1 && (b.Rows > 1 || b.Cols > 1) {
+		rows, cols = b.Rows, b.Cols
+	}
+	checkInto(dst, rows, cols, "BinaryInto")
+	dd := dst.dense
+	switch {
+	case b.Rows == 1 && b.Cols == 1 && a.dense != nil:
+		s := b.Scalar()
+		for k, v := range a.dense {
+			dd[k] = op.Apply(v, s)
+		}
+		return
+	case a.Rows == 1 && a.Cols == 1 && b.dense != nil:
+		s := a.Scalar()
+		for k, v := range b.dense {
+			dd[k] = op.Apply(s, v)
+		}
+		return
+	case a.Rows == b.Rows && a.Cols == b.Cols && a.dense != nil && b.dense != nil:
+		for k, v := range a.dense {
+			dd[k] = op.Apply(v, b.dense[k])
+		}
+		return
+	case b.Rows == a.Rows && b.Cols == 1 && a.dense != nil && b.dense != nil:
+		for i := 0; i < rows; i++ {
+			s, row := b.dense[i], a.dense[i*cols:(i+1)*cols]
+			di := i * cols
+			for j, v := range row {
+				dd[di+j] = op.Apply(v, s)
+			}
+		}
+		return
+	case b.Rows == 1 && b.Cols == a.Cols && a.dense != nil && b.dense != nil:
+		for i := 0; i < rows; i++ {
+			row := a.dense[i*cols : (i+1)*cols]
+			di := i * cols
+			for j, v := range row {
+				dd[di+j] = op.Apply(v, b.dense[j])
+			}
+		}
+		return
+	}
+	r := Binary(op, a, b)
+	CopyInto(dst, r)
+	r.Release()
+}
+
+// UnaryInto evaluates dst = op(A) without allocating the result. dst must
+// be dense with A's shape; aliasing dst with a dense A is allowed.
+func UnaryInto(dst *Matrix, op UnOp, a *Matrix) {
+	checkInto(dst, a.Rows, a.Cols, "UnaryInto")
+	if a.dense != nil {
+		for k, v := range a.dense {
+			dst.dense[k] = op.Apply(v)
+		}
+		return
+	}
+	r := Unary(op, a)
+	CopyInto(dst, r)
+	r.Release()
+}
+
+// MatMultInto computes dst = A %*% B into a caller-provided dense, ZEROED
+// destination (the kernels accumulate). dst must be a.Rows×b.Cols; the
+// sparse×sparse pairing falls back to the allocating kernel.
+func MatMultInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("matrix: matmult shape mismatch %dx%d x %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	checkInto(dst, a.Rows, b.Cols, "MatMultInto")
+	switch {
+	case !a.IsSparse() && !b.IsSparse():
+		matMultDenseDense(a, b, dst)
+	case a.IsSparse() && !b.IsSparse():
+		matMultSparseDense(a, b, dst)
+	case !a.IsSparse() && b.IsSparse():
+		matMultDenseSparse(a, b, dst)
+	default:
+		r := matMultSparseSparse(a, b)
+		CopyInto(dst, r)
+		r.Release()
+	}
+}
+
+// AggInto evaluates dst = agg(A) without allocating the result. dst must
+// be dense with the aggregate's shape (rows×1 for DirRow, 1×cols for
+// DirCol, 1×1 for DirAll).
+func AggInto(dst *Matrix, op AggOp, dir AggDir, a *Matrix) {
+	switch dir {
+	case DirAll:
+		checkInto(dst, 1, 1, "AggInto")
+		dst.dense[0] = aggAll(op, a)
+	case DirRow:
+		checkInto(dst, a.Rows, 1, "AggInto")
+		aggRowsInto(dst.dense, op, a)
+	case DirCol:
+		checkInto(dst, 1, a.Cols, "AggInto")
+		r := aggCols(op, a)
+		copy(dst.dense, r.dense)
+		r.Release()
+	default:
+		panic(fmt.Sprintf("matrix: unknown aggregation direction %v", dir))
+	}
+}

@@ -1,0 +1,150 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+)
+
+func viewShapes() []struct{ r, c int } {
+	return []struct{ r, c int }{{1, 7}, {5, 1}, {17, 9}, {64, 33}, {100, 3}}
+}
+
+func TestRowViewMatchesIndexRange(t *testing.T) {
+	for _, sh := range viewShapes() {
+		for _, sparsity := range []float64{1, 0.3, 0.05} {
+			m := Rand(sh.r, sh.c, sparsity, -2, 2, int64(sh.r*sh.c)+int64(sparsity*100))
+			for _, rep := range []*Matrix{m.ToDense(), m.ToSparse()} {
+				for _, span := range [][2]int{{0, sh.r}, {0, (sh.r + 1) / 2}, {sh.r / 2, sh.r}} {
+					lo, hi := span[0], span[1]
+					if lo >= hi {
+						continue
+					}
+					got := rep.RowView(lo, hi)
+					want := IndexRange(rep, lo, hi, 0, sh.c)
+					if !got.EqualsApprox(want, 0) {
+						t.Fatalf("RowView(%d,%d) of %dx%d sparse=%v differs", lo, hi, sh.r, sh.c, rep.IsSparse())
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRowViewSharesDenseStorage(t *testing.T) {
+	m := Rand(10, 4, 1, -1, 1, 7)
+	v := m.RowView(2, 5)
+	m.Set(3, 1, 42)
+	if v.At(1, 1) != 42 {
+		t.Fatal("dense row view does not alias parent storage")
+	}
+	v.Release() // must not recycle the parent's storage
+	if m.At(3, 1) != 42 {
+		t.Fatal("releasing a view corrupted the parent")
+	}
+}
+
+func TestBinaryIntoMatchesBinary(t *testing.T) {
+	ops := []BinOp{BinAdd, BinMul, BinDiv, BinMax}
+	type pair struct{ a, b *Matrix }
+	a := Rand(20, 7, 1, -1, 1, 1)
+	pairs := []pair{
+		{a, Rand(20, 7, 1, -1, 1, 2)},              // same shape dense
+		{a, Rand(20, 7, 0.2, -1, 1, 3).ToSparse()}, // sparse rhs fallback
+		{a.ToSparse(), Rand(20, 7, 1, -1, 1, 4)},   // sparse lhs fallback
+		{a, Rand(20, 1, 1, -1, 1, 5)},              // col-vector broadcast
+		{a, Rand(1, 7, 1, -1, 1, 6)},               // row-vector broadcast
+		{a, NewScalar(1.5)},                        // scalar rhs
+		{NewScalar(-0.5), a},                       // scalar lhs
+	}
+	for _, op := range ops {
+		for i, p := range pairs {
+			want := Binary(op, p.a, p.b)
+			rows, cols := want.Rows, want.Cols
+			dst := NewDense(rows, cols)
+			BinaryInto(dst, op, p.a, p.b)
+			if !dst.EqualsApprox(want, 1e-12) {
+				t.Fatalf("BinaryInto op=%v pair=%d differs", op, i)
+			}
+		}
+	}
+}
+
+func TestUnaryIntoMatchesUnary(t *testing.T) {
+	for _, rep := range []*Matrix{Rand(15, 6, 1, -2, 2, 8), Rand(15, 6, 0.3, -2, 2, 9).ToSparse()} {
+		for _, op := range []UnOp{UnAbs, UnExp, UnSign} {
+			want := Unary(op, rep)
+			dst := NewDense(15, 6)
+			UnaryInto(dst, op, rep)
+			if !dst.EqualsApprox(want, 1e-12) {
+				t.Fatalf("UnaryInto op=%v sparse=%v differs", op, rep.IsSparse())
+			}
+		}
+	}
+}
+
+func TestMatMultIntoMatchesMatMult(t *testing.T) {
+	dense := func(r, c int, seed int64) *Matrix { return Rand(r, c, 1, -1, 1, seed) }
+	sparse := func(r, c int, seed int64) *Matrix { return Rand(r, c, 0.15, -1, 1, seed).ToSparse() }
+	cases := []struct{ a, b *Matrix }{
+		{dense(12, 8, 1), dense(8, 5, 2)},
+		{sparse(12, 8, 3), dense(8, 5, 4)},
+		{dense(12, 8, 5), sparse(8, 5, 6)},
+		{sparse(12, 8, 7), sparse(8, 5, 8)},
+		{dense(9, 4, 9), dense(4, 1, 10)}, // matrix-vector
+	}
+	for i, cse := range cases {
+		want := MatMult(cse.a, cse.b)
+		dst := NewDense(cse.a.Rows, cse.b.Cols)
+		MatMultInto(dst, cse.a, cse.b)
+		if !dst.EqualsApprox(want, 1e-9) {
+			t.Fatalf("MatMultInto case %d differs", i)
+		}
+	}
+}
+
+func TestMatMultIntoWritesRowViewOfPooledOutput(t *testing.T) {
+	a := Rand(30, 10, 1, -1, 1, 11)
+	b := Rand(10, 6, 1, -1, 1, 12)
+	want := MatMult(a, b)
+	out := NewDense(30, 6)
+	for _, span := range [][2]int{{0, 13}, {13, 30}} {
+		MatMultInto(out.RowView(span[0], span[1]), a.RowView(span[0], span[1]), b)
+	}
+	if !out.EqualsApprox(want, 1e-9) {
+		t.Fatal("panel-wise MatMultInto through row views differs from MatMult")
+	}
+}
+
+func TestAggIntoMatchesAgg(t *testing.T) {
+	for _, rep := range []*Matrix{Rand(25, 7, 1, -1, 3, 13), Rand(25, 7, 0.2, -1, 3, 14).ToSparse()} {
+		for _, op := range []AggOp{AggSum, AggSumSq, AggMin, AggMax} {
+			for _, dir := range []AggDir{DirAll, DirRow, DirCol} {
+				want := Agg(op, dir, rep)
+				dst := NewDense(want.Rows, want.Cols)
+				AggInto(dst, op, dir, rep)
+				if !dst.EqualsApprox(want, 1e-12) {
+					t.Fatalf("AggInto op=%v dir=%v sparse=%v differs", op, dir, rep.IsSparse())
+				}
+			}
+		}
+	}
+}
+
+func TestCopyIntoZeroesStaleCells(t *testing.T) {
+	dst := NewDense(3, 3)
+	for i := range dst.Dense() {
+		dst.Dense()[i] = math.Pi // dirty destination
+	}
+	src := NewDense(3, 3)
+	src.Set(1, 1, 5)
+	CopyInto(dst, src.ToSparse())
+	for i, v := range dst.Dense() {
+		want := 0.0
+		if i == 4 {
+			want = 5
+		}
+		if v != want {
+			t.Fatalf("cell %d = %v, want %v", i, v, want)
+		}
+	}
+}

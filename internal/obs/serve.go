@@ -27,6 +27,8 @@ type Server struct {
 //	/metrics   full metrics snapshot (counters, gauges, histograms)
 //	/audit     cost-audit summary (per-template rel-err histograms, worst offenders)
 //	/plancache plan-cache counters and gauges (the "plancache." slice of /metrics)
+//	/dist      distributed backend traffic (the "dist." slice of /metrics:
+//	           broadcast-cache hits/misses/invalidations, per-stage shuffle bytes)
 //	/healthz   liveness probe
 //
 // The server runs on its own goroutine until Close. Stdlib only; intended
@@ -67,6 +69,24 @@ func Serve(addr string, src ServeSource) (*Server, error) {
 		}
 		writeJSON(w, pc)
 	})
+	mux.HandleFunc("/dist", func(w http.ResponseWriter, r *http.Request) {
+		snap := src.Metrics()
+		d := struct {
+			Counters map[string]int64   `json:"counters"`
+			Gauges   map[string]float64 `json:"gauges"`
+		}{map[string]int64{}, map[string]float64{}}
+		for k, v := range snap.Counters {
+			if strings.HasPrefix(k, "dist.") {
+				d.Counters[k] = v
+			}
+		}
+		for k, v := range snap.Gauges {
+			if strings.HasPrefix(k, "dist.") {
+				d.Gauges[k] = v
+			}
+		}
+		writeJSON(w, d)
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
@@ -79,6 +99,7 @@ func Serve(addr string, src ServeSource) (*Server, error) {
 			"/metrics":   "full metrics snapshot",
 			"/audit":     "cost-audit summary",
 			"/plancache": "plan cache counters",
+			"/dist":      "distributed backend traffic (broadcast cache, per-stage shuffle)",
 			"/healthz":   "liveness probe",
 		})
 	})

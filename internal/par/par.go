@@ -260,3 +260,65 @@ func Chunks(n, grain int) (count, size int) {
 	count, size, _ = plan(n, grain)
 	return count, size
 }
+
+// planLimit is plan with an explicit participant cap that overrides the
+// global worker cap. Unlike maxWorkers it may exceed GOMAXPROCS: callers
+// like the simulated distributed backend model external concurrency
+// (executors), where oversubscribing cores is exactly the point.
+func planLimit(n, grain, limit int) (workers, chunk, nchunks int) {
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	if limit < 1 {
+		limit = 1
+	}
+	maxChunks := (n + grain - 1) / grain
+	workers = limit
+	if workers > maxChunks {
+		workers = maxChunks
+	}
+	if workers <= 1 {
+		return 1, n, 1
+	}
+	nchunks = workers * chunkFactor
+	if nchunks > maxChunks {
+		nchunks = maxChunks
+	}
+	chunk = (n + nchunks - 1) / nchunks
+	nchunks = (n + chunk - 1) / chunk
+	if nchunks < workers {
+		workers = nchunks
+	}
+	return workers, chunk, nchunks
+}
+
+// ForIndexedLimit is ForIndexed with an explicit participant cap: at most
+// limit workers (including the caller) run fn, regardless of the global
+// SetMaxWorkers cap. It backs the simulated distributed backend, where the
+// participant count models the cluster's executor count rather than the
+// local core count. Worker indexes are dense in [0, count) with count as
+// reported by ChunksLimit.
+func ForIndexedLimit(n, grain, limit int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers, chunk, nchunks := planLimit(n, grain, limit)
+	statCalls.Add(1)
+	if workers <= 1 {
+		statSequential.Add(1)
+		fn(0, 0, n)
+		return
+	}
+	dispatch(n, workers, chunk, nchunks, fn)
+}
+
+// ChunksLimit reports how many workers ForIndexedLimit will use for n items
+// with the given grain and participant cap — the size needed for
+// per-worker state arrays.
+func ChunksLimit(n, grain, limit int) (count, size int) {
+	if n <= 0 {
+		return 0, 0
+	}
+	count, size, _ = planLimit(n, grain, limit)
+	return count, size
+}

@@ -61,6 +61,13 @@ type DistBackend interface {
 	// inputs and returns its result. sp is the executing operator's trace
 	// span; the backend hangs broadcast/shuffle stage spans off it.
 	ExecHop(h *hop.Hop, inputs []*matrix.Matrix, sp obs.Span) (*matrix.Matrix, bool)
+
+	// Invalidate tells the backend that m's storage is about to be
+	// recycled or its binding rewritten, so any broadcast handle derived
+	// from it must be dropped. Called by the executor before releasing a
+	// dead intermediate to the buffer pool and by the interpreter on every
+	// variable rebind.
+	Invalidate(m *matrix.Matrix)
 }
 
 // ExecuteDAG evaluates all outputs of a HOP DAG against the environment
@@ -159,6 +166,11 @@ func ExecuteDAG(d *hop.DAG, env Env, opts Options) (Env, error) {
 			delete(held, im)
 			if owned[im] {
 				delete(owned, im)
+				if opts.Dist != nil {
+					// The pool may hand im's storage to the next allocation;
+					// a broadcast handle for it would go stale.
+					opts.Dist.Invalidate(im)
+				}
 				im.Release()
 			}
 		}
