@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
-# CI gate for the sysml repo: static checks, full test suite under the race
-# detector, the kernel performance gates (BENCH_kernels.json must report
-# "pass": true), and the distributed-backend gates (BENCH_dist.json likewise).
+# CI gate for the sysml repo: static checks, docs lint, full test suite
+# under the race detector, the kernel performance gates (BENCH_kernels.json
+# must report "pass": true), the distributed-backend gates (BENCH_dist.json
+# likewise), and the fault-tolerance gates (BENCH_fault.json likewise).
 set -euo pipefail
 cd "$(dirname "$0")"
 
 echo "== go vet =="
 go vet ./...
+
+echo "== docs lint (docscheck) =="
+go run ./cmd/docscheck
 
 echo "== go build =="
 go build ./...
@@ -26,6 +30,13 @@ go run ./cmd/fusebench -exp dist
 if ! grep -q '"pass": true' BENCH_dist.json; then
   echo "FAIL: BENCH_dist.json gates did not pass" >&2
   cat BENCH_dist.json >&2
+  exit 1
+fi
+echo "== fault-tolerance gates (fusebench -exp fault) =="
+go run ./cmd/fusebench -exp fault
+if ! grep -q '"pass": true' BENCH_fault.json; then
+  echo "FAIL: BENCH_fault.json gates did not pass" >&2
+  cat BENCH_fault.json >&2
   exit 1
 fi
 echo "OK: all CI gates passed"

@@ -40,9 +40,12 @@ func main() {
 	useDist := flag.Bool("dist", false, "attach the simulated distributed backend (operators over -membudget run distributed)")
 	executors := flag.Int("executors", 6, "simulated executor count for -dist")
 	memBudget := flag.Int64("membudget", 0, "local memory budget in bytes; operators estimated above it run distributed (0 keeps the default)")
+	faultSeed := flag.Int64("faultseed", 0, "fault-injection seed for -dist (0 with -faultrate 0 and -killexec -1 disables injection)")
+	faultRate := flag.Float64("faultrate", 0, "per-task transient-failure probability for -dist fault injection")
+	killExec := flag.Int("killexec", -1, "executor id to kill permanently at the first task of the run (-1 disables)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: dmlrun [-mode Gen] [-stats] [-explain] [-metrics] [-trace out.json] [-audit] [-dist [-executors N] [-membudget B]] script.dml")
+		fmt.Fprintln(os.Stderr, "usage: dmlrun [-mode Gen] [-stats] [-explain] [-metrics] [-trace out.json] [-audit] [-dist [-executors N] [-membudget B] [-faultseed S -faultrate P -killexec E]] script.dml")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -68,8 +71,18 @@ func main() {
 	s := dml.NewSession(cfg)
 	var cluster *dist.Cluster
 	if *useDist {
-		cluster = dist.NewCluster()
-		cluster.NumExecutors = *executors
+		cluster = dist.NewCluster(dist.WithExecutors(*executors))
+		if *faultSeed != 0 || *faultRate > 0 || *killExec >= 0 {
+			plan := &dist.FaultPlan{
+				Seed:          *faultSeed,
+				TransientRate: *faultRate,
+				KillExecutor:  *killExec,
+			}
+			if *killExec >= 0 {
+				plan.KillAtTask = 1
+			}
+			cluster.SetFaultPlan(plan)
+		}
 		s.Dist = cluster
 	}
 	var sinks obs.MultiSink
@@ -153,6 +166,17 @@ func printDist(c *dist.Cluster) {
 	for _, stage := range names {
 		fmt.Fprintf(os.Stderr, "  shuffle[%-5s]:     %d\n", stage, stages[stage])
 	}
+	if !c.FaultActive() {
+		return
+	}
+	ft := c.FaultStats()
+	fmt.Fprintln(os.Stderr, "  faults")
+	fmt.Fprintf(os.Stderr, "    injected:         transient %d, stragglers %d, kills %d (dead executors %v)\n",
+		ft.TransientInjected, ft.StragglersInjected, ft.Kills, c.DeadExecutors())
+	fmt.Fprintf(os.Stderr, "    recovered:        retries %d, reassigned %d, broadcasts re-shipped %d (%d B)\n",
+		ft.Retries, ft.Reassigned, ft.BcastReships, ft.BcastReshipBytes)
+	fmt.Fprintf(os.Stderr, "    speculation:      launched %d, wins %d\n", ft.SpecLaunched, ft.SpecWins)
+	fmt.Fprintf(os.Stderr, "    degraded to local: %d\n", ft.Degraded)
 }
 
 // printPhases writes the compile/optimize/execute wall-time breakdown

@@ -74,6 +74,9 @@ var Experiments = []struct {
 	{"dist", "Distributed backend gates: broadcast cache, tree shuffle, zero-copy panels (emits BENCH_dist.json)", func(o Options) {
 		Dist(o).Print(o.Out)
 	}},
+	{"fault", "Fault-tolerance gates: chaos correctness, scheduler overhead, kill recovery (emits BENCH_fault.json)", func(o Options) {
+		Fault(o).Print(o.Out)
+	}},
 }
 
 // RunAll executes every experiment.

@@ -23,6 +23,8 @@ const (
 
 var modeNames = [...]string{"Base", "Fused", "Gen", "Gen-FA", "Gen-FNR"}
 
+// String returns the mode name as printed in EXPLAIN output and benchmark
+// tables.
 func (m Mode) String() string { return modeNames[m] }
 
 // CompilerKind selects the operator compile path (Fig. 11).

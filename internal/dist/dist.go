@@ -81,17 +81,70 @@ type Cluster struct {
 	// Per-stage shuffle volumes ("agg", "spoof"), for Metrics and /metrics.
 	stageMu    sync.Mutex
 	stageBytes map[string]int64
+
+	// Fault injection and recovery state (fault.go). fault is attached
+	// before the cluster is shared and never mutated afterwards; nil
+	// bypasses the fault-tolerant scheduler entirely.
+	fault           *FaultPlan
+	faultOpSeq      int64 // operator sequence number (injection hash input)
+	faultTaskStarts int64 // global task-attempt counter (kill trigger)
+	killFired       int32
+
+	// Permanently killed executors. deadCount mirrors len(deadExec)
+	// atomically so the common all-alive case never takes the lock.
+	execMu    sync.Mutex
+	deadExec  map[int]bool
+	deadCount int64
+
+	// Fault/recovery counters (snapshot via FaultStats).
+	ftTransient    int64
+	ftStragglers   int64
+	ftKills        int64
+	ftReassigned   int64
+	ftRetries      int64
+	ftBackoffNanos int64
+	ftSpecLaunched int64
+	ftSpecWins     int64
+	ftDegraded     int64
+
+	// Broadcast blocks re-shipped to survivors after an executor kill.
+	bcastReships     int64
+	bcastReshipBytes int64
+}
+
+// Option configures a Cluster at construction time.
+type Option func(*Cluster)
+
+// WithFaultPlan attaches a deterministic fault-injection plan: every map
+// stage then runs under the fault-tolerant scheduler, which injects the
+// plan's faults and recovers from them (see fault.go).
+func WithFaultPlan(p *FaultPlan) Option {
+	return func(c *Cluster) { c.fault = p }
+}
+
+// WithExecutors overrides the simulated executor count.
+func WithExecutors(n int) Option {
+	return func(c *Cluster) { c.NumExecutors = n }
 }
 
 // NewCluster mirrors the paper's 6-executor setup scaled down.
-func NewCluster() *Cluster {
-	return &Cluster{
+func NewCluster(opts ...Option) *Cluster {
+	c := &Cluster{
 		NumExecutors:     6,
 		ExecutorMemBytes: 1 << 30,
 		Blocksize:        1000,
 		NetBandwidth:     1.25e9, // 10 Gb Ethernet
 	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
+
+// SetFaultPlan attaches a fault plan (nil detaches). Set it before the
+// cluster executes operators — the plan is read without synchronization by
+// running map stages.
+func (c *Cluster) SetFaultPlan(p *FaultPlan) { c.fault = p }
 
 // BytesBroadcast returns the accumulated broadcast volume.
 func (c *Cluster) BytesBroadcast() int64 { return atomic.LoadInt64(&c.bytesBroadcast) }
@@ -163,10 +216,22 @@ func (c *Cluster) Invalidate(m *matrix.Matrix) {
 	c.bcastMu.Unlock()
 }
 
-// Reset clears the traffic counters, cache statistics, and the seed-model
-// baseline. Cached broadcast handles survive — they are cluster state, not
-// statistics (drop them via SetBroadcastCache(false) + (true)).
+// Reset clears the traffic counters, cache statistics, fault/recovery
+// counters, and the seed-model baseline. Cached broadcast handles and dead
+// executors survive — they are cluster state, not statistics (drop handles
+// via SetBroadcastCache(false) + (true)).
 func (c *Cluster) Reset() {
+	atomic.StoreInt64(&c.ftTransient, 0)
+	atomic.StoreInt64(&c.ftStragglers, 0)
+	atomic.StoreInt64(&c.ftKills, 0)
+	atomic.StoreInt64(&c.ftReassigned, 0)
+	atomic.StoreInt64(&c.ftRetries, 0)
+	atomic.StoreInt64(&c.ftBackoffNanos, 0)
+	atomic.StoreInt64(&c.ftSpecLaunched, 0)
+	atomic.StoreInt64(&c.ftSpecWins, 0)
+	atomic.StoreInt64(&c.ftDegraded, 0)
+	atomic.StoreInt64(&c.bcastReships, 0)
+	atomic.StoreInt64(&c.bcastReshipBytes, 0)
 	atomic.StoreInt64(&c.bytesBroadcast, 0)
 	atomic.StoreInt64(&c.bytesShuffled, 0)
 	atomic.StoreInt64(&c.netNanos, 0)
@@ -262,24 +327,37 @@ func (c *Cluster) panels(rows int) [][2]int {
 	return out
 }
 
-// runPanels executes fn per panel on the internal/par worker pool, capped
-// at the simulated executor count, under a "dist.map" span carrying the
-// partition count. Panels are claimed dynamically, so fn must not assume
-// any panel→goroutine assignment; per-executor state is modeled by the
-// static owner mapping instead. Returns the panel count.
-func (c *Cluster) runPanels(sp obs.Span, rows int, fn func(panel, lo, hi int)) int {
+// runPanels executes fn per panel, capped at the simulated executor count,
+// under a "dist.map" span carrying the partition count. With no fault plan
+// attached it runs on the internal/par worker pool; with one it runs under
+// the fault-tolerant scheduler (fault.go), which injects the plan's faults
+// and recovers from them. Panels are claimed dynamically, so fn must not
+// assume any panel→goroutine assignment; per-executor state is modeled by
+// the static owner mapping instead. Returns the panel count and whether
+// the stage completed — false means the operator degraded (retry budget or
+// survivor floor exhausted) and the caller must discard partial output so
+// the runtime recomputes locally.
+func (c *Cluster) runPanels(sp obs.Span, rows int, fn func(panel, lo, hi int)) (int, bool) {
 	ps := c.panels(rows)
 	msp := sp.Child("dist.map",
 		obs.KV("partitions", len(ps)),
 		obs.KV("rows", rows),
 		obs.KV("executors", c.executors()))
 	defer msp.End()
+	if c.fault != nil {
+		if !c.runPanelsFaulty(msp, ps, fn) {
+			atomic.AddInt64(&c.ftDegraded, 1)
+			msp.Annotate(obs.KV("degraded", true))
+			return len(ps), false
+		}
+		return len(ps), true
+	}
 	par.ForIndexedLimit(len(ps), 1, c.executors(), func(_, plo, phi int) {
 		for p := plo; p < phi; p++ {
 			fn(p, ps[p][0], ps[p][1])
 		}
 	})
-	return len(ps)
+	return len(ps), true
 }
 
 // owner maps a panel index to the executor that hosts it: a static blocked
@@ -418,6 +496,16 @@ func (c *Cluster) treeReduce(sp obs.Span, stage string, parts []*matrix.Matrix, 
 	return parts[0]
 }
 
+// releaseParts returns partial results of an abandoned (degraded or
+// failed) reduction stage to the buffer pool.
+func releaseParts(parts []*matrix.Matrix) {
+	for _, p := range parts {
+		if p != nil {
+			p.Release()
+		}
+	}
+}
+
 // combineBinary reduces two partials with op, releasing both inputs'
 // storage to the buffer pool. Sparse partials stay sparse when the kernel
 // preserves sparsity, keeping later tree levels cheap to ship.
@@ -454,7 +542,7 @@ func (c *Cluster) mapOp(h *hop.Hop, inputs []*matrix.Matrix, sp obs.Span) (*matr
 	}
 	c.broadcastAll(bcast, sp)
 	out := matrix.NewDense(main.Rows, int(h.Cols))
-	c.runPanels(sp, main.Rows, func(_, lo, hi int) {
+	if _, ok := c.runPanels(sp, main.Rows, func(_, lo, hi int) {
 		dst := out.RowView(lo, hi)
 		if h.Kind == hop.OpUnary {
 			matrix.UnaryInto(dst, h.UnOp, main.RowView(lo, hi))
@@ -466,7 +554,10 @@ func (c *Cluster) mapOp(h *hop.Hop, inputs []*matrix.Matrix, sp obs.Span) (*matr
 			rb = b.RowView(lo, hi)
 		}
 		matrix.BinaryInto(dst, h.BinOp, main.RowView(lo, hi), rb)
-	})
+	}); !ok {
+		out.Release()
+		return nil, false
+	}
 	return out.InPreferredFormat(), true
 }
 
@@ -478,9 +569,12 @@ func (c *Cluster) aggOp(h *hop.Hop, inputs []*matrix.Matrix, sp obs.Span) (*matr
 	switch h.AggDir {
 	case matrix.DirRow:
 		out := matrix.NewDense(main.Rows, 1)
-		c.runPanels(sp, main.Rows, func(_, lo, hi int) {
+		if _, ok := c.runPanels(sp, main.Rows, func(_, lo, hi int) {
 			matrix.AggInto(out.RowView(lo, hi), h.AggOp, matrix.DirRow, main.RowView(lo, hi))
-		})
+		}); !ok {
+			out.Release()
+			return nil, false
+		}
 		return out, true
 	case matrix.DirCol, matrix.DirAll:
 		if h.AggOp == matrix.AggMean {
@@ -497,9 +591,13 @@ func (c *Cluster) aggOp(h *hop.Hop, inputs []*matrix.Matrix, sp obs.Span) (*matr
 		// (no network); only the per-executor results enter the shuffle
 		// tree.
 		parts := make([]*matrix.Matrix, len(c.panels(main.Rows)))
-		n := c.runPanels(sp, main.Rows, func(p, lo, hi int) {
+		n, ok := c.runPanels(sp, main.Rows, func(p, lo, hi int) {
 			parts[p] = matrix.Agg(h.AggOp, h.AggDir, main.RowView(lo, hi))
 		})
+		if !ok {
+			releaseParts(parts)
+			return nil, false
+		}
 		combine := func(a, p *matrix.Matrix) *matrix.Matrix {
 			return combineBinary(op, a, p)
 		}
@@ -519,9 +617,12 @@ func (c *Cluster) matMult(h *hop.Hop, inputs []*matrix.Matrix, sp obs.Span) (*ma
 	}
 	c.broadcastAll([]*matrix.Matrix{b}, sp)
 	out := matrix.NewDense(a.Rows, b.Cols)
-	c.runPanels(sp, a.Rows, func(_, lo, hi int) {
+	if _, ok := c.runPanels(sp, a.Rows, func(_, lo, hi int) {
 		matrix.MatMultInto(out.RowView(lo, hi), a.RowView(lo, hi), b)
-	})
+	}); !ok {
+		out.Release()
+		return nil, false
+	}
 	return out, true
 }
 
@@ -584,7 +685,7 @@ func (c *Cluster) spoof(h *hop.Hop, inputs []*matrix.Matrix, sp obs.Span) (*matr
 		ps := c.panels(main.Rows)
 		parts := make([]*matrix.Matrix, len(ps))
 		var bad atomic.Bool
-		c.runPanels(sp, main.Rows, func(p, lo, hi int) {
+		_, ok := c.runPanels(sp, main.Rows, func(p, lo, hi int) {
 			res, err := rt.ExecSpoof(h, slicedInputs(lo, hi))
 			if err != nil {
 				bad.Store(true)
@@ -592,7 +693,8 @@ func (c *Cluster) spoof(h *hop.Hop, inputs []*matrix.Matrix, sp obs.Span) (*matr
 			}
 			parts[p] = res
 		})
-		if bad.Load() {
+		if !ok || bad.Load() {
+			releaseParts(parts)
 			return nil, false
 		}
 		for _, p := range parts {
@@ -614,7 +716,7 @@ func (c *Cluster) spoof(h *hop.Hop, inputs []*matrix.Matrix, sp obs.Span) (*matr
 	// hosting executor, tree-combined by addition.
 	parts := make([]*matrix.Matrix, len(c.panels(main.Rows)))
 	var bad atomic.Bool
-	n := c.runPanels(sp, main.Rows, func(p, lo, hi int) {
+	n, ok := c.runPanels(sp, main.Rows, func(p, lo, hi int) {
 		res, err := rt.ExecSpoof(h, slicedInputs(lo, hi))
 		if err != nil {
 			bad.Store(true)
@@ -622,7 +724,8 @@ func (c *Cluster) spoof(h *hop.Hop, inputs []*matrix.Matrix, sp obs.Span) (*matr
 		}
 		parts[p] = res
 	})
-	if bad.Load() {
+	if !ok || bad.Load() {
+		releaseParts(parts)
 		return nil, false
 	}
 	for _, p := range parts {

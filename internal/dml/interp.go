@@ -198,6 +198,7 @@ type distExplainDeltas struct {
 	hits, misses, invals     int64
 	netNanos                 int64
 	stages                   map[string]int64
+	faults                   map[string]int64
 }
 
 func (d *distExplainDeltas) capture(b runtime.DistBackend) {
@@ -211,6 +212,9 @@ func (d *distExplainDeltas) capture(b runtime.DistBackend) {
 	if det, ok := b.(distDetail); ok {
 		d.hits, d.misses, d.invals = det.BroadcastCacheStats()
 		d.stages = det.ShuffleStageBytes()
+	}
+	if ft, ok := b.(distFaults); ok && ft.FaultActive() {
+		d.faults = ft.FaultCounters()
 	}
 }
 
@@ -240,6 +244,26 @@ func (d *distExplainDeltas) report(w io.Writer, b runtime.DistBackend) {
 		fmt.Fprintf(w, "  shuffle[%s]:%s%d\n", stage,
 			strings.Repeat(" ", max(1, 8-len(stage))), stages[stage]-d.stages[stage])
 	}
+	ft, ok := b.(distFaults)
+	if !ok || !ft.FaultActive() {
+		return
+	}
+	cur := ft.FaultCounters()
+	fmt.Fprintf(w, "  FAULTS\n")
+	fmt.Fprintf(w, "    injected:         transient %d, stragglers %d, kills %d\n",
+		cur["fault.transient"]-d.faults["fault.transient"],
+		cur["fault.stragglers"]-d.faults["fault.stragglers"],
+		cur["fault.kills"]-d.faults["fault.kills"])
+	fmt.Fprintf(w, "    recovered:        retries %d (backoff %v), reassigned %d, re-shipped %d (%d B)\n",
+		cur["retry.attempts"]-d.faults["retry.attempts"],
+		time.Duration(cur["retry.backoff.ns"]-d.faults["retry.backoff.ns"]),
+		cur["fault.reassigned"]-d.faults["fault.reassigned"],
+		cur["bcast.reships"]-d.faults["bcast.reships"],
+		cur["bcast.reship.bytes"]-d.faults["bcast.reship.bytes"])
+	fmt.Fprintf(w, "    speculation:      launched %d, wins %d\n",
+		cur["spec.launched"]-d.faults["spec.launched"],
+		cur["spec.wins"]-d.faults["spec.wins"])
+	fmt.Fprintf(w, "    degraded to local: %d\n", cur["degraded"]-d.faults["degraded"])
 }
 
 // distStats is the slice of the distributed backend the metrics layer
@@ -257,6 +281,14 @@ type distStats interface {
 type distDetail interface {
 	BroadcastCacheStats() (hits, misses, invalidations int64)
 	ShuffleStageBytes() map[string]int64
+}
+
+// distFaults is the fault-tolerance slice of the backend: injection and
+// recovery counters, merged into metrics as dist.fault.* / dist.retry.* /
+// dist.spec.* / dist.degraded only while a fault plan is attached.
+type distFaults interface {
+	FaultActive() bool
+	FaultCounters() map[string]int64
 }
 
 // Metrics returns a point-in-time snapshot of all session metrics:
@@ -314,6 +346,11 @@ func (s *Session) Metrics() obs.Snapshot {
 		}
 		for stage, bytes := range d.ShuffleStageBytes() {
 			snap.Counters["dist.shuffle.bytes."+stage] = bytes
+		}
+	}
+	if d, ok := s.Dist.(distFaults); ok && d.FaultActive() {
+		for k, v := range d.FaultCounters() {
+			snap.Counters["dist."+k] = v
 		}
 	}
 	return snap

@@ -18,6 +18,7 @@ const (
 	EventSpan
 )
 
+// String returns the event kind's wire name as used in trace exports.
 func (k EventKind) String() string {
 	switch k {
 	case EventExplain:

@@ -26,8 +26,15 @@
 // phase timings, and WithSink streams explain reports and trace spans to
 // any writer.
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-reproduction results.
+// Large operators can run on a simulated Spark-like cluster (NewCluster,
+// WithCluster) with broadcast/shuffle byte accounting, and the cluster's
+// fault-tolerant scheduler survives injected failures (WithFaultPlan):
+// transient task errors are retried with backoff, a killed executor's
+// unexecuted panels are reassigned via lineage, and stragglers are
+// speculatively re-executed.
+//
+// See DESIGN.md for the system inventory, docs/ARCHITECTURE.md for the
+// package map, and EXPERIMENTS.md for the paper-reproduction results.
 package sysml
 
 import (
@@ -218,10 +225,41 @@ type (
 type Stats = codegen.Stats
 
 // Cluster is the simulated distributed backend; assign it to
-// Session.Dist to execute large operators across simulated executors with
-// broadcast/shuffle accounting.
+// Session.Dist (or use WithCluster) to execute large operators across
+// simulated executors with broadcast/shuffle accounting.
 type Cluster = dist.Cluster
 
+// ClusterOption configures a Cluster at construction time; see
+// WithExecutors and WithFaultPlan.
+type ClusterOption = dist.Option
+
 // NewCluster returns a simulated cluster mirroring the paper's 6-executor
-// setup.
-func NewCluster() *Cluster { return dist.NewCluster() }
+// setup. Options adjust the executor count or attach a fault-injection
+// plan:
+//
+//	cl := sysml.NewCluster(
+//		sysml.WithExecutors(8),
+//		sysml.WithFaultPlan(&sysml.FaultPlan{Seed: 7, TransientRate: 0.05}),
+//	)
+func NewCluster(opts ...ClusterOption) *Cluster { return dist.NewCluster(opts...) }
+
+// WithExecutors overrides the simulated executor count (default 6).
+func WithExecutors(n int) ClusterOption { return dist.WithExecutors(n) }
+
+// WithFaultPlan attaches a deterministic fault-injection plan to the
+// cluster: seeded transient task failures, a scheduled executor kill, and
+// straggler slowdowns. The fault-tolerant panel scheduler recovers via
+// retries with backoff, lineage-based reassignment, and speculative
+// execution; results are unchanged, and recovery activity is surfaced in
+// Session.Metrics ("dist.fault.*", "dist.retry.*", "dist.spec.*") and the
+// EXPLAIN report's FAULTS subsection.
+func WithFaultPlan(p *FaultPlan) ClusterOption { return dist.WithFaultPlan(p) }
+
+// FaultPlan is a deterministic, seedable fault-injection plan for a
+// simulated cluster; zero-valued fields inject nothing. See the
+// internal/dist package and DESIGN.md §11 for the recovery semantics.
+type FaultPlan = dist.FaultPlan
+
+// FaultStats counts injected faults and recovery actions on a cluster;
+// returned by Cluster.FaultStats.
+type FaultStats = dist.FaultStats
