@@ -2,7 +2,8 @@
 # CI gate for the sysml repo: static checks, docs lint, full test suite
 # under the race detector, the kernel performance gates (BENCH_kernels.json
 # must report "pass": true), the distributed-backend gates (BENCH_dist.json
-# likewise), and the fault-tolerance gates (BENCH_fault.json likewise).
+# likewise), the fault-tolerance gates (BENCH_fault.json likewise), and the
+# multi-tenant serving gates (BENCH_serve.json likewise).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -37,6 +38,13 @@ go run ./cmd/fusebench -exp fault
 if ! grep -q '"pass": true' BENCH_fault.json; then
   echo "FAIL: BENCH_fault.json gates did not pass" >&2
   cat BENCH_fault.json >&2
+  exit 1
+fi
+echo "== serving gates (fusebench -exp serve) =="
+go run ./cmd/fusebench -exp serve
+if ! grep -q '"pass": true' BENCH_serve.json; then
+  echo "FAIL: BENCH_serve.json gates did not pass" >&2
+  cat BENCH_serve.json >&2
   exit 1
 fi
 echo "OK: all CI gates passed"

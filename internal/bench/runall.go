@@ -77,6 +77,9 @@ var Experiments = []struct {
 	{"fault", "Fault-tolerance gates: chaos correctness, scheduler overhead, kill recovery (emits BENCH_fault.json)", func(o Options) {
 		Fault(o).Print(o.Out)
 	}},
+	{"serve", "Serving gates: multi-tenant p99, open-loop scaling, backpressure, micro-batching (emits BENCH_serve.json)", func(o Options) {
+		Serve(o).Print(o.Out)
+	}},
 }
 
 // RunAll executes every experiment.

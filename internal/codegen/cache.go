@@ -3,55 +3,130 @@ package codegen
 import (
 	"math/big"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sysml/internal/cplan"
 )
 
-// PlanCache caches compiled fused operators keyed by CPlan hash, avoiding
+// A PlanCache caches compiled fused operators keyed by CPlan hash, avoiding
 // redundant code generation and compilation across DAGs and during dynamic
 // recompilation (§2.1).
+//
+// Internally a PlanCache is a view over a shared cacheCore: the core owns
+// the sharded operator store, the eviction policy, the admission counters,
+// and the compiled-class name sequence; each view carries its own hit/miss
+// counters. A single-tenant session uses one view over its private core;
+// a serving engine hands every tenant its own View() over one shared core,
+// which gives tenants shared compiled plans but isolated accounting.
 type PlanCache struct {
-	mu      sync.Mutex
-	enabled bool
-	max     int // 0 = unbounded
-	ops     map[uint64]*cplan.Operator
-	order   []uint64 // insertion order for FIFO eviction when bounded
+	core *cacheCore
 
-	hits      int64
-	misses    int64
-	evictions int64
+	hits   atomic.Int64 // this view's lookups served from the core
+	misses atomic.Int64 // this view's lookups that compiled
 }
 
-// NewPlanCache returns a plan cache; when disabled it compiles every
-// request fresh (the Fig. 11 "without plan cache" configuration).
+// cacheShard is one lock domain of the store. Sharding by plan hash keeps
+// concurrent tenants' lookups from serializing on a single mutex.
+type cacheShard struct {
+	mu    sync.Mutex
+	ops   map[uint64]*cplan.Operator
+	order []uint64       // insertion order for FIFO eviction when bounded
+	seen  map[uint64]int // compile attempts of not-yet-admitted plans
+}
+
+type cacheCore struct {
+	enabled    bool
+	shardMax   int // per-shard entry bound (0 = unbounded)
+	admitAfter int // admit a plan on its Nth compile (1 = always admit)
+	shards     []*cacheShard
+
+	classSeq  atomic.Int64 // compiled-class name sequence (TMP%d)
+	hits      atomic.Int64 // aggregated across all views
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// seenTrackCap bounds the admission bookkeeping per shard: when the map of
+// not-yet-admitted plan hashes outgrows it, the shard forgets and restarts
+// (one-off plans then need admitAfter fresh sightings again — exactly the
+// plans admission control exists to keep out).
+const seenTrackCap = 4096
+
+// NewPlanCache returns an unbounded single-shard plan cache; when disabled
+// it compiles every request fresh (the Fig. 11 "without plan cache"
+// configuration).
 func NewPlanCache(enabled bool) *PlanCache {
 	return NewPlanCacheSized(enabled, 0)
 }
 
-// NewPlanCacheSized returns a plan cache holding at most maxEntries
-// compiled operators (0 = unbounded); when full, the oldest entry is
-// evicted.
+// NewPlanCacheSized returns a single-shard plan cache holding at most
+// maxEntries compiled operators (0 = unbounded); when full, the oldest
+// entry is evicted. Every plan is admitted on first compile.
 func NewPlanCacheSized(enabled bool, maxEntries int) *PlanCache {
-	return &PlanCache{enabled: enabled, max: maxEntries, ops: map[uint64]*cplan.Operator{}}
+	return NewSharedPlanCache(enabled, maxEntries, 1, 1)
+}
+
+// NewSharedPlanCache returns a plan cache built for concurrent multi-tenant
+// use: the store is split across shards lock domains (rounded up to at
+// least 1), bounded to maxEntries total (0 = unbounded, distributed evenly
+// across shards), and a plan is only admitted to the store on its
+// admitAfter-th compile (1 = always admit; 2 = admit on the second compile,
+// keeping one-off plans from evicting hot tenants' operators). Tenants
+// should each take a View for isolated hit/miss accounting.
+func NewSharedPlanCache(enabled bool, maxEntries, shards, admitAfter int) *PlanCache {
+	if shards < 1 {
+		shards = 1
+	}
+	if admitAfter < 1 {
+		admitAfter = 1
+	}
+	shardMax := 0
+	if maxEntries > 0 {
+		shardMax = (maxEntries + shards - 1) / shards
+	}
+	core := &cacheCore{enabled: enabled, shardMax: shardMax, admitAfter: admitAfter}
+	core.shards = make([]*cacheShard, shards)
+	for i := range core.shards {
+		core.shards[i] = &cacheShard{ops: map[uint64]*cplan.Operator{}, seen: map[uint64]int{}}
+	}
+	return &PlanCache{core: core}
+}
+
+// View returns a new view over the same underlying store with fresh
+// hit/miss counters. Views share compiled operators, eviction, admission
+// state, and the class-name sequence; only the accounting is per-view.
+func (pc *PlanCache) View() *PlanCache { return &PlanCache{core: pc.core} }
+
+// NextClassID returns the next compiled-class sequence number, unique
+// across all views of this cache's core (generated operator names must not
+// collide between tenants compiling concurrently).
+func (pc *PlanCache) NextClassID() int { return int(pc.core.classSeq.Add(1)) }
+
+func (c *cacheCore) shardFor(h uint64) *cacheShard {
+	return c.shards[h%uint64(len(c.shards))]
 }
 
 // GetOrCompile returns the cached operator for an equivalent CPlan or
-// compiles a new one via the configured compiler path.
+// compiles a new one via the configured compiler path. Compilation happens
+// outside the shard lock, so concurrent misses on the same plan may compile
+// twice; the first insert wins and the duplicate is dropped.
 func (pc *PlanCache) GetOrCompile(p *cplan.Plan, cfg *Config, nextClass func() string) (op *cplan.Operator, hit bool, err error) {
+	core := pc.core
 	h := p.Hash()
-	if pc.enabled {
-		pc.mu.Lock()
-		cached, ok := pc.ops[h]
+	var sh *cacheShard
+	if core.enabled {
+		sh = core.shardFor(h)
+		sh.mu.Lock()
+		cached, ok := sh.ops[h]
+		sh.mu.Unlock()
 		if ok {
-			pc.hits++
-		} else {
-			pc.misses++
-		}
-		pc.mu.Unlock()
-		if ok {
+			pc.hits.Add(1)
+			core.hits.Add(1)
 			return cached, true, nil
 		}
+		pc.misses.Add(1)
+		core.misses.Add(1)
 	}
 	name := nextClass()
 	if cfg.Compiler == CompilerJavac {
@@ -62,37 +137,74 @@ func (pc *PlanCache) GetOrCompile(p *cplan.Plan, cfg *Config, nextClass func() s
 	} else {
 		op = cplan.Compile(p, name)
 	}
-	if pc.enabled {
-		pc.mu.Lock()
-		if _, exists := pc.ops[h]; !exists {
-			if pc.max > 0 {
-				for len(pc.order) >= pc.max {
-					delete(pc.ops, pc.order[0])
-					pc.order = pc.order[1:]
-					pc.evictions++
+	if core.enabled {
+		sh.mu.Lock()
+		if _, exists := sh.ops[h]; !exists && sh.admit(h, core.admitAfter) {
+			if core.shardMax > 0 {
+				for len(sh.order) >= core.shardMax {
+					delete(sh.ops, sh.order[0])
+					sh.order = sh.order[1:]
+					core.evictions.Add(1)
 				}
-				pc.order = append(pc.order, h)
+				sh.order = append(sh.order, h)
 			}
-			pc.ops[h] = op
+			sh.ops[h] = op
 		}
-		pc.mu.Unlock()
+		sh.mu.Unlock()
 	}
 	return op, false, nil
 }
 
-// Size returns the number of cached operators.
-func (pc *PlanCache) Size() int {
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	return len(pc.ops)
+// admit records one compile of plan h and reports whether it may enter the
+// store. Called with the shard lock held.
+func (sh *cacheShard) admit(h uint64, admitAfter int) bool {
+	if admitAfter <= 1 {
+		return true
+	}
+	if len(sh.seen) >= seenTrackCap {
+		sh.seen = map[uint64]int{}
+	}
+	sh.seen[h]++
+	if sh.seen[h] >= admitAfter {
+		delete(sh.seen, h)
+		return true
+	}
+	return false
 }
 
-// Counters returns the lifetime hit/miss/eviction counts. A disabled cache
-// counts nothing (every compile bypasses it).
+// Contains reports whether an operator for plan hash h is currently
+// admitted to the store.
+func (pc *PlanCache) Contains(h uint64) bool {
+	sh := pc.core.shardFor(h)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.ops[h]
+	return ok
+}
+
+// Size returns the number of cached operators across all shards.
+func (pc *PlanCache) Size() int {
+	n := 0
+	for _, sh := range pc.core.shards {
+		sh.mu.Lock()
+		n += len(sh.ops)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Counters returns this view's lifetime hit/miss counts and the core's
+// eviction count (evictions are a property of the shared store, not of any
+// one view). A disabled cache counts nothing (every compile bypasses it).
 func (pc *PlanCache) Counters() (hits, misses, evictions int64) {
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	return pc.hits, pc.misses, pc.evictions
+	return pc.hits.Load(), pc.misses.Load(), pc.core.evictions.Load()
+}
+
+// TotalCounters returns hit/miss/eviction counts aggregated across every
+// view of the underlying store — the engine-wide cache picture.
+func (pc *PlanCache) TotalCounters() (hits, misses, evictions int64) {
+	c := pc.core
+	return c.hits.Load(), c.misses.Load(), c.evictions.Load()
 }
 
 // Stats aggregates codegen statistics across DAG compilations (paper

@@ -1,0 +1,134 @@
+package codegen_test
+
+import (
+	"sync"
+	"testing"
+
+	"sysml/internal/codegen"
+	"sysml/internal/cplan"
+)
+
+// litPlan builds a minimal distinct Cell plan (hash varies with v).
+func litPlan(v float64) *cplan.Plan {
+	return &cplan.Plan{Type: cplan.TemplateCell, Root: cplan.Lit(v), SparseSafe: true}
+}
+
+// TestSharedPlanCacheConcurrentViews hammers one shared store through one
+// view per tenant from concurrent goroutines: per-tenant hit/miss counters
+// must account for exactly that tenant's lookups, aggregate counters must
+// equal the per-view sums, and generated class IDs must never collide.
+func TestSharedPlanCacheConcurrentViews(t *testing.T) {
+	const tenants, plans, reps = 8, 16, 10
+	cfg := codegen.DefaultConfig()
+	shared := codegen.NewSharedPlanCache(true, 0, 4, 1)
+	views := make([]*codegen.PlanCache, tenants)
+	for i := range views {
+		views[i] = shared.View()
+	}
+	ids := make([][]int, tenants)
+	var wg sync.WaitGroup
+	for ti := 0; ti < tenants; ti++ {
+		wg.Add(1)
+		go func(ti int) {
+			defer wg.Done()
+			v := views[ti]
+			for r := 0; r < reps; r++ {
+				for p := 0; p < plans; p++ {
+					_, _, err := v.GetOrCompile(litPlan(float64(p)), &cfg, func() string { return "T" })
+					if err != nil {
+						t.Errorf("tenant %d: %v", ti, err)
+						return
+					}
+				}
+				ids[ti] = append(ids[ti], v.NextClassID())
+			}
+		}(ti)
+	}
+	wg.Wait()
+
+	var sumHits, sumMisses int64
+	for ti, v := range views {
+		hits, misses, _ := v.Counters()
+		if hits+misses != plans*reps {
+			t.Errorf("tenant %d: %d lookups accounted, want %d", ti, hits+misses, plans*reps)
+		}
+		sumHits += hits
+		sumMisses += misses
+	}
+	hits, misses, _ := shared.TotalCounters()
+	if hits != sumHits || misses != sumMisses {
+		t.Errorf("aggregate (%d, %d) != per-view sums (%d, %d)", hits, misses, sumHits, sumMisses)
+	}
+	if got := shared.Size(); got != plans {
+		t.Errorf("store holds %d plans, want %d", got, plans)
+	}
+	seen := map[int]bool{}
+	for _, tenantIDs := range ids {
+		for _, id := range tenantIDs {
+			if seen[id] {
+				t.Fatalf("class ID %d issued twice", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+// TestPlanCacheViewIsolation: lookups through one view must not move
+// another view's counters, even though the store is shared.
+func TestPlanCacheViewIsolation(t *testing.T) {
+	cfg := codegen.DefaultConfig()
+	shared := codegen.NewSharedPlanCache(true, 0, 2, 1)
+	a, b := shared.View(), shared.View()
+	for i := 0; i < 5; i++ {
+		a.GetOrCompile(litPlan(1), &cfg, func() string { return "T" })
+	}
+	if hits, misses, _ := b.Counters(); hits != 0 || misses != 0 {
+		t.Errorf("idle view counted (%d hits, %d misses)", hits, misses)
+	}
+	aHits, aMisses, _ := a.Counters()
+	if aMisses != 1 || aHits != 4 {
+		t.Errorf("active view counted (%d hits, %d misses), want (4, 1)", aHits, aMisses)
+	}
+	// The second view shares the store: its first lookup is a hit.
+	_, hit, _ := b.GetOrCompile(litPlan(1), &cfg, func() string { return "T" })
+	if !hit {
+		t.Error("shared store did not serve the other view's plan")
+	}
+}
+
+// TestPlanCacheAdmission: with admitAfter=2 a plan enters the store only
+// on its second compile, keeping one-off plans out.
+func TestPlanCacheAdmission(t *testing.T) {
+	cfg := codegen.DefaultConfig()
+	pc := codegen.NewSharedPlanCache(true, 0, 1, 2)
+	p := litPlan(7)
+	pc.GetOrCompile(p, &cfg, func() string { return "T" })
+	if pc.Contains(p.Hash()) {
+		t.Error("plan admitted on first compile despite admitAfter=2")
+	}
+	pc.GetOrCompile(p, &cfg, func() string { return "T" })
+	if !pc.Contains(p.Hash()) {
+		t.Error("plan not admitted on second compile")
+	}
+	if _, hit, _ := pc.GetOrCompile(p, &cfg, func() string { return "T" }); !hit {
+		t.Error("admitted plan not served from the store")
+	}
+}
+
+// TestPlanCacheBounded: a bounded sharded store evicts FIFO per shard and
+// never exceeds its per-shard ceilings.
+func TestPlanCacheBounded(t *testing.T) {
+	cfg := codegen.DefaultConfig()
+	const maxEntries, shards = 8, 4
+	pc := codegen.NewSharedPlanCache(true, maxEntries, shards, 1)
+	for i := 0; i < 100; i++ {
+		pc.GetOrCompile(litPlan(float64(i)), &cfg, func() string { return "T" })
+	}
+	// shardMax = ceil(8/4) = 2 per shard, so at most 8 total survive.
+	if got := pc.Size(); got > maxEntries {
+		t.Errorf("bounded cache holds %d entries, cap %d", got, maxEntries)
+	}
+	if _, _, evictions := pc.Counters(); evictions == 0 {
+		t.Error("no evictions counted after overflowing a bounded cache")
+	}
+}

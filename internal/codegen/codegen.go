@@ -4,16 +4,11 @@ import (
 	"math"
 	"math/big"
 	"sort"
-	"sync/atomic"
 	"time"
 
 	"sysml/internal/hop"
 	"sysml/internal/obs"
 )
-
-var classSeq int64
-
-func nextClassID() int { return int(atomic.AddInt64(&classSeq, 1)) }
 
 // Optimize runs the codegen compiler over one HOP DAG: candidate
 // exploration, candidate selection per the configured policy, CPlan

@@ -49,7 +49,7 @@ func construct(d *hop.DAG, m *Memo, parts []*Partition, q map[Edge]bool,
 }
 
 func (c *constructor) nextClass() string {
-	return fmt.Sprintf("TMP%d", nextClassID())
+	return fmt.Sprintf("TMP%d", c.cache.NextClassID())
 }
 
 // walk visits a node top-down, constructing a fused operator when a valid

@@ -30,6 +30,15 @@ type Session struct {
 	Out    io.Writer
 	Dist   runtime.DistBackend
 
+	// Par is the worker pool that executes this session's parallel regions
+	// and Alloc the buffer pool backing its matrix allocations. Both are
+	// nil-safe: a nil pool delegates to the process-wide default, so a
+	// plain NewSession behaves exactly as before. A serving engine sets
+	// both so concurrent tenants stay isolated in scheduling and memory
+	// accounting.
+	Par   *par.Pool
+	Alloc *matrix.BufPool
+
 	// Obs collects runtime metrics (per-operator timings, fused-operator
 	// invocations, phase breakdowns). Always non-nil for sessions built via
 	// NewSession; a nil Obs disables collection (all methods are nil-safe).
@@ -55,6 +64,13 @@ type Session struct {
 	BlockCacheHits int64
 
 	blockCache map[string]*hop.DAG
+	bound      map[*matrix.Matrix]bool // matrices handed in via Bind (caller-owned)
+}
+
+// execCtx is the execution context threaded into every runtime call:
+// the session's own pools, or the process defaults when unset.
+func (s *Session) execCtx() matrix.Ctx {
+	return matrix.Ctx{Par: s.Par, Buf: s.Alloc}
 }
 
 // NewSession creates a session with the given optimizer configuration.
@@ -70,8 +86,15 @@ func NewSession(cfg codegen.Config) *Session {
 	}
 }
 
-// Bind sets an input variable.
-func (s *Session) Bind(name string, m *matrix.Matrix) { s.setEnv(name, m) }
+// Bind sets an input variable. The matrix stays caller-owned: Close will
+// not release it back to the session's buffer pool.
+func (s *Session) Bind(name string, m *matrix.Matrix) {
+	if s.bound == nil {
+		s.bound = map[*matrix.Matrix]bool{}
+	}
+	s.bound[m] = true
+	s.setEnv(name, m)
+}
 
 // BindScalar sets a scalar input variable.
 func (s *Session) BindScalar(name string, v float64) { s.setEnv(name, matrix.NewScalar(v)) }
@@ -86,6 +109,29 @@ func (s *Session) setEnv(name string, m *matrix.Matrix) {
 		s.Dist.Invalidate(old)
 	}
 	s.Env[name] = m
+}
+
+// Reset releases the session's pooled intermediates back to its buffer
+// pool and clears the environment, keeping the optimized block-plan cache
+// warm for the next same-shaped run (the serving path's pooled sessions).
+// Matrices the caller handed in via Bind are left untouched; matrices
+// retrieved via Get become invalid (their storage may be recycled).
+func (s *Session) Reset() {
+	for name, m := range s.Env {
+		if !s.bound[m] {
+			m.Release()
+		}
+		delete(s.Env, name)
+	}
+	s.bound = nil
+}
+
+// Close is Reset plus dropping the block-plan cache: full teardown of the
+// session's pooled state. Close is idempotent and the session may be
+// reused afterwards with fresh bindings.
+func (s *Session) Close() {
+	s.Reset()
+	s.blockCache = nil
 }
 
 // Run parses and executes a script against the bound inputs; results stay
@@ -154,17 +200,19 @@ func (s *Session) Explain(script string) (string, error) {
 		Env:    env,
 		Out:    io.Discard,
 		Dist:   s.Dist,
+		Par:    s.Par,
+		Alloc:  s.Alloc,
 		Obs:    obs.NewMetrics(),
 		Audit:  obs.NewAudit(),
 		Sink:   col,
 	}
-	before := matrix.PoolStats()
+	before := s.Alloc.Stats()
 	var db distExplainDeltas
 	db.capture(s.Dist)
 	if err := shadow.Run(script); err != nil {
 		return "", err
 	}
-	after := matrix.PoolStats()
+	after := s.Alloc.Stats()
 	var b strings.Builder
 	for _, e := range col.Events() {
 		if e.Kind == obs.EventExplain {
@@ -293,8 +341,9 @@ type distFaults interface {
 
 // Metrics returns a point-in-time snapshot of all session metrics:
 // runtime counters and histograms from execution, codegen optimizer
-// statistics, parallel-for utilization (process-wide), and — when a
-// distributed backend is attached — broadcast/shuffle volumes.
+// statistics, parallel-for utilization and buffer-pool usage (of the
+// session's own pools, or the process defaults when none are set), and —
+// when a distributed backend is attached — broadcast/shuffle volumes.
 func (s *Session) Metrics() obs.Snapshot {
 	snap := s.Obs.Snapshot()
 	if s.Stats != nil {
@@ -318,12 +367,12 @@ func (s *Session) Metrics() obs.Snapshot {
 	}
 	snap.Counters["block.optimized"] = s.Blocks
 	snap.Counters["block.reused"] = s.BlockCacheHits
-	u := par.Stats()
+	u := s.Par.Stats()
 	snap.Counters["par.calls"] = u.Calls
 	snap.Counters["par.goroutines"] = u.Goroutines
 	snap.Counters["par.sequential"] = u.Sequential
-	snap.Gauges["par.utilization"] = u.Utilization(par.MaxWorkers())
-	pu := matrix.PoolStats()
+	snap.Gauges["par.utilization"] = u.Utilization(s.Par.MaxWorkers())
+	pu := s.Alloc.Stats()
 	snap.Counters["pool.gets"] = pu.Gets
 	snap.Counters["pool.hits"] = pu.Hits
 	snap.Counters["pool.misses"] = pu.Misses
@@ -331,6 +380,7 @@ func (s *Session) Metrics() obs.Snapshot {
 	snap.Counters["pool.bytes.recycled"] = pu.BytesRecycled
 	snap.Gauges["pool.hitrate"] = pu.HitRate()
 	snap.Gauges["pool.bytes.parked"] = float64(pu.BytesParked)
+	snap.Gauges["pool.bytes.live"] = float64(pu.BytesLive)
 	if d, ok := s.Dist.(distStats); ok {
 		snap.Counters["dist.bytes.broadcast"] = d.BytesBroadcast()
 		snap.Counters["dist.bytes.shuffled"] = d.BytesShuffled()
@@ -536,6 +586,7 @@ func (s *Session) runBlock(ctx context.Context, root obs.Span, stmts []Stmt) err
 	spe := root.Phase(s.Obs, "execute")
 	out, err := runtime.ExecuteDAG(d, s.Env, runtime.Options{
 		Dist: s.Dist, Ctx: ctx, Metrics: s.Obs, Trace: spe, Audit: s.Audit,
+		Exec: s.execCtx(),
 	})
 	spe.End()
 	if err != nil {
@@ -619,6 +670,7 @@ func (s *Session) evalScalar(ctx context.Context, root obs.Span, e Expr) (float6
 	sp := root.Child("evalScalar")
 	out, err := runtime.ExecuteDAG(d, s.Env, runtime.Options{
 		Dist: s.Dist, Ctx: ctx, Metrics: s.Obs, Trace: sp, Audit: s.Audit,
+		Exec: s.execCtx(),
 	})
 	sp.End()
 	if err != nil {

@@ -4,29 +4,31 @@ import (
 	"fmt"
 	"math"
 
-	"sysml/internal/par"
 	"sysml/internal/vector"
 )
+
+// Agg evaluates an aggregation on the default execution context.
+func Agg(op AggOp, dir AggDir, a *Matrix) *Matrix { return Ctx{}.Agg(op, dir, a) }
 
 // Agg evaluates an aggregation over the full matrix, per row, or per
 // column. DirAll yields a 1×1 matrix, DirRow an r×1 column vector, DirCol a
 // 1×c row vector.
-func Agg(op AggOp, dir AggDir, a *Matrix) *Matrix {
+func (ctx Ctx) Agg(op AggOp, dir AggDir, a *Matrix) *Matrix {
 	switch dir {
 	case DirAll:
-		return NewScalar(aggAll(op, a))
+		return NewScalar(ctx.aggAll(op, a))
 	case DirRow:
-		return aggRows(op, a)
+		return ctx.aggRows(op, a)
 	case DirCol:
-		return aggCols(op, a)
+		return ctx.aggCols(op, a)
 	}
 	panic(fmt.Sprintf("matrix: unknown aggregation direction %v", dir))
 }
 
 // Sum returns sum(A) as a scalar.
-func Sum(a *Matrix) float64 { return aggAll(AggSum, a) }
+func Sum(a *Matrix) float64 { return Ctx{}.aggAll(AggSum, a) }
 
-func aggAll(op AggOp, a *Matrix) float64 {
+func (ctx Ctx) aggAll(op AggOp, a *Matrix) float64 {
 	nCells := a.Rows * a.Cols
 	switch op {
 	case AggSum, AggSumSq, AggMean:
@@ -39,9 +41,9 @@ func aggAll(op AggOp, a *Matrix) float64 {
 				s = vector.Sum(vals, 0, len(vals))
 			}
 		} else {
-			nc, _ := par.Chunks(len(a.dense), 4096)
+			nc, _ := ctx.Par.Chunks(len(a.dense), 4096)
 			partial := make([]float64, nc)
-			par.ForIndexed(len(a.dense), 4096, func(w, lo, hi int) {
+			ctx.Par.ForIndexed(len(a.dense), 4096, func(w, lo, hi int) {
 				if op == AggSumSq {
 					partial[w] += vector.SumSq(a.dense, lo, hi-lo)
 				} else {
@@ -82,17 +84,17 @@ func aggAll(op AggOp, a *Matrix) float64 {
 	panic(fmt.Sprintf("matrix: unsupported full aggregation %v", op))
 }
 
-func aggRows(op AggOp, a *Matrix) *Matrix {
-	out := NewDense(a.Rows, 1)
-	aggRowsInto(out.dense, op, a)
+func (ctx Ctx) aggRows(op AggOp, a *Matrix) *Matrix {
+	out := ctx.NewDense(a.Rows, 1)
+	ctx.aggRowsInto(out.dense, op, a)
 	return out
 }
 
 // aggRowsInto writes the per-row aggregate into a caller-provided a.Rows
 // destination slice (the backing of AggInto's zero-copy row views).
-func aggRowsInto(od []float64, op AggOp, a *Matrix) {
+func (ctx Ctx) aggRowsInto(od []float64, op AggOp, a *Matrix) {
 	n := a.Cols
-	par.For(a.Rows, 64, func(lo, hi int) {
+	ctx.Par.For(a.Rows, 64, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			var vals []float64
 			var nvals int
@@ -127,9 +129,9 @@ func aggRowsInto(od []float64, op AggOp, a *Matrix) {
 	})
 }
 
-func aggCols(op AggOp, a *Matrix) *Matrix {
+func (ctx Ctx) aggCols(op AggOp, a *Matrix) *Matrix {
 	n := a.Cols
-	out := NewDense(1, n)
+	out := ctx.NewDense(1, n)
 	od := out.dense
 	switch op {
 	case AggSum, AggSumSq, AggMean:
@@ -177,13 +179,16 @@ func aggCols(op AggOp, a *Matrix) *Matrix {
 	return out
 }
 
+// RowIndexMax returns rowIndexMax(A) on the default execution context.
+func RowIndexMax(a *Matrix) *Matrix { return Ctx{}.RowIndexMax(a) }
+
 // RowIndexMax returns, per row, the 1-based column index of the row maximum
 // (SystemML's rowIndexMax, used for predictions).
-func RowIndexMax(a *Matrix) *Matrix {
+func (ctx Ctx) RowIndexMax(a *Matrix) *Matrix {
 	ad := a.ToDense().dense
-	out := NewDense(a.Rows, 1)
+	out := ctx.NewDense(a.Rows, 1)
 	n := a.Cols
-	par.For(a.Rows, 64, func(lo, hi int) {
+	ctx.Par.For(a.Rows, 64, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out.dense[i] = float64(vector.IndexMax(ad, i*n, n) + 1)
 		}

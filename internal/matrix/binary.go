@@ -1,37 +1,39 @@
 package matrix
 
-import (
-	"fmt"
+import "fmt"
 
-	"sysml/internal/par"
-)
+// Binary evaluates C = A op B on the default execution context.
+func Binary(op BinOp, a, b *Matrix) *Matrix { return Ctx{}.Binary(op, a, b) }
 
 // Binary evaluates C = A op B element-wise. Supported shapes: identical
 // shapes, scalar (1×1) on either side, column-vector (r×1) broadcast on
 // either side, and row-vector (1×c) broadcast of the right side. Sparse
 // inputs produce sparse outputs whenever the operation is sparse-safe.
-func Binary(op BinOp, a, b *Matrix) *Matrix {
+func (ctx Ctx) Binary(op BinOp, a, b *Matrix) *Matrix {
 	switch {
 	case b.Rows == 1 && b.Cols == 1:
-		return ScalarRight(op, a, b.Scalar())
+		return ctx.ScalarRight(op, a, b.Scalar())
 	case a.Rows == 1 && a.Cols == 1:
-		return ScalarLeft(op, a.Scalar(), b)
+		return ctx.ScalarLeft(op, a.Scalar(), b)
 	case a.Rows == b.Rows && a.Cols == b.Cols:
-		return binarySameShape(op, a, b)
+		return ctx.binarySameShape(op, a, b)
 	case b.Rows == a.Rows && b.Cols == 1:
-		return binaryColVector(op, a, b, false)
+		return ctx.binaryColVector(op, a, b, false)
 	case a.Cols == 1 && b.Cols > 1 && a.Rows == b.Rows:
-		return binaryColVector(op, b, a, true)
+		return ctx.binaryColVector(op, b, a, true)
 	case b.Rows == 1 && b.Cols == a.Cols:
-		return binaryRowVector(op, a, b, false)
+		return ctx.binaryRowVector(op, a, b, false)
 	case a.Rows == 1 && a.Cols == b.Cols && b.Rows > 1:
-		return binaryRowVector(op, b, a, true)
+		return ctx.binaryRowVector(op, b, a, true)
 	}
 	panic(fmt.Sprintf("matrix: incompatible shapes %dx%d %s %dx%d", a.Rows, a.Cols, op, b.Rows, b.Cols))
 }
 
+// ScalarRight evaluates C = A op s on the default execution context.
+func ScalarRight(op BinOp, a *Matrix, s float64) *Matrix { return Ctx{}.ScalarRight(op, a, s) }
+
 // ScalarRight evaluates C = A op s.
-func ScalarRight(op BinOp, a *Matrix, s float64) *Matrix {
+func (ctx Ctx) ScalarRight(op BinOp, a *Matrix, s float64) *Matrix {
 	sparseSafe := op.Apply(0, s) == 0
 	if a.IsSparse() && sparseSafe {
 		out := a.Clone()
@@ -42,8 +44,8 @@ func ScalarRight(op BinOp, a *Matrix, s float64) *Matrix {
 		return out
 	}
 	ad := a.ToDense().dense
-	out := NewDense(a.Rows, a.Cols)
-	par.For(len(ad), 4096, func(lo, hi int) {
+	out := ctx.NewDense(a.Rows, a.Cols)
+	ctx.Par.For(len(ad), 4096, func(lo, hi int) {
 		for k := lo; k < hi; k++ {
 			out.dense[k] = op.Apply(ad[k], s)
 		}
@@ -51,8 +53,11 @@ func ScalarRight(op BinOp, a *Matrix, s float64) *Matrix {
 	return out
 }
 
+// ScalarLeft evaluates C = s op B on the default execution context.
+func ScalarLeft(op BinOp, s float64, b *Matrix) *Matrix { return Ctx{}.ScalarLeft(op, s, b) }
+
 // ScalarLeft evaluates C = s op B.
-func ScalarLeft(op BinOp, s float64, b *Matrix) *Matrix {
+func (ctx Ctx) ScalarLeft(op BinOp, s float64, b *Matrix) *Matrix {
 	sparseSafe := op.Apply(s, 0) == 0
 	if b.IsSparse() && sparseSafe {
 		out := b.Clone()
@@ -63,8 +68,8 @@ func ScalarLeft(op BinOp, s float64, b *Matrix) *Matrix {
 		return out
 	}
 	bd := b.ToDense().dense
-	out := NewDense(b.Rows, b.Cols)
-	par.For(len(bd), 4096, func(lo, hi int) {
+	out := ctx.NewDense(b.Rows, b.Cols)
+	ctx.Par.For(len(bd), 4096, func(lo, hi int) {
 		for k := lo; k < hi; k++ {
 			out.dense[k] = op.Apply(s, bd[k])
 		}
@@ -72,7 +77,7 @@ func ScalarLeft(op BinOp, s float64, b *Matrix) *Matrix {
 	return out
 }
 
-func binarySameShape(op BinOp, a, b *Matrix) *Matrix {
+func (ctx Ctx) binarySameShape(op BinOp, a, b *Matrix) *Matrix {
 	// Sparse-driver cases: a sparse and op(0,y)==0, or symmetric for mul.
 	if a.IsSparse() && op.SparseSafeLeft() {
 		return sparseDriverLeft(op, a, b)
@@ -84,8 +89,8 @@ func binarySameShape(op BinOp, a, b *Matrix) *Matrix {
 		return sparseMerge(op, a, b)
 	}
 	ad, bd := a.ToDense().dense, b.ToDense().dense
-	out := NewDense(a.Rows, a.Cols)
-	par.For(len(ad), 4096, func(lo, hi int) {
+	out := ctx.NewDense(a.Rows, a.Cols)
+	ctx.Par.For(len(ad), 4096, func(lo, hi int) {
 		for k := lo; k < hi; k++ {
 			out.dense[k] = op.Apply(ad[k], bd[k])
 		}
@@ -151,7 +156,7 @@ func sparseMerge(op BinOp, a, b *Matrix) *Matrix {
 
 // binaryColVector evaluates A op v for a column vector v (r×1); swap
 // indicates the vector is the left operand (v op A).
-func binaryColVector(op BinOp, a, v *Matrix, swap bool) *Matrix {
+func (ctx Ctx) binaryColVector(op BinOp, a, v *Matrix, swap bool) *Matrix {
 	vd := v.ToDense().dense
 	if a.IsSparse() && ((!swap && op.SparseSafeLeft()) || (swap && op == BinMul)) {
 		as := a.sparse
@@ -175,9 +180,9 @@ func binaryColVector(op BinOp, a, v *Matrix, swap bool) *Matrix {
 		return NewSparseCSR(a.Rows, a.Cols, csr)
 	}
 	ad := a.ToDense().dense
-	out := NewDense(a.Rows, a.Cols)
+	out := ctx.NewDense(a.Rows, a.Cols)
 	n := a.Cols
-	par.For(a.Rows, 64, func(lo, hi int) {
+	ctx.Par.For(a.Rows, 64, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			s := vd[i]
 			off := i * n
@@ -195,7 +200,7 @@ func binaryColVector(op BinOp, a, v *Matrix, swap bool) *Matrix {
 
 // binaryRowVector evaluates A op v for a row vector v (1×c); swap
 // indicates the vector is the left operand (v op A).
-func binaryRowVector(op BinOp, a, v *Matrix, swap bool) *Matrix {
+func (ctx Ctx) binaryRowVector(op BinOp, a, v *Matrix, swap bool) *Matrix {
 	vd := v.ToDense().dense
 	if a.IsSparse() && ((!swap && op.SparseSafeLeft()) || (swap && op == BinMul)) {
 		as := a.sparse
@@ -219,9 +224,9 @@ func binaryRowVector(op BinOp, a, v *Matrix, swap bool) *Matrix {
 		return NewSparseCSR(a.Rows, a.Cols, csr)
 	}
 	ad := a.ToDense().dense
-	out := NewDense(a.Rows, a.Cols)
+	out := ctx.NewDense(a.Rows, a.Cols)
 	n := a.Cols
-	par.For(a.Rows, 64, func(lo, hi int) {
+	ctx.Par.For(a.Rows, 64, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			off := i * n
 			for j := 0; j < n; j++ {
@@ -236,9 +241,12 @@ func binaryRowVector(op BinOp, a, v *Matrix, swap bool) *Matrix {
 	return out
 }
 
+// Unary evaluates C = f(A) on the default execution context.
+func Unary(op UnOp, a *Matrix) *Matrix { return Ctx{}.Unary(op, a) }
+
 // Unary evaluates C = f(A) element-wise; sparse-safe functions preserve the
 // sparse representation.
-func Unary(op UnOp, a *Matrix) *Matrix {
+func (ctx Ctx) Unary(op UnOp, a *Matrix) *Matrix {
 	if a.IsSparse() && op.SparseSafe() {
 		out := a.Clone()
 		vals := out.sparse.Values
@@ -248,8 +256,8 @@ func Unary(op UnOp, a *Matrix) *Matrix {
 		return out
 	}
 	ad := a.ToDense().dense
-	out := NewDense(a.Rows, a.Cols)
-	par.For(len(ad), 4096, func(lo, hi int) {
+	out := ctx.NewDense(a.Rows, a.Cols)
+	ctx.Par.For(len(ad), 4096, func(lo, hi int) {
 		for k := lo; k < hi; k++ {
 			out.dense[k] = op.Apply(ad[k])
 		}

@@ -1,0 +1,31 @@
+package matrix
+
+import "sysml/internal/par"
+
+// Ctx is an execution context for the matrix kernels: the worker pool that
+// runs their parallel regions and the buffer pool their allocations draw
+// from. Kernels are methods on Ctx; the package-level functions (MatMult,
+// Binary, ...) are wrappers over the zero Ctx.
+//
+// The zero Ctx is valid and uses the process-wide defaults (par.Default,
+// DefaultPool) — a nil *par.Pool or *BufPool resolves to its default — so
+// library code that predates engines needs no changes. Engines construct a
+// Ctx from their own pools and thread it through the runtime, which is
+// what keeps co-hosted engines' CPU caps and memory budgets independent.
+// Ctx is a small value type: copy it freely.
+type Ctx struct {
+	Par *par.Pool // worker pool for parallel regions (nil = par.Default)
+	Buf *BufPool  // buffer pool for allocations (nil = DefaultPool)
+}
+
+// NewDense returns an all-zero dense rows×cols matrix drawn from the
+// context's buffer pool.
+func (ctx Ctx) NewDense(rows, cols int) *Matrix { return ctx.Buf.NewDense(rows, cols) }
+
+// GetBuf returns a zeroed n-float64 scratch slice from the context's
+// buffer pool; pair with PutBuf.
+func (ctx Ctx) GetBuf(n int) []float64 { return ctx.Buf.Get(n) }
+
+// PutBuf returns a scratch slice obtained from GetBuf to the context's
+// buffer pool.
+func (ctx Ctx) PutBuf(s []float64) { ctx.Buf.Put(s) }

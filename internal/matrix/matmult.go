@@ -6,7 +6,6 @@ import (
 	"sort"
 	"sync"
 
-	"sysml/internal/par"
 	"sysml/internal/vector"
 )
 
@@ -40,36 +39,39 @@ const (
 	spspOutputSparseMinCols = 64
 )
 
+// MatMult computes C = A %*% B on the default execution context.
+func MatMult(a, b *Matrix) *Matrix { return Ctx{}.MatMult(a, b) }
+
 // MatMult computes C = A %*% B, dispatching on representations. Dense×dense
 // runs a cache-blocked (k- and n-tiled) rank-4 ikj loop parallelized over
 // row blocks; sparse left inputs iterate nonzeros per row. The output is
 // dense except for very sparse sparse×sparse products, which build CSR
 // directly (see spspOutputSparseThreshold).
-func MatMult(a, b *Matrix) *Matrix {
+func (ctx Ctx) MatMult(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("matrix: matmult shape mismatch %dx%d x %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	if a.IsSparse() && b.IsSparse() {
-		return matMultSparseSparse(a, b)
+		return ctx.matMultSparseSparse(a, b)
 	}
-	out := NewDense(a.Rows, b.Cols)
+	out := ctx.NewDense(a.Rows, b.Cols)
 	switch {
 	case !a.IsSparse() && !b.IsSparse():
-		matMultDenseDense(a, b, out)
+		ctx.matMultDenseDense(a, b, out)
 	case a.IsSparse() && !b.IsSparse():
-		matMultSparseDense(a, b, out)
+		ctx.matMultSparseDense(a, b, out)
 	default:
-		matMultDenseSparse(a, b, out)
+		ctx.matMultDenseSparse(a, b, out)
 	}
 	return out
 }
 
-func matMultDenseDense(a, b, c *Matrix) {
+func (ctx Ctx) matMultDenseDense(a, b, c *Matrix) {
 	m, k, n := a.Rows, a.Cols, b.Cols
 	ad, bd, cd := a.dense, b.dense, c.dense
 	if n == 1 {
 		// Matrix-vector: per-row dot products.
-		par.For(m, 32, func(lo, hi int) {
+		ctx.Par.For(m, 32, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				cd[i] = vector.DotProduct(ad, bd, i*k, 0, k)
 			}
@@ -78,7 +80,7 @@ func matMultDenseDense(a, b, c *Matrix) {
 	}
 	if n < mmNarrowCols {
 		// Narrow outputs: inline accumulation beats per-row primitive calls.
-		par.For(m, mmRowGrain, func(lo, hi int) {
+		ctx.Par.For(m, mmRowGrain, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				ci := i * n
 				ai := i * k
@@ -100,7 +102,7 @@ func matMultDenseDense(a, b, c *Matrix) {
 	// loops reuse an L2-resident panel of B across the rows of the chunk,
 	// and unroll k by 4 (MultAdd4) so each C element is loaded and stored
 	// once per four multiplies.
-	par.For(m, mmRowGrain, func(lo, hi int) {
+	ctx.Par.For(m, mmRowGrain, func(lo, hi int) {
 		for jj := 0; jj < n; jj += mmNTile {
 			jn := n - jj
 			if jn > mmNTile {
@@ -130,11 +132,11 @@ func matMultDenseDense(a, b, c *Matrix) {
 	})
 }
 
-func matMultSparseDense(a, b, c *Matrix) {
+func (ctx Ctx) matMultSparseDense(a, b, c *Matrix) {
 	n := b.Cols
 	as, bd, cd := a.sparse, b.dense, c.dense
 	if n == 1 {
-		par.For(a.Rows, 32, func(lo, hi int) {
+		ctx.Par.For(a.Rows, 32, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				vals, cols := as.Row(i)
 				cd[i] = vector.DotProductSparse(vals, cols, bd, 0)
@@ -142,7 +144,7 @@ func matMultSparseDense(a, b, c *Matrix) {
 		})
 		return
 	}
-	par.For(a.Rows, mmRowGrain, func(lo, hi int) {
+	ctx.Par.For(a.Rows, mmRowGrain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			vals, cols := as.Row(i)
 			ci := i * n
@@ -153,10 +155,10 @@ func matMultSparseDense(a, b, c *Matrix) {
 	})
 }
 
-func matMultDenseSparse(a, b, c *Matrix) {
+func (ctx Ctx) matMultDenseSparse(a, b, c *Matrix) {
 	m, k, n := a.Rows, a.Cols, b.Cols
 	ad, bs, cd := a.dense, b.sparse, c.dense
-	par.For(m, mmRowGrain, func(lo, hi int) {
+	ctx.Par.For(m, mmRowGrain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			ai, ci := i*k, i*n
 			for kk := 0; kk < k; kk++ {
@@ -182,14 +184,14 @@ func estProductSparsity(a, b *Matrix) float64 {
 	return 1 - math.Pow(1-spA*spB, float64(a.Cols))
 }
 
-func matMultSparseSparse(a, b *Matrix) *Matrix {
+func (ctx Ctx) matMultSparseSparse(a, b *Matrix) *Matrix {
 	n := b.Cols
 	if n >= spspOutputSparseMinCols && estProductSparsity(a, b) < spspOutputSparseThreshold {
-		return matMultSparseSparseSparseOut(a, b)
+		return ctx.matMultSparseSparseSparseOut(a, b)
 	}
-	out := NewDense(a.Rows, n)
+	out := ctx.NewDense(a.Rows, n)
 	as, bs, cd := a.sparse, b.sparse, out.dense
-	par.For(a.Rows, mmRowGrain, func(lo, hi int) {
+	ctx.Par.For(a.Rows, mmRowGrain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			avals, acols := as.Row(i)
 			ci := i * n
@@ -212,23 +214,24 @@ type spa struct {
 	acc     []float64
 	mark    []int
 	touched []int
+	bp      *BufPool // pool acc was drawn from
 }
 
-func newSPA(n int) *spa {
-	s := &spa{acc: PoolGet(n), mark: make([]int, n), touched: make([]int, 0, 256)}
+func newSPA(n int, bp *BufPool) *spa {
+	s := &spa{acc: bp.Get(n), mark: make([]int, n), touched: make([]int, 0, 256), bp: bp}
 	for j := range s.mark {
 		s.mark[j] = -1
 	}
 	return s
 }
 
-func (s *spa) release() { PoolPut(s.acc) }
+func (s *spa) release() { s.bp.Put(s.acc) }
 
 // matMultSparseSparseSparseOut builds a CSR product: each worker scatters
 // B-rows into its dense row accumulator, gathers the touched columns in
 // sorted order, and appends finished rows to a per-chunk CSR fragment; the
 // fragments are stitched in row order at the end.
-func matMultSparseSparseSparseOut(a, b *Matrix) *Matrix {
+func (ctx Ctx) matMultSparseSparseSparseOut(a, b *Matrix) *Matrix {
 	n := b.Cols
 	as, bs := a.sparse, b.sparse
 	type frag struct {
@@ -239,12 +242,12 @@ func matMultSparseSparseSparseOut(a, b *Matrix) *Matrix {
 	}
 	var mu sync.Mutex
 	var frags []*frag
-	nw, _ := par.Chunks(a.Rows, mmRowGrain)
+	nw, _ := ctx.Par.Chunks(a.Rows, mmRowGrain)
 	spas := make([]*spa, nw)
-	par.ForIndexed(a.Rows, mmRowGrain, func(w, lo, hi int) {
+	ctx.Par.ForIndexed(a.Rows, mmRowGrain, func(w, lo, hi int) {
 		s := spas[w]
 		if s == nil {
-			s = newSPA(n)
+			s = newSPA(n, ctx.Buf)
 			spas[w] = s
 		}
 		f := &frag{lo: lo, hi: hi, rowPtr: make([]int, 0, hi-lo)}
@@ -312,30 +315,33 @@ const (
 	tsmmPartialCapBytes = 64 << 20
 )
 
+// TSMM computes t(X) %*% X on the default execution context.
+func TSMM(x *Matrix) *Matrix { return Ctx{}.TSMM(x) }
+
 // TSMM computes t(X) %*% X exploiting symmetry of the result: only the
 // upper triangle is accumulated — in parallel into per-worker accumulators
 // drawn from the buffer pool — then reduced and mirrored in parallel.
 // The dense kernel is rank-4 row-blocked (MultAdd4): four input rows per
 // pass over the triangle, so each output element is loaded and stored once
 // per four updates.
-func TSMM(x *Matrix) *Matrix {
+func (ctx Ctx) TSMM(x *Matrix) *Matrix {
 	n := x.Cols
-	out := NewDense(n, n)
+	out := ctx.NewDense(n, n)
 	od := out.dense
-	nw, _ := par.Chunks(x.Rows, tsmmRowGrain)
+	nw, _ := ctx.Par.Chunks(x.Rows, tsmmRowGrain)
 	if nw > 1 && int64(nw)*int64(n)*int64(n)*8 <= tsmmPartialCapBytes {
 		partials := make([][]float64, nw)
-		par.ForIndexed(x.Rows, tsmmRowGrain, func(w, lo, hi int) {
+		ctx.Par.ForIndexed(x.Rows, tsmmRowGrain, func(w, lo, hi int) {
 			part := partials[w]
 			if part == nil {
-				part = PoolGet(n * n)
+				part = ctx.Buf.Get(n * n)
 				partials[w] = part
 			}
 			tsmmUpper(x, part, lo, hi)
 		})
 		// Reduce per-worker triangles into the output, parallel over rows
 		// (row i owns the triangle segment [i, n)).
-		par.For(n, 32, func(lo, hi int) {
+		ctx.Par.For(n, 32, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				off := i*n + i
 				for _, part := range partials {
@@ -347,7 +353,7 @@ func TSMM(x *Matrix) *Matrix {
 		})
 		for _, part := range partials {
 			if part != nil {
-				PoolPut(part)
+				ctx.Buf.Put(part)
 			}
 		}
 	} else {
@@ -355,7 +361,7 @@ func TSMM(x *Matrix) *Matrix {
 	}
 	// Mirror the upper triangle, parallel over output rows: row j receives
 	// column j of the triangle above it (disjoint contiguous writes).
-	par.For(n, 64, func(lo, hi int) {
+	ctx.Par.For(n, 64, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
 			for i := 0; i < j; i++ {
 				od[j*n+i] = od[i*n+j]

@@ -38,17 +38,15 @@ type Matrix struct {
 	Rows, Cols int
 	dense      []float64
 	sparse     *CSR
-	nnzCache   int  // 0 unknown, -2 scanned-zero, >0 count; Set invalidates
-	pooled     bool // dense storage came from the buffer pool (Release recycles it)
+	nnzCache   int      // 0 unknown, -2 scanned-zero, >0 count; Set invalidates
+	pool       *BufPool // pool the dense storage came from (Release recycles it there)
 }
 
 // NewDense returns an all-zero dense rows×cols matrix. Storage is drawn
-// from the buffer pool when a matching buffer is available; Release returns
-// it there.
-func NewDense(rows, cols int) *Matrix {
-	checkDims(rows, cols)
-	return &Matrix{Rows: rows, Cols: cols, dense: PoolGet(rows * cols), pooled: true}
-}
+// from the process-wide DefaultPool when a matching buffer is available;
+// Release returns it there. Engine-scoped allocation goes through
+// BufPool.NewDense (or a Ctx).
+func NewDense(rows, cols int) *Matrix { return DefaultPool.NewDense(rows, cols) }
 
 // NewDenseData wraps an existing row-major backing slice (not copied).
 // len(data) must equal rows*cols.
@@ -124,7 +122,7 @@ func (m *Matrix) At(i, j int) float64 {
 func (m *Matrix) Set(i, j int, v float64) {
 	if m.dense == nil {
 		d := m.ToDense()
-		m.dense, m.sparse, m.pooled = d.dense, nil, d.pooled
+		m.dense, m.sparse, m.pool = d.dense, nil, d.pool
 	}
 	m.nnzCache = 0 // invalidate
 	m.dense[i*m.Cols+j] = v

@@ -5,18 +5,24 @@ import (
 	"sync/atomic"
 )
 
-// The buffer pool is a size-keyed free list of float64 backing slices.
-// NewDense draws from it and the runtime executor returns dead
-// intermediates' storage to it (lineage-aware reuse: iterative workloads
-// allocate the same handful of shapes over and over, so exact-size reuse
-// hits almost always after the first iteration). Scratch buffers of the
-// parallel kernels (TSMM partial triangles, sparse accumulators, row
-// densification scratch) cycle through the same pool.
+// A BufPool is a size-keyed free list of float64 backing slices. NewDense
+// draws from it and the runtime executor returns dead intermediates'
+// storage to it (lineage-aware reuse: iterative workloads allocate the
+// same handful of shapes over and over, so exact-size reuse hits almost
+// always after the first iteration). Scratch buffers of the parallel
+// kernels (TSMM partial triangles, sparse accumulators, row densification
+// scratch) cycle through the same pool.
 //
 // Unlike sync.Pool the free list is deterministic — nothing is dropped on
 // GC — so allocation-reduction benchmarks and tests are stable; retention
-// is instead bounded by poolMaxPerSize slices per size and poolCapBytes
-// total.
+// is instead bounded by poolMaxPerSize slices per size and the pool's byte
+// cap.
+//
+// Allocation is instance-scoped: each engine owns a BufPool with its own
+// byte budget and live-bytes gauge, so co-hosted engines neither share
+// free lists nor see each other's memory pressure. A nil *BufPool is valid
+// and behaves as the process-wide DefaultPool. Pools are safe for
+// concurrent use.
 const (
 	// poolMinFloats: slices smaller than this are cheaper to allocate than
 	// to recycle (they also tend to be long-lived scalars and tiny vectors).
@@ -25,88 +31,136 @@ const (
 	// poolMaxPerSize bounds the free slices retained per exact size.
 	poolMaxPerSize = 8
 
-	// poolCapBytes bounds the total bytes parked in the pool; surplus
-	// returned buffers are dropped for the GC to take.
-	poolCapBytes = 512 << 20
+	// DefaultPoolCapBytes bounds the total bytes parked in a pool by
+	// default; surplus returned buffers are dropped for the GC to take.
+	DefaultPoolCapBytes = 512 << 20
 )
 
-type bufferPool struct {
-	mu      sync.Mutex
-	free    map[int][][]float64
-	bytes   int64 // bytes currently parked
-	enabled atomic.Bool
+// BufPool is an independent buffer-recycling domain; see the package
+// comment above. Construct with NewBufPool.
+type BufPool struct {
+	mu       sync.Mutex
+	free     map[int][][]float64
+	bytes    int64 // bytes currently parked
+	capBytes int64 // retention bound for parked bytes
+	enabled  atomic.Bool
+
+	// live tracks pool-eligible bytes handed out and not yet returned —
+	// the engine's admission-control gauge. Buffers that never come back
+	// (user-held results) pin the gauge high until their matrices are
+	// released, which is exactly the pressure signal serving wants.
+	live atomic.Int64
 
 	gets, hits, puts, discards atomic.Int64
 	bytesRecycled              atomic.Int64 // bytes served from the free list
 }
 
-var pool = func() *bufferPool {
-	p := &bufferPool{free: map[int][][]float64{}}
+// DefaultPool is the process-wide buffer pool backing the package-level
+// PoolGet/PoolPut helpers, any nil *BufPool receiver, and matrices
+// allocated outside an engine.
+var DefaultPool = NewBufPool(DefaultPoolCapBytes)
+
+// NewBufPool returns an enabled pool retaining at most capBytes of parked
+// buffers (capBytes <= 0 means DefaultPoolCapBytes).
+func NewBufPool(capBytes int64) *BufPool {
+	if capBytes <= 0 {
+		capBytes = DefaultPoolCapBytes
+	}
+	p := &BufPool{free: map[int][][]float64{}, capBytes: capBytes}
 	p.enabled.Store(true)
 	return p
-}()
+}
 
-// PoolEnabled reports whether NewDense and the kernels draw from the pool.
-func PoolEnabled() bool { return pool.enabled.Load() }
+func (p *BufPool) orDefault() *BufPool {
+	if p == nil {
+		return DefaultPool
+	}
+	return p
+}
 
-// SetPoolEnabled toggles the buffer pool (benchmarking and debugging) and
-// returns the previous setting. Disabling also drops all parked buffers.
-func SetPoolEnabled(on bool) bool {
-	old := pool.enabled.Swap(on)
+// Enabled reports whether allocations draw from the pool.
+func (p *BufPool) Enabled() bool { return p.orDefault().enabled.Load() }
+
+// SetEnabled toggles the pool (benchmarking and debugging) and returns the
+// previous setting. Disabling also drops all parked buffers.
+func (p *BufPool) SetEnabled(on bool) bool {
+	p = p.orDefault()
+	old := p.enabled.Swap(on)
 	if !on {
-		pool.mu.Lock()
-		pool.free = map[int][][]float64{}
-		pool.bytes = 0
-		pool.mu.Unlock()
+		p.mu.Lock()
+		p.free = map[int][][]float64{}
+		p.bytes = 0
+		p.mu.Unlock()
 	}
 	return old
 }
 
-// PoolGet returns a zeroed slice of exactly n float64s, recycled from the
-// free list when a same-sized buffer is parked there.
-func PoolGet(n int) []float64 {
-	if n < poolMinFloats || !pool.enabled.Load() {
+// Get returns a zeroed slice of exactly n float64s, recycled from the free
+// list when a same-sized buffer is parked there.
+func (p *BufPool) Get(n int) []float64 {
+	p = p.orDefault()
+	if n < poolMinFloats || !p.enabled.Load() {
 		return make([]float64, n)
 	}
-	pool.gets.Add(1)
-	pool.mu.Lock()
-	list := pool.free[n]
+	p.gets.Add(1)
+	p.live.Add(int64(n) * 8)
+	p.mu.Lock()
+	list := p.free[n]
 	if len(list) == 0 {
-		pool.mu.Unlock()
+		p.mu.Unlock()
 		return make([]float64, n)
 	}
 	s := list[len(list)-1]
-	pool.free[n] = list[:len(list)-1]
-	pool.bytes -= int64(n) * 8
-	pool.mu.Unlock()
-	pool.hits.Add(1)
-	pool.bytesRecycled.Add(int64(n) * 8)
+	p.free[n] = list[:len(list)-1]
+	p.bytes -= int64(n) * 8
+	p.mu.Unlock()
+	p.hits.Add(1)
+	p.bytesRecycled.Add(int64(n) * 8)
 	for i := range s {
 		s[i] = 0
 	}
 	return s
 }
 
-// PoolPut parks a slice for reuse. The buffer may be dirty (PoolGet zeroes
-// on the way out); the caller must not use it afterwards.
-func PoolPut(s []float64) {
+// Put parks a slice for reuse. The buffer may be dirty (Get zeroes on the
+// way out); the caller must not use it afterwards.
+func (p *BufPool) Put(s []float64) {
+	p = p.orDefault()
 	n := len(s)
-	if n < poolMinFloats || !pool.enabled.Load() {
+	if n < poolMinFloats || !p.enabled.Load() {
 		return
 	}
-	pool.puts.Add(1)
-	pool.mu.Lock()
-	if len(pool.free[n]) >= poolMaxPerSize || pool.bytes+int64(n)*8 > poolCapBytes {
-		pool.mu.Unlock()
-		pool.discards.Add(1)
+	p.puts.Add(1)
+	p.live.Add(-int64(n) * 8)
+	p.mu.Lock()
+	if len(p.free[n]) >= poolMaxPerSize || p.bytes+int64(n)*8 > p.capBytes {
+		p.mu.Unlock()
+		p.discards.Add(1)
 		return
 	}
-	pool.free[n] = append(pool.free[n], s)
-	pool.bytes += int64(n) * 8
-	pool.mu.Unlock()
+	p.free[n] = append(p.free[n], s)
+	p.bytes += int64(n) * 8
+	p.mu.Unlock()
 }
 
-// PoolUsage is a snapshot of the buffer-pool counters.
+// LiveBytes reports pool-eligible bytes handed out and not yet returned —
+// a gauge of outstanding matrix memory drawn through this pool. It can go
+// momentarily negative when buffers allocated while the pool was disabled
+// are later returned; callers should clamp at zero.
+func (p *BufPool) LiveBytes() int64 { return p.orDefault().live.Load() }
+
+// CapBytes reports the pool's parked-byte retention bound.
+func (p *BufPool) CapBytes() int64 { return p.orDefault().capBytes }
+
+// NewDense returns an all-zero dense rows×cols matrix whose storage is
+// drawn from this pool; Release returns the storage here.
+func (p *BufPool) NewDense(rows, cols int) *Matrix {
+	p = p.orDefault()
+	checkDims(rows, cols)
+	return &Matrix{Rows: rows, Cols: cols, dense: p.Get(rows * cols), pool: p}
+}
+
+// PoolUsage is a snapshot of a buffer pool's counters.
 type PoolUsage struct {
 	Gets          int64 // pool-eligible allocation requests
 	Hits          int64 // requests served from the free list
@@ -115,6 +169,7 @@ type PoolUsage struct {
 	Discards      int64 // returned buffers dropped (per-size or byte cap)
 	BytesRecycled int64 // bytes served from the free list
 	BytesParked   int64 // bytes currently held by the free list
+	BytesLive     int64 // pool-eligible bytes handed out, not yet returned
 }
 
 // HitRate returns Hits/Gets (0 when no requests were made).
@@ -125,41 +180,64 @@ func (u PoolUsage) HitRate() float64 {
 	return float64(u.Hits) / float64(u.Gets)
 }
 
-// PoolStats returns the current buffer-pool counters.
-func PoolStats() PoolUsage {
-	gets := pool.gets.Load()
-	hits := pool.hits.Load()
-	pool.mu.Lock()
-	parked := pool.bytes
-	pool.mu.Unlock()
+// Stats returns the pool's current counters.
+func (p *BufPool) Stats() PoolUsage {
+	p = p.orDefault()
+	gets := p.gets.Load()
+	hits := p.hits.Load()
+	p.mu.Lock()
+	parked := p.bytes
+	p.mu.Unlock()
 	return PoolUsage{
 		Gets:          gets,
 		Hits:          hits,
 		Misses:        gets - hits,
-		Puts:          pool.puts.Load(),
-		Discards:      pool.discards.Load(),
-		BytesRecycled: pool.bytesRecycled.Load(),
+		Puts:          p.puts.Load(),
+		Discards:      p.discards.Load(),
+		BytesRecycled: p.bytesRecycled.Load(),
 		BytesParked:   parked,
+		BytesLive:     p.live.Load(),
 	}
 }
 
-// ResetPoolStats zeroes the buffer-pool counters (parked buffers stay).
-func ResetPoolStats() {
-	pool.gets.Store(0)
-	pool.hits.Store(0)
-	pool.puts.Store(0)
-	pool.discards.Store(0)
-	pool.bytesRecycled.Store(0)
+// ResetStats zeroes the pool's counters (parked buffers and the live-bytes
+// gauge stay).
+func (p *BufPool) ResetStats() {
+	p = p.orDefault()
+	p.gets.Store(0)
+	p.hits.Store(0)
+	p.puts.Store(0)
+	p.discards.Store(0)
+	p.bytesRecycled.Store(0)
 }
 
-// Release returns the matrix's backing storage to the buffer pool and
-// clears the matrix; the caller asserts nothing references the matrix (or
-// its storage) anymore. Only dense storage allocated by NewDense is
-// recycled — wrapped user slices (NewDenseData) and CSR storage are simply
-// dropped. Safe to call on an already released matrix.
+// PoolEnabled reports whether the DefaultPool serves allocations.
+func PoolEnabled() bool { return DefaultPool.Enabled() }
+
+// SetPoolEnabled toggles the DefaultPool and returns the previous setting.
+func SetPoolEnabled(on bool) bool { return DefaultPool.SetEnabled(on) }
+
+// PoolGet returns a zeroed slice of exactly n float64s from the DefaultPool.
+func PoolGet(n int) []float64 { return DefaultPool.Get(n) }
+
+// PoolPut parks a slice in the DefaultPool for reuse.
+func PoolPut(s []float64) { DefaultPool.Put(s) }
+
+// PoolStats returns the DefaultPool's counters.
+func PoolStats() PoolUsage { return DefaultPool.Stats() }
+
+// ResetPoolStats zeroes the DefaultPool's counters (parked buffers stay).
+func ResetPoolStats() { DefaultPool.ResetStats() }
+
+// Release returns the matrix's backing storage to the buffer pool it was
+// drawn from and clears the matrix; the caller asserts nothing references
+// the matrix (or its storage) anymore. Only dense storage allocated by
+// NewDense (or BufPool.NewDense) is recycled — wrapped user slices
+// (NewDenseData) and CSR storage are simply dropped. Safe to call on an
+// already released matrix.
 func (m *Matrix) Release() {
-	if m.pooled && m.dense != nil {
-		PoolPut(m.dense)
+	if m.pool != nil && m.dense != nil {
+		m.pool.Put(m.dense)
 	}
-	m.dense, m.sparse, m.pooled = nil, nil, false
+	m.dense, m.sparse, m.pool = nil, nil, nil
 }

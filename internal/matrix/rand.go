@@ -2,14 +2,19 @@ package matrix
 
 import "math/rand"
 
+// Rand generates a random matrix on the default execution context.
+func Rand(rows, cols int, sparsity, lo, hi float64, seed int64) *Matrix {
+	return Ctx{}.Rand(rows, cols, sparsity, lo, hi, seed)
+}
+
 // Rand generates a rows×cols matrix with the given fraction of non-zero
 // cells (sparsity), values uniform in [lo, hi), using a deterministic seed.
 // The result is stored sparse below the sparsity threshold.
-func Rand(rows, cols int, sparsity, lo, hi float64, seed int64) *Matrix {
+func (ctx Ctx) Rand(rows, cols int, sparsity, lo, hi float64, seed int64) *Matrix {
 	checkDims(rows, cols)
 	rng := rand.New(rand.NewSource(seed))
 	if sparsity >= SparsityThreshold || cols == 1 {
-		out := NewDense(rows, cols)
+		out := ctx.NewDense(rows, cols)
 		for k := range out.dense {
 			if sparsity >= 1 || rng.Float64() < sparsity {
 				out.dense[k] = lo + rng.Float64()*(hi-lo)
@@ -38,9 +43,12 @@ func Rand(rows, cols int, sparsity, lo, hi float64, seed int64) *Matrix {
 	return NewSparseCSR(rows, cols, csr)
 }
 
+// Fill returns a constant matrix on the default execution context.
+func Fill(rows, cols int, v float64) *Matrix { return Ctx{}.Fill(rows, cols, v) }
+
 // Fill returns a rows×cols dense matrix with every cell set to v.
-func Fill(rows, cols int, v float64) *Matrix {
-	out := NewDense(rows, cols)
+func (ctx Ctx) Fill(rows, cols int, v float64) *Matrix {
+	out := ctx.NewDense(rows, cols)
 	if v != 0 {
 		for k := range out.dense {
 			out.dense[k] = v
@@ -49,22 +57,28 @@ func Fill(rows, cols int, v float64) *Matrix {
 	return out
 }
 
+// Seq returns a range column vector on the default execution context.
+func Seq(from, to, incr float64) *Matrix { return Ctx{}.Seq(from, to, incr) }
+
 // Seq returns a column vector [from, from+incr, ...] up to and including to.
-func Seq(from, to, incr float64) *Matrix {
+func (ctx Ctx) Seq(from, to, incr float64) *Matrix {
 	n := int((to-from)/incr) + 1
 	if n < 1 {
 		n = 1
 	}
-	out := NewDense(n, 1)
+	out := ctx.NewDense(n, 1)
 	for i := 0; i < n; i++ {
 		out.dense[i] = from + float64(i)*incr
 	}
 	return out
 }
 
+// Identity returns the n×n identity matrix on the default execution context.
+func Identity(n int) *Matrix { return Ctx{}.Identity(n) }
+
 // Identity returns the n×n identity matrix.
-func Identity(n int) *Matrix {
-	out := NewDense(n, n)
+func (ctx Ctx) Identity(n int) *Matrix {
+	out := ctx.NewDense(n, n)
 	for i := 0; i < n; i++ {
 		out.dense[i*n+i] = 1
 	}

@@ -1,22 +1,21 @@
 package matrix
 
-import (
-	"fmt"
+import "fmt"
 
-	"sysml/internal/par"
-)
+// Transpose returns t(A) on the default execution context.
+func Transpose(a *Matrix) *Matrix { return Ctx{}.Transpose(a) }
 
 // Transpose returns t(A). Dense transposition is cache-blocked; sparse
 // transposition uses a counting pass (CSR→CSC reinterpretation).
-func Transpose(a *Matrix) *Matrix {
+func (ctx Ctx) Transpose(a *Matrix) *Matrix {
 	if a.IsSparse() {
 		return transposeSparse(a)
 	}
-	out := NewDense(a.Cols, a.Rows)
+	out := ctx.NewDense(a.Cols, a.Rows)
 	const bs = 64
 	m, n := a.Rows, a.Cols
 	ad, od := a.dense, out.dense
-	par.For((m+bs-1)/bs, 1, func(blo, bhi int) {
+	ctx.Par.For((m+bs-1)/bs, 1, func(blo, bhi int) {
 		for bi := blo; bi < bhi; bi++ {
 			i0, i1 := bi*bs, min(bi*bs+bs, m)
 			for j0 := 0; j0 < n; j0 += bs {
@@ -59,9 +58,12 @@ func transposeSparse(a *Matrix) *Matrix {
 	return NewSparseCSR(a.Cols, a.Rows, out)
 }
 
+// IndexRange extracts A[rl:ru, cl:cu] on the default execution context.
+func IndexRange(a *Matrix, rl, ru, cl, cu int) *Matrix { return Ctx{}.IndexRange(a, rl, ru, cl, cu) }
+
 // IndexRange extracts the submatrix A[rl:ru, cl:cu] with half-open,
 // zero-based bounds (SystemML's right indexing, rix/cix).
-func IndexRange(a *Matrix, rl, ru, cl, cu int) *Matrix {
+func (ctx Ctx) IndexRange(a *Matrix, rl, ru, cl, cu int) *Matrix {
 	if rl < 0 || cl < 0 || ru > a.Rows || cu > a.Cols || rl >= ru || cl >= cu {
 		panic(fmt.Sprintf("matrix: invalid index range [%d:%d, %d:%d] of %dx%d", rl, ru, cl, cu, a.Rows, a.Cols))
 	}
@@ -80,20 +82,23 @@ func IndexRange(a *Matrix, rl, ru, cl, cu int) *Matrix {
 		}
 		return NewSparseCSR(rows, cols, csr)
 	}
-	out := NewDense(rows, cols)
+	out := ctx.NewDense(rows, cols)
 	for i := 0; i < rows; i++ {
 		copy(out.dense[i*cols:(i+1)*cols], a.dense[(rl+i)*a.Cols+cl:(rl+i)*a.Cols+cu])
 	}
 	return out
 }
 
+// CBind concatenates matrices horizontally on the default execution context.
+func CBind(a, b *Matrix) *Matrix { return Ctx{}.CBind(a, b) }
+
 // CBind concatenates matrices horizontally.
-func CBind(a, b *Matrix) *Matrix {
+func (ctx Ctx) CBind(a, b *Matrix) *Matrix {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("matrix: cbind row mismatch %d vs %d", a.Rows, b.Rows))
 	}
 	ad, bd := a.ToDense().dense, b.ToDense().dense
-	out := NewDense(a.Rows, a.Cols+b.Cols)
+	out := ctx.NewDense(a.Rows, a.Cols+b.Cols)
 	for i := 0; i < a.Rows; i++ {
 		copy(out.dense[i*out.Cols:], ad[i*a.Cols:(i+1)*a.Cols])
 		copy(out.dense[i*out.Cols+a.Cols:], bd[i*b.Cols:(i+1)*b.Cols])
@@ -101,23 +106,29 @@ func CBind(a, b *Matrix) *Matrix {
 	return out
 }
 
+// RBind concatenates matrices vertically on the default execution context.
+func RBind(a, b *Matrix) *Matrix { return Ctx{}.RBind(a, b) }
+
 // RBind concatenates matrices vertically.
-func RBind(a, b *Matrix) *Matrix {
+func (ctx Ctx) RBind(a, b *Matrix) *Matrix {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("matrix: rbind col mismatch %d vs %d", a.Cols, b.Cols))
 	}
 	ad, bd := a.ToDense().dense, b.ToDense().dense
-	out := NewDense(a.Rows+b.Rows, a.Cols)
+	out := ctx.NewDense(a.Rows+b.Rows, a.Cols)
 	copy(out.dense, ad)
 	copy(out.dense[len(ad):], bd)
 	return out
 }
 
+// Diag extracts or expands a diagonal on the default execution context.
+func Diag(a *Matrix) *Matrix { return Ctx{}.Diag(a) }
+
 // Diag extracts the main diagonal of a square matrix as a column vector, or
 // expands a column vector into a diagonal matrix.
-func Diag(a *Matrix) *Matrix {
+func (ctx Ctx) Diag(a *Matrix) *Matrix {
 	if a.Cols == 1 {
-		out := NewDense(a.Rows, a.Rows)
+		out := ctx.NewDense(a.Rows, a.Rows)
 		for i := 0; i < a.Rows; i++ {
 			out.dense[i*a.Rows+i] = a.At(i, 0)
 		}
@@ -126,17 +137,20 @@ func Diag(a *Matrix) *Matrix {
 	if a.Rows != a.Cols {
 		panic(fmt.Sprintf("matrix: diag on non-square %dx%d", a.Rows, a.Cols))
 	}
-	out := NewDense(a.Rows, 1)
+	out := ctx.NewDense(a.Rows, 1)
 	for i := 0; i < a.Rows; i++ {
 		out.dense[i] = a.At(i, i)
 	}
 	return out
 }
 
+// Cumsum computes column-wise prefix sums on the default execution context.
+func Cumsum(a *Matrix) *Matrix { return Ctx{}.Cumsum(a) }
+
 // Cumsum computes column-wise prefix sums (R/DML cumsum semantics).
-func Cumsum(a *Matrix) *Matrix {
+func (ctx Ctx) Cumsum(a *Matrix) *Matrix {
 	ad := a.ToDense().dense
-	out := NewDense(a.Rows, a.Cols)
+	out := ctx.NewDense(a.Rows, a.Cols)
 	od := out.dense
 	copy(od[:a.Cols], ad[:a.Cols])
 	for i := 1; i < a.Rows; i++ {

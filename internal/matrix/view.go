@@ -148,13 +148,13 @@ func MatMultInto(dst, a, b *Matrix) {
 	checkInto(dst, a.Rows, b.Cols, "MatMultInto")
 	switch {
 	case !a.IsSparse() && !b.IsSparse():
-		matMultDenseDense(a, b, dst)
+		Ctx{}.matMultDenseDense(a, b, dst)
 	case a.IsSparse() && !b.IsSparse():
-		matMultSparseDense(a, b, dst)
+		Ctx{}.matMultSparseDense(a, b, dst)
 	case !a.IsSparse() && b.IsSparse():
-		matMultDenseSparse(a, b, dst)
+		Ctx{}.matMultDenseSparse(a, b, dst)
 	default:
-		r := matMultSparseSparse(a, b)
+		r := Ctx{}.matMultSparseSparse(a, b)
 		CopyInto(dst, r)
 		r.Release()
 	}
@@ -167,13 +167,13 @@ func AggInto(dst *Matrix, op AggOp, dir AggDir, a *Matrix) {
 	switch dir {
 	case DirAll:
 		checkInto(dst, 1, 1, "AggInto")
-		dst.dense[0] = aggAll(op, a)
+		dst.dense[0] = Ctx{}.aggAll(op, a)
 	case DirRow:
 		checkInto(dst, a.Rows, 1, "AggInto")
-		aggRowsInto(dst.dense, op, a)
+		Ctx{}.aggRowsInto(dst.dense, op, a)
 	case DirCol:
 		checkInto(dst, 1, a.Cols, "AggInto")
-		r := aggCols(op, a)
+		r := Ctx{}.aggCols(op, a)
 		copy(dst.dense, r.dense)
 		r.Release()
 	default:

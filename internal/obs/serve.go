@@ -1,10 +1,12 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
 	"strings"
+	"time"
 )
 
 // ServeSource supplies the live observability state exposed by Serve.
@@ -111,5 +113,25 @@ func Serve(addr string, src ServeSource) (*Server, error) {
 // Addr returns the bound listen address (useful with port 0).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down.
-func (s *Server) Close() error { return s.srv.Close() }
+// DefaultDrainTimeout bounds how long Close waits for in-flight requests.
+const DefaultDrainTimeout = 5 * time.Second
+
+// Close shuts the server down gracefully: the listener stops accepting
+// immediately, in-flight requests get up to DefaultDrainTimeout to finish,
+// and only then are remaining connections torn down.
+func (s *Server) Close() error { return s.CloseWithTimeout(DefaultDrainTimeout) }
+
+// CloseWithTimeout is Close with an explicit drain bound. A zero or
+// negative timeout skips draining and closes connections immediately.
+func (s *Server) CloseWithTimeout(d time.Duration) error {
+	if d <= 0 {
+		return s.srv.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		// Drain window elapsed with requests still running: force-close.
+		return s.srv.Close()
+	}
+	return nil
+}

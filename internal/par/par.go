@@ -3,13 +3,19 @@
 // sequential execution for small inputs so that parallelization overhead
 // never dominates.
 //
-// Parallel regions run on a persistent worker pool (goroutines started
+// Parallel regions run on persistent worker pools (goroutines started
 // lazily and kept alive for the process lifetime) instead of spawning fresh
 // goroutines per call. Work is split into more chunks than workers and
 // participants claim chunks through an atomic counter, so skewed work —
 // ragged sparse rows, uneven row-template iterations — load-balances
 // dynamically: a worker that finishes its chunk early simply claims the
 // next one.
+//
+// Parallelism is instance-scoped: a Pool owns its worker cap, its task
+// channel and workers, and its utilization counters, so independent engines
+// hosted in one process can be capped independently without sharing any
+// mutable state. The package-level For/ForIndexed/... helpers delegate to
+// the process-wide Default pool, preserving the original API.
 package par
 
 import (
@@ -28,38 +34,82 @@ const DefaultGrain = 1024
 // bounding the idle tail at ~1/4 of a worker's share.
 const chunkFactor = 4
 
-// maxWorkers caps the number of participants of a parallel region. It is
-// read on every For/ForIndexed/Chunks call and written by SetMaxWorkers
-// (tests, concurrent sessions), hence atomic.
-var maxWorkers atomic.Int64
+// Pool is an independent parallel-execution domain: a worker cap, a
+// persistent set of helper goroutines, and utilization counters. Pools are
+// safe for concurrent use. A nil *Pool is valid and behaves as the Default
+// pool, so zero-valued execution contexts need no special-casing.
+//
+// Pools have no Close: helper goroutines block on the task channel between
+// regions and cost only a parked goroutine each, so they are kept for the
+// process lifetime. This makes enqueue-after-shutdown races impossible.
+type Pool struct {
+	// maxWorkers caps the number of participants of a parallel region. It
+	// is read on every For/ForIndexed/Chunks call and written by
+	// SetMaxWorkers (tests, concurrent engines), hence atomic.
+	maxWorkers atomic.Int64
 
-func init() { maxWorkers.Store(int64(runtime.GOMAXPROCS(0))) }
+	// Workers block on the task channel between regions. The pool grows to
+	// (max requested workers - 1) — the caller of a region is always
+	// participant 0 — and never shrinks.
+	mu      sync.Mutex
+	tasks   chan *region
+	workers int
 
-// SetMaxWorkers overrides the worker cap and returns the previous value.
-// Passing n <= 0 resets to GOMAXPROCS. Raising the cap grows the
-// persistent pool so that future regions can use the extra workers.
-func SetMaxWorkers(n int) int {
-	if n <= 0 {
-		n = runtime.GOMAXPROCS(0)
-	}
-	old := maxWorkers.Swap(int64(n))
-	ensureWorkers(n - 1)
-	return int(old)
-}
-
-// MaxWorkers reports the current worker cap.
-func MaxWorkers() int { return int(maxWorkers.Load()) }
-
-// Utilization counters: every For/ForIndexed call is counted, along with
-// the pool workers it engaged (0 for calls that ran sequentially). The
-// ratio workers / (calls * MaxWorkers) approximates pool utilization.
-var (
+	// Utilization counters: every For/ForIndexed call is counted, along
+	// with the pool workers it engaged (0 for calls that ran sequentially).
 	statCalls      atomic.Int64
 	statGoroutines atomic.Int64
 	statSequential atomic.Int64
-)
+}
 
-// Usage is a snapshot of the parallel-for utilization counters.
+// Default is the process-wide pool backing the package-level helpers and
+// any nil *Pool receiver.
+var Default = NewPool(0)
+
+// NewPool returns an independent worker pool capped at n participants per
+// parallel region. n <= 0 means GOMAXPROCS. Worker goroutines are started
+// lazily on first parallel dispatch.
+func NewPool(n int) *Pool {
+	p := &Pool{}
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p.maxWorkers.Store(int64(n))
+	return p
+}
+
+// orDefault resolves the nil receiver to the Default pool.
+func (p *Pool) orDefault() *Pool {
+	if p == nil {
+		return Default
+	}
+	return p
+}
+
+// SetMaxWorkers overrides the pool's worker cap and returns the previous
+// value. Passing n <= 0 resets to GOMAXPROCS. Raising the cap grows the
+// persistent pool so that future regions can use the extra workers.
+func (p *Pool) SetMaxWorkers(n int) int {
+	p = p.orDefault()
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	old := p.maxWorkers.Swap(int64(n))
+	p.ensureWorkers(n - 1)
+	return int(old)
+}
+
+// MaxWorkers reports the pool's current worker cap.
+func (p *Pool) MaxWorkers() int { return int(p.orDefault().maxWorkers.Load()) }
+
+// SetMaxWorkers overrides the Default pool's worker cap and returns the
+// previous value. Passing n <= 0 resets to GOMAXPROCS.
+func SetMaxWorkers(n int) int { return Default.SetMaxWorkers(n) }
+
+// MaxWorkers reports the Default pool's current worker cap.
+func MaxWorkers() int { return Default.MaxWorkers() }
+
+// Usage is a snapshot of a pool's parallel-for utilization counters.
 type Usage struct {
 	Calls      int64 // For/ForIndexed invocations
 	Goroutines int64 // pool workers engaged across all parallel calls
@@ -75,51 +125,49 @@ func (u Usage) Utilization(workers int) float64 {
 	return float64(u.Goroutines) / float64(u.Calls*int64(workers))
 }
 
-// Stats returns the current utilization counters.
-func Stats() Usage {
+// Stats returns the pool's current utilization counters.
+func (p *Pool) Stats() Usage {
+	p = p.orDefault()
 	return Usage{
-		Calls:      statCalls.Load(),
-		Goroutines: statGoroutines.Load(),
-		Sequential: statSequential.Load(),
+		Calls:      p.statCalls.Load(),
+		Goroutines: p.statGoroutines.Load(),
+		Sequential: p.statSequential.Load(),
 	}
 }
 
-// ResetStats zeroes the utilization counters.
-func ResetStats() {
-	statCalls.Store(0)
-	statGoroutines.Store(0)
-	statSequential.Store(0)
+// ResetStats zeroes the pool's utilization counters.
+func (p *Pool) ResetStats() {
+	p = p.orDefault()
+	p.statCalls.Store(0)
+	p.statGoroutines.Store(0)
+	p.statSequential.Store(0)
 }
 
-// The persistent pool: workers block on the task channel between regions.
-// The pool grows to (max requested workers - 1) — the caller of a region is
-// always participant 0 — and never shrinks; idle workers cost only a
-// blocked goroutine each.
-var (
-	poolMu      sync.Mutex
-	poolTasks   chan *region
-	poolWorkers int
-)
+// Stats returns the Default pool's utilization counters.
+func Stats() Usage { return Default.Stats() }
 
-func ensureWorkers(n int) {
+// ResetStats zeroes the Default pool's utilization counters.
+func ResetStats() { Default.ResetStats() }
+
+func (p *Pool) ensureWorkers(n int) {
 	if n <= 0 {
 		return
 	}
-	poolMu.Lock()
-	if poolTasks == nil {
+	p.mu.Lock()
+	if p.tasks == nil {
 		// Buffered far beyond any realistic fan-out so that region dispatch
 		// never blocks; dispatch falls back to inline execution if full.
-		poolTasks = make(chan *region, 1024)
+		p.tasks = make(chan *region, 1024)
 	}
-	for poolWorkers < n {
-		poolWorkers++
-		go func() {
-			for r := range poolTasks {
+	for p.workers < n {
+		p.workers++
+		go func(tasks chan *region) {
+			for r := range tasks {
 				r.help()
 			}
-		}()
+		}(p.tasks)
 	}
-	poolMu.Unlock()
+	p.mu.Unlock()
 }
 
 // region is one parallel-for invocation: participants claim chunk indexes
@@ -160,112 +208,12 @@ func (r *region) run(worker int) {
 // plan computes the chunking of n items: the participant count, the chunk
 // size, and the chunk count. Chunks are at least one grain; the chunk
 // count targets chunkFactor chunks per participant for dynamic balance.
-func plan(n, grain int) (workers, chunk, nchunks int) {
-	if grain <= 0 {
-		grain = DefaultGrain
-	}
-	w := int(maxWorkers.Load())
-	if w < 1 {
-		w = 1
-	}
-	maxChunks := (n + grain - 1) / grain
-	workers = w
-	if workers > maxChunks {
-		workers = maxChunks
-	}
-	if workers <= 1 {
-		return 1, n, 1
-	}
-	nchunks = workers * chunkFactor
-	if nchunks > maxChunks {
-		nchunks = maxChunks
-	}
-	chunk = (n + nchunks - 1) / nchunks
-	nchunks = (n + chunk - 1) / chunk
-	if nchunks < workers {
-		workers = nchunks
-	}
-	return workers, chunk, nchunks
+func (p *Pool) plan(n, grain int) (workers, chunk, nchunks int) {
+	w := int(p.maxWorkers.Load())
+	return planFor(n, grain, w)
 }
 
-// dispatch runs fn over the chunks of [0, n) on the worker pool, with the
-// caller participating as worker 0. Enqueueing never blocks: when the pool
-// is saturated (e.g. nested regions), the caller simply drains the chunks
-// itself, so dispatch is deadlock-free under arbitrary nesting.
-func dispatch(n int, workers, chunk, nchunks int, fn func(worker, lo, hi int)) {
-	ensureWorkers(workers - 1)
-	r := &region{fn: fn, n: n, chunk: chunk, nchunks: int64(nchunks)}
-	engaged := 1 // the caller
-	for i := 1; i < workers; i++ {
-		r.wg.Add(1)
-		select {
-		case poolTasks <- r:
-			engaged++
-		default:
-			r.wg.Done() // pool saturated: caller covers the work
-		}
-	}
-	statGoroutines.Add(int64(engaged))
-	r.run(0)
-	r.wg.Wait()
-}
-
-// For executes fn over half-open ranges that partition [0, n) into chunks
-// of at least grain items, running chunks on the persistent worker pool.
-// fn must be safe for concurrent invocation on disjoint ranges.
-func For(n, grain int, fn func(lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	workers, chunk, nchunks := plan(n, grain)
-	statCalls.Add(1)
-	if workers <= 1 {
-		statSequential.Add(1)
-		fn(0, n)
-		return
-	}
-	dispatch(n, workers, chunk, nchunks, func(_, lo, hi int) { fn(lo, hi) })
-}
-
-// ForIndexed is like For but also passes a zero-based worker index, which
-// callers use to select per-worker state (scratch buffers, partial
-// aggregates). Worker indexes are dense in [0, count) where count is
-// reported by Chunks for preallocation.
-//
-// Unlike a static partition, a worker may be invoked several times with
-// distinct disjoint ranges (dynamic chunk claiming): per-worker state must
-// therefore be initialized lazily on first use and accumulated across
-// invocations, never reset per invocation.
-func ForIndexed(n, grain int, fn func(worker, lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	workers, chunk, nchunks := plan(n, grain)
-	statCalls.Add(1)
-	if workers <= 1 {
-		statSequential.Add(1)
-		fn(0, 0, n)
-		return
-	}
-	dispatch(n, workers, chunk, nchunks, fn)
-}
-
-// Chunks reports how many workers ForIndexed will use for n items with the
-// given grain — the size needed for per-worker state arrays — along with
-// the dynamic chunk size (ranges handed to each fn invocation).
-func Chunks(n, grain int) (count, size int) {
-	if n <= 0 {
-		return 0, 0
-	}
-	count, size, _ = plan(n, grain)
-	return count, size
-}
-
-// planLimit is plan with an explicit participant cap that overrides the
-// global worker cap. Unlike maxWorkers it may exceed GOMAXPROCS: callers
-// like the simulated distributed backend model external concurrency
-// (executors), where oversubscribing cores is exactly the point.
-func planLimit(n, grain, limit int) (workers, chunk, nchunks int) {
+func planFor(n, grain, limit int) (workers, chunk, nchunks int) {
 	if grain <= 0 {
 		grain = DefaultGrain
 	}
@@ -292,33 +240,131 @@ func planLimit(n, grain, limit int) (workers, chunk, nchunks int) {
 	return workers, chunk, nchunks
 }
 
-// ForIndexedLimit is ForIndexed with an explicit participant cap: at most
-// limit workers (including the caller) run fn, regardless of the global
-// SetMaxWorkers cap. It backs the simulated distributed backend, where the
-// participant count models the cluster's executor count rather than the
-// local core count. Worker indexes are dense in [0, count) with count as
-// reported by ChunksLimit.
-func ForIndexedLimit(n, grain, limit int, fn func(worker, lo, hi int)) {
+// dispatch runs fn over the chunks of [0, n) on the worker pool, with the
+// caller participating as worker 0. Enqueueing never blocks: when the pool
+// is saturated (e.g. nested regions), the caller simply drains the chunks
+// itself, so dispatch is deadlock-free under arbitrary nesting.
+func (p *Pool) dispatch(n int, workers, chunk, nchunks int, fn func(worker, lo, hi int)) {
+	p.ensureWorkers(workers - 1)
+	r := &region{fn: fn, n: n, chunk: chunk, nchunks: int64(nchunks)}
+	engaged := 1 // the caller
+	for i := 1; i < workers; i++ {
+		r.wg.Add(1)
+		select {
+		case p.tasks <- r:
+			engaged++
+		default:
+			r.wg.Done() // pool saturated: caller covers the work
+		}
+	}
+	p.statGoroutines.Add(int64(engaged))
+	r.run(0)
+	r.wg.Wait()
+}
+
+// For executes fn over half-open ranges that partition [0, n) into chunks
+// of at least grain items, running chunks on the pool's persistent workers.
+// fn must be safe for concurrent invocation on disjoint ranges.
+func (p *Pool) For(n, grain int, fn func(lo, hi int)) {
+	p = p.orDefault()
 	if n <= 0 {
 		return
 	}
-	workers, chunk, nchunks := planLimit(n, grain, limit)
-	statCalls.Add(1)
+	workers, chunk, nchunks := p.plan(n, grain)
+	p.statCalls.Add(1)
 	if workers <= 1 {
-		statSequential.Add(1)
+		p.statSequential.Add(1)
+		fn(0, n)
+		return
+	}
+	p.dispatch(n, workers, chunk, nchunks, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// ForIndexed is like For but also passes a zero-based worker index, which
+// callers use to select per-worker state (scratch buffers, partial
+// aggregates). Worker indexes are dense in [0, count) where count is
+// reported by Chunks for preallocation.
+//
+// Unlike a static partition, a worker may be invoked several times with
+// distinct disjoint ranges (dynamic chunk claiming): per-worker state must
+// therefore be initialized lazily on first use and accumulated across
+// invocations, never reset per invocation.
+func (p *Pool) ForIndexed(n, grain int, fn func(worker, lo, hi int)) {
+	p = p.orDefault()
+	if n <= 0 {
+		return
+	}
+	workers, chunk, nchunks := p.plan(n, grain)
+	p.statCalls.Add(1)
+	if workers <= 1 {
+		p.statSequential.Add(1)
 		fn(0, 0, n)
 		return
 	}
-	dispatch(n, workers, chunk, nchunks, fn)
+	p.dispatch(n, workers, chunk, nchunks, fn)
+}
+
+// Chunks reports how many workers ForIndexed will use for n items with the
+// given grain — the size needed for per-worker state arrays — along with
+// the dynamic chunk size (ranges handed to each fn invocation).
+func (p *Pool) Chunks(n, grain int) (count, size int) {
+	p = p.orDefault()
+	if n <= 0 {
+		return 0, 0
+	}
+	count, size, _ = p.plan(n, grain)
+	return count, size
+}
+
+// ForIndexedLimit is ForIndexed with an explicit participant cap: at most
+// limit workers (including the caller) run fn, regardless of the pool's
+// SetMaxWorkers cap. Unlike the pool cap it may exceed GOMAXPROCS: callers
+// like the simulated distributed backend model external concurrency
+// (executors), where oversubscribing cores is exactly the point. Worker
+// indexes are dense in [0, count) with count as reported by ChunksLimit.
+func (p *Pool) ForIndexedLimit(n, grain, limit int, fn func(worker, lo, hi int)) {
+	p = p.orDefault()
+	if n <= 0 {
+		return
+	}
+	workers, chunk, nchunks := planFor(n, grain, limit)
+	p.statCalls.Add(1)
+	if workers <= 1 {
+		p.statSequential.Add(1)
+		fn(0, 0, n)
+		return
+	}
+	p.dispatch(n, workers, chunk, nchunks, fn)
 }
 
 // ChunksLimit reports how many workers ForIndexedLimit will use for n items
 // with the given grain and participant cap — the size needed for
 // per-worker state arrays.
-func ChunksLimit(n, grain, limit int) (count, size int) {
+func (p *Pool) ChunksLimit(n, grain, limit int) (count, size int) {
 	if n <= 0 {
 		return 0, 0
 	}
-	count, size, _ = planLimit(n, grain, limit)
+	count, size, _ = planFor(n, grain, limit)
 	return count, size
+}
+
+// For executes fn over chunked ranges of [0, n) on the Default pool.
+func For(n, grain int, fn func(lo, hi int)) { Default.For(n, grain, fn) }
+
+// ForIndexed is For with a zero-based worker index, on the Default pool.
+func ForIndexed(n, grain int, fn func(worker, lo, hi int)) { Default.ForIndexed(n, grain, fn) }
+
+// Chunks reports the Default pool's worker count and chunk size for n items.
+func Chunks(n, grain int) (count, size int) { return Default.Chunks(n, grain) }
+
+// ForIndexedLimit is ForIndexed with an explicit participant cap, on the
+// Default pool.
+func ForIndexedLimit(n, grain, limit int, fn func(worker, lo, hi int)) {
+	Default.ForIndexedLimit(n, grain, limit, fn)
+}
+
+// ChunksLimit reports how many workers ForIndexedLimit will use on the
+// Default pool.
+func ChunksLimit(n, grain, limit int) (count, size int) {
+	return Default.ChunksLimit(n, grain, limit)
 }

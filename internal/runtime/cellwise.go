@@ -11,15 +11,14 @@ import (
 
 	"sysml/internal/cplan"
 	"sysml/internal/matrix"
-	"sysml/internal/par"
 )
 
 // ExecCellwise runs a compiled Cell-template operator over the main input.
 func ExecCellwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix) *matrix.Matrix {
-	return execCellwise(op, main, sides, nil)
+	return execCellwise(matrix.Ctx{}, op, main, sides, nil)
 }
 
-func execCellwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix, stop StopFn) *matrix.Matrix {
+func execCellwise(ec matrix.Ctx, op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix, stop StopFn) *matrix.Matrix {
 	p := op.Plan
 	fn := op.CellFn
 	rows, cols := main.Rows, main.Cols
@@ -37,7 +36,7 @@ func execCellwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matri
 				ColIdx: append([]int(nil), ms.ColIdx...),
 				Values: make([]float64, len(ms.Values)),
 			}
-			par.For(rows, 64, func(lo, hi int) {
+			ec.Par.For(rows, 64, func(lo, hi int) {
 				ctx := proto.Clone()
 				for i := lo; i < hi; i++ {
 					if pollStop(stop, i-lo) {
@@ -52,14 +51,14 @@ func execCellwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matri
 			})
 			return matrix.NewSparseCSR(rows, cols, out)
 		}
-		out := matrix.NewDense(rows, cols)
+		out := ec.NewDense(rows, cols)
 		od := out.Dense()
 		if op.VecProg.ChunkCompatible(main, sides) {
 			// Vectorized genexec: evaluate the plan chunk-wise with the
 			// shared vector primitives (the JIT-compiled-code analog).
 			md := main.Dense()
 			total := rows * cols
-			par.For((total+cplan.ChunkLen-1)/cplan.ChunkLen, 8, func(clo, chi int) {
+			ec.Par.For((total+cplan.ChunkLen-1)/cplan.ChunkLen, 8, func(clo, chi int) {
 				ctx := proto.Clone()
 				buf := op.VecProg.GetBuf()
 				defer op.VecProg.PutBuf(buf)
@@ -78,10 +77,10 @@ func execCellwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matri
 			})
 			return out
 		}
-		par.For(rows, 64, func(lo, hi int) {
+		ec.Par.For(rows, 64, func(lo, hi int) {
 			ctx := proto.Clone()
-			scratch := newRowScratch(main)
-			defer releaseRowScratch(scratch)
+			scratch := newRowScratch(ec, main)
+			defer releaseRowScratch(ec, scratch)
 			for i := lo; i < hi; i++ {
 				if pollStop(stop, i-lo) {
 					return
@@ -96,12 +95,12 @@ func execCellwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matri
 		return out
 
 	case cplan.CellRowAgg:
-		out := matrix.NewDense(rows, 1)
+		out := ec.NewDense(rows, 1)
 		od := out.Dense()
-		par.For(rows, 64, func(lo, hi int) {
+		ec.Par.For(rows, 64, func(lo, hi int) {
 			ctx := proto.Clone()
-			scratch := newRowScratch(main)
-			defer releaseRowScratch(scratch)
+			scratch := newRowScratch(ec, main)
+			defer releaseRowScratch(ec, scratch)
 			for i := lo; i < hi; i++ {
 				if pollStop(stop, i-lo) {
 					return
@@ -124,12 +123,12 @@ func execCellwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matri
 		return out
 
 	case cplan.CellColAgg:
-		nw, _ := par.Chunks(rows, 64)
+		nw, _ := ec.Par.Chunks(rows, 64)
 		partials := make([][]float64, nw)
-		par.ForIndexed(rows, 64, func(w, lo, hi int) {
+		ec.Par.ForIndexed(rows, 64, func(w, lo, hi int) {
 			ctx := proto.Clone()
-			scratch := newRowScratch(main)
-			defer releaseRowScratch(scratch)
+			scratch := newRowScratch(ec, main)
+			defer releaseRowScratch(ec, scratch)
 			// Per-worker state is lazily initialized and accumulated: a
 			// worker id may be handed several chunks by the pool.
 			part := partials[w]
@@ -158,7 +157,7 @@ func execCellwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matri
 				}
 			}
 		})
-		out := matrix.NewDense(1, cols)
+		out := ec.NewDense(1, cols)
 		od := out.Dense()
 		for j := 0; j < cols; j++ {
 			od[j] = aggInit(p.AggOp)
@@ -174,7 +173,7 @@ func execCellwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matri
 		return out
 
 	default: // CellFullAgg
-		nw, _ := par.Chunks(rows, 64)
+		nw, _ := ec.Par.Chunks(rows, 64)
 		partials := make([]float64, nw)
 		for i := range partials {
 			partials[i] = aggInit(p.AggOp)
@@ -184,9 +183,9 @@ func execCellwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matri
 			md := main.Dense()
 			total := rows * cols
 			nc := (total + cplan.ChunkLen - 1) / cplan.ChunkLen
-			nw2, _ := par.Chunks(nc, 8)
+			nw2, _ := ec.Par.Chunks(nc, 8)
 			part2 := make([]float64, nw2)
-			par.ForIndexed(nc, 8, func(w, clo, chi int) {
+			ec.Par.ForIndexed(nc, 8, func(w, clo, chi int) {
 				ctx := proto.Clone()
 				buf := op.VecProg.GetBuf()
 				defer op.VecProg.PutBuf(buf)
@@ -211,10 +210,10 @@ func execCellwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matri
 			}
 			return matrix.NewScalar(acc)
 		}
-		par.ForIndexed(rows, 64, func(w, lo, hi int) {
+		ec.Par.ForIndexed(rows, 64, func(w, lo, hi int) {
 			ctx := proto.Clone()
-			scratch := newRowScratch(main)
-			defer releaseRowScratch(scratch)
+			scratch := newRowScratch(ec, main)
+			defer releaseRowScratch(ec, scratch)
 			acc := partials[w] // resume this worker's accumulator
 			for i := lo; i < hi; i++ {
 				if pollStop(stop, i-lo) {
@@ -257,10 +256,10 @@ func execCellwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matri
 // ExecMAgg runs a compiled multi-aggregate operator, producing a 1×k row
 // of aggregate values in one pass over the shared main input.
 func ExecMAgg(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix) *matrix.Matrix {
-	return execMAgg(op, main, sides, nil)
+	return execMAgg(matrix.Ctx{}, op, main, sides, nil)
 }
 
-func execMAgg(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix, stop StopFn) *matrix.Matrix {
+func execMAgg(ec matrix.Ctx, op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix, stop StopFn) *matrix.Matrix {
 	p := op.Plan
 	k := len(op.MAggFns)
 	proto := cplan.NewCtx(sides)
@@ -277,9 +276,9 @@ func execMAgg(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix, s
 		md := main.Dense()
 		total := rows * cols
 		nc := (total + cplan.ChunkLen - 1) / cplan.ChunkLen
-		nw, _ := par.Chunks(nc, 8)
+		nw, _ := ec.Par.Chunks(nc, 8)
 		partials := make([][]float64, nw)
-		par.ForIndexed(nc, 8, func(w, clo, chi int) {
+		ec.Par.ForIndexed(nc, 8, func(w, clo, chi int) {
 			ctx := proto.Clone()
 			bufs := make([]*cplan.CellVecBuf, k)
 			for q := range bufs {
@@ -312,7 +311,7 @@ func execMAgg(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix, s
 				}
 			}
 		})
-		out := matrix.NewDense(1, k)
+		out := ec.NewDense(1, k)
 		od := out.Dense()
 		for _, part := range partials {
 			if part != nil {
@@ -323,12 +322,12 @@ func execMAgg(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix, s
 		}
 		return out
 	}
-	nw, _ := par.Chunks(rows, 64)
+	nw, _ := ec.Par.Chunks(rows, 64)
 	partials := make([][]float64, nw)
-	par.ForIndexed(rows, 64, func(w, lo, hi int) {
+	ec.Par.ForIndexed(rows, 64, func(w, lo, hi int) {
 		ctx := proto.Clone()
-		scratch := newRowScratch(main)
-		defer releaseRowScratch(scratch)
+		scratch := newRowScratch(ec, main)
+		defer releaseRowScratch(ec, scratch)
 		part := partials[w] // lazily initialized, accumulated across chunks
 		if part == nil {
 			part = make([]float64, k)
@@ -358,7 +357,7 @@ func execMAgg(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix, s
 			}
 		}
 	})
-	out := matrix.NewDense(1, k)
+	out := ec.NewDense(1, k)
 	od := out.Dense()
 	for q := 0; q < k; q++ {
 		od[q] = aggInit(p.AggOps[q])
@@ -428,16 +427,16 @@ func aggStep(op matrix.AggOp, acc, v float64) float64 {
 // newRowScratch returns a densification scratch row for sparse main inputs
 // (nil for dense ones), drawn from the matrix buffer pool. Callers release
 // it with releaseRowScratch when the worker closure finishes.
-func newRowScratch(m *matrix.Matrix) []float64 {
+func newRowScratch(ec matrix.Ctx, m *matrix.Matrix) []float64 {
 	if m.IsSparse() {
-		return matrix.PoolGet(m.Cols)
+		return ec.GetBuf(m.Cols)
 	}
 	return nil
 }
 
-func releaseRowScratch(s []float64) {
+func releaseRowScratch(ec matrix.Ctx, s []float64) {
 	if s != nil {
-		matrix.PoolPut(s)
+		ec.PutBuf(s)
 	}
 }
 

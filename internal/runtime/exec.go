@@ -21,6 +21,12 @@ type Options struct {
 	// simulated distributed backend.
 	Dist DistBackend
 
+	// Exec is the matrix execution context — the worker pool running the
+	// kernels' parallel regions and the buffer pool their allocations draw
+	// from. The zero value uses the process-wide defaults; engines inject
+	// their own pools here so co-hosted engines stay isolated.
+	Exec matrix.Ctx
+
 	// Ctx, when non-nil, cancels execution: checked between operators and
 	// polled inside the fused-operator skeleton loops.
 	Ctx context.Context
@@ -331,10 +337,10 @@ func evalHop(h *hop.Hop, ins []*matrix.Matrix, env Env, opts Options, stop StopF
 			return m, nil
 		}
 	}
-	return evalLocal(h, ins, env, stop)
+	return evalLocal(opts.Exec, h, ins, env, stop)
 }
 
-func evalLocal(h *hop.Hop, ins []*matrix.Matrix, env Env, stop StopFn) (*matrix.Matrix, error) {
+func evalLocal(ec matrix.Ctx, h *hop.Hop, ins []*matrix.Matrix, env Env, stop StopFn) (*matrix.Matrix, error) {
 	switch h.Kind {
 	case hop.OpData:
 		m, ok := env[h.Name]
@@ -347,36 +353,36 @@ func evalLocal(h *hop.Hop, ins []*matrix.Matrix, env Env, stop StopFn) (*matrix.
 	case hop.OpDataGen:
 		switch h.Gen {
 		case hop.GenRand:
-			return matrix.Rand(int(h.Rows), int(h.Cols), h.GenArgs[0], h.GenArgs[1], h.GenArgs[2], int64(h.GenArgs[3])), nil
+			return ec.Rand(int(h.Rows), int(h.Cols), h.GenArgs[0], h.GenArgs[1], h.GenArgs[2], int64(h.GenArgs[3])), nil
 		case hop.GenFill:
-			return matrix.Fill(int(h.Rows), int(h.Cols), h.GenArgs[0]), nil
+			return ec.Fill(int(h.Rows), int(h.Cols), h.GenArgs[0]), nil
 		case hop.GenSeq:
-			return matrix.Seq(h.GenArgs[0], h.GenArgs[1], h.GenArgs[2]), nil
+			return ec.Seq(h.GenArgs[0], h.GenArgs[1], h.GenArgs[2]), nil
 		}
 	case hop.OpBinary:
-		return matrix.Binary(h.BinOp, ins[0], ins[1]), nil
+		return ec.Binary(h.BinOp, ins[0], ins[1]), nil
 	case hop.OpUnary:
-		return matrix.Unary(h.UnOp, ins[0]), nil
+		return ec.Unary(h.UnOp, ins[0]), nil
 	case hop.OpAggUnary:
-		return matrix.Agg(h.AggOp, h.AggDir, ins[0]), nil
+		return ec.Agg(h.AggOp, h.AggDir, ins[0]), nil
 	case hop.OpMatMult:
-		return matrix.MatMult(ins[0], ins[1]), nil
+		return ec.MatMult(ins[0], ins[1]), nil
 	case hop.OpTranspose:
-		return matrix.Transpose(ins[0]), nil
+		return ec.Transpose(ins[0]), nil
 	case hop.OpIndex:
-		return matrix.IndexRange(ins[0], int(h.RL), int(h.RU), int(h.CL), int(h.CU)), nil
+		return ec.IndexRange(ins[0], int(h.RL), int(h.RU), int(h.CL), int(h.CU)), nil
 	case hop.OpCBind:
-		return matrix.CBind(ins[0], ins[1]), nil
+		return ec.CBind(ins[0], ins[1]), nil
 	case hop.OpRBind:
-		return matrix.RBind(ins[0], ins[1]), nil
+		return ec.RBind(ins[0], ins[1]), nil
 	case hop.OpRowIndexMax:
-		return matrix.RowIndexMax(ins[0]), nil
+		return ec.RowIndexMax(ins[0]), nil
 	case hop.OpDiag:
-		return matrix.Diag(ins[0]), nil
+		return ec.Diag(ins[0]), nil
 	case hop.OpCumsum:
-		return matrix.Cumsum(ins[0]), nil
+		return ec.Cumsum(ins[0]), nil
 	case hop.OpSpoof:
-		return ExecSpoofStop(h, ins, stop)
+		return execSpoofStop(ec, h, ins, stop)
 	}
 	return nil, fmt.Errorf("runtime: unsupported hop kind %v", h.Kind)
 }
@@ -392,22 +398,26 @@ func ExecSpoof(h *hop.Hop, ins []*matrix.Matrix) (*matrix.Matrix, error) {
 // skeleton loops; a canceled operator returns a partial (invalid) result,
 // so callers must check cancellation before using it.
 func ExecSpoofStop(h *hop.Hop, ins []*matrix.Matrix, stop StopFn) (*matrix.Matrix, error) {
+	return execSpoofStop(matrix.Ctx{}, h, ins, stop)
+}
+
+func execSpoofStop(ec matrix.Ctx, h *hop.Hop, ins []*matrix.Matrix, stop StopFn) (*matrix.Matrix, error) {
 	op, ok := h.Spoof.(*cplan.Operator)
 	if !ok {
 		return nil, fmt.Errorf("runtime: spoof hop %d has no compiled operator", h.ID)
 	}
 	switch op.Plan.Type {
 	case cplan.TemplateCell:
-		return execCellwise(op, ins[0], ins[1:], stop), nil
+		return execCellwise(ec, op, ins[0], ins[1:], stop), nil
 	case cplan.TemplateMAgg:
-		return execMAgg(op, ins[0], ins[1:], stop), nil
+		return execMAgg(ec, op, ins[0], ins[1:], stop), nil
 	case cplan.TemplateRow:
-		return execRowwise(op, ins[0], ins[1:], stop), nil
+		return execRowwise(ec, op, ins[0], ins[1:], stop), nil
 	case cplan.TemplateOuter:
 		if len(ins) < 3 {
 			return nil, fmt.Errorf("runtime: outer operator needs X, U, V inputs, got %d", len(ins))
 		}
-		return execOuter(op, ins[0], ins[1], ins[2], ins[3:], stop), nil
+		return execOuter(ec, op, ins[0], ins[1], ins[2], ins[3:], stop), nil
 	}
 	return nil, fmt.Errorf("runtime: unknown template %v", op.Plan.Type)
 }

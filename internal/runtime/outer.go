@@ -3,7 +3,6 @@ package runtime
 import (
 	"sysml/internal/cplan"
 	"sysml/internal/matrix"
-	"sysml/internal/par"
 	"sysml/internal/vector"
 )
 
@@ -12,7 +11,7 @@ import (
 // sparsity: the genexec body runs only for non-zero cells of X (paper
 // Fig. 3a). Dense X falls back to full iteration.
 func ExecOuter(op *cplan.Operator, x, u, v *matrix.Matrix, sides []*matrix.Matrix) *matrix.Matrix {
-	return execOuter(op, x, u, v, sides, nil)
+	return execOuter(matrix.Ctx{}, op, x, u, v, sides, nil)
 }
 
 // workOuter measures the data-touch work of one Outer invocation: the
@@ -28,7 +27,7 @@ func workOuter(op *cplan.Operator, x *matrix.Matrix) float64 {
 	return visited * float64(p.OuterRank+p.NumNodes())
 }
 
-func execOuter(op *cplan.Operator, x, u, v *matrix.Matrix, sides []*matrix.Matrix, stop StopFn) *matrix.Matrix {
+func execOuter(ec matrix.Ctx, op *cplan.Operator, x, u, v *matrix.Matrix, sides []*matrix.Matrix, stop StopFn) *matrix.Matrix {
 	p := op.Plan
 	ud, vd := u.ToDense().Dense(), v.ToDense().Dense()
 	r := u.Cols
@@ -37,9 +36,9 @@ func execOuter(op *cplan.Operator, x, u, v *matrix.Matrix, sides []*matrix.Matri
 	switch p.Out {
 	case cplan.OuterRightMM:
 		// C (m×r): C_i += w_ij * V_j, row-disjoint across workers.
-		out := matrix.NewDense(x.Rows, r)
+		out := ec.NewDense(x.Rows, r)
 		od := out.Dense()
-		iterateOuter(x, proto, ud, vd, r, op.CellFn, p.SparseSafe, stop,
+		iterateOuter(ec, x, proto, ud, vd, r, op.CellFn, p.SparseSafe, stop,
 			func(_ *cplan.Ctx, w float64, i, j int) {
 				vector.MultAdd(vd, w, od, j*r, i*r, r)
 			})
@@ -48,12 +47,12 @@ func execOuter(op *cplan.Operator, x, u, v *matrix.Matrix, sides []*matrix.Matri
 	case cplan.OuterLeftMM:
 		// C (n×r): C_j += w_ij * U_i. Iterate the transposed driver so that
 		// output rows are again disjoint across workers.
-		xt := matrix.Transpose(x)
-		out := matrix.NewDense(x.Cols, r)
+		xt := ec.Transpose(x)
+		out := ec.NewDense(x.Cols, r)
 		od := out.Dense()
 		// Note the swapped roles: iterating X^T at (j, i) must still present
 		// genexec with rix=i, cix=j and U_i, V_j.
-		iterateOuterTransposed(xt, proto, ud, vd, r, op.CellFn, p.SparseSafe, stop,
+		iterateOuterTransposed(ec, xt, proto, ud, vd, r, op.CellFn, p.SparseSafe, stop,
 			func(_ *cplan.Ctx, w float64, i, j int) {
 				vector.MultAdd(ud, w, od, i*r, j*r, r)
 			})
@@ -67,7 +66,7 @@ func execOuter(op *cplan.Operator, x, u, v *matrix.Matrix, sides []*matrix.Matri
 				ColIdx: append([]int(nil), xs.ColIdx...),
 				Values: make([]float64, len(xs.Values)),
 			}
-			par.For(x.Rows, 32, func(lo, hi int) {
+			ec.Par.For(x.Rows, 32, func(lo, hi int) {
 				ctx := proto.Clone()
 				for i := lo; i < hi; i++ {
 					if pollStop(stop, i-lo) {
@@ -83,18 +82,18 @@ func execOuter(op *cplan.Operator, x, u, v *matrix.Matrix, sides []*matrix.Matri
 			})
 			return matrix.NewSparseCSR(x.Rows, x.Cols, outCSR)
 		}
-		out := matrix.NewDense(x.Rows, x.Cols)
+		out := ec.NewDense(x.Rows, x.Cols)
 		od := out.Dense()
 		cols := x.Cols
-		iterateOuter(x, proto, ud, vd, r, op.CellFn, false, stop,
+		iterateOuter(ec, x, proto, ud, vd, r, op.CellFn, false, stop,
 			func(_ *cplan.Ctx, w float64, i, j int) { od[i*cols+j] = w })
 		return out
 
 	default: // OuterAgg
-		nw, _ := par.Chunks(x.Rows, 32)
+		nw, _ := ec.Par.Chunks(x.Rows, 32)
 		partials := make([]float64, nw)
 		cols := x.Cols
-		par.ForIndexed(x.Rows, 32, func(wk, lo, hi int) {
+		ec.Par.ForIndexed(x.Rows, 32, func(wk, lo, hi int) {
 			ctx := proto.Clone()
 			var acc float64
 			if x.IsSparse() && p.SparseSafe {
@@ -110,8 +109,8 @@ func execOuter(op *cplan.Operator, x, u, v *matrix.Matrix, sides []*matrix.Matri
 					}
 				}
 			} else {
-				scratch := newRowScratch(x)
-				defer releaseRowScratch(scratch)
+				scratch := newRowScratch(ec, x)
+				defer releaseRowScratch(ec, scratch)
 				for i := lo; i < hi; i++ {
 					if pollStop(stop, i-lo) {
 						break
@@ -136,10 +135,10 @@ func execOuter(op *cplan.Operator, x, u, v *matrix.Matrix, sides []*matrix.Matri
 // iterateOuter visits cells of x (non-zeros only when sparseSafe and x is
 // sparse), computing the genexec value w with ctx.Dot preset, and hands
 // (w, i, j) to the sink. Parallel over row ranges.
-func iterateOuter(x *matrix.Matrix, proto *cplan.Ctx, ud, vd []float64, r int,
+func iterateOuter(ec matrix.Ctx, x *matrix.Matrix, proto *cplan.Ctx, ud, vd []float64, r int,
 	fn cplan.CellFunc, sparseSafe bool, stop StopFn, sink func(ctx *cplan.Ctx, w float64, i, j int)) {
 	cols := x.Cols
-	par.For(x.Rows, 32, func(lo, hi int) {
+	ec.Par.For(x.Rows, 32, func(lo, hi int) {
 		ctx := proto.Clone()
 		if x.IsSparse() && sparseSafe {
 			xs := x.Sparse()
@@ -155,8 +154,8 @@ func iterateOuter(x *matrix.Matrix, proto *cplan.Ctx, ud, vd []float64, r int,
 			}
 			return
 		}
-		scratch := newRowScratch(x)
-		defer releaseRowScratch(scratch)
+		scratch := newRowScratch(ec, x)
+		defer releaseRowScratch(ec, scratch)
 		for i := lo; i < hi; i++ {
 			if pollStop(stop, i-lo) {
 				return
@@ -173,10 +172,10 @@ func iterateOuter(x *matrix.Matrix, proto *cplan.Ctx, ud, vd []float64, r int,
 // iterateOuterTransposed is iterateOuter over X^T: the iteration row is j
 // (a column of X) and the inner index is i, preserving genexec's (i, j)
 // coordinate contract.
-func iterateOuterTransposed(xt *matrix.Matrix, proto *cplan.Ctx, ud, vd []float64, r int,
+func iterateOuterTransposed(ec matrix.Ctx, xt *matrix.Matrix, proto *cplan.Ctx, ud, vd []float64, r int,
 	fn cplan.CellFunc, sparseSafe bool, stop StopFn, sink func(ctx *cplan.Ctx, w float64, i, j int)) {
 	cols := xt.Cols
-	par.For(xt.Rows, 32, func(lo, hi int) {
+	ec.Par.For(xt.Rows, 32, func(lo, hi int) {
 		ctx := proto.Clone()
 		if xt.IsSparse() && sparseSafe {
 			xs := xt.Sparse()
@@ -192,8 +191,8 @@ func iterateOuterTransposed(xt *matrix.Matrix, proto *cplan.Ctx, ud, vd []float6
 			}
 			return
 		}
-		scratch := newRowScratch(xt)
-		defer releaseRowScratch(scratch)
+		scratch := newRowScratch(ec, xt)
+		defer releaseRowScratch(ec, scratch)
 		for j := lo; j < hi; j++ {
 			if pollStop(stop, j-lo) {
 				return

@@ -3,7 +3,6 @@ package runtime
 import (
 	"sysml/internal/cplan"
 	"sysml/internal/matrix"
-	"sysml/internal/par"
 	"sysml/internal/vector"
 )
 
@@ -13,7 +12,7 @@ import (
 // scratch vector; side matrices consumed by inner matrix products are
 // densified once up front.
 func ExecRowwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix) *matrix.Matrix {
-	return execRowwise(op, main, sides, nil)
+	return execRowwise(matrix.Ctx{}, op, main, sides, nil)
 }
 
 // workRowwise measures the data-touch work of one Row invocation: the
@@ -29,7 +28,7 @@ func workRowwise(op *cplan.Operator, main *matrix.Matrix) float64 {
 	return elems * float64(len(prog.Instrs))
 }
 
-func execRowwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix, stop StopFn) *matrix.Matrix {
+func execRowwise(ec matrix.Ctx, op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix, stop StopFn) *matrix.Matrix {
 	prog := op.RowProg
 	sides = densifyMatMulSides(prog, sides)
 	proto := cplan.NewCtx(sides)
@@ -38,26 +37,26 @@ func execRowwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix
 
 	switch prog.RowT {
 	case cplan.RowNoAgg:
-		out := matrix.NewDense(rows, w)
+		out := ec.NewDense(rows, w)
 		od := out.Dense()
-		forEachRow(main, prog, proto, stop, func(buf *cplan.RowBuf, i int) {
+		forEachRow(ec, main, prog, proto, stop, func(buf *cplan.RowBuf, i int) {
 			src, so := buf.Vec[prog.ResultReg], buf.Off[prog.ResultReg]
 			vector.CopyWrite(src, od, so, i*w, w)
 		})
 		return out
 
 	case cplan.RowRowAgg:
-		out := matrix.NewDense(rows, 1)
+		out := ec.NewDense(rows, 1)
 		od := out.Dense()
-		forEachRow(main, prog, proto, stop, func(buf *cplan.RowBuf, i int) {
+		forEachRow(ec, main, prog, proto, stop, func(buf *cplan.RowBuf, i int) {
 			od[i] = buf.Scal[prog.ResultReg]
 		})
 		return out
 
 	case cplan.RowColAgg:
-		nw, _ := par.Chunks(rows, 16)
+		nw, _ := ec.Par.Chunks(rows, 16)
 		partials := make([][]float64, nw)
-		forEachRowIndexed(main, prog, proto, stop, func(wk int) any {
+		forEachRowIndexed(ec, main, prog, proto, stop, func(wk int) any {
 			if partials[wk] == nil {
 				partials[wk] = make([]float64, w)
 			}
@@ -67,7 +66,7 @@ func execRowwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix
 			src, so := buf.Vec[prog.ResultReg], buf.Off[prog.ResultReg]
 			vector.Add(src, part, so, 0, w)
 		})
-		out := matrix.NewDense(1, w)
+		out := ec.NewDense(1, w)
 		od := out.Dense()
 		for _, part := range partials {
 			if part != nil {
@@ -77,9 +76,9 @@ func execRowwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix
 		return out
 
 	case cplan.RowFullAgg:
-		nw, _ := par.Chunks(rows, 16)
+		nw, _ := ec.Par.Chunks(rows, 16)
 		partials := make([]float64, nw)
-		forEachRowIndexed(main, prog, proto, stop, func(wk int) any {
+		forEachRowIndexed(ec, main, prog, proto, stop, func(wk int) any {
 			return wk
 		}, func(state any, buf *cplan.RowBuf, i int) {
 			partials[state.(int)] += buf.Scal[prog.ResultReg]
@@ -92,9 +91,9 @@ func execRowwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix
 
 	default: // RowColAggT: C (mainWidth × w) += left_i ⊗ result_i
 		mw := prog.MainWidth
-		nw, _ := par.Chunks(rows, 16)
+		nw, _ := ec.Par.Chunks(rows, 16)
 		partials := make([][]float64, nw)
-		forEachRowIndexed(main, prog, proto, stop, func(wk int) any {
+		forEachRowIndexed(ec, main, prog, proto, stop, func(wk int) any {
 			if partials[wk] == nil {
 				partials[wk] = make([]float64, mw*w)
 			}
@@ -123,7 +122,7 @@ func execRowwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix
 			bvec, bo := buf.Vec[prog.ResultReg], buf.Off[prog.ResultReg]
 			vector.OuterMultAdd(a, bvec, part, ao, bo, 0, mw, w)
 		})
-		out := matrix.NewDense(mw, w)
+		out := ec.NewDense(mw, w)
 		od := out.Dense()
 		for _, part := range partials {
 			if part != nil {
@@ -134,15 +133,15 @@ func execRowwise(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix
 	}
 }
 
-func forEachRow(main *matrix.Matrix, prog *cplan.RowProgram, proto *cplan.Ctx,
+func forEachRow(ec matrix.Ctx, main *matrix.Matrix, prog *cplan.RowProgram, proto *cplan.Ctx,
 	stop StopFn, sink func(buf *cplan.RowBuf, i int)) {
 	sparseExec := main.IsSparse() && prog.MainSparseCapable()
-	par.For(main.Rows, 16, func(lo, hi int) {
+	ec.Par.For(main.Rows, 16, func(lo, hi int) {
 		ctx := proto.Clone()
 		buf := prog.GetBuf()
 		defer prog.PutBuf(buf)
-		scratch := newRowScratch(main)
-		defer releaseRowScratch(scratch)
+		scratch := newRowScratch(ec, main)
+		defer releaseRowScratch(ec, scratch)
 		for i := lo; i < hi; i++ {
 			if pollStop(stop, i-lo) {
 				return
@@ -156,15 +155,15 @@ func forEachRow(main *matrix.Matrix, prog *cplan.RowProgram, proto *cplan.Ctx,
 // forEachRowIndexed streams rows through the program with per-worker state.
 // initState may be invoked several times for the same worker id (the pool
 // hands a worker multiple chunks), so it must memoize, not reallocate.
-func forEachRowIndexed(main *matrix.Matrix, prog *cplan.RowProgram, proto *cplan.Ctx,
+func forEachRowIndexed(ec matrix.Ctx, main *matrix.Matrix, prog *cplan.RowProgram, proto *cplan.Ctx,
 	stop StopFn, initState func(worker int) any, sink func(state any, buf *cplan.RowBuf, i int)) {
 	sparseExec := main.IsSparse() && prog.MainSparseCapable()
-	par.ForIndexed(main.Rows, 16, func(w, lo, hi int) {
+	ec.Par.ForIndexed(main.Rows, 16, func(w, lo, hi int) {
 		ctx := proto.Clone()
 		buf := prog.GetBuf()
 		defer prog.PutBuf(buf)
-		scratch := newRowScratch(main)
-		defer releaseRowScratch(scratch)
+		scratch := newRowScratch(ec, main)
+		defer releaseRowScratch(ec, scratch)
 		state := initState(w)
 		for i := lo; i < hi; i++ {
 			if pollStop(stop, i-lo) {

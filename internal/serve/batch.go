@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Micro-batching: scoring traffic is dominated by many small requests
+// running the same script over same-shaped inputs — i.e. resolving to the
+// same compiled plan. Executing each on its own session slot serializes on
+// the tenant quota and re-enters the block compiler per request. Instead,
+// the first request for a plan key becomes the batch leader: it holds the
+// key open for a short window, absorbs followers that arrive for the same
+// key, then executes the whole batch back-to-back on ONE session — one
+// quota slot, one warm block-plan cache, one warm operator cache — and
+// fans the results back out.
+
+// DefaultBatchWindow is how long a leader holds its batch open. Zero on a
+// Server disables batching (every request leads its own batch of one).
+const DefaultBatchWindow = 500 * time.Microsecond
+
+// maxBatch caps how many requests one leader may execute back-to-back, so
+// an unlucky leader's latency stays bounded under a flood.
+const maxBatch = 32
+
+// planKey identifies requests that resolve to the same compiled plan:
+// same tenant, same script, same input shapes (shape changes recompile
+// under dynamic recompilation, so they must not share a batch).
+type planKey struct {
+	tenant string
+	script uint64
+	shapes uint64
+}
+
+// keyFor fingerprints a request. Input names are hashed in sorted order so
+// map iteration order cannot split a batch.
+func keyFor(tenant, script string, inputs map[string]InputSpec) planKey {
+	h := fnv.New64a()
+	h.Write([]byte(script))
+	k := planKey{tenant: tenant, script: h.Sum64()}
+	names := make([]string, 0, len(inputs))
+	for name := range inputs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	h = fnv.New64a()
+	for _, name := range names {
+		in := inputs[name]
+		h.Write([]byte(name))
+		for _, v := range []int{in.Rows, in.Cols} {
+			var b [8]byte
+			for i := 0; i < 8; i++ {
+				b[i] = byte(v >> (8 * i))
+			}
+			h.Write(b[:])
+		}
+	}
+	k.shapes = h.Sum64()
+	return k
+}
+
+// batchJob is one request riding a batch; the leader signals done after
+// filling result or err.
+type batchJob struct {
+	req  *RunRequest
+	resp *RunResponse
+	err  error
+	done chan struct{}
+}
+
+type batchGroup struct {
+	jobs []*batchJob
+}
+
+// batcher coalesces same-plan requests. One per Server.
+type batcher struct {
+	window time.Duration
+	mu     sync.Mutex
+	groups map[planKey]*batchGroup
+}
+
+func newBatcher(window time.Duration) *batcher {
+	return &batcher{window: window, groups: map[planKey]*batchGroup{}}
+}
+
+// submit enrolls a job under its plan key. The returned slice is non-nil
+// exactly when the caller is the batch leader: after the batch window it
+// holds every job (the leader's own first) to execute in order. Followers
+// get nil and wait on job.done.
+func (b *batcher) submit(key planKey, job *batchJob) []*batchJob {
+	if b.window <= 0 {
+		return []*batchJob{job}
+	}
+	b.mu.Lock()
+	if g, ok := b.groups[key]; ok && len(g.jobs) < maxBatch {
+		g.jobs = append(g.jobs, job)
+		b.mu.Unlock()
+		return nil
+	}
+	g := &batchGroup{jobs: []*batchJob{job}}
+	b.groups[key] = g
+	b.mu.Unlock()
+
+	time.Sleep(b.window)
+
+	b.mu.Lock()
+	if b.groups[key] == g {
+		delete(b.groups, key)
+	}
+	jobs := g.jobs
+	b.mu.Unlock()
+	return jobs
+}

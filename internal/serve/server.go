@@ -1,0 +1,331 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"sysml/internal/dml"
+	"sysml/internal/matrix"
+)
+
+// RunRequest is the /v1/run payload: a script to execute for a tenant
+// against freshly bound inputs, returning the named outputs.
+type RunRequest struct {
+	// Tenant names the principal; empty means "default". Tenants are
+	// created on first use under the engine's default quota.
+	Tenant string `json:"tenant,omitempty"`
+	// Script is the DML-subset program to run.
+	Script string `json:"script"`
+	// Inputs binds matrices by name before the run.
+	Inputs map[string]InputSpec `json:"inputs,omitempty"`
+	// Outputs lists the variables to return. Scalars come back as 1x1.
+	Outputs []string `json:"outputs,omitempty"`
+}
+
+// InputSpec describes one input binding: either inline row-major data or
+// a deterministic random generator (benchmark traffic without payloads).
+type InputSpec struct {
+	Rows int       `json:"rows"`
+	Cols int       `json:"cols"`
+	Data []float64 `json:"data,omitempty"`
+	Rand *RandSpec `json:"rand,omitempty"`
+}
+
+// RandSpec generates the input server-side: sparsity fraction, value
+// range, and seed (deterministic across requests).
+type RandSpec struct {
+	Sparsity float64 `json:"sparsity"`
+	Lo       float64 `json:"lo"`
+	Hi       float64 `json:"hi"`
+	Seed     int64   `json:"seed"`
+}
+
+// OutputMatrix is one returned variable in dense row-major form.
+type OutputMatrix struct {
+	Rows int       `json:"rows"`
+	Cols int       `json:"cols"`
+	Data []float64 `json:"data"`
+}
+
+// RunResponse is the /v1/run result.
+type RunResponse struct {
+	Outputs map[string]OutputMatrix `json:"outputs,omitempty"`
+	// Batch is the size of the micro-batch this request rode in (1 = ran
+	// alone); Leader marks the request that executed the batch.
+	Batch  int  `json:"batch"`
+	Leader bool `json:"leader"`
+	// QueueNS is time spent waiting (batch window + session queue) and
+	// ExecNS the script execution time, nanoseconds.
+	QueueNS int64 `json:"queue_ns"`
+	ExecNS  int64 `json:"exec_ns"`
+}
+
+// errorBody is the JSON error envelope for non-200 responses.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Server serves an Engine over HTTP. Endpoints:
+//
+//	POST /v1/run     submit a script (RunRequest -> RunResponse); sheds
+//	                 with 429 + Retry-After under memory pressure or when
+//	                 the tenant is at its session quota
+//	GET  /v1/tenants per-tenant serving stats (requests, shed, batched,
+//	                 plan-cache hits/misses, live bytes)
+//	GET  /metrics    engine-wide serving snapshot
+//	GET  /healthz    liveness probe
+type Server struct {
+	eng       *Engine
+	ln        net.Listener
+	srv       *http.Server
+	batch     *batcher
+	queueWait time.Duration
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// DefaultQueueWait is how long /v1/run waits for a tenant session slot
+// before shedding with 429.
+const DefaultQueueWait = 50 * time.Millisecond
+
+// DefaultDrainTimeout bounds how long Close waits for in-flight requests
+// to finish before tearing connections down.
+const DefaultDrainTimeout = 5 * time.Second
+
+// WithBatchWindow overrides how long a batch leader holds its plan key
+// open for followers (0 disables micro-batching).
+func WithBatchWindow(d time.Duration) ServerOption {
+	return func(s *Server) { s.batch = newBatcher(d) }
+}
+
+// WithQueueWait overrides the session-slot wait before shedding.
+func WithQueueWait(d time.Duration) ServerOption {
+	return func(s *Server) { s.queueWait = d }
+}
+
+// NewServer binds addr (e.g. "127.0.0.1:0") and starts serving the engine
+// on its own goroutine until Close.
+func NewServer(addr string, e *Engine, opts ...ServerOption) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		eng:       e,
+		ln:        ln,
+		batch:     newBatcher(DefaultBatchWindow),
+		queueWait: DefaultQueueWait,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/run", s.handleRun)
+	mux.HandleFunc("/v1/tenants", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.eng.Tenants())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		hits, misses, evictions := s.eng.Cache().TotalCounters()
+		writeJSON(w, http.StatusOK, map[string]int64{
+			"requests":            s.eng.Requests(),
+			"shed":                s.eng.Shed(),
+			"live_bytes":          s.eng.LiveBytes(),
+			"memory_budget":       s.eng.MemoryBudget(),
+			"max_workers":         int64(s.eng.MaxWorkers()),
+			"plancache.hits":      hits,
+			"plancache.misses":    misses,
+			"plancache.evictions": evictions,
+			"plancache.size":      int64(s.eng.Cache().Size()),
+		})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down gracefully: stop accepting immediately,
+// give in-flight /v1/run requests up to DefaultDrainTimeout to finish,
+// then tear down whatever remains.
+func (s *Server) Close() error { return s.CloseWithTimeout(DefaultDrainTimeout) }
+
+// CloseWithTimeout is Close with an explicit drain bound; d <= 0 skips
+// draining.
+func (s *Server) CloseWithTimeout(d time.Duration) error {
+	if d <= 0 {
+		return s.srv.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// shed writes the 429 backpressure response.
+func shed(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusTooManyRequests, errorBody{Error: msg})
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST required"})
+		return
+	}
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request: " + err.Error()})
+		return
+	}
+	if req.Script == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "script is required"})
+		return
+	}
+	if req.Tenant == "" {
+		req.Tenant = "default"
+	}
+	for name, in := range req.Inputs {
+		if in.Rows <= 0 || in.Cols <= 0 {
+			writeJSON(w, http.StatusBadRequest,
+				errorBody{Error: fmt.Sprintf("input %q: rows/cols must be positive", name)})
+			return
+		}
+		if in.Data != nil && len(in.Data) != in.Rows*in.Cols {
+			writeJSON(w, http.StatusBadRequest,
+				errorBody{Error: fmt.Sprintf("input %q: %d values for %dx%d", name, len(in.Data), in.Rows, in.Cols)})
+			return
+		}
+	}
+	tn := s.eng.Tenant(req.Tenant)
+
+	// Admission control: live pooled bytes over the engine budget (or the
+	// tenant's private quota) mean memory pressure — shed before queueing.
+	if s.eng.OverBudget() {
+		tn.shed.Add(1)
+		s.eng.shed.Add(1)
+		shed(w, "engine over memory budget")
+		return
+	}
+
+	start := time.Now()
+	job := &batchJob{req: &req, done: make(chan struct{})}
+	jobs := s.batch.submit(keyFor(req.Tenant, req.Script, req.Inputs), job)
+	if jobs == nil {
+		// Follower: a concurrent leader for the same compiled plan
+		// executes this job on its session.
+		<-job.done
+	} else {
+		s.runBatch(tn, jobs, start)
+	}
+	if job.err != nil {
+		switch job.err {
+		case ErrTenantBusy, ErrTenantOverBudget:
+			shed(w, job.err.Error())
+		default:
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: job.err.Error()})
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, job.resp)
+}
+
+// runBatch acquires ONE session for the whole batch and executes the jobs
+// back-to-back on it: one tenant quota slot, one warm block-plan cache,
+// one warm operator cache. jobs[0] is the leader's own.
+func (s *Server) runBatch(t *Tenant, jobs []*batchJob, start time.Time) {
+	sess, err := t.Acquire(s.queueWait)
+	if err != nil {
+		for i, job := range jobs {
+			job.err = err
+			if i > 0 {
+				// Followers shed with the leader (Acquire counted only
+				// the leader's attempt).
+				t.shed.Add(1)
+				t.eng.shed.Add(1)
+				close(job.done)
+			}
+		}
+		return
+	}
+	defer t.Release(sess)
+	queued := time.Since(start).Nanoseconds()
+	for i, job := range jobs {
+		if i > 0 {
+			t.requests.Add(1)
+			t.eng.requests.Add(1)
+			t.batched.Add(1)
+			sess.Reset() // clear the previous job's bindings and results
+		}
+		resp, err := runJob(sess, job.req)
+		if err != nil {
+			job.err = err
+		} else {
+			resp.Batch = len(jobs)
+			resp.Leader = i == 0
+			resp.QueueNS = queued
+			job.resp = resp
+		}
+		if i > 0 {
+			close(job.done)
+		}
+	}
+}
+
+// runJob binds the request's inputs, runs the script, and extracts the
+// requested outputs. Inputs are installed directly in the environment
+// (not via Bind) so Reset returns their pooled storage to the tenant.
+func runJob(sess *dml.Session, req *RunRequest) (*RunResponse, error) {
+	ec := matrix.Ctx{Par: sess.Par, Buf: sess.Alloc}
+	for name, in := range req.Inputs {
+		var m *matrix.Matrix
+		switch {
+		case in.Data != nil:
+			m = matrix.NewDenseData(in.Rows, in.Cols, in.Data)
+		case in.Rand != nil:
+			m = ec.Rand(in.Rows, in.Cols, in.Rand.Sparsity, in.Rand.Lo, in.Rand.Hi, in.Rand.Seed)
+		default:
+			m = ec.NewDense(in.Rows, in.Cols)
+		}
+		sess.Env[name] = m
+	}
+	execStart := time.Now()
+	if err := sess.Run(req.Script); err != nil {
+		return nil, err
+	}
+	resp := &RunResponse{ExecNS: time.Since(execStart).Nanoseconds()}
+	if len(req.Outputs) > 0 {
+		resp.Outputs = make(map[string]OutputMatrix, len(req.Outputs))
+		for _, name := range req.Outputs {
+			m, err := sess.Get(name)
+			if err != nil {
+				return nil, err
+			}
+			d := m.ToDense()
+			// Copy out: the backing buffer returns to the pool on Reset.
+			data := append([]float64(nil), d.Dense()...)
+			if d != m {
+				d.Release()
+			}
+			resp.Outputs[name] = OutputMatrix{Rows: m.Rows, Cols: m.Cols, Data: data}
+		}
+	}
+	return resp, nil
+}

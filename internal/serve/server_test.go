@@ -1,0 +1,256 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+func startServer(t *testing.T, e *Engine, opts ...ServerOption) *Server {
+	t.Helper()
+	srv, err := NewServer("127.0.0.1:0", e, opts...)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func postRun(t *testing.T, srv *Server, req *RunRequest) (*http.Response, *RunResponse) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post("http://"+srv.Addr()+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/run: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return resp, nil
+	}
+	var rr RunResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp, &rr
+}
+
+// TestServerRunEndToEnd: inline data in, matrix and scalar outputs back.
+func TestServerRunEndToEnd(t *testing.T) {
+	srv := startServer(t, NewEngine())
+	resp, rr := postRun(t, srv, &RunRequest{
+		Tenant: "t1",
+		Script: "Y = X %*% X\ns = sum(X)",
+		Inputs: map[string]InputSpec{
+			"X": {Rows: 2, Cols: 2, Data: []float64{1, 2, 3, 4}},
+		},
+		Outputs: []string{"Y", "s"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	want := []float64{7, 10, 15, 22}
+	y := rr.Outputs["Y"]
+	if y.Rows != 2 || y.Cols != 2 {
+		t.Fatalf("Y is %dx%d", y.Rows, y.Cols)
+	}
+	for i, v := range want {
+		if math.Abs(y.Data[i]-v) > 1e-12 {
+			t.Errorf("Y[%d] = %g, want %g", i, y.Data[i], v)
+		}
+	}
+	s := rr.Outputs["s"]
+	if s.Rows != 1 || s.Cols != 1 || math.Abs(s.Data[0]-10) > 1e-12 {
+		t.Errorf("s = %+v, want scalar 10", s)
+	}
+}
+
+// TestServerScriptError: script failures surface as 400 with a message.
+func TestServerScriptError(t *testing.T) {
+	srv := startServer(t, NewEngine())
+	resp, _ := postRun(t, srv, &RunRequest{Script: "Y = Z %*% Z"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServerShedsOverBudget: live pooled bytes over the engine budget turn
+// /v1/run away with 429 + Retry-After until memory comes back.
+func TestServerShedsOverBudget(t *testing.T) {
+	e := NewEngine(WithMemoryBudget(64 << 10))
+	srv := startServer(t, e)
+	req := &RunRequest{
+		Tenant:  "t1",
+		Script:  "s = sum(X)",
+		Inputs:  map[string]InputSpec{"X": {Rows: 8, Cols: 8, Rand: &RandSpec{Sparsity: 1, Lo: -1, Hi: 1, Seed: 1}}},
+		Outputs: []string{"s"},
+	}
+	// Pin pooled memory past the budget: 16 K floats = 128 KiB > 64 KiB.
+	pinned := e.alloc.Get(16 << 10)
+	resp, _ := postRun(t, srv, req)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d under memory pressure, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if e.Shed() == 0 {
+		t.Error("shed not counted")
+	}
+	e.alloc.Put(pinned)
+	resp, _ = postRun(t, srv, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d after memory recovered, want 200", resp.StatusCode)
+	}
+}
+
+// TestServerShedsAtSessionQuota: a tenant at its concurrency quota gets
+// 429 after the queue wait, not an oversubscribed session.
+func TestServerShedsAtSessionQuota(t *testing.T) {
+	e := NewEngine(WithTenantQuota(TenantQuota{MaxSessions: 1}))
+	srv := startServer(t, e, WithQueueWait(5*time.Millisecond), WithBatchWindow(0))
+	tn := e.Tenant("t1")
+	held, err := tn.Acquire(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := postRun(t, srv, &RunRequest{Tenant: "t1", Script: "x = 1 + 1"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d with quota exhausted, want 429", resp.StatusCode)
+	}
+	tn.Release(held)
+	resp, _ = postRun(t, srv, &RunRequest{Tenant: "t1", Script: "x = 1 + 1"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d after release, want 200", resp.StatusCode)
+	}
+}
+
+// TestServerMicroBatching: concurrent same-plan requests coalesce behind
+// one leader and all complete correctly.
+func TestServerMicroBatching(t *testing.T) {
+	e := NewEngine()
+	srv := startServer(t, e, WithBatchWindow(30*time.Millisecond))
+	const clients = 8
+	req := func(seed int64) *RunRequest {
+		return &RunRequest{
+			Tenant: "t1",
+			Script: "s = sum(X * X)",
+			Inputs: map[string]InputSpec{
+				"X": {Rows: 64, Cols: 16, Rand: &RandSpec{Sparsity: 1, Lo: -1, Hi: 1, Seed: seed}},
+			},
+			Outputs: []string{"s"},
+		}
+	}
+	var wg sync.WaitGroup
+	results := make([]*RunResponse, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, rr := postRun(t, srv, req(int64(i)))
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("client %d: status %d", i, resp.StatusCode)
+				return
+			}
+			results[i] = rr
+		}(i)
+	}
+	wg.Wait()
+	maxBatchSeen, leaders := 0, 0
+	for i, rr := range results {
+		if rr == nil {
+			continue
+		}
+		if rr.Outputs["s"].Data[0] <= 0 {
+			t.Errorf("client %d: sum(X*X) = %g, want > 0", i, rr.Outputs["s"].Data[0])
+		}
+		if rr.Batch > maxBatchSeen {
+			maxBatchSeen = rr.Batch
+		}
+		if rr.Leader {
+			leaders++
+		}
+	}
+	if maxBatchSeen < 2 {
+		t.Errorf("no request rode a batch (max batch %d of %d concurrent)", maxBatchSeen, clients)
+	}
+	if leaders == clients {
+		t.Error("every request led its own batch; coalescing never happened")
+	}
+	if st := e.Tenant("t1").Stats(); st.Batched == 0 {
+		t.Error("tenant batched counter did not move")
+	}
+}
+
+// TestServerGracefulDrain: Close must let an in-flight request finish
+// instead of cutting its connection.
+func TestServerGracefulDrain(t *testing.T) {
+	e := NewEngine()
+	srv := startServer(t, e, WithBatchWindow(0))
+	slow := &RunRequest{
+		Tenant: "t1",
+		Script: "acc = 0\nfor (i in 1:40) {\n acc = acc + sum(X %*% X)\n}",
+		Inputs: map[string]InputSpec{
+			"X": {Rows: 200, Cols: 200, Rand: &RandSpec{Sparsity: 1, Lo: -1, Hi: 1, Seed: 4}},
+		},
+		Outputs: []string{"acc"},
+	}
+	type outcome struct {
+		status int
+		err    error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		body, _ := json.Marshal(slow)
+		resp, err := http.Post("http://"+srv.Addr()+"/v1/run", "application/json", bytes.NewReader(body))
+		if err != nil {
+			done <- outcome{err: err}
+			return
+		}
+		resp.Body.Close()
+		done <- outcome{status: resp.StatusCode}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the request reach the handler
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	select {
+	case o := <-done:
+		if o.err != nil {
+			t.Fatalf("in-flight request failed during drain: %v", o.err)
+		}
+		if o.status != http.StatusOK {
+			t.Fatalf("in-flight request got %d during drain, want 200", o.status)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+}
+
+// TestServerTenantsEndpoint: /v1/tenants exposes per-tenant accounting.
+func TestServerTenantsEndpoint(t *testing.T) {
+	e := NewEngine()
+	srv := startServer(t, e, WithBatchWindow(0))
+	for i := 0; i < 3; i++ {
+		resp, _ := postRun(t, srv, &RunRequest{Tenant: "alpha", Script: "x = 1 + 1"})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("run %d: status %d", i, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/v1/tenants", srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]TenantStats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["alpha"].Requests != 3 {
+		t.Errorf("alpha served %d requests, want 3", stats["alpha"].Requests)
+	}
+}

@@ -39,12 +39,14 @@ package sysml
 
 import (
 	"io"
+	"sync"
 
 	"sysml/internal/codegen"
 	"sysml/internal/dist"
 	"sysml/internal/dml"
 	"sysml/internal/matrix"
 	"sysml/internal/obs"
+	"sysml/internal/serve"
 )
 
 // Matrix is a two-dimensional FP64 matrix in dense or sparse (CSR)
@@ -134,19 +136,27 @@ func WithPlanCacheSize(n int) Option {
 	}
 }
 
-// NewSession creates a script session. With no options it uses
-// DefaultConfig; combine options to adjust it:
+// NewSession creates a script session on the default engine. With no
+// options it uses DefaultConfig; combine options to adjust it:
 //
 //	s := sysml.NewSession(
 //		sysml.WithMode(sysml.ModeGen),
 //		sysml.WithSink(sysml.NewWriterSink(os.Stderr)),
 //	)
+//
+// Sessions needing dedicated resources — a private worker-pool cap, a
+// memory budget, a shared plan cache — come from an explicit Engine via
+// NewEngine and Engine.NewSession.
 func NewSession(opts ...Option) *Session {
+	return newSessionOn(DefaultEngine(), opts...)
+}
+
+func newSessionOn(e *Engine, opts ...Option) *Session {
 	so := sessionOpts{cfg: DefaultConfig()}
 	for _, opt := range opts {
 		opt(&so)
 	}
-	s := dml.NewSession(so.cfg)
+	s := e.NewSession(so.cfg)
 	s.Sink = so.sink
 	if so.cluster != nil {
 		s.Dist = so.cluster
@@ -154,10 +164,90 @@ func NewSession(opts ...Option) *Session {
 	return s
 }
 
-// NewSessionFromConfig creates a session from an explicit configuration.
+// Engine owns the execution resources that back sessions and serving: a
+// worker pool, a buffer pool with a live-bytes gauge, and a sharded
+// compiled-plan cache with per-tenant accounting. Two engines in one
+// process share no mutable state, so service tiers can run side by side
+// with different caps and budgets. Construct with NewEngine; serve over
+// HTTP with ServeEngine.
+type Engine = serve.Engine
+
+// EngineOption configures an Engine at construction time; see
+// WithMaxWorkers, WithMemoryBudget, WithTenantQuota, WithSharedPlanCache,
+// and WithEngineConfig.
+type EngineOption = serve.EngineOption
+
+// TenantQuota bounds one tenant's slice of an engine: concurrent
+// sessions, cached plans, and live pooled bytes.
+type TenantQuota = serve.TenantQuota
+
+// NewEngine builds an execution engine:
 //
-// Deprecated: use NewSession(WithConfig(cfg)).
-func NewSessionFromConfig(cfg Config) *Session { return dml.NewSession(cfg) }
+//	e := sysml.NewEngine(
+//		sysml.WithMaxWorkers(8),
+//		sysml.WithMemoryBudget(1<<30),
+//		sysml.WithTenantQuota(sysml.TenantQuota{MaxSessions: 4}),
+//	)
+//	s := e.NewSession(sysml.DefaultConfig())
+//
+// With no options the engine delegates to the process-wide default pools.
+func NewEngine(opts ...EngineOption) *Engine { return serve.NewEngine(opts...) }
+
+// WithMaxWorkers gives the engine a private worker pool capped at n
+// goroutines (n <= 0 means GOMAXPROCS).
+func WithMaxWorkers(n int) EngineOption { return serve.WithMaxWorkers(n) }
+
+// WithMemoryBudget gives the engine a private buffer pool and sheds
+// serving requests (HTTP 429) while live pooled bytes exceed the budget.
+func WithMemoryBudget(bytes int64) EngineOption { return serve.WithMemoryBudget(bytes) }
+
+// WithTenantQuota sets the default quota for tenants created on first use.
+func WithTenantQuota(q TenantQuota) EngineOption { return serve.WithTenantQuota(q) }
+
+// WithSharedPlanCache sizes the engine's sharded compiled-plan cache and
+// makes Engine.NewSession hand out views of it (shared operators,
+// per-view hit/miss counters).
+func WithSharedPlanCache(maxEntries, shards, admitAfter int) EngineOption {
+	return serve.WithSharedPlanCache(maxEntries, shards, admitAfter)
+}
+
+// WithEngineConfig replaces the optimizer configuration the engine's
+// tenant sessions run under (default DefaultConfig).
+func WithEngineConfig(cfg Config) EngineOption { return serve.WithConfig(cfg) }
+
+// defaultEngine backs NewSession: created lazily on first use, it wraps
+// the process-wide default pools, so plain sessions behave exactly as
+// before engines existed.
+var defaultEngine struct {
+	once sync.Once
+	e    *Engine
+}
+
+// DefaultEngine returns the lazily created engine behind NewSession.
+func DefaultEngine() *Engine {
+	defaultEngine.once.Do(func() { defaultEngine.e = serve.NewEngine() })
+	return defaultEngine.e
+}
+
+// ScoreServer is a running multi-tenant scoring HTTP server; see
+// ServeEngine.
+type ScoreServer = serve.Server
+
+// ScoreRequest is the /v1/run payload accepted by a ScoreServer.
+type ScoreRequest = serve.RunRequest
+
+// ScoreResponse is the /v1/run result returned by a ScoreServer.
+type ScoreResponse = serve.RunResponse
+
+// ServeEngine starts the multi-tenant scoring server on addr (e.g.
+// "localhost:8080", or "127.0.0.1:0" for an ephemeral port): POST /v1/run
+// submits a script for a tenant with micro-batching of same-plan
+// requests, load shedding (429 + Retry-After) under memory pressure, and
+// per-tenant quotas; GET /v1/tenants and /metrics expose serving state.
+// Close the returned server to stop it (in-flight requests drain).
+func ServeEngine(addr string, e *Engine) (*ScoreServer, error) {
+	return serve.NewServer(addr, e)
+}
 
 // Sink receives observability events (explain reports, trace spans) from
 // a session; see WithSink and NewWriterSink.
@@ -203,7 +293,11 @@ type ObsServer = obs.Server
 // "127.0.0.1:0" for an ephemeral port) exposing the session's live
 // observability state as JSON: /metrics (full snapshot), /audit
 // (cost-audit summary), /plancache (plan-cache statistics), /healthz.
-// Close the returned server to stop it.
+// Close the returned server to stop it (in-flight requests drain).
+//
+// Deprecated: single-session observability remains available, but the
+// serving path is ServeEngine, which adds /v1/run scoring, tenants,
+// quotas, micro-batching, and load shedding on top of metrics exposure.
 func Serve(addr string, s *Session) (*ObsServer, error) { return obs.Serve(addr, s) }
 
 // Typed errors returned by sessions: match with errors.As for field
