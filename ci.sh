@@ -2,8 +2,9 @@
 # CI gate for the sysml repo: static checks, docs lint, full test suite
 # under the race detector, the kernel performance gates (BENCH_kernels.json
 # must report "pass": true), the distributed-backend gates (BENCH_dist.json
-# likewise), the fault-tolerance gates (BENCH_fault.json likewise), and the
-# multi-tenant serving gates (BENCH_serve.json likewise).
+# likewise), the fault-tolerance gates (BENCH_fault.json likewise), the
+# multi-tenant serving gates (BENCH_serve.json likewise), and the serving
+# observability gates (BENCH_serveobs.json likewise).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -45,6 +46,13 @@ go run ./cmd/fusebench -exp serve
 if ! grep -q '"pass": true' BENCH_serve.json; then
   echo "FAIL: BENCH_serve.json gates did not pass" >&2
   cat BENCH_serve.json >&2
+  exit 1
+fi
+echo "== serving observability gates (fusebench -exp serveobs) =="
+go run ./cmd/fusebench -exp serveobs
+if ! grep -q '"pass": true' BENCH_serveobs.json; then
+  echo "FAIL: BENCH_serveobs.json gates did not pass" >&2
+  cat BENCH_serveobs.json >&2
   exit 1
 fi
 echo "OK: all CI gates passed"

@@ -80,6 +80,9 @@ var Experiments = []struct {
 	{"serve", "Serving gates: multi-tenant p99, open-loop scaling, backpressure, micro-batching (emits BENCH_serve.json)", func(o Options) {
 		Serve(o).Print(o.Out)
 	}},
+	{"serveobs", "Serving observability gates: flight-recorder p99 overhead, trace retention (emits BENCH_serveobs.json)", func(o Options) {
+		ServeObs(o).Print(o.Out)
+	}},
 }
 
 // RunAll executes every experiment.

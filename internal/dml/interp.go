@@ -145,8 +145,32 @@ func (s *Session) Run(script string) error {
 // loops, so canceling promptly aborts even long-running scripts. The
 // session environment keeps all results of blocks that completed before
 // the cancellation; the partial output of the canceled block is discarded.
+//
+// When the context carries a request ID (obs.ContextWithRequestID — the
+// serving frontend threads the X-Request-ID of every /v1/run), the run's
+// root span is annotated with it, so the whole
+// parse/compile/optimize/execute hierarchy is attributable to the
+// originating request in trace exports.
 func (s *Session) RunContext(ctx context.Context, script string) error {
-	root := obs.StartSpan(nil, s.Sink, "run")
+	return s.RunInSpan(ctx, script, obs.Span{})
+}
+
+// RunInSpan is RunContext with an explicit parent trace span: when parent
+// is active (sink-attached), the run's "run" span — and under it the full
+// compile/optimize/execute/per-operator hierarchy — nests as a child of
+// parent instead of opening a new root. The serving frontend uses this to
+// stitch each request's execution into its request-scoped span tree; a
+// zero parent behaves exactly like RunContext.
+func (s *Session) RunInSpan(ctx context.Context, script string, parent obs.Span) error {
+	var root obs.Span
+	if parent.Active() {
+		root = parent.Child("run")
+	} else {
+		root = obs.StartSpan(nil, s.Sink, "run")
+	}
+	if rid := obs.RequestIDFromContext(ctx); rid != "" {
+		root.Annotate(obs.KV("request.id", rid))
+	}
 	defer root.End()
 	sp := root.Phase(s.Obs, "parse")
 	prog, err := Parse(script)

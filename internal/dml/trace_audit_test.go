@@ -2,6 +2,7 @@ package dml
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"testing"
@@ -294,5 +295,77 @@ func TestPlanCacheMetrics(t *testing.T) {
 	}
 	if hr := snap.Gauge("plancache.hitrate"); hr <= 0 || hr >= 1 {
 		t.Errorf("hit rate = %g, want in (0, 1)", hr)
+	}
+}
+
+// TestRunInSpanNestsUnderParent verifies the serving-path span threading:
+// a run executed via RunInSpan nests its whole hierarchy under the given
+// request span, and a request ID on the context lands on the run span.
+func TestRunInSpanNestsUnderParent(t *testing.T) {
+	s := NewSession(codegen.DefaultConfig())
+	s.Out = io.Discard
+	ts := obs.NewTraceSink()
+	s.Sink = ts
+	s.Bind("X", matrix.Rand(300, 30, 1, -1, 1, 3))
+
+	req := obs.StartSpan(nil, ts, "request")
+	req.Annotate(obs.KV("tenant", "alpha"))
+	ctx := obs.ContextWithRequestID(context.Background(), "req-42")
+	if err := s.RunInSpan(ctx, "s = sum(X * X)", req); err != nil {
+		t.Fatal(err)
+	}
+	req.End()
+
+	evs := ts.Events()
+	byName := map[string]obs.TraceEvent{}
+	for _, e := range evs {
+		byName[e.Name] = e
+	}
+	reqEv, ok := byName["request"]
+	if !ok {
+		t.Fatalf("no request span in %d events", len(evs))
+	}
+	runEv, ok := byName["run"]
+	if !ok {
+		t.Fatal("no run span")
+	}
+	if runEv.Args["parent"] != reqEv.Args["span"] {
+		t.Fatalf("run parent = %v, want request span %v", runEv.Args["parent"], reqEv.Args["span"])
+	}
+	if runEv.Args["request.id"] != "req-42" {
+		t.Fatalf("run span request.id = %v, want req-42", runEv.Args["request.id"])
+	}
+	// The execute phase must chain up to the run span, and at least one
+	// per-operator child must chain to execute.
+	execEv, ok := byName["execute"]
+	if !ok {
+		t.Fatal("no execute span")
+	}
+	if execEv.Args["parent"] != runEv.Args["span"] {
+		t.Fatalf("execute parent = %v, want run %v", execEv.Args["parent"], runEv.Args["span"])
+	}
+	foundOp := false
+	for _, e := range evs {
+		if e.Name != "execute" && e.Args["parent"] == execEv.Args["span"] {
+			foundOp = true
+		}
+	}
+	if !foundOp {
+		t.Error("no per-operator span under execute")
+	}
+
+	// A zero parent behaves exactly like RunContext: fresh root.
+	s2 := NewSession(codegen.DefaultConfig())
+	s2.Out = io.Discard
+	ts2 := obs.NewTraceSink()
+	s2.Sink = ts2
+	s2.Bind("X", matrix.Rand(100, 10, 1, -1, 1, 3))
+	if err := s2.RunInSpan(context.Background(), "s = sum(X)", obs.Span{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ts2.Events() {
+		if e.Name == "run" && e.Args["parent"] != nil {
+			t.Errorf("zero-parent run has parent %v", e.Args["parent"])
+		}
 	}
 }

@@ -250,6 +250,58 @@ func (s HistSnapshot) Mean() float64 {
 	return s.Sum / float64(s.Count)
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed values by
+// linear interpolation inside the exponential buckets, the same estimate a
+// Prometheus histogram_quantile would produce from the cumulative buckets.
+// The estimate is clamped to the exactly tracked [Min, Max], so a
+// single-value histogram returns that value for every q and the overflow
+// bucket interpolates toward Max instead of +Inf. An empty histogram
+// returns 0.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		if float64(cum)+float64(n) < rank {
+			cum += n
+			continue
+		}
+		// The target rank falls in bucket i, which covers (lo, hi]:
+		// bucket 0 is (-inf, histBuckets[0]] and the last is the overflow.
+		lo := 0.0
+		if i > 0 {
+			lo = histBuckets[i-1]
+		}
+		hi := s.Max
+		if i < len(histBuckets) {
+			hi = histBuckets[i]
+		}
+		if lo < s.Min {
+			lo = s.Min
+		}
+		if hi > s.Max {
+			hi = s.Max
+		}
+		if hi < lo {
+			hi = lo
+		}
+		frac := (rank - float64(cum)) / float64(n)
+		return lo + (hi-lo)*frac
+	}
+	return s.Max
+}
+
 // Snapshot is a point-in-time copy of a Metrics registry, plus any
 // externally merged values (codegen stats, par utilization, cluster
 // traffic).
@@ -295,8 +347,9 @@ func (s Snapshot) String() string {
 	sort.Strings(names)
 	for _, n := range names {
 		h := s.Hists[n]
-		fmt.Fprintf(&b, "%s count=%d total=%s mean=%s\n", n, h.Count,
-			fmtSeconds(h.Sum), fmtSeconds(h.Mean()))
+		fmt.Fprintf(&b, "%s count=%d total=%s mean=%s min=%s max=%s p99=%s\n",
+			n, h.Count, fmtSeconds(h.Sum), fmtSeconds(h.Mean()),
+			fmtSeconds(h.Min), fmtSeconds(h.Max), fmtSeconds(h.Quantile(0.99)))
 	}
 	return b.String()
 }

@@ -151,9 +151,139 @@ func TestSnapshotString(t *testing.T) {
 	m.SetGauge("par.workers", 8)
 	m.ObserveDuration("phase.execute", 2*time.Millisecond)
 	out := m.Snapshot().String()
-	for _, want := range []string{"exec.ops 1", "par.workers 8", "phase.execute count=1"} {
+	for _, want := range []string{"exec.ops 1", "par.workers 8", "phase.execute count=1",
+		"min=2ms", "max=2ms", "p99=2ms"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("snapshot string missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestHistogramRaceHammer hammers one histogram from many goroutines under
+// the race detector: concurrent observes, snapshots, and quantile reads
+// must be data-race free, and the final quiescent snapshot exact.
+func TestHistogramRaceHammer(t *testing.T) {
+	m := NewMetrics()
+	const workers, per = 16, 400
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.Observe("h", float64(w*per+i)*1e-6)
+				if i%32 == 0 {
+					// Concurrent readers: exercise snapshot + quantile under
+					// load (values are only checked at quiescence below —
+					// count is incremented before the bucket, so mid-flight
+					// snapshots may be ahead by in-progress observations).
+					_ = m.Snapshot().Hist("h").Quantile(0.99)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	h := m.Snapshot().Hist("h")
+	if h.Count != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count, workers*per)
+	}
+	if h.Min != 0 || h.Max != float64(workers*per-1)*1e-6 {
+		t.Fatalf("min/max = %g/%g", h.Min, h.Max)
+	}
+	var total int64
+	for _, b := range h.Buckets {
+		total += b
+	}
+	if total != h.Count {
+		t.Fatalf("quiescent bucket total %d != count %d", total, h.Count)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the placement of values exactly on
+// bucket bounds: v == histBuckets[i] must land in bucket i (bounds are
+// inclusive upper bounds, matching the Prometheus le semantics), and a
+// value above the last bound must land in the overflow bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	for i, bound := range histBuckets {
+		m := NewMetrics()
+		m.Observe("h", bound)
+		s := m.Snapshot().Hist("h")
+		if s.Buckets[i] != 1 {
+			t.Errorf("v == histBuckets[%d] (%g) landed in bucket %v, want %d",
+				i, bound, s.Buckets, i)
+		}
+		// Just above the bound spills into the next bucket.
+		m2 := NewMetrics()
+		m2.Observe("h", bound*(1+1e-12))
+		if s2 := m2.Snapshot().Hist("h"); s2.Buckets[i+1] != 1 {
+			t.Errorf("v just above histBuckets[%d] stayed in bucket %d", i, i)
+		}
+	}
+	m := NewMetrics()
+	m.Observe("h", histBuckets[numHistBuckets-1]*1000)
+	if s := m.Snapshot().Hist("h"); s.Buckets[numHistBuckets] != 1 {
+		t.Errorf("overflow value not in overflow bucket: %v", s.Buckets)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	// Empty histogram: every quantile is 0.
+	var empty HistSnapshot
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+
+	// Single value: clamped to the exact observation for every q.
+	m := NewMetrics()
+	m.Observe("one", 3e-4)
+	one := m.Snapshot().Hist("one")
+	for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		if got := one.Quantile(q); math.Abs(got-3e-4) > 1e-18 {
+			t.Errorf("single-value Quantile(%g) = %g, want 3e-4", q, got)
+		}
+	}
+
+	// Overflow bucket: values beyond the last bound interpolate toward the
+	// exact Max, never +Inf.
+	m2 := NewMetrics()
+	top := histBuckets[numHistBuckets-1]
+	for _, v := range []float64{top * 2, top * 5, top * 10} {
+		m2.Observe("over", v)
+	}
+	over := m2.Snapshot().Hist("over")
+	if got := over.Quantile(0.99); math.IsInf(got, 1) || got > over.Max {
+		t.Errorf("overflow Quantile(0.99) = %g, max %g", got, over.Max)
+	}
+	if got := over.Quantile(1); got != over.Max {
+		t.Errorf("Quantile(1) = %g, want max %g", got, over.Max)
+	}
+	if got := over.Quantile(0); got != over.Min {
+		t.Errorf("Quantile(0) = %g, want min %g", got, over.Min)
+	}
+
+	// Monotonicity across a spread distribution.
+	m3 := NewMetrics()
+	for i := 1; i <= 1000; i++ {
+		m3.Observe("spread", float64(i)*1e-5)
+	}
+	spread := m3.Snapshot().Hist("spread")
+	prev := -1.0
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+		got := spread.Quantile(q)
+		if got < prev {
+			t.Errorf("Quantile not monotone: q=%g -> %g after %g", q, got, prev)
+		}
+		prev = got
+	}
+	// The median of 10µs..10ms must land inside the observed range and
+	// near the true median (bucket interpolation, so allow a 4x bucket).
+	med := spread.Quantile(0.5)
+	if med < spread.Min || med > spread.Max {
+		t.Errorf("median %g outside [%g, %g]", med, spread.Min, spread.Max)
+	}
+	if med < 1e-3 || med > 17e-3 {
+		t.Errorf("median %g implausible for 1e-5..1e-2", med)
 	}
 }

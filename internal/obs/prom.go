@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) for any Snapshot. The
+// runtime's dotted instrument names ("plancache.hits",
+// "pool.bytes.recycled") are sanitized into the Prometheus metric-name
+// grammar ("plancache_hits"); fixed-bucket histograms are rendered with
+// cumulative le-buckets plus _sum and _count, exactly what
+// histogram_quantile expects. Instrument names may carry pre-rendered
+// labels — build them with LabeledName — which are passed through on every
+// sample of that instrument, so per-tenant serving metrics expose as one
+// metric family with a tenant label.
+
+// PromContentType is the Content-Type of the Prometheus text exposition
+// format served on /metrics under content negotiation.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WantsPrometheus reports whether an HTTP Accept header value asks for the
+// Prometheus text exposition instead of the default JSON snapshot: any
+// text/plain or OpenMetrics media type matches (Prometheus scrapers send
+// both).
+func WantsPrometheus(accept string) bool {
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
+}
+
+// LabeledName attaches Prometheus labels to an instrument name:
+// LabeledName("serve.request.seconds", "tenant", "alpha") returns
+// `serve.request.seconds{tenant="alpha"}`. Label values are escaped per the
+// exposition format; keys are sanitized like metric names. Snapshots render
+// labeled names as one metric family per base name with per-label samples.
+func LabeledName(base string, kv ...string) string {
+	if len(kv) == 0 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(promName(kv[i]))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes backslash, double quote, and newline per the
+// text exposition format.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// promName sanitizes one instrument name into the Prometheus metric-name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*; every other rune becomes '_'.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// splitLabels splits an instrument name built by LabeledName into its base
+// name and the pre-rendered label body (without braces, "" when unlabeled).
+func splitLabels(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// promSample is one exposition line of a family: its label body and value.
+type promSample struct {
+	labels string
+	value  string
+	hist   *HistSnapshot // histogram families carry the snapshot instead
+}
+
+// promFamily groups every sample sharing one sanitized metric name so the
+// TYPE line is emitted once and samples stay contiguous, as the exposition
+// format requires.
+type promFamily struct {
+	name    string
+	kind    string // "counter", "gauge", "histogram"
+	samples []promSample
+}
+
+// collectFamilies buckets a snapshot's instruments into sorted families.
+func collectFamilies(s Snapshot) []promFamily {
+	byName := map[string]*promFamily{}
+	add := func(name, kind string, sm promSample) {
+		base, labels := splitLabels(name)
+		fam := promName(base)
+		f, ok := byName[fam]
+		if !ok {
+			f = &promFamily{name: fam, kind: kind}
+			byName[fam] = f
+		}
+		sm.labels = labels
+		f.samples = append(f.samples, sm)
+	}
+	for name, v := range s.Counters {
+		add(name, "counter", promSample{value: strconv.FormatInt(v, 10)})
+	}
+	for name, v := range s.Gauges {
+		add(name, "gauge", promSample{value: formatPromFloat(v)})
+	}
+	for name := range s.Hists {
+		h := s.Hists[name]
+		add(name, "histogram", promSample{hist: &h})
+	}
+	out := make([]promFamily, 0, len(byName))
+	for _, f := range byName {
+		sort.Slice(f.samples, func(i, j int) bool { return f.samples[i].labels < f.samples[j].labels })
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// formatPromFloat renders a float as the exposition format expects
+// (shortest round-trip representation; Prometheus accepts e-notation).
+func formatPromFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format: counters and gauges as single samples, histograms as cumulative
+// le-buckets plus _sum and _count. Families are sorted by name and each is
+// preceded by its # TYPE line. Serve it with Content-Type PromContentType.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	for _, f := range collectFamilies(s) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, sm := range f.samples {
+			if f.kind != "histogram" {
+				if err := writeSample(w, f.name, sm.labels, sm.value); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := writeHistogram(w, f.name, sm.labels, sm.hist); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSample writes one exposition line: name{labels} value.
+func writeSample(w io.Writer, name, labels, value string) error {
+	if labels != "" {
+		_, err := fmt.Fprintf(w, "%s{%s} %s\n", name, labels, value)
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %s\n", name, value)
+	return err
+}
+
+// writeHistogram writes a histogram family instance: cumulative buckets
+// (le is an upper bound, so bucket counts accumulate), the mandatory +Inf
+// bucket, and the _sum/_count samples.
+func writeHistogram(w io.Writer, name, labels string, h *HistSnapshot) error {
+	joinLe := func(le string) string {
+		if labels == "" {
+			return `le="` + le + `"`
+		}
+		return labels + `,le="` + le + `"`
+	}
+	var cum int64
+	for i, bound := range histBuckets {
+		cum += h.Buckets[i]
+		if err := writeSample(w, name+"_bucket", joinLe(formatPromFloat(bound)),
+			strconv.FormatInt(cum, 10)); err != nil {
+			return err
+		}
+	}
+	if err := writeSample(w, name+"_bucket", joinLe("+Inf"),
+		strconv.FormatInt(h.Count, 10)); err != nil {
+		return err
+	}
+	if err := writeSample(w, name+"_sum", labels, formatPromFloat(h.Sum)); err != nil {
+		return err
+	}
+	return writeSample(w, name+"_count", labels, strconv.FormatInt(h.Count, 10))
+}

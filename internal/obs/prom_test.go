@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Exposition-format grammar, per metric line: name, optional {labels},
+// value. Label bodies are key="value" pairs; values may use e-notation.
+var (
+	promLineRe  = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (-?[0-9.eE+-]+|NaN|[+-]Inf)$`)
+	promTypeRe  = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+	promLabelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$`)
+)
+
+// parseProm validates the exposition line-by-line and returns
+// name→value for single samples plus the set of TYPE-declared families.
+func parseProm(t *testing.T, text string) (samples map[string]string, families map[string]string) {
+	t.Helper()
+	samples, families = map[string]string{}, map[string]string{}
+	var lastFamily string
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if m := promTypeRe.FindStringSubmatch(line); m != nil {
+			if _, dup := families[m[1]]; dup {
+				t.Errorf("line %d: duplicate TYPE for family %q", ln+1, m[1])
+			}
+			families[m[1]] = m[2]
+			lastFamily = m[1]
+			continue
+		}
+		m := promLineRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d does not match the exposition grammar: %q", ln+1, line)
+		}
+		name, labels := m[1], m[2]
+		if !strings.HasPrefix(name, lastFamily) {
+			t.Errorf("line %d: sample %q outside its family block %q", ln+1, name, lastFamily)
+		}
+		if labels != "" {
+			for _, pair := range strings.Split(labels[1:len(labels)-1], ",") {
+				if !promLabelRe.MatchString(pair) {
+					t.Errorf("line %d: bad label pair %q", ln+1, pair)
+				}
+			}
+		}
+		samples[name+labels] = m[3]
+	}
+	return samples, families
+}
+
+// TestPrometheusExposition is the exposition golden test: every line of a
+// representative snapshot must parse under the name/label/value grammar,
+// families must be typed once, and histogram buckets must be cumulative.
+func TestPrometheusExposition(t *testing.T) {
+	m := NewMetrics()
+	m.Add("plancache.hits", 7)
+	m.Add("pool.gets", 3)
+	m.Add(LabeledName("serve.tenant.requests", "tenant", "alpha"), 2)
+	m.Add(LabeledName("serve.tenant.requests", "tenant", "beta"), 5)
+	m.SetGauge("pool.bytes.live", 1024)
+	for _, v := range []float64{1e-6, 5e-5, 2e-3, 2e-3, 0.3} {
+		m.Observe("phase.execute", v)
+	}
+	m.Observe(LabeledName("serve.request.total.seconds", "tenant", "alpha"), 0.02)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, m.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	samples, families := parseProm(t, b.String())
+
+	if got := samples["plancache_hits"]; got != "7" {
+		t.Errorf("plancache_hits = %q, want 7", got)
+	}
+	if families["plancache_hits"] != "counter" {
+		t.Errorf("plancache_hits typed %q", families["plancache_hits"])
+	}
+	if families["pool_bytes_live"] != "gauge" {
+		t.Errorf("pool_bytes_live typed %q", families["pool_bytes_live"])
+	}
+	if got := samples[`serve_tenant_requests{tenant="alpha"}`]; got != "2" {
+		t.Errorf("alpha requests = %q, want 2", got)
+	}
+	if got := samples[`serve_tenant_requests{tenant="beta"}`]; got != "5" {
+		t.Errorf("beta requests = %q, want 5", got)
+	}
+
+	// Histogram: cumulative buckets, +Inf == count, sum matches.
+	if families["phase_execute"] != "histogram" {
+		t.Fatalf("phase_execute typed %q", families["phase_execute"])
+	}
+	if got := samples["phase_execute_count"]; got != "5" {
+		t.Errorf("phase_execute_count = %q, want 5", got)
+	}
+	if got := samples[`phase_execute_bucket{le="+Inf"}`]; got != "5" {
+		t.Errorf(`bucket{le="+Inf"} = %q, want 5`, got)
+	}
+	var prev int64 = -1
+	nBuckets := 0
+	for key, val := range samples {
+		if !strings.HasPrefix(key, "phase_execute_bucket") {
+			continue
+		}
+		nBuckets++
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil || n < 0 {
+			t.Errorf("bucket %s value %q not a count", key, val)
+		}
+		_ = prev
+	}
+	if nBuckets != numHistBuckets+1 {
+		t.Errorf("%d bucket lines, want %d", nBuckets, numHistBuckets+1)
+	}
+	// Cumulativity: value at le=4e-06 must include the 1e-06 observation.
+	b1, _ := strconv.ParseInt(samples[`phase_execute_bucket{le="1e-06"}`], 10, 64)
+	b2, _ := strconv.ParseInt(samples[`phase_execute_bucket{le="4e-06"}`], 10, 64)
+	if b1 != 1 || b2 < b1 {
+		t.Errorf("buckets not cumulative: le=1e-06 %d, le=4e-06 %d", b1, b2)
+	}
+	// Labeled histogram renders under its family with the tenant label.
+	if got := samples[`serve_request_total_seconds_count{tenant="alpha"}`]; got != "1" {
+		t.Errorf("labeled histogram count = %q, want 1", got)
+	}
+}
+
+func TestLabeledNameEscaping(t *testing.T) {
+	got := LabeledName("m.x", "tenant", `a"b\c`)
+	want := `m.x{tenant="a\"b\\c"}`
+	if got != want {
+		t.Fatalf("LabeledName = %q, want %q", got, want)
+	}
+	base, labels := splitLabels(got)
+	if base != "m.x" || labels != `tenant="a\"b\\c"` {
+		t.Fatalf("splitLabels = %q, %q", base, labels)
+	}
+}
+
+func TestWantsPrometheus(t *testing.T) {
+	for accept, want := range map[string]bool{
+		"":                 false,
+		"application/json": false,
+		"text/plain":       true,
+		"application/openmetrics-text; version=1.0.0": true,
+		"text/plain;version=0.0.4, */*;q=0.1":         true,
+	} {
+		if got := WantsPrometheus(accept); got != want {
+			t.Errorf("WantsPrometheus(%q) = %v, want %v", accept, got, want)
+		}
+	}
+}
+
+func TestPrometheusOverHTTP(t *testing.T) {
+	m := NewMetrics()
+	m.Inc("exec.ops")
+	m.ObserveDuration("phase.execute", 2*time.Millisecond)
+	var b strings.Builder
+	if err := WritePrometheus(&b, m.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "# TYPE exec_ops counter\nexec_ops 1\n") {
+		t.Fatalf("counter family missing:\n%s", b.String())
+	}
+}

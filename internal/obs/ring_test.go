@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderRingBounds(t *testing.T) {
+	f := NewFlightRecorder(4, time.Hour) // nothing samples
+	for i := 0; i < 10; i++ {
+		f.Record(RequestRecord{ID: fmt.Sprintf("r%d", i), Status: 200}, nil)
+	}
+	recs := f.Records()
+	if len(recs) != 4 {
+		t.Fatalf("ring kept %d records, want 4", len(recs))
+	}
+	// Newest first: r9, r8, r7, r6.
+	for i, want := range []string{"r9", "r8", "r7", "r6"} {
+		if recs[i].ID != want {
+			t.Errorf("recs[%d] = %s, want %s", i, recs[i].ID, want)
+		}
+	}
+	if _, ok := f.Get("r3"); ok {
+		t.Error("evicted record still retrievable")
+	}
+	if rec, ok := f.Get("r8"); !ok || rec.ID != "r8" {
+		t.Errorf("Get(r8) = %+v, %v", rec, ok)
+	}
+	if recorded, _ := f.Stats(); recorded != 10 {
+		t.Errorf("recorded = %d, want 10", recorded)
+	}
+}
+
+func TestFlightRecorderTailSampling(t *testing.T) {
+	f := NewFlightRecorder(8, 10*time.Millisecond)
+	spans := func() []TraceEvent { return []TraceEvent{{Name: "request"}} }
+
+	f.Record(RequestRecord{ID: "fast", Status: 200, TotalNS: int64(time.Millisecond)}, spans)
+	f.Record(RequestRecord{ID: "slow", Status: 200, TotalNS: int64(time.Second)}, spans)
+	f.Record(RequestRecord{ID: "bad", Status: 400, Error: "boom", TotalNS: 10}, spans)
+
+	if rec, _ := f.Get("fast"); rec.Sampled || rec.Spans != nil {
+		t.Errorf("fast request sampled: %+v", rec)
+	}
+	if rec, _ := f.Get("slow"); !rec.Sampled || len(rec.Spans) != 1 {
+		t.Errorf("slow request not sampled: %+v", rec)
+	}
+	if rec, _ := f.Get("bad"); !rec.Sampled || len(rec.Spans) != 1 {
+		t.Errorf("failed request not sampled: %+v", rec)
+	}
+	// The list view strips spans even for sampled records.
+	for _, rec := range f.Records() {
+		if rec.Spans != nil {
+			t.Errorf("Records() leaked spans for %s", rec.ID)
+		}
+	}
+	if recorded, sampled := f.Stats(); recorded != 3 || sampled != 2 {
+		t.Errorf("stats = %d recorded, %d sampled; want 3, 2", recorded, sampled)
+	}
+
+	// Threshold <= 0 samples everything.
+	all := NewFlightRecorder(2, 0)
+	all.Record(RequestRecord{ID: "x", Status: 200, TotalNS: 1}, spans)
+	if rec, _ := all.Get("x"); !rec.Sampled {
+		t.Error("zero threshold did not sample")
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(RequestRecord{ID: "x"}, nil)
+	if f.Records() != nil || f.Size() != 0 || f.SlowThreshold() != 0 {
+		t.Error("nil recorder not inert")
+	}
+	if _, ok := f.Get("x"); ok {
+		t.Error("nil recorder returned a record")
+	}
+	if r, s := f.Stats(); r != 0 || s != 0 {
+		t.Error("nil recorder stats not zero")
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(32, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				f.Record(RequestRecord{ID: fmt.Sprintf("w%d-%d", w, i), Status: 200},
+					func() []TraceEvent { return nil })
+				f.Records()
+				f.Get(fmt.Sprintf("w%d-%d", w, i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(f.Records()); got != 32 {
+		t.Fatalf("ring size %d, want 32", got)
+	}
+	if recorded, _ := f.Stats(); recorded != 8*200 {
+		t.Fatalf("recorded = %d, want %d", recorded, 8*200)
+	}
+}
+
+func TestRequestIDContext(t *testing.T) {
+	ctx := context.Background()
+	if got := RequestIDFromContext(ctx); got != "" {
+		t.Fatalf("empty context carries id %q", got)
+	}
+	ctx = ContextWithRequestID(ctx, "req-1")
+	if got := RequestIDFromContext(ctx); got != "req-1" {
+		t.Fatalf("id = %q, want req-1", got)
+	}
+	if ContextWithRequestID(context.Background(), "") != context.Background() {
+		t.Fatal("empty id should not allocate a context")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,15 +19,17 @@ type ServeSource interface {
 
 // Server is a running observability HTTP endpoint.
 type Server struct {
-	ln  net.Listener
-	srv *http.Server
+	ln       net.Listener
+	srv      *http.Server
+	draining atomic.Bool
 }
 
 // Serve exposes src's metrics snapshot, cost-audit summary, and plan-cache
 // statistics as JSON over HTTP on addr (e.g. "127.0.0.1:0" to pick a free
 // port). Endpoints:
 //
-//	/metrics   full metrics snapshot (counters, gauges, histograms)
+//	/metrics   full metrics snapshot — JSON by default, Prometheus text
+//	           exposition under Accept: text/plain (content negotiation)
 //	/audit     cost-audit summary (per-template rel-err histograms, worst offenders)
 //	/plancache plan-cache counters and gauges (the "plancache." slice of /metrics)
 //	/dist      distributed backend traffic (the "dist." slice of /metrics:
@@ -48,6 +51,14 @@ func Serve(addr string, src ServeSource) (*Server, error) {
 		enc.Encode(v)
 	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Content negotiation: Prometheus scrapers (Accept: text/plain or
+		// OpenMetrics) get the text exposition; everyone else the JSON
+		// snapshot that predates it.
+		if WantsPrometheus(r.Header.Get("Accept")) {
+			w.Header().Set("Content-Type", PromContentType)
+			WritePrometheus(w, src.Metrics())
+			return
+		}
 		writeJSON(w, src.Metrics())
 	})
 	mux.HandleFunc("/audit", func(w http.ResponseWriter, r *http.Request) {
@@ -89,7 +100,14 @@ func Serve(addr string, src ServeSource) (*Server, error) {
 		}
 		writeJSON(w, d)
 	})
+	var s *Server
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("draining\n"))
+			return
+		}
 		w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -105,7 +123,7 @@ func Serve(addr string, src ServeSource) (*Server, error) {
 			"/healthz":   "liveness probe",
 		})
 	})
-	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	s = &Server{ln: ln, srv: &http.Server{Handler: mux}}
 	go s.srv.Serve(ln)
 	return s, nil
 }
@@ -123,7 +141,10 @@ func (s *Server) Close() error { return s.CloseWithTimeout(DefaultDrainTimeout) 
 
 // CloseWithTimeout is Close with an explicit drain bound. A zero or
 // negative timeout skips draining and closes connections immediately.
+// /healthz flips to 503 "draining" for the duration, so load balancers
+// stop routing before the listener dies.
 func (s *Server) CloseWithTimeout(d time.Duration) error {
+	s.draining.Store(true)
 	if d <= 0 {
 		return s.srv.Close()
 	}

@@ -48,6 +48,15 @@ func (t *TraceSink) Emit(e Event) {
 	t.mu.Unlock()
 }
 
+// Reset discards buffered spans but keeps the backing capacity, so a
+// serving path can pool sinks and trace every request without per-request
+// slice growth (Events() copies, so previously exported traces survive).
+func (t *TraceSink) Reset() {
+	t.mu.Lock()
+	t.spans = t.spans[:0]
+	t.mu.Unlock()
+}
+
 // Len returns the number of buffered spans.
 func (t *TraceSink) Len() int {
 	t.mu.Lock()

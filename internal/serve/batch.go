@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"hash/fnv"
 	"sort"
 	"sync"
@@ -34,6 +35,12 @@ type planKey struct {
 	shapes uint64
 }
 
+// String renders the key for flight-recorder records: tenant plus the
+// script and shape fingerprints in hex.
+func (k planKey) String() string {
+	return fmt.Sprintf("%s/%016x/%016x", k.tenant, k.script, k.shapes)
+}
+
 // keyFor fingerprints a request. Input names are hashed in sorted order so
 // map iteration order cannot split a batch.
 func keyFor(tenant, script string, inputs map[string]InputSpec) planKey {
@@ -64,10 +71,12 @@ func keyFor(tenant, script string, inputs map[string]InputSpec) planKey {
 // batchJob is one request riding a batch; the leader signals done after
 // filling result or err.
 type batchJob struct {
-	req  *RunRequest
-	resp *RunResponse
-	err  error
-	done chan struct{}
+	id    string    // request ID (X-Request-ID or generated)
+	start time.Time // arrival time, for the per-job latency split
+	req   *RunRequest
+	resp  *RunResponse
+	err   error
+	done  chan struct{}
 }
 
 type batchGroup struct {

@@ -21,6 +21,7 @@ import (
 	"sysml/internal/codegen"
 	"sysml/internal/dml"
 	"sysml/internal/matrix"
+	"sysml/internal/obs"
 	"sysml/internal/par"
 )
 
@@ -54,12 +55,19 @@ type Engine struct {
 	shareSessions bool
 	budget        int64 // engine-wide live-bytes shed threshold (0 = never shed)
 	quota         TenantQuota
+	sloTarget     time.Duration // per-request total-latency SLO (0 = no SLO)
 
 	mu      sync.Mutex
 	tenants map[string]*Tenant
 
 	requests atomic.Int64
 	shed     atomic.Int64
+
+	// obsm holds the engine's serving instruments: per-tenant latency
+	// histograms (queue/exec/total, labeled by tenant) plus SLO burn
+	// counters. Engine.Metrics folds the remaining engine state (request
+	// counters, plan cache, pools) into its snapshot.
+	obsm *obs.Metrics
 }
 
 // EngineOption configures an Engine at construction time.
@@ -106,12 +114,20 @@ func WithConfig(cfg codegen.Config) EngineOption {
 	return func(e *Engine) { e.cfg = cfg }
 }
 
+// WithSLOTarget sets a per-request total-latency SLO. Requests whose
+// arrival-to-completion latency exceeds target increment the tenant's SLO
+// burn counter (TenantStats.SLOBurn and the serve.slo.burn metric); zero
+// disables SLO accounting.
+func WithSLOTarget(target time.Duration) EngineOption {
+	return func(e *Engine) { e.sloTarget = target }
+}
+
 // NewEngine builds an engine. With no options it delegates to the process
 // defaults (worker pool, buffer pool), never sheds, and gives tenants
 // views over a fresh shared plan cache — behaviorally a superset of the
 // old one-global-everything layout, but instance-scoped.
 func NewEngine(opts ...EngineOption) *Engine {
-	e := &Engine{cfg: codegen.DefaultConfig(), tenants: map[string]*Tenant{}}
+	e := &Engine{cfg: codegen.DefaultConfig(), tenants: map[string]*Tenant{}, obsm: obs.NewMetrics()}
 	for _, opt := range opts {
 		opt(e)
 	}
@@ -200,12 +216,15 @@ func (e *Engine) newTenantLocked(name string, q TenantQuota) *Tenant {
 		q.MaxSessions = DefaultMaxSessions
 	}
 	t := &Tenant{
-		name:  name,
-		eng:   e,
-		quota: q,
-		alloc: e.alloc,
-		cache: e.cache.View(),
-		slots: make(chan struct{}, q.MaxSessions),
+		name:      name,
+		eng:       e,
+		quota:     q,
+		alloc:     e.alloc,
+		cache:     e.cache.View(),
+		slots:     make(chan struct{}, q.MaxSessions),
+		histQueue: obs.LabeledName("serve.request.queue.seconds", "tenant", name),
+		histExec:  obs.LabeledName("serve.request.exec.seconds", "tenant", name),
+		histTotal: obs.LabeledName("serve.request.total.seconds", "tenant", name),
 	}
 	if q.MemBytes > 0 {
 		t.alloc = matrix.NewBufPool(q.MemBytes)
@@ -229,6 +248,50 @@ func (e *Engine) Tenants() map[string]TenantStats {
 		out[t.name] = t.Stats()
 	}
 	return out
+}
+
+// SLOTarget reports the per-request total-latency SLO (0 = no SLO).
+func (e *Engine) SLOTarget() time.Duration { return e.sloTarget }
+
+// Metrics snapshots the engine's full serving instrument set in one
+// obs.Snapshot: per-tenant latency histograms and SLO burn counters (from
+// the engine registry), engine-wide request/shed counters, shared
+// plan-cache counters, buffer-pool usage, and capacity gauges. The
+// snapshot renders as JSON, human text (Snapshot.String), or Prometheus
+// exposition (obs.WritePrometheus).
+func (e *Engine) Metrics() obs.Snapshot {
+	snap := e.obsm.Snapshot()
+	snap.Counters["serve.requests"] = e.Requests()
+	snap.Counters["serve.shed"] = e.Shed()
+	hits, misses, evictions := e.cache.TotalCounters()
+	snap.Counters["plancache.hits"] = hits
+	snap.Counters["plancache.misses"] = misses
+	snap.Counters["plancache.evictions"] = evictions
+	snap.Gauges["plancache.size"] = float64(e.cache.Size())
+	pu := e.alloc.Stats()
+	snap.Counters["pool.gets"] = pu.Gets
+	snap.Counters["pool.hits"] = pu.Hits
+	snap.Counters["pool.misses"] = pu.Misses
+	snap.Counters["pool.puts"] = pu.Puts
+	snap.Counters["pool.discards"] = pu.Discards
+	snap.Gauges["pool.bytes.parked"] = float64(pu.BytesParked)
+	snap.Gauges["pool.bytes.live"] = float64(e.LiveBytes())
+	snap.Gauges["pool.bytes.budget"] = float64(e.budget)
+	snap.Gauges["par.workers"] = float64(e.MaxWorkers())
+	e.mu.Lock()
+	tenants := make([]*Tenant, 0, len(e.tenants))
+	for _, t := range e.tenants {
+		tenants = append(tenants, t)
+	}
+	e.mu.Unlock()
+	snap.Gauges["serve.tenants"] = float64(len(tenants))
+	for _, t := range tenants {
+		snap.Counters[obs.LabeledName("serve.tenant.requests", "tenant", t.name)] = t.requests.Load()
+		snap.Counters[obs.LabeledName("serve.tenant.shed", "tenant", t.name)] = t.shed.Load()
+		snap.Counters[obs.LabeledName("serve.tenant.batched", "tenant", t.name)] = t.batched.Load()
+		snap.Gauges[obs.LabeledName("serve.tenant.active", "tenant", t.name)] = float64(t.Active())
+	}
+	return snap
 }
 
 // Requests and Shed report engine-wide accepted and shed request counts.
@@ -278,6 +341,11 @@ type Tenant struct {
 	requests atomic.Int64
 	shed     atomic.Int64
 	batched  atomic.Int64 // requests that rode a batch behind a leader
+	sloBurn  atomic.Int64 // requests that blew the engine's SLO target
+
+	// histQueue/histExec/histTotal are the tenant's labeled latency
+	// instrument names in the engine registry, precomputed once.
+	histQueue, histExec, histTotal string
 }
 
 // Name returns the tenant name.
@@ -304,17 +372,29 @@ func (t *Tenant) OverBudget() bool {
 // Release it. Errors: ErrTenantOverBudget (immediately, memory quota) or
 // ErrTenantBusy (after the wait window, session quota).
 func (t *Tenant) Acquire(wait time.Duration) (*dml.Session, error) {
+	return t.acquire(wait, true)
+}
+
+// acquire is Acquire with explicit accounting: when count is false the
+// caller owns request/shed counting (the batch executor counts every job
+// it carries — leader and followers alike — so per-tenant totals stay
+// exact under micro-batching).
+func (t *Tenant) acquire(wait time.Duration, count bool) (*dml.Session, error) {
 	if t.OverBudget() {
-		t.shed.Add(1)
-		t.eng.shed.Add(1)
+		if count {
+			t.shed.Add(1)
+			t.eng.shed.Add(1)
+		}
 		return nil, ErrTenantOverBudget
 	}
 	select {
 	case t.slots <- struct{}{}:
 	default:
 		if wait <= 0 {
-			t.shed.Add(1)
-			t.eng.shed.Add(1)
+			if count {
+				t.shed.Add(1)
+				t.eng.shed.Add(1)
+			}
 			return nil, ErrTenantBusy
 		}
 		timer := time.NewTimer(wait)
@@ -322,13 +402,17 @@ func (t *Tenant) Acquire(wait time.Duration) (*dml.Session, error) {
 		select {
 		case t.slots <- struct{}{}:
 		case <-timer.C:
-			t.shed.Add(1)
-			t.eng.shed.Add(1)
+			if count {
+				t.shed.Add(1)
+				t.eng.shed.Add(1)
+			}
 			return nil, ErrTenantBusy
 		}
 	}
-	t.requests.Add(1)
-	t.eng.requests.Add(1)
+	if count {
+		t.requests.Add(1)
+		t.eng.requests.Add(1)
+	}
 	t.mu.Lock()
 	if n := len(t.idle); n > 0 {
 		s := t.idle[n-1]
@@ -357,6 +441,21 @@ func (t *Tenant) Release(s *dml.Session) {
 	<-t.slots
 }
 
+// observe records one completed request's latency split into the tenant's
+// labeled histograms and the engine-wide total histogram, and burns the
+// SLO counter when total latency exceeds the engine target.
+func (t *Tenant) observe(queue, exec, total time.Duration) {
+	m := t.eng.obsm
+	m.Observe(t.histQueue, queue.Seconds())
+	m.Observe(t.histExec, exec.Seconds())
+	m.Observe(t.histTotal, total.Seconds())
+	m.Observe("serve.request.total.seconds", total.Seconds())
+	if target := t.eng.sloTarget; target > 0 && total > target {
+		t.sloBurn.Add(1)
+		m.Inc(obs.LabeledName("serve.slo.burn", "tenant", t.name))
+	}
+}
+
 func (t *Tenant) drainIdle() {
 	t.mu.Lock()
 	idle := t.idle
@@ -376,13 +475,23 @@ type TenantStats struct {
 	LiveBytes      int64 `json:"live_bytes"`
 	CacheHits      int64 `json:"plancache_hits"`
 	CacheMisses    int64 `json:"plancache_misses"`
+	// P50MS/P95MS/P99MS estimate the tenant's total-latency quantiles in
+	// milliseconds over the engine's lifetime (bucket interpolation; 0
+	// until the tenant has served a request).
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+	// SLOBurn counts requests over the engine's SLO target (0 without one).
+	SLOBurn int64 `json:"slo_burn"`
 }
 
 // Stats snapshots the tenant: request/shed/batch counts, in-flight
-// sessions, pool-live bytes, and the tenant's own plan-cache hit/miss
-// counters (isolated per tenant even though the store is shared).
+// sessions, pool-live bytes, the tenant's own plan-cache hit/miss
+// counters (isolated per tenant even though the store is shared), and
+// total-latency quantiles with SLO burn.
 func (t *Tenant) Stats() TenantStats {
 	hits, misses, _ := t.cache.Counters()
+	lat := t.eng.obsm.Hist(t.histTotal).Snapshot()
 	return TenantStats{
 		Requests:       t.requests.Load(),
 		Shed:           t.shed.Load(),
@@ -391,5 +500,9 @@ func (t *Tenant) Stats() TenantStats {
 		LiveBytes:      t.LiveBytes(),
 		CacheHits:      hits,
 		CacheMisses:    misses,
+		P50MS:          lat.Quantile(0.50) * 1e3,
+		P95MS:          lat.Quantile(0.95) * 1e3,
+		P99MS:          lat.Quantile(0.99) * 1e3,
+		SLOBurn:        t.sloBurn.Load(),
 	}
 }

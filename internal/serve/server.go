@@ -6,10 +6,16 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"sysml/internal/dml"
 	"sysml/internal/matrix"
+	"sysml/internal/obs"
 )
 
 // RunRequest is the /v1/run payload: a script to execute for a tenant
@@ -54,6 +60,9 @@ type OutputMatrix struct {
 // RunResponse is the /v1/run result.
 type RunResponse struct {
 	Outputs map[string]OutputMatrix `json:"outputs,omitempty"`
+	// RequestID echoes the request's X-Request-ID (generated when the
+	// client sent none); /debug/requests/{id} retrieves its flight record.
+	RequestID string `json:"request_id,omitempty"`
 	// Batch is the size of the micro-batch this request rode in (1 = ran
 	// alone); Leader marks the request that executed the batch.
 	Batch  int  `json:"batch"`
@@ -71,19 +80,36 @@ type errorBody struct {
 
 // Server serves an Engine over HTTP. Endpoints:
 //
-//	POST /v1/run     submit a script (RunRequest -> RunResponse); sheds
-//	                 with 429 + Retry-After under memory pressure or when
-//	                 the tenant is at its session quota
-//	GET  /v1/tenants per-tenant serving stats (requests, shed, batched,
-//	                 plan-cache hits/misses, live bytes)
-//	GET  /metrics    engine-wide serving snapshot
-//	GET  /healthz    liveness probe
+//	POST /v1/run              submit a script (RunRequest -> RunResponse);
+//	                          sheds with 429 + Retry-After under memory
+//	                          pressure or when the tenant is at its quota
+//	GET  /v1/tenants          per-tenant serving stats (requests, shed,
+//	                          batched, plan-cache hits/misses, live bytes,
+//	                          latency quantiles, SLO burn)
+//	GET  /metrics             engine-wide serving snapshot; JSON by
+//	                          default, Prometheus text exposition when the
+//	                          Accept header asks for text/plain
+//	GET  /healthz             liveness probe (503 while draining)
+//	GET  /debug/requests      flight-recorder ring, newest first
+//	GET  /debug/requests/{id} one request's record with its span tree
+//	GET  /debug/pprof/...     runtime profiles (only under WithPprof)
+//
+// Every /v1/run response carries an X-Request-ID header (echoing the
+// client's or generated), keying the request's flight record.
 type Server struct {
 	eng       *Engine
 	ln        net.Listener
 	srv       *http.Server
 	batch     *batcher
 	queueWait time.Duration
+	rec       *obs.FlightRecorder // nil = recording disabled
+	pprof     bool
+	draining  atomic.Bool
+
+	// sinks pools per-request trace sinks: tracing is always on with the
+	// recorder, so reusing span buffers keeps the healthy-path allocation
+	// cost flat instead of feeding the GC one sink per request.
+	sinks sync.Pool
 }
 
 // ServerOption configures a Server.
@@ -97,6 +123,10 @@ const DefaultQueueWait = 50 * time.Millisecond
 // to finish before tearing connections down.
 const DefaultDrainTimeout = 5 * time.Second
 
+// DefaultSlowThreshold is the flight recorder's tail-sampling latency
+// threshold: requests at/over it (or that failed) retain their span tree.
+const DefaultSlowThreshold = 100 * time.Millisecond
+
 // WithBatchWindow overrides how long a batch leader holds its plan key
 // open for followers (0 disables micro-batching).
 func WithBatchWindow(d time.Duration) ServerOption {
@@ -106,6 +136,26 @@ func WithBatchWindow(d time.Duration) ServerOption {
 // WithQueueWait overrides the session-slot wait before shedding.
 func WithQueueWait(d time.Duration) ServerOption {
 	return func(s *Server) { s.queueWait = d }
+}
+
+// WithFlightRecorder resizes the server's request flight recorder: keep
+// the last size requests, tail-sampling span trees for requests slower
+// than slow (or failed; slow <= 0 retains every tree). size < 0 disables
+// recording and request tracing entirely; size 0 keeps the default ring.
+func WithFlightRecorder(size int, slow time.Duration) ServerOption {
+	return func(s *Server) {
+		if size < 0 {
+			s.rec = nil
+			return
+		}
+		s.rec = obs.NewFlightRecorder(size, slow)
+	}
+}
+
+// WithPprof mounts net/http/pprof profile handlers under /debug/pprof/.
+// Off by default: profiles expose internals, so serving them is opt-in.
+func WithPprof() ServerOption {
+	return func(s *Server) { s.pprof = true }
 }
 
 // NewServer binds addr (e.g. "127.0.0.1:0") and starts serving the engine
@@ -120,6 +170,7 @@ func NewServer(addr string, e *Engine, opts ...ServerOption) (*Server, error) {
 		ln:        ln,
 		batch:     newBatcher(DefaultBatchWindow),
 		queueWait: DefaultQueueWait,
+		rec:       obs.NewFlightRecorder(obs.DefaultFlightRecorderSize, DefaultSlowThreshold),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -130,22 +181,32 @@ func NewServer(addr string, e *Engine, opts ...ServerOption) (*Server, error) {
 		writeJSON(w, http.StatusOK, s.eng.Tenants())
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		hits, misses, evictions := s.eng.Cache().TotalCounters()
-		writeJSON(w, http.StatusOK, map[string]int64{
-			"requests":            s.eng.Requests(),
-			"shed":                s.eng.Shed(),
-			"live_bytes":          s.eng.LiveBytes(),
-			"memory_budget":       s.eng.MemoryBudget(),
-			"max_workers":         int64(s.eng.MaxWorkers()),
-			"plancache.hits":      hits,
-			"plancache.misses":    misses,
-			"plancache.evictions": evictions,
-			"plancache.size":      int64(s.eng.Cache().Size()),
-		})
+		snap := s.eng.Metrics()
+		if obs.WantsPrometheus(r.Header.Get("Accept")) {
+			w.Header().Set("Content-Type", obs.PromContentType)
+			obs.WritePrometheus(w, snap)
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("draining\n"))
+			return
+		}
 		w.Write([]byte("ok\n"))
 	})
+	mux.HandleFunc("/debug/requests", s.handleDebugRequests)
+	mux.HandleFunc("/debug/requests/", s.handleDebugRequest)
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.srv = &http.Server{Handler: mux}
 	go s.srv.Serve(ln)
 	return s, nil
@@ -154,14 +215,20 @@ func NewServer(addr string, e *Engine, opts ...ServerOption) (*Server, error) {
 // Addr returns the bound listen address (useful with port 0).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down gracefully: stop accepting immediately,
-// give in-flight /v1/run requests up to DefaultDrainTimeout to finish,
-// then tear down whatever remains.
+// FlightRecorder returns the server's request recorder (nil when
+// recording was disabled via WithFlightRecorder(-1, ...)).
+func (s *Server) FlightRecorder() *obs.FlightRecorder { return s.rec }
+
+// Close shuts the server down gracefully: mark /healthz draining, stop
+// accepting immediately, give in-flight /v1/run requests up to
+// DefaultDrainTimeout to finish, then tear down whatever remains.
 func (s *Server) Close() error { return s.CloseWithTimeout(DefaultDrainTimeout) }
 
 // CloseWithTimeout is Close with an explicit drain bound; d <= 0 skips
-// draining.
+// draining. /healthz turns 503 as soon as the drain starts, so load
+// balancers stop routing to an instance that no longer accepts.
 func (s *Server) CloseWithTimeout(d time.Duration) error {
+	s.draining.Store(true)
 	if d <= 0 {
 		return s.srv.Close()
 	}
@@ -185,11 +252,65 @@ func shed(w http.ResponseWriter, msg string) {
 	writeJSON(w, http.StatusTooManyRequests, errorBody{Error: msg})
 }
 
+// reqSeq and reqEpoch generate request IDs for clients that send no
+// X-Request-ID: a process-start fingerprint plus a sequence number.
+var (
+	reqSeq   atomic.Uint64
+	reqEpoch = strconv.FormatInt(time.Now().UnixNano(), 36)
+)
+
+func newRequestID() string {
+	return "r" + reqEpoch + "-" + strconv.FormatUint(reqSeq.Add(1), 10)
+}
+
+// handleDebugRequests serves the flight-recorder ring: recorder stats plus
+// every retained record, newest first, span trees stripped.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	recorded, sampled := s.rec.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"size":     s.rec.Size(),
+		"slow_ns":  int64(s.rec.SlowThreshold()),
+		"recorded": recorded,
+		"sampled":  sampled,
+		"requests": s.rec.Records(),
+	})
+}
+
+// handleDebugRequest serves one retained record by ID, including its span
+// tree when the request tail-sampled.
+func (s *Server) handleDebugRequest(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/debug/requests/")
+	rec, ok := s.rec.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no record for request " + id})
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// statusFor maps a run error to the HTTP status the job is answered with.
+func statusFor(err error) int {
+	switch err {
+	case nil:
+		return http.StatusOK
+	case ErrTenantBusy, ErrTenantOverBudget:
+		return http.StatusTooManyRequests
+	default:
+		return http.StatusBadRequest
+	}
+}
+
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST required"})
 		return
 	}
+	start := time.Now()
+	rid := r.Header.Get("X-Request-ID")
+	if rid == "" {
+		rid = newRequestID()
+	}
+	w.Header().Set("X-Request-ID", rid)
 	var req RunRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request: " + err.Error()})
@@ -215,32 +336,37 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	tn := s.eng.Tenant(req.Tenant)
+	key := keyFor(req.Tenant, req.Script, req.Inputs)
 
 	// Admission control: live pooled bytes over the engine budget (or the
 	// tenant's private quota) mean memory pressure — shed before queueing.
 	if s.eng.OverBudget() {
 		tn.shed.Add(1)
 		s.eng.shed.Add(1)
+		s.rec.Record(obs.RequestRecord{
+			ID: rid, Tenant: tn.name, PlanKey: key.String(), Start: start,
+			TotalNS: time.Since(start).Nanoseconds(),
+			Status:  http.StatusTooManyRequests, Error: "engine over memory budget",
+		}, nil)
 		shed(w, "engine over memory budget")
 		return
 	}
 
-	start := time.Now()
-	job := &batchJob{req: &req, done: make(chan struct{})}
-	jobs := s.batch.submit(keyFor(req.Tenant, req.Script, req.Inputs), job)
+	job := &batchJob{id: rid, start: start, req: &req, done: make(chan struct{})}
+	jobs := s.batch.submit(key, job)
 	if jobs == nil {
 		// Follower: a concurrent leader for the same compiled plan
 		// executes this job on its session.
 		<-job.done
 	} else {
-		s.runBatch(tn, jobs, start)
+		s.runBatch(tn, key, jobs)
 	}
 	if job.err != nil {
-		switch job.err {
-		case ErrTenantBusy, ErrTenantOverBudget:
+		switch status := statusFor(job.err); status {
+		case http.StatusTooManyRequests:
 			shed(w, job.err.Error())
 		default:
-			writeJSON(w, http.StatusBadRequest, errorBody{Error: job.err.Error()})
+			writeJSON(w, status, errorBody{Error: job.err.Error()})
 		}
 		return
 	}
@@ -249,39 +375,98 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 // runBatch acquires ONE session for the whole batch and executes the jobs
 // back-to-back on it: one tenant quota slot, one warm block-plan cache,
-// one warm operator cache. jobs[0] is the leader's own.
-func (s *Server) runBatch(t *Tenant, jobs []*batchJob, start time.Time) {
-	sess, err := t.Acquire(s.queueWait)
+// one warm operator cache. jobs[0] is the leader's own. Every job —
+// leader and follower alike — is counted, latency-observed, and flight-
+// recorded here, so per-tenant accounting is exact under batching.
+func (s *Server) runBatch(t *Tenant, key planKey, jobs []*batchJob) {
+	sess, err := t.acquire(s.queueWait, false)
 	if err != nil {
 		for i, job := range jobs {
 			job.err = err
+			t.shed.Add(1)
+			t.eng.shed.Add(1)
+			// Shed jobs are flight-recorded (they always tail-sample as
+			// errors) but not latency-observed: quantiles reflect served
+			// requests only.
+			total := time.Since(job.start)
+			s.rec.Record(obs.RequestRecord{
+				ID: job.id, Tenant: t.name, PlanKey: key.String(), Start: job.start,
+				Batch: len(jobs), Leader: i == 0,
+				QueueNS: total.Nanoseconds(), TotalNS: total.Nanoseconds(),
+				Status:  statusFor(err), Error: err.Error(),
+			}, nil)
 			if i > 0 {
-				// Followers shed with the leader (Acquire counted only
-				// the leader's attempt).
-				t.shed.Add(1)
-				t.eng.shed.Add(1)
 				close(job.done)
 			}
 		}
 		return
 	}
 	defer t.Release(sess)
-	queued := time.Since(start).Nanoseconds()
 	for i, job := range jobs {
+		t.requests.Add(1)
+		t.eng.requests.Add(1)
 		if i > 0 {
-			t.requests.Add(1)
-			t.eng.requests.Add(1)
 			t.batched.Add(1)
 			sess.Reset() // clear the previous job's bindings and results
 		}
-		resp, err := runJob(sess, job.req)
+		queue := time.Since(job.start)
+
+		// Request tracing: with the flight recorder on, collect the job's
+		// span tree (request -> run -> compile/optimize/execute ->
+		// per-operator) into a per-job sink; the recorder invokes the
+		// callback only when the job tail-samples. Recorder off: no sink,
+		// every span below is a zero-cost no-op.
+		var ts *obs.TraceSink
+		var root obs.Span
+		var spans func() []obs.TraceEvent
+		if s.rec != nil {
+			ts, _ = s.sinks.Get().(*obs.TraceSink)
+			if ts == nil {
+				ts = obs.NewTraceSink()
+			}
+			sess.Sink = ts
+			root = obs.StartSpan(nil, ts, "request")
+			root.Annotate(
+				obs.KV("request.id", job.id),
+				obs.KV("tenant", t.name),
+				obs.KV("batch", len(jobs)),
+				obs.KV("leader", i == 0),
+			)
+			spans = ts.Events
+		}
+		ctx := obs.ContextWithRequestID(context.Background(), job.id)
+		execStart := time.Now()
+		resp, err := runJob(ctx, sess, job.req, root)
+		exec := time.Since(execStart)
+		root.End()
+		sess.Sink = nil
+		total := time.Since(job.start)
+		t.observe(queue, exec, total)
 		if err != nil {
 			job.err = err
 		} else {
+			resp.RequestID = job.id
 			resp.Batch = len(jobs)
 			resp.Leader = i == 0
-			resp.QueueNS = queued
+			resp.QueueNS = queue.Nanoseconds()
 			job.resp = resp
+		}
+		errStr := ""
+		if err != nil {
+			errStr = err.Error()
+		}
+		s.rec.Record(obs.RequestRecord{
+			ID: job.id, Tenant: t.name, PlanKey: key.String(), Start: job.start,
+			Batch: len(jobs), Leader: i == 0,
+			QueueNS: queue.Nanoseconds(), ExecNS: exec.Nanoseconds(),
+			TotalNS: total.Nanoseconds(),
+			Status:  statusFor(err), Error: errStr,
+		}, spans)
+		if ts != nil {
+			// Record invoked spans synchronously (Events copies), so the
+			// sink is safe to reuse for the next request.
+			ts.Reset()
+			s.sinks.Put(ts)
 		}
 		if i > 0 {
 			close(job.done)
@@ -289,10 +474,11 @@ func (s *Server) runBatch(t *Tenant, jobs []*batchJob, start time.Time) {
 	}
 }
 
-// runJob binds the request's inputs, runs the script, and extracts the
-// requested outputs. Inputs are installed directly in the environment
-// (not via Bind) so Reset returns their pooled storage to the tenant.
-func runJob(sess *dml.Session, req *RunRequest) (*RunResponse, error) {
+// runJob binds the request's inputs, runs the script under the request
+// span, and extracts the requested outputs. Inputs are installed directly
+// in the environment (not via Bind) so Reset returns their pooled storage
+// to the tenant.
+func runJob(ctx context.Context, sess *dml.Session, req *RunRequest, parent obs.Span) (*RunResponse, error) {
 	ec := matrix.Ctx{Par: sess.Par, Buf: sess.Alloc}
 	for name, in := range req.Inputs {
 		var m *matrix.Matrix
@@ -307,7 +493,7 @@ func runJob(sess *dml.Session, req *RunRequest) (*RunResponse, error) {
 		sess.Env[name] = m
 	}
 	execStart := time.Now()
-	if err := sess.Run(req.Script); err != nil {
+	if err := sess.RunInSpan(ctx, req.Script, parent); err != nil {
 		return nil, err
 	}
 	resp := &RunResponse{ExecNS: time.Since(execStart).Nanoseconds()}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -252,5 +253,360 @@ func TestServerTenantsEndpoint(t *testing.T) {
 	}
 	if stats["alpha"].Requests != 3 {
 		t.Errorf("alpha served %d requests, want 3", stats["alpha"].Requests)
+	}
+}
+
+// TestServerRequestID: the response echoes a client X-Request-ID in both
+// the header and the body, and generates one when the client sends none.
+func TestServerRequestID(t *testing.T) {
+	srv := startServer(t, NewEngine(), WithBatchWindow(0))
+	body, _ := json.Marshal(&RunRequest{Script: "x = 1 + 1"})
+	req, _ := http.NewRequest(http.MethodPost, "http://"+srv.Addr()+"/v1/run", bytes.NewReader(body))
+	req.Header.Set("X-Request-ID", "client-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "client-7" {
+		t.Errorf("X-Request-ID header = %q, want client-7", got)
+	}
+	var rr RunResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.RequestID != "client-7" {
+		t.Errorf("RequestID = %q, want client-7", rr.RequestID)
+	}
+
+	resp2, rr2 := postRun(t, srv, &RunRequest{Script: "x = 1 + 1"})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp2.StatusCode)
+	}
+	if rr2.RequestID == "" || resp2.Header.Get("X-Request-ID") == "" {
+		t.Error("no request ID generated")
+	}
+	if rr2.RequestID != resp2.Header.Get("X-Request-ID") {
+		t.Errorf("body ID %q != header ID %q", rr2.RequestID, resp2.Header.Get("X-Request-ID"))
+	}
+}
+
+// TestServerBatchAccounting is the regression test for the leader/follower
+// accounting asymmetry: under micro-batching every request must count
+// exactly once toward the tenant and engine request totals.
+func TestServerBatchAccounting(t *testing.T) {
+	e := NewEngine()
+	srv := startServer(t, e, WithBatchWindow(30*time.Millisecond))
+	const clients = 8
+	req := &RunRequest{
+		Tenant: "acct",
+		Script: "s = sum(X)",
+		Inputs: map[string]InputSpec{
+			"X": {Rows: 32, Cols: 8, Rand: &RandSpec{Sparsity: 1, Lo: 0, Hi: 1, Seed: 3}},
+		},
+	}
+	var wg sync.WaitGroup
+	batched := false
+	var mu sync.Mutex
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, rr := postRun(t, srv, req)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			mu.Lock()
+			if rr.Batch > 1 {
+				batched = true
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if !batched {
+		t.Skip("no batch formed; accounting not exercised under batching")
+	}
+	st := e.Tenant("acct").Stats()
+	if st.Requests != clients {
+		t.Errorf("tenant requests = %d, want %d", st.Requests, clients)
+	}
+	if e.Requests() != clients {
+		t.Errorf("engine requests = %d, want %d", e.Requests(), clients)
+	}
+	if st.Shed != 0 {
+		t.Errorf("shed = %d, want 0", st.Shed)
+	}
+}
+
+// TestServerDebugRequests: the flight recorder retains completed requests
+// and /debug/requests/{id} returns a sampled record's full span tree down
+// to per-operator execute spans.
+func TestServerDebugRequests(t *testing.T) {
+	srv := startServer(t, NewEngine(),
+		WithBatchWindow(0), WithFlightRecorder(16, 0)) // slow=0: sample all
+	resp, rr := postRun(t, srv, &RunRequest{
+		Tenant:  "dbg",
+		Script:  "Y = X %*% X",
+		Inputs:  map[string]InputSpec{"X": {Rows: 16, Cols: 16, Rand: &RandSpec{Sparsity: 1, Lo: 0, Hi: 1, Seed: 9}}},
+		Outputs: []string{"Y"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+
+	// List view: record present, newest first, spans stripped.
+	lresp, err := http.Get("http://" + srv.Addr() + "/debug/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lresp.Body.Close()
+	var list struct {
+		Recorded int64            `json:"recorded"`
+		Sampled  int64            `json:"sampled"`
+		Requests []map[string]any `json:"requests"`
+	}
+	if err := json.NewDecoder(lresp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Recorded != 1 || list.Sampled != 1 || len(list.Requests) != 1 {
+		t.Fatalf("list = %+v", list)
+	}
+	if _, leaked := list.Requests[0]["spans"]; leaked {
+		t.Error("list view leaked span trees")
+	}
+
+	// Single record: full span tree, request -> run -> execute -> operator.
+	gresp, err := http.Get("http://" + srv.Addr() + "/debug/requests/" + rr.RequestID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gresp.Body.Close()
+	var rec struct {
+		ID      string `json:"id"`
+		Tenant  string `json:"tenant"`
+		PlanKey string `json:"plan_key"`
+		Status  int    `json:"status"`
+		Sampled bool   `json:"sampled"`
+		Spans   []struct {
+			Name string         `json:"name"`
+			Args map[string]any `json:"args"`
+		} `json:"spans"`
+	}
+	if err := json.NewDecoder(gresp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.ID != rr.RequestID || rec.Tenant != "dbg" || rec.Status != 200 || !rec.Sampled {
+		t.Fatalf("record = %+v", rec)
+	}
+	if rec.PlanKey == "" {
+		t.Error("record has no plan key")
+	}
+	names := map[string]bool{}
+	for _, sp := range rec.Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"request", "run", "compile", "optimize", "execute"} {
+		if !names[want] {
+			t.Errorf("span tree missing %q (have %v)", want, names)
+		}
+	}
+	// At least one per-operator span beyond the fixed phases.
+	if len(rec.Spans) <= 5 {
+		t.Errorf("span tree has no per-operator spans: %d spans", len(rec.Spans))
+	}
+
+	// Unknown ID is a 404.
+	nresp, err := http.Get("http://" + srv.Addr() + "/debug/requests/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nresp.Body.Close()
+	if nresp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown ID: status %d, want 404", nresp.StatusCode)
+	}
+}
+
+// TestServerHealthzDrain: /healthz is text/plain 200 while serving and 503
+// once a drain starts.
+func TestServerHealthzDrain(t *testing.T) {
+	srv := startServer(t, NewEngine())
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; charset=utf-8" {
+		t.Errorf("healthz Content-Type = %q", ct)
+	}
+	srv.draining.Store(true)
+	resp, err = http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz = %d, want 503", resp.StatusCode)
+	}
+	var body bytes.Buffer
+	body.ReadFrom(resp.Body)
+	if body.String() != "draining\n" {
+		t.Errorf("draining body = %q", body.String())
+	}
+}
+
+// TestServerTenantQuantiles: after traffic, /v1/tenants reports non-zero
+// latency quantiles in milliseconds, ordered p50 <= p95 <= p99.
+func TestServerTenantQuantiles(t *testing.T) {
+	e := NewEngine()
+	srv := startServer(t, e, WithBatchWindow(0))
+	for i := 0; i < 5; i++ {
+		resp, _ := postRun(t, srv, &RunRequest{
+			Tenant: "q",
+			Script: "s = sum(X %*% X)",
+			Inputs: map[string]InputSpec{
+				"X": {Rows: 64, Cols: 64, Rand: &RandSpec{Sparsity: 1, Lo: 0, Hi: 1, Seed: int64(i)}},
+			},
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("run %d: status %d", i, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/v1/tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]TenantStats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	st := stats["q"]
+	if st.P50MS <= 0 || st.P95MS <= 0 || st.P99MS <= 0 {
+		t.Fatalf("zero quantiles after traffic: %+v", st)
+	}
+	if st.P50MS > st.P95MS || st.P95MS > st.P99MS {
+		t.Errorf("quantiles not ordered: p50=%g p95=%g p99=%g", st.P50MS, st.P95MS, st.P99MS)
+	}
+}
+
+// TestServerMetricsNegotiation: /metrics is a JSON snapshot by default and
+// Prometheus text exposition when Accept asks for text/plain.
+func TestServerMetricsNegotiation(t *testing.T) {
+	e := NewEngine()
+	srv := startServer(t, e, WithBatchWindow(0))
+	resp, _ := postRun(t, srv, &RunRequest{Tenant: "m", Script: "x = 1 + 1"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+
+	jresp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jresp.Body.Close()
+	if ct := jresp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("default /metrics Content-Type = %q", ct)
+	}
+	var snap struct {
+		Counters map[string]int64   `json:"Counters"`
+		Gauges   map[string]float64 `json:"Gauges"`
+	}
+	if err := json.NewDecoder(jresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["serve.requests"] != 1 {
+		t.Errorf("serve.requests = %d, want 1", snap.Counters["serve.requests"])
+	}
+	if _, ok := snap.Counters[`serve.tenant.requests{tenant="m"}`]; !ok {
+		t.Error("per-tenant counter missing from JSON snapshot")
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, "http://"+srv.Addr()+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	presp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer presp.Body.Close()
+	var body bytes.Buffer
+	body.ReadFrom(presp.Body)
+	text := body.String()
+	if ct := presp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("prom /metrics Content-Type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE serve_requests counter",
+		"serve_requests 1",
+		`serve_tenant_requests{tenant="m"} 1`,
+		"# TYPE serve_request_total_seconds histogram",
+		`serve_request_total_seconds_bucket{le="+Inf"} 1`,
+		"serve_request_total_seconds_count 1",
+		"# TYPE pool_gets counter",
+		"# TYPE plancache_hits counter",
+		"# TYPE par_workers gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus exposition missing %q", want)
+		}
+	}
+}
+
+// TestServerSLOBurn: requests slower than the engine SLO target burn the
+// tenant's SLO counter.
+func TestServerSLOBurn(t *testing.T) {
+	e := NewEngine(WithSLOTarget(time.Nanosecond)) // everything burns
+	srv := startServer(t, e, WithBatchWindow(0))
+	for i := 0; i < 3; i++ {
+		resp, _ := postRun(t, srv, &RunRequest{Tenant: "slo", Script: "x = 1 + 1"})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("run %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if burn := e.Tenant("slo").Stats().SLOBurn; burn != 3 {
+		t.Errorf("SLO burn = %d, want 3", burn)
+	}
+	snap := e.Metrics()
+	if got := snap.Counter(`serve.slo.burn{tenant="slo"}`); got != 3 {
+		t.Errorf("serve.slo.burn metric = %d, want 3", got)
+	}
+	// No target: no burn.
+	e2 := NewEngine()
+	srv2 := startServer(t, e2, WithBatchWindow(0))
+	resp, _ := postRun(t, srv2, &RunRequest{Tenant: "slo", Script: "x = 1 + 1"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if burn := e2.Tenant("slo").Stats().SLOBurn; burn != 0 {
+		t.Errorf("SLO burn without target = %d, want 0", burn)
+	}
+}
+
+// TestServerShedRecorded: shed requests land in the flight recorder as
+// sampled error records.
+func TestServerShedRecorded(t *testing.T) {
+	e := NewEngine(WithTenantQuota(TenantQuota{MaxSessions: 1}))
+	srv := startServer(t, e, WithQueueWait(time.Millisecond), WithBatchWindow(0))
+	tn := e.Tenant("t1")
+	held, err := tn.Acquire(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := postRun(t, srv, &RunRequest{Tenant: "t1", Script: "x = 1 + 1"})
+	tn.Release(held)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	rid := resp.Header.Get("X-Request-ID")
+	rec, ok := srv.FlightRecorder().Get(rid)
+	if !ok {
+		t.Fatalf("shed request %q not in flight recorder", rid)
+	}
+	if rec.Status != http.StatusTooManyRequests || rec.Error == "" || !rec.Sampled {
+		t.Errorf("shed record = %+v", rec)
 	}
 }

@@ -40,6 +40,7 @@ package sysml
 import (
 	"io"
 	"sync"
+	"time"
 
 	"sysml/internal/codegen"
 	"sysml/internal/dist"
@@ -239,14 +240,59 @@ type ScoreRequest = serve.RunRequest
 // ScoreResponse is the /v1/run result returned by a ScoreServer.
 type ScoreResponse = serve.RunResponse
 
+// ScoreServerOption configures a ScoreServer started by ServeEngine; see
+// WithFlightRecorder and WithPprof.
+type ScoreServerOption = serve.ServerOption
+
+// FlightRecorder is the serving path's fixed-size ring of completed
+// request records with tail-sampled trace-span trees; exposed over
+// GET /debug/requests on a ScoreServer.
+type FlightRecorder = obs.FlightRecorder
+
+// RequestRecord is one completed request retained by a FlightRecorder:
+// identity (request ID, tenant, plan key), micro-batch placement, latency
+// split, status, and — for slow or failed requests — the full span tree.
+type RequestRecord = obs.RequestRecord
+
+// WithFlightRecorder resizes a ScoreServer's request flight recorder:
+// keep the last size requests, retaining full trace-span trees for
+// requests slower than slow or that failed (slow <= 0 retains every
+// tree). size < 0 disables recording and request tracing; size 0 keeps
+// the default 256-entry ring.
+func WithFlightRecorder(size int, slow time.Duration) ScoreServerOption {
+	return serve.WithFlightRecorder(size, slow)
+}
+
+// WithPprof mounts Go's net/http/pprof profile handlers on a ScoreServer
+// under /debug/pprof/ (off by default; profiles expose internals).
+func WithPprof() ScoreServerOption { return serve.WithPprof() }
+
+// WithSLOTarget sets an engine-wide per-request total-latency SLO:
+// requests slower than target increment their tenant's SLO burn counter,
+// reported by GET /v1/tenants and the serve.slo.burn metric.
+func WithSLOTarget(target time.Duration) EngineOption {
+	return serve.WithSLOTarget(target)
+}
+
+// WritePrometheus renders a metrics snapshot in the Prometheus text
+// exposition format (counters, gauges, and cumulative histograms). A
+// ScoreServer serves the same rendering from GET /metrics when the
+// request's Accept header asks for text/plain.
+func WritePrometheus(w io.Writer, s MetricsSnapshot) error {
+	return obs.WritePrometheus(w, s)
+}
+
 // ServeEngine starts the multi-tenant scoring server on addr (e.g.
 // "localhost:8080", or "127.0.0.1:0" for an ephemeral port): POST /v1/run
 // submits a script for a tenant with micro-batching of same-plan
-// requests, load shedding (429 + Retry-After) under memory pressure, and
-// per-tenant quotas; GET /v1/tenants and /metrics expose serving state.
-// Close the returned server to stop it (in-flight requests drain).
-func ServeEngine(addr string, e *Engine) (*ScoreServer, error) {
-	return serve.NewServer(addr, e)
+// requests, load shedding (429 + Retry-After) under memory pressure,
+// per-tenant quotas, and an X-Request-ID per request; GET /v1/tenants
+// (latency quantiles, SLO burn), /metrics (JSON, or Prometheus text under
+// Accept: text/plain), and /debug/requests expose serving state. Close
+// the returned server to stop it (in-flight requests drain; /healthz
+// turns 503 while draining).
+func ServeEngine(addr string, e *Engine, opts ...ScoreServerOption) (*ScoreServer, error) {
+	return serve.NewServer(addr, e, opts...)
 }
 
 // Sink receives observability events (explain reports, trace spans) from
