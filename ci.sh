@@ -3,8 +3,9 @@
 # under the race detector, the kernel performance gates (BENCH_kernels.json
 # must report "pass": true), the distributed-backend gates (BENCH_dist.json
 # likewise), the fault-tolerance gates (BENCH_fault.json likewise), the
-# multi-tenant serving gates (BENCH_serve.json likewise), and the serving
-# observability gates (BENCH_serveobs.json likewise).
+# multi-tenant serving gates (BENCH_serve.json likewise), the serving
+# observability gates (BENCH_serveobs.json likewise), and the
+# horizontal-fusion gates (BENCH_hfuse.json likewise).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -53,6 +54,13 @@ go run ./cmd/fusebench -exp serveobs
 if ! grep -q '"pass": true' BENCH_serveobs.json; then
   echo "FAIL: BENCH_serveobs.json gates did not pass" >&2
   cat BENCH_serveobs.json >&2
+  exit 1
+fi
+echo "== horizontal fusion gates (fusebench -exp hfuse) =="
+go run ./cmd/fusebench -exp hfuse
+if ! grep -q '"pass": true' BENCH_hfuse.json; then
+  echo "FAIL: BENCH_hfuse.json gates did not pass" >&2
+  cat BENCH_hfuse.json >&2
   exit 1
 fi
 echo "OK: all CI gates passed"

@@ -1,0 +1,276 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+
+	"sysml/internal/codegen"
+	"sysml/internal/cplan"
+	"sysml/internal/dml"
+	"sysml/internal/matrix"
+	"sysml/internal/par"
+	"sysml/internal/runtime"
+	"sysml/internal/vector"
+)
+
+// hfuseFile is the JSON artifact HFuse writes next to the harness output;
+// CI gates on its "pass" field.
+const hfuseFile = "BENCH_hfuse.json"
+
+// hfuseScript is the flagship sibling workload: three consumers of X that
+// horizontal fusion merges into one scan (column aggregate, full
+// aggregate, cellwise map).
+const hfuseScript = "C = colSums(X)\ns = sum(X^2)\nY = X*3+1\n"
+
+// Horizontal-fusion gate thresholds.
+const (
+	// hfuseMinSpeedup: the merged single-scan plan must beat the same
+	// optimizer with horizontal fusion disabled by at least this factor on
+	// the flagship sibling script (warm plan cache).
+	hfuseMinSpeedup = 1.5
+
+	// hfuseChunkMaxGapPct: the fingerprint-dispatched chunk programs of the
+	// merged operator may be at most this much slower than a hand-written
+	// ideal fused loop over the same data (the JIT-ideal Fig. 10 analog).
+	hfuseChunkMaxGapPct = 10.0
+
+	// hfuseMaxRelErr: merged execution must match unfused Base-mode results
+	// within this relative tolerance.
+	hfuseMaxRelErr = 1e-9
+)
+
+// HFuseResult is the serialized outcome of the horizontal-fusion gates.
+type HFuseResult struct {
+	BaselineMS   float64 `json:"baseline_ms"` // Gen with DisableHFuse
+	MergedMS     float64 `json:"merged_ms"`   // Gen with horizontal fusion
+	Speedup      float64 `json:"speedup"`
+	SpeedupPass  bool    `json:"speedup_pass"` // >= 1.5x
+	IdealMS      float64 `json:"ideal_ms"`     // hand-written fused loop
+	ChunkMS      float64 `json:"chunk_ms"`     // Horizontal skeleton, chunk programs
+	InterpMS     float64 `json:"interp_ms"`    // interpreted genexec reference
+	ChunkGapPct  float64 `json:"chunk_gap_pct"`
+	ChunkPass    bool    `json:"chunk_pass"` // gap < 10%
+	MaxRelErr    float64 `json:"max_rel_err"`
+	EquivPass    bool    `json:"equiv_pass"`     // fused == unfused within 1e-9
+	PlanPass     bool    `json:"plan_pass"`      // merged at scale, declined on tiny input
+	MergedPlan   bool    `json:"merged_plan"`    // flagship explain shows a Horizontal operator
+	DeclinedTiny bool    `json:"declined_tiny"`  // adversarial explain keeps vertical-only plan
+	Pass         bool    `json:"pass"`
+}
+
+// hfuseSession builds a warm session over x for the flagship script.
+func hfuseSession(x *matrix.Matrix, disable bool) *dml.Session {
+	cfg := codegen.DefaultConfig()
+	cfg.DisableHFuse = disable
+	s := dml.NewSession(cfg)
+	s.Out = io.Discard
+	s.Bind("X", x)
+	return s
+}
+
+// hfusePlan is the CPlan of the merged flagship operator: colSums(X),
+// sum(X^2), and X*3+1 as three roots over one main input.
+func hfusePlan() *cplan.Plan {
+	roots := []*cplan.CNode{
+		cplan.Main(0),
+		cplan.Binary(matrix.BinMul, cplan.Main(0), cplan.Main(0)),
+		cplan.Binary(matrix.BinAdd,
+			cplan.Binary(matrix.BinMul, cplan.Main(0), cplan.Lit(3)), cplan.Lit(1)),
+	}
+	return &cplan.Plan{
+		Type:   cplan.TemplateHorizontal,
+		Roots:  roots,
+		AggOps: []matrix.AggOp{matrix.AggSum, matrix.AggSum, matrix.AggSum},
+		HKinds: []cplan.CellType{cplan.CellColAgg, cplan.CellFullAgg, cplan.CellNoAgg},
+	}
+}
+
+// hfuseIdeal is the hand-written ideal fused loop the chunk programs are
+// measured against: one parallel pass producing column sums, the squared
+// sum, and the mapped output.
+func hfuseIdeal(x *matrix.Matrix) {
+	rows, cols := x.Rows, x.Cols
+	xd := x.Dense()
+	y := matrix.NewDenseUninit(rows, cols)
+	yd := y.Dense()
+	nw, _ := par.Chunks(rows, 16)
+	colP := make([][]float64, nw)
+	sumP := make([]float64, nw)
+	par.ForIndexed(rows, 16, func(w, lo, hi int) {
+		cp := colP[w]
+		if cp == nil {
+			cp = make([]float64, cols)
+			colP[w] = cp
+		}
+		acc := 0.0
+		for i := lo; i < hi; i++ {
+			base := i * cols
+			for j := 0; j < cols; j++ {
+				v := xd[base+j]
+				cp[j] += v
+				acc += v * v
+				yd[base+j] = v*3 + 1
+			}
+		}
+		sumP[w] += acc
+	})
+	colSums := matrix.NewDense(1, cols)
+	cd := colSums.Dense()
+	for _, cp := range colP {
+		if cp != nil {
+			vector.Add(cp, cd, 0, 0, cols)
+		}
+	}
+	total := 0.0
+	for _, v := range sumP {
+		total += v
+	}
+	_ = total
+	colSums.Release()
+	y.Release()
+}
+
+// maxRelDiffHF returns the maximum relative element difference of two
+// same-shaped dense results.
+func maxRelDiffHF(a, b *matrix.Matrix) float64 {
+	ad, bd := a.ToDense().Dense(), b.ToDense().Dense()
+	worst := 0.0
+	for i := range ad {
+		d := math.Abs(ad[i] - bd[i])
+		if d == 0 {
+			continue
+		}
+		if s := math.Abs(ad[i]); s > 1 {
+			d /= s
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// HFuse measures the horizontal-fusion tentpole and writes
+// BENCH_hfuse.json:
+//
+//  1. End-to-end speedup of the merged single-scan plan over the same
+//     optimizer with horizontal fusion disabled, flagship sibling script,
+//     warm plan cache (gate: >= 1.5x).
+//  2. The merged operator's fingerprint-dispatched chunk programs vs a
+//     hand-written ideal fused loop (gate: < 10% gap); the interpreted
+//     genexec-style program is reported for reference (the pre-JIT
+//     analog, not gated).
+//  3. Merged results vs unfused Base-mode results (gate: max relative
+//     error < 1e-9).
+//  4. Plan quality: the flagship script at scale must merge (EXPLAIN
+//     shows a Horizontal operator) while an adversarial tiny shared input
+//     must keep the vertical-only plan.
+func HFuse(o Options) *Table {
+	reps := o.Reps
+	if reps < 3 {
+		reps = 3
+	}
+	rows := o.rows(2048)
+	x := matrix.Rand(rows, 2048, 1, -1, 1, 41)
+
+	// --- Gate 1: end-to-end speedup, warm sessions. ---
+	run := func(s *dml.Session) func() {
+		return func() {
+			if err := s.Run(hfuseScript); err != nil {
+				panic(fmt.Sprintf("hfuse bench failed: %v", err))
+			}
+		}
+	}
+	merged := minTime(reps, run(hfuseSession(x, false)))
+	baseline := minTime(reps, run(hfuseSession(x, true)))
+	speedup := float64(baseline) / float64(merged)
+
+	// --- Gate 2: chunk programs vs the ideal fused loop. ---
+	plan := hfusePlan()
+	chunkOp := cplan.Compile(plan, "TMP_HF")
+	interpOp := cplan.CompileInterpreted(plan, "TMP_HFI")
+	execH := func(op *cplan.Operator) func() {
+		return func() {
+			for _, m := range runtime.ExecHorizontal(op, x, nil) {
+				m.Release()
+			}
+		}
+	}
+	chunk := minTime(reps, execH(chunkOp))
+	interp := minTime(reps, execH(interpOp))
+	ideal := minTime(reps, func() { hfuseIdeal(x) })
+	chunkGap := 100 * (float64(chunk) - float64(ideal)) / float64(ideal)
+
+	// --- Gate 3: merged vs unfused results. ---
+	sGen := hfuseSession(x, false)
+	sBase := hfuseSession(x, false)
+	sBase.Config.Mode = codegen.ModeBase
+	run(sGen)()
+	run(sBase)()
+	worst := 0.0
+	for _, name := range []string{"C", "s", "Y"} {
+		a, b := sGen.Env[name], sBase.Env[name]
+		if a == nil || b == nil {
+			worst = math.Inf(1)
+			break
+		}
+		if d := maxRelDiffHF(a, b); d > worst {
+			worst = d
+		}
+	}
+
+	// --- Gate 4: merged at scale, declined on a tiny shared input. ---
+	explain := func(m *matrix.Matrix) string {
+		s := hfuseSession(m, false)
+		text, err := s.Explain(hfuseScript)
+		if err != nil {
+			panic(fmt.Sprintf("hfuse explain failed: %v", err))
+		}
+		return text
+	}
+	mergedPlan := strings.Contains(explain(x), "Horizontal TMP")
+	tiny := matrix.Rand(100, 100, 1, -1, 1, 42)
+	declinedTiny := !strings.Contains(explain(tiny), "Horizontal TMP")
+
+	res := HFuseResult{
+		BaselineMS:   float64(baseline.Nanoseconds()) / 1e6,
+		MergedMS:     float64(merged.Nanoseconds()) / 1e6,
+		Speedup:      speedup,
+		SpeedupPass:  speedup >= hfuseMinSpeedup,
+		IdealMS:      float64(ideal.Nanoseconds()) / 1e6,
+		ChunkMS:      float64(chunk.Nanoseconds()) / 1e6,
+		InterpMS:     float64(interp.Nanoseconds()) / 1e6,
+		ChunkGapPct:  chunkGap,
+		ChunkPass:    chunkGap < hfuseChunkMaxGapPct,
+		MaxRelErr:    worst,
+		EquivPass:    worst < hfuseMaxRelErr,
+		MergedPlan:   mergedPlan,
+		DeclinedTiny: declinedTiny,
+	}
+	res.PlanPass = res.MergedPlan && res.DeclinedTiny
+	res.Pass = res.SpeedupPass && res.ChunkPass && res.EquivPass && res.PlanPass
+	if data, err := json.MarshalIndent(res, "", "  "); err == nil {
+		if err := os.WriteFile(hfuseFile, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(o.Out, "hfuse: cannot write %s: %v\n", hfuseFile, err)
+		}
+	}
+
+	t := &Table{
+		Title:   "Horizontal fusion gates: sibling merge speedup, chunk programs, equivalence, plan quality",
+		Columns: []string{"gate", "baseline", "new", "delta", "pass"},
+	}
+	t.Add("sibling merge", ms(baseline), ms(merged),
+		fmt.Sprintf("%.2fx (need >=%.1fx)", speedup, hfuseMinSpeedup), fmt.Sprintf("%v", res.SpeedupPass))
+	t.Add("chunk vs ideal loop", ms(ideal), ms(chunk),
+		fmt.Sprintf("%+.1f%% (limit <%.0f%%; interp %s)", chunkGap, hfuseChunkMaxGapPct, ms(interp)),
+		fmt.Sprintf("%v", res.ChunkPass))
+	t.Add("fused == unfused", "Base", "Gen",
+		fmt.Sprintf("maxrel %.2g (limit <%.0g)", worst, hfuseMaxRelErr), fmt.Sprintf("%v", res.EquivPass))
+	t.Add("plan quality", fmt.Sprintf("tiny declined=%v", declinedTiny),
+		fmt.Sprintf("scale merged=%v", mergedPlan), "", fmt.Sprintf("%v", res.PlanPass))
+	return t
+}

@@ -83,6 +83,9 @@ var Experiments = []struct {
 	{"serveobs", "Serving observability gates: flight-recorder p99 overhead, trace retention (emits BENCH_serveobs.json)", func(o Options) {
 		ServeObs(o).Print(o.Out)
 	}},
+	{"hfuse", "Horizontal fusion gates: sibling merge speedup, chunk programs vs ideal loop, equivalence, plan quality (emits BENCH_hfuse.json)", func(o Options) {
+		HFuse(o).Print(o.Out)
+	}},
 }
 
 // RunAll executes every experiment.

@@ -65,6 +65,11 @@ type Config struct {
 	// DisableMAgg turns off multi-aggregate combining (ablation).
 	DisableMAgg bool
 
+	// DisableHFuse turns off horizontal sibling fusion (ablation): sibling
+	// operators sharing a dominant input then execute as separate scans
+	// (full aggregates may still combine via the multi-aggregate pass).
+	DisableHFuse bool
+
 	// MaxPointsExact caps the exhaustive search: partitions with more
 	// interesting points than this fall back to the fuse-all opening
 	// heuristic for the overflowing points.

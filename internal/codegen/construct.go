@@ -37,6 +37,11 @@ func construct(d *hop.DAG, m *Memo, parts []*Partition, q map[Edge]bool,
 		done:   map[int64]bool{},
 		inMAgg: map[int64]bool{},
 	}
+	// Horizontal sibling fusion runs first: it can claim row/column
+	// aggregates and cellwise maps the multi-aggregate pass cannot, and it
+	// deliberately leaves pure full-aggregate groups to combineMulti-
+	// Aggregates (which owns the paper's 1×k layout).
+	c.combineHorizontal()
 	c.combineMultiAggregates(merged)
 	for _, p := range parts {
 		for _, r := range p.Roots {
@@ -145,7 +150,7 @@ func (c *constructor) buildAndSplice(h *hop.Hop, entry Entry, r *region) (bool, 
 	if err != nil {
 		return false, nil
 	}
-	c.record(plan.Type.String(), op.ClassName, len(inputs), h.Rows, h.Cols, hit)
+	c.record(plan.Type.String(), op, len(inputs), h.Rows, h.Cols, hit)
 	spoof := c.d.NewSpoof(plan.Type.String(), op, h.Rows, h.Cols, h.Nnz, inputs...)
 	spoof.ExecType = h.ExecType
 	c.predictSpoof(spoof, entry.Type, []*region{r}, h)
@@ -169,14 +174,15 @@ func (c *constructor) compile(p *cplan.Plan) (*cplan.Operator, bool, error) {
 	return op, hit, nil
 }
 
-// record appends one constructed operator to the EXPLAIN report.
-func (c *constructor) record(template, class string, inputs int, rows, cols int64, hit bool) {
+// record appends one constructed operator to the EXPLAIN report, including
+// the specialized chunk-program classes its fingerprint resolved to.
+func (c *constructor) record(template string, op *cplan.Operator, inputs int, rows, cols int64, hit bool) {
 	if c.rep == nil {
 		return
 	}
 	c.rep.Operators = append(c.rep.Operators, OperatorReport{
-		Template: template, ClassName: class, NumInputs: inputs,
-		Rows: rows, Cols: cols, CacheHit: hit,
+		Template: template, ClassName: op.ClassName, NumInputs: inputs,
+		Rows: rows, Cols: cols, CacheHit: hit, Chunks: op.ChunkClasses(),
 	})
 }
 
@@ -361,6 +367,9 @@ func (c *constructor) combineMultiAggregates(p *Partition) {
 	}
 	var cands []*hop.Hop
 	for id := range p.Nodes {
+		if c.done[id] || c.inMAgg[id] {
+			continue // already claimed (e.g. by a horizontal sibling group)
+		}
 		h := c.memo.Hop(id)
 		g := c.memo.Get(id)
 		if g == nil || !g.HasType(cplan.TemplateMAgg) {
@@ -507,7 +516,7 @@ func (c *constructor) buildMAggGroup(group []maggCand) bool {
 		return false
 	}
 	inputs := append([]*hop.Hop{main}, env.sides...)
-	c.record("MAgg", op.ClassName, len(inputs), 1, int64(len(roots)), hit)
+	c.record("MAgg", op, len(inputs), 1, int64(len(roots)), hit)
 	spoof := c.d.NewSpoof("MAgg", op, 1, int64(len(roots)), int64(len(roots)), inputs...)
 	regions := make([]*region, 0, len(group))
 	for _, it := range group {
@@ -640,8 +649,14 @@ func (c *constructor) buildRowPlan(h *hop.Hop, r *region) (*cplan.Plan, []*hop.H
 // rowFusionProfitable weighs a Row operator's per-row dispatch overhead
 // against what fusion saves: materialized interior intermediates and
 // repeated scans of the main input. SystemML's JIT-compiled genexec has no
-// such overhead; a Go row program does, so narrow-row low-compute regions
-// execute faster as bulk kernels and construction declines them.
+// such overhead. A Go row program usually does — unless its fingerprint
+// maps to a specialized whole-row chunk body (row.dot, row.rank1; see the
+// dispatch contract in cplan/chunks.go and runtime.execRowChunk), which
+// runs straight over the vector kernels. The gate keeps the conservative
+// interpreted-dispatch estimate because chunk applicability also depends
+// on runtime operand layout (dense, row-aligned sides) that construction
+// cannot see; fingerprinted regions that clear the gate simply run faster
+// than modeled.
 func (c *constructor) rowFusionProfitable(h *hop.Hop, r *region, main *hop.Hop) bool {
 	m := c.cfg.Costs
 	var interiorBytes float64

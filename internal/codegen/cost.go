@@ -1,6 +1,7 @@
 package codegen
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -22,6 +23,54 @@ func flops(h *hop.Hop) float64 {
 		return float64(h.Cells())
 	}
 	return 0
+}
+
+// hfuseMinGain is the minimum modeled saving (seconds) a horizontal merge
+// must clear before siblings are fused: below it the shared scan is too
+// cheap for the merge to matter and the extra plan surface (a distinct
+// multi-output operator class, wider per-row state) is not worth paying.
+const hfuseMinGain = 1e-5
+
+// horizontalSavings models what merging k siblings over one shared main
+// input saves: the k-1 redundant scans of the main input that separate
+// execution would perform.
+func horizontalSavings(m CostModel, k int, mainBytes float64) float64 {
+	return float64(k-1) * mainBytes / m.ReadBW
+}
+
+// horizontalMixPenalty charges the sparse-safety mixing cost of a merged
+// scan: the fused skeleton iterates non-zeros only when every root is
+// sparse-safe, so merging a sparse-safe sibling with an unsafe one forces
+// the safe sibling's ops over all cells instead of stored entries. Zero
+// for dense mains and for groups with uniform sparse-safety.
+func horizontalMixPenalty(m CostModel, main *hop.Hop, safe []bool, numOps []int) float64 {
+	if !main.IsSparse() {
+		return 0
+	}
+	cells := float64(main.Cells())
+	nnz := cells * main.Sparsity()
+	mergedVisited := nnz
+	for _, s := range safe {
+		if !s {
+			mergedVisited = cells
+			break
+		}
+	}
+	var penalty float64
+	for i, s := range safe {
+		visited := cells
+		if s {
+			visited = nnz
+		}
+		penalty += (mergedVisited - visited) * float64(numOps[i]) / m.ComputeBW
+	}
+	return penalty
+}
+
+// declineReason renders a horizontal cost-gate decline deterministically
+// for the EXPLAIN report.
+func declineReason(saved, gate float64) string {
+	return fmt.Sprintf("modeled saving %.3g s below gate %.3g s", saved, gate)
 }
 
 // Coster evaluates the analytical cost model (§4.3) for a plan partition

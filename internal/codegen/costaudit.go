@@ -60,7 +60,7 @@ func spoofScale(t cplan.TemplateType, inputs []*hop.Hop) float64 {
 		return main.Sparsity()
 	case cplan.TemplateRow:
 		return math.Max(main.Sparsity(), 0.05)
-	default:
+	default: // Cell, MAgg, Horizontal: cell-bound scans of the main input
 		return math.Max(main.Sparsity(), 0.01)
 	}
 }

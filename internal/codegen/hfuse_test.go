@@ -1,0 +1,71 @@
+package codegen_test
+
+import (
+	"testing"
+
+	"sysml/internal/codegen"
+	"sysml/internal/hop"
+	"sysml/internal/matrix"
+	"sysml/internal/rewrite"
+)
+
+// siblingDAG builds the flagship sibling group over one shared input:
+// colSums(X), sum(X^2), X*3+1.
+func siblingDAG(rows, cols int64) *hop.DAG {
+	d := hop.NewDAG()
+	x := d.Read("X", rows, cols, -1)
+	d.Output("C", d.ColSums(x))
+	d.Output("s", d.Sum(d.Binary(matrix.BinMul, x, x)))
+	d.Output("Y", d.Binary(matrix.BinAdd,
+		d.Binary(matrix.BinMul, x, d.Lit(3)), d.Lit(1)))
+	return d
+}
+
+func optimizeSiblings(rows, cols int64, disable bool) []*hop.Hop {
+	cfg := codegen.DefaultConfig()
+	cfg.DisableHFuse = disable
+	d, _ := rewrite.Apply(siblingDAG(rows, cols))
+	d = codegen.Optimize(d, &cfg, codegen.NewPlanCache(true), codegen.NewStats())
+	var spoofs []*hop.Hop
+	for _, h := range hop.TopoOrder(d.Roots()) {
+		if h.Kind == hop.OpSpoof && h.SpoofType == "Horizontal" {
+			spoofs = append(spoofs, h)
+		}
+	}
+	return spoofs
+}
+
+// TestHorizontalConstruction: the sibling group merges into exactly one
+// Horizontal operator at scale, and the merged operator carries the fused
+// whole-group body.
+func TestHorizontalConstruction(t *testing.T) {
+	spoofs := optimizeSiblings(4096, 2048, false)
+	if len(spoofs) != 1 {
+		t.Fatalf("expected one Horizontal operator, got %d", len(spoofs))
+	}
+	op, ok := spoofs[0].Spoof.(interface{ ChunkClasses() []string })
+	if !ok {
+		t.Fatal("Horizontal spoof payload has no chunk classes")
+	}
+	fused := false
+	for _, c := range op.ChunkClasses() {
+		if c == "horiz.fused" {
+			fused = true
+		}
+	}
+	if !fused {
+		t.Fatalf("merged operator must carry the fused body, classes %v", op.ChunkClasses())
+	}
+}
+
+// TestHorizontalAdversarialDeclines: the cost gate must keep the vertical
+// plan on a tiny shared input, and DisableHFuse must suppress merging at
+// any scale.
+func TestHorizontalAdversarialDeclines(t *testing.T) {
+	if n := len(optimizeSiblings(64, 64, false)); n != 0 {
+		t.Fatalf("tiny input must decline horizontal fusion, got %d operators", n)
+	}
+	if n := len(optimizeSiblings(4096, 2048, true)); n != 0 {
+		t.Fatalf("DisableHFuse must suppress merging, got %d operators", n)
+	}
+}

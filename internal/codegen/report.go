@@ -20,6 +20,10 @@ type PlanReport struct {
 	HopsAfter  string
 	Partitions []PartitionReport
 	Operators  []OperatorReport
+	// Horizontal records the sibling-group decisions of the horizontal
+	// fusion pass: merged groups with their chosen chunk-program classes,
+	// and declined groups with the cost-gate reason.
+	Horizontal []HorizontalGroup
 	// Plan-cache activity attributable to this Optimize call (deltas of the
 	// session cache's lifetime counters).
 	CacheHits      int64
@@ -48,13 +52,27 @@ type PartitionReport struct {
 	EstCost float64
 }
 
-// OperatorReport describes one constructed fused operator.
+// OperatorReport describes one constructed fused operator. Chunks lists
+// the specialized chunk-program classes the operator's structural
+// fingerprint resolved to (empty when execution falls back to the
+// interpreted genexec-style program).
 type OperatorReport struct {
 	Template   string
 	ClassName  string
 	NumInputs  int
 	Rows, Cols int64
 	CacheHit   bool
+	Chunks     []string
+}
+
+// HorizontalGroup is one sibling-group decision of the horizontal fusion
+// pass (merged or declined), rendered in the EXPLAIN HORIZONTAL section.
+type HorizontalGroup struct {
+	Main    string   // dominant shared input
+	Members []string // the sibling operators considered
+	Chunks  []string // chunk classes of the merged operator's roots
+	Merged  bool
+	Reason  string // cost-gate decline reason (empty when merged)
 }
 
 // FusedOperators counts constructed operators by template type, rendered
@@ -96,14 +114,33 @@ func (r *PlanReport) String() string {
 			fmt.Fprintf(&b, "  estimated cost: %.3g\n", p.EstCost)
 		}
 	}
+	if len(r.Horizontal) > 0 {
+		fmt.Fprintf(&b, "HORIZONTAL: %d sibling groups\n", len(r.Horizontal))
+		for _, g := range r.Horizontal {
+			if g.Merged {
+				fmt.Fprintf(&b, "  merged [%s] over %s", strings.Join(g.Members, "; "), g.Main)
+				if len(g.Chunks) > 0 {
+					fmt.Fprintf(&b, " chunks [%s]", strings.Join(g.Chunks, ", "))
+				}
+				b.WriteString("\n")
+			} else {
+				fmt.Fprintf(&b, "  declined [%s] over %s: %s\n",
+					strings.Join(g.Members, "; "), g.Main, g.Reason)
+			}
+		}
+	}
 	fmt.Fprintf(&b, "fused operators: %s\n", r.FusedOperators())
 	for _, op := range r.Operators {
 		hit := ""
 		if op.CacheHit {
 			hit = " [cache hit]"
 		}
-		fmt.Fprintf(&b, "  %s %s: %d inputs, %dx%d output%s\n",
+		fmt.Fprintf(&b, "  %s %s: %d inputs, %dx%d output%s",
 			op.Template, op.ClassName, op.NumInputs, op.Rows, op.Cols, hit)
+		if len(op.Chunks) > 0 {
+			fmt.Fprintf(&b, " chunks [%s]", strings.Join(op.Chunks, ", "))
+		}
+		b.WriteString("\n")
 	}
 	if r.CacheHits+r.CacheMisses+r.CacheEvictions > 0 {
 		fmt.Fprintf(&b, "plan cache: %d hits, %d misses, %d evictions\n",

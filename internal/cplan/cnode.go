@@ -18,15 +18,19 @@ import (
 // (paper Table 1).
 type TemplateType int
 
-// The four template types.
+// The four paper template types, plus the horizontal multi-output variant:
+// TemplateHorizontal fuses sibling cell-bound plans over one shared main
+// input into a single pass producing several outputs of mixed aggregation
+// kinds (per-root HKinds), generalizing MAgg beyond full aggregates.
 const (
 	TemplateCell TemplateType = iota
 	TemplateRow
 	TemplateMAgg
 	TemplateOuter
+	TemplateHorizontal
 )
 
-var templateNames = [...]string{"Cell", "Row", "MAgg", "Outer"}
+var templateNames = [...]string{"Cell", "Row", "MAgg", "Outer", "Horizontal"}
 
 func (t TemplateType) String() string { return templateNames[t] }
 
@@ -183,11 +187,15 @@ type Plan struct {
 	Row  RowType
 	Out  OuterType
 
-	// Root is the cell/row function; for MAgg, Roots holds one function per
-	// aggregate and AggOps their aggregation functions.
+	// Root is the cell/row function; for MAgg and Horizontal, Roots holds
+	// one function per output and AggOps their aggregation functions.
 	Root   *CNode
 	Roots  []*CNode
 	AggOps []matrix.AggOp
+
+	// HKinds gives each Horizontal root its output kind (NoAgg map,
+	// row/col/full aggregate); AggOps entries for NoAgg roots are unused.
+	HKinds []CellType
 
 	// AggOp is the aggregation function for aggregating Cell variants.
 	AggOp matrix.AggOp
@@ -211,6 +219,9 @@ func (p *Plan) Hash() uint64 {
 	}
 	for i, r := range p.Roots {
 		fmt.Fprintf(&b, "|agg%d:%d:", i, p.AggOps[i])
+		if i < len(p.HKinds) {
+			fmt.Fprintf(&b, "h%d:", p.HKinds[i])
+		}
 		writeNode(&b, r)
 	}
 	h.Write([]byte(b.String()))

@@ -21,13 +21,28 @@ type Operator struct {
 	Source    string
 
 	CellFn  CellFunc   // Cell and Outer genexec
-	MAggFns []CellFunc // MAgg: one genexec per aggregate
+	MAggFns []CellFunc // MAgg/Horizontal: one genexec per output
 	RowProg *RowProgram
 	// VecProg is the vectorized chunk form of a Cell plan and MAggVecs the
-	// per-aggregate forms of a MAgg plan (nil when the access pattern
-	// requires per-cell evaluation).
+	// per-output forms of a MAgg/Horizontal plan (nil when the access
+	// pattern requires per-cell evaluation).
 	VecProg  *CellVecProgram
 	MAggVecs []*CellVecProgram
+
+	// Fingerprint is the canonical structural fingerprint (fingerprint.go)
+	// and Chunk/MAggChunks/RowChunk the specialized AOT bodies it selected
+	// at compile time (nil entries fall back to the interpreted programs
+	// above). See chunks.go for the dispatch contract.
+	Fingerprint string
+	Chunk       *ChunkProgram
+	MAggChunks  []*ChunkProgram
+	RowChunk    *RowChunkProgram
+
+	// HFused is the whole-group fused body of a Horizontal plan: one
+	// specialized loop covering every root at once (hfused.go). Nil when any
+	// root falls outside the affine normal form; the skeleton then uses the
+	// per-root programs above.
+	HFused *HFusedProgram
 }
 
 // Compile translates a CPlan into an executable Operator. This is the fast
@@ -39,15 +54,26 @@ func Compile(p *Plan, className string) *Operator {
 		op.CellFn = compileCell(p.Root)
 		if p.Type == TemplateCell {
 			op.VecProg = CompileCellVec(p.Root)
+			op.Chunk = BuildChunk(p.Root, p.Cell, p.AggOp)
 		}
 	case TemplateMAgg:
 		for _, r := range p.Roots {
 			op.MAggFns = append(op.MAggFns, compileCell(r))
 			op.MAggVecs = append(op.MAggVecs, CompileCellVec(r))
+			op.MAggChunks = append(op.MAggChunks, BuildChunk(r, CellFullAgg, p.AggOps[len(op.MAggFns)-1]))
 		}
+	case TemplateHorizontal:
+		for i, r := range p.Roots {
+			op.MAggFns = append(op.MAggFns, compileCell(r))
+			op.MAggVecs = append(op.MAggVecs, CompileCellVec(r))
+			op.MAggChunks = append(op.MAggChunks, BuildChunk(r, p.HKinds[i], p.AggOps[i]))
+		}
+		op.HFused = BuildHFused(p)
 	case TemplateRow:
 		op.RowProg = compileRow(p)
+		op.RowChunk = buildRowChunk(op.RowProg)
 	}
+	op.Fingerprint = p.Fingerprint()
 	op.Source = Render(p, className)
 	return op
 }

@@ -1,0 +1,217 @@
+package cplan
+
+import "sysml/internal/matrix"
+
+// Fused horizontal chunk programs: when every root of a Horizontal plan
+// reduces to an affine form of the main cell, the whole sibling group
+// collapses into ONE specialized per-element loop — the ideal fused body a
+// JIT would emit. The key identity is that every affine-based aggregate is
+// a closed form over the power sums S1=Σx and S2=Σx²:
+//
+//	Σ (a·x+b)        = a·S1 + b·n
+//	Σ (a·x+b)²       = a²·S2 + 2ab·S1 + b²·n
+//	Σ a2·(a1·x+b1)²+b2 = a2a1²·S2 + 2a2a1b1·S1 + (a2b1²+b2)·n
+//
+// so one loop per row computes v, S1, S2, an optional column-sum
+// accumulation, and up to two map outputs — however many sibling
+// aggregates ride on top. Per-root dispatch (chunks.go) re-reads the main
+// input once per root; on compute-bound scalar loops those re-reads cost
+// full passes, which is exactly what this fusion removes.
+//
+// Groups that do not fit (a non-affine root, side inputs, min/max
+// aggregates, more than one column root or two map roots) keep the
+// per-root dispatch path; selection is transparent to results.
+
+// hfAgg is one full or row aggregate root in closed form over S1/S2:
+// result = A·S1 + B·S2 + C·n (n = cells aggregated).
+type hfAgg struct {
+	Root    int
+	Row     bool // per-row result (RowAgg) vs grand total (FullAgg)
+	A, B, C float64
+}
+
+// hfMap is one NoAgg map root: dst = A·x + B.
+type hfMap struct {
+	Root int
+	A, B float64
+}
+
+// hfCol is the column-aggregate root: part[j] += A·x + B per row.
+type hfCol struct {
+	Root int
+	A, B float64
+}
+
+// HFusedRowFn processes one main row [base,base+n): accumulates the
+// column partials and writes the map destinations in place, and returns
+// the row's power sums for the aggregate closed forms. col is nil when the
+// program has no column root; dsts holds one full-size destination per map
+// slot (in hfMap order), addressed at absolute offsets.
+type HFusedRowFn func(md []float64, base, n int, col []float64, dsts [][]float64) (s1, s2 float64)
+
+// HFusedProgram is the fused whole-group body of a Horizontal plan.
+type HFusedProgram struct {
+	Class string // fingerprint class of the fused body ("horiz.fused")
+	Cols  []hfCol
+	Aggs  []hfAgg
+	Maps  []hfMap
+	Row   HFusedRowFn
+}
+
+// hfAggForm reduces an aggregate root to the S1/S2 closed form.
+func hfAggForm(f cform, agg matrix.AggOp) (a, b, c float64, ok bool) {
+	if f.isConst || f.had >= 0 {
+		return 0, 0, 0, false
+	}
+	switch agg {
+	case matrix.AggSum:
+		switch f.g {
+		case gNone:
+			af, bf, _ := f.affine()
+			return af, 0, bf, true
+		case gPow2:
+			// Σ [a2(a1x+b1)² + b2]
+			return 2 * f.a2 * f.a1 * f.b1, f.a2 * f.a1 * f.a1, f.a2*f.b1*f.b1 + f.b2, true
+		}
+	case matrix.AggSumSq:
+		af, bf, ok := f.affine()
+		if !ok {
+			return 0, 0, 0, false
+		}
+		// Σ (a·x+b)²
+		return 2 * af * bf, af * af, bf * bf, true
+	}
+	return 0, 0, 0, false
+}
+
+// BuildHFused returns the fused whole-group body for a Horizontal plan, or
+// nil when any root falls outside the affine normal form the fused loop
+// can express.
+func BuildHFused(p *Plan) *HFusedProgram {
+	if p.Type != TemplateHorizontal {
+		return nil
+	}
+	h := &HFusedProgram{Class: "horiz.fused"}
+	for q, root := range p.Roots {
+		f, ok := normalizeCell(root)
+		if !ok || f.isConst {
+			return nil
+		}
+		switch p.HKinds[q] {
+		case CellNoAgg:
+			a, b, ok := f.affine()
+			if !ok {
+				return nil
+			}
+			h.Maps = append(h.Maps, hfMap{Root: q, A: a, B: b})
+		case CellColAgg:
+			a, b, ok := f.affine()
+			if !ok || p.AggOps[q] != matrix.AggSum {
+				return nil
+			}
+			h.Cols = append(h.Cols, hfCol{Root: q, A: a, B: b})
+		case CellFullAgg, CellRowAgg:
+			a, b, c, ok := hfAggForm(f, p.AggOps[q])
+			if !ok {
+				return nil
+			}
+			h.Aggs = append(h.Aggs, hfAgg{Root: q, Row: p.HKinds[q] == CellRowAgg, A: a, B: b, C: c})
+		default:
+			return nil
+		}
+	}
+	// The hand-written loop variants cover one column root and two map
+	// roots; wider groups keep per-root dispatch.
+	if len(h.Cols) > 1 || len(h.Maps) > 2 {
+		return nil
+	}
+	h.Row = buildHFusedRow(h)
+	return h
+}
+
+// buildHFusedRow selects the specialized inner loop for the program's
+// shape. Every variant computes the power sums (two fused multiply-adds —
+// cheap next to the loads they share); branching on the shape happens here,
+// once, never inside the element loop.
+func buildHFusedRow(h *HFusedProgram) HFusedRowFn {
+	var cA, cB float64
+	if len(h.Cols) == 1 {
+		cA, cB = h.Cols[0].A, h.Cols[0].B
+	}
+	var m1A, m1B, m2A, m2B float64
+	if len(h.Maps) >= 1 {
+		m1A, m1B = h.Maps[0].A, h.Maps[0].B
+	}
+	if len(h.Maps) == 2 {
+		m2A, m2B = h.Maps[1].A, h.Maps[1].B
+	}
+	switch {
+	case len(h.Cols) == 1 && len(h.Maps) == 0:
+		return func(md []float64, base, n int, col []float64, _ [][]float64) (s1, s2 float64) {
+			for j := 0; j < n; j++ {
+				v := md[base+j]
+				s1 += v
+				s2 += v * v
+				col[j] += cA*v + cB
+			}
+			return
+		}
+	case len(h.Cols) == 1 && len(h.Maps) == 1:
+		return func(md []float64, base, n int, col []float64, dsts [][]float64) (s1, s2 float64) {
+			d := dsts[0]
+			for j := 0; j < n; j++ {
+				v := md[base+j]
+				s1 += v
+				s2 += v * v
+				col[j] += cA*v + cB
+				d[base+j] = m1A*v + m1B
+			}
+			return
+		}
+	case len(h.Cols) == 1 && len(h.Maps) == 2:
+		return func(md []float64, base, n int, col []float64, dsts [][]float64) (s1, s2 float64) {
+			d1, d2 := dsts[0], dsts[1]
+			for j := 0; j < n; j++ {
+				v := md[base+j]
+				s1 += v
+				s2 += v * v
+				col[j] += cA*v + cB
+				d1[base+j] = m1A*v + m1B
+				d2[base+j] = m2A*v + m2B
+			}
+			return
+		}
+	case len(h.Maps) == 1:
+		return func(md []float64, base, n int, _ []float64, dsts [][]float64) (s1, s2 float64) {
+			d := dsts[0]
+			for j := 0; j < n; j++ {
+				v := md[base+j]
+				s1 += v
+				s2 += v * v
+				d[base+j] = m1A*v + m1B
+			}
+			return
+		}
+	case len(h.Maps) == 2:
+		return func(md []float64, base, n int, _ []float64, dsts [][]float64) (s1, s2 float64) {
+			d1, d2 := dsts[0], dsts[1]
+			for j := 0; j < n; j++ {
+				v := md[base+j]
+				s1 += v
+				s2 += v * v
+				d1[base+j] = m1A*v + m1B
+				d2[base+j] = m2A*v + m2B
+			}
+			return
+		}
+	default: // aggregates only
+		return func(md []float64, base, n int, _ []float64, _ [][]float64) (s1, s2 float64) {
+			for j := 0; j < n; j++ {
+				v := md[base+j]
+				s1 += v
+				s2 += v * v
+			}
+			return
+		}
+	}
+}

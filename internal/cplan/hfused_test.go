@@ -1,0 +1,215 @@
+package cplan
+
+import (
+	"math"
+	"testing"
+
+	"sysml/internal/matrix"
+)
+
+func hTestPlan(kinds []CellType, aggs []matrix.AggOp, roots ...*CNode) *Plan {
+	return &Plan{Type: TemplateHorizontal, Roots: roots, HKinds: kinds, AggOps: aggs}
+}
+
+// TestBuildHFusedEligibility walks the accept/decline boundary of the
+// fused whole-group body.
+func TestBuildHFusedEligibility(t *testing.T) {
+	axpy := Binary(matrix.BinAdd, Binary(matrix.BinMul, Main(0), Lit(3)), Lit(1))
+	sq := Binary(matrix.BinMul, Main(0), Main(0))
+	sums := []matrix.AggOp{matrix.AggSum, matrix.AggSum, matrix.AggSum}
+
+	// Flagship affine group: accepted with one col, one full agg, one map.
+	h := BuildHFused(hTestPlan(
+		[]CellType{CellColAgg, CellFullAgg, CellNoAgg}, sums, Main(0), sq, axpy))
+	if h == nil || len(h.Cols) != 1 || len(h.Aggs) != 1 || len(h.Maps) != 1 {
+		t.Fatalf("flagship group must fuse: %+v", h)
+	}
+	if h.Class != "horiz.fused" {
+		t.Fatalf("class = %q", h.Class)
+	}
+	// sum(X*X) reduces to S2: A=0, B=1, C=0.
+	if a := h.Aggs[0]; a.A != 0 || a.B != 1 || a.C != 0 {
+		t.Fatalf("sum(X^2) closed form = %+v", a)
+	}
+
+	declines := []struct {
+		name  string
+		kinds []CellType
+		aggs  []matrix.AggOp
+		roots []*CNode
+	}{
+		{"non-affine root", []CellType{CellColAgg, CellFullAgg},
+			sums[:2], []*CNode{Main(0), Unary(matrix.UnExp, Main(0))}},
+		{"side input", []CellType{CellColAgg, CellFullAgg},
+			sums[:2], []*CNode{Main(0), Binary(matrix.BinMul, Main(0), Side(0, AccessCell, 0))}},
+		{"min aggregate", []CellType{CellColAgg, CellFullAgg},
+			[]matrix.AggOp{matrix.AggSum, matrix.AggMin}, []*CNode{Main(0), Main(0)}},
+		{"two column roots", []CellType{CellColAgg, CellColAgg},
+			sums[:2], []*CNode{Main(0), sq}},
+		{"three map roots", []CellType{CellColAgg, CellNoAgg, CellNoAgg, CellNoAgg},
+			append(sums[:3:3], matrix.AggSum),
+			[]*CNode{Main(0), axpy, Binary(matrix.BinMul, Main(0), Lit(2)), Main(0)}},
+	}
+	for _, d := range declines {
+		if BuildHFused(hTestPlan(d.kinds, d.aggs, d.roots...)) != nil {
+			t.Fatalf("%s must decline the fused body", d.name)
+		}
+	}
+	// Non-horizontal plans never fuse.
+	if BuildHFused(&Plan{Type: TemplateCell, Root: Main(0), Cell: CellNoAgg}) != nil {
+		t.Fatal("non-horizontal plan must decline")
+	}
+}
+
+// TestHFusedRowClosedForms drives each specialized row variant directly and
+// checks power sums, column partials, and map outputs against per-element
+// evaluation.
+func TestHFusedRowClosedForms(t *testing.T) {
+	axpy := Binary(matrix.BinAdd, Binary(matrix.BinMul, Main(0), Lit(3)), Lit(1))
+	neg := Binary(matrix.BinSub, Lit(0), Main(0))
+	sq := Binary(matrix.BinMul, Main(0), Main(0))
+	variants := []struct {
+		name  string
+		kinds []CellType
+		roots []*CNode
+	}{
+		{"col", []CellType{CellColAgg}, []*CNode{axpy}},
+		{"col+map", []CellType{CellColAgg, CellNoAgg}, []*CNode{axpy, neg}},
+		{"col+2map", []CellType{CellColAgg, CellNoAgg, CellNoAgg}, []*CNode{Main(0), axpy, neg}},
+		{"map", []CellType{CellNoAgg}, []*CNode{axpy}},
+		{"2map", []CellType{CellNoAgg, CellNoAgg}, []*CNode{axpy, neg}},
+		{"agg-only", []CellType{CellFullAgg}, []*CNode{sq}},
+	}
+	md := []float64{0.5, -1.25, 2, 0, 3.5, -0.75}
+	for _, vt := range variants {
+		aggs := make([]matrix.AggOp, len(vt.roots))
+		for i := range aggs {
+			aggs[i] = matrix.AggSum
+		}
+		h := BuildHFused(hTestPlan(vt.kinds, aggs, vt.roots...))
+		if h == nil {
+			t.Fatalf("%s: must fuse", vt.name)
+		}
+		var col []float64
+		if len(h.Cols) == 1 {
+			col = make([]float64, len(md))
+		}
+		dsts := make([][]float64, len(h.Maps))
+		for i := range dsts {
+			dsts[i] = make([]float64, len(md))
+		}
+		s1, s2 := h.Row(md, 0, len(md), col, dsts)
+		ws1, ws2 := 0.0, 0.0
+		for _, v := range md {
+			ws1 += v
+			ws2 += v * v
+		}
+		if math.Abs(s1-ws1) > 1e-12 || math.Abs(s2-ws2) > 1e-12 {
+			t.Fatalf("%s: power sums (%v,%v) want (%v,%v)", vt.name, s1, s2, ws1, ws2)
+		}
+		ctx := NewCtx(nil)
+		for mi, m := range h.Maps {
+			fn := compileCell(vt.roots[m.Root])
+			for j, v := range md {
+				want := fn(ctx, v, 0, j)
+				if math.Abs(dsts[mi][j]-want) > 1e-12 {
+					t.Fatalf("%s map %d cell %d: got %v want %v", vt.name, mi, j, dsts[mi][j], want)
+				}
+			}
+		}
+		if len(h.Cols) == 1 {
+			fn := compileCell(vt.roots[h.Cols[0].Root])
+			for j, v := range md {
+				want := fn(ctx, v, 0, j)
+				if math.Abs(col[j]-want) > 1e-12 {
+					t.Fatalf("%s col cell %d: got %v want %v", vt.name, j, col[j], want)
+				}
+			}
+		}
+	}
+}
+
+// TestFingerprintNoCollisions pins the fingerprint→chunk contract: a
+// fingerprint fully determines the specialized body's behavior, so plans
+// differing only in constants, aggregation op, or output kind must NOT
+// collide — and plans with equal fingerprints must compile to behaviorally
+// identical chunk programs (safe to share across plan-cache entries).
+func TestFingerprintNoCollisions(t *testing.T) {
+	mk := func(a, b float64) *Plan {
+		root := Binary(matrix.BinAdd, Binary(matrix.BinMul, Main(0), Lit(a)), Lit(b))
+		return &Plan{Type: TemplateCell, Cell: CellNoAgg, Root: root}
+	}
+	p1, p2, p1b := mk(3, 1), mk(5, 2), mk(3, 1)
+	op1, op2, op1b := Compile(p1, "TMPA"), Compile(p2, "TMPB"), Compile(p1b, "TMPA2")
+	// Different constants feed the specialized body, so they must separate
+	// the fingerprints (a collision here would let a cached chunk compute
+	// with the wrong coefficients).
+	if op1.Fingerprint == op2.Fingerprint {
+		t.Fatalf("constant-divergent plans must not collide: %q", op1.Fingerprint)
+	}
+	if op1.Fingerprint != op1b.Fingerprint {
+		t.Fatalf("identical plans must share a fingerprint: %q vs %q",
+			op1.Fingerprint, op1b.Fingerprint)
+	}
+	// Equal fingerprints → behaviorally identical chunk programs.
+	if op1.Chunk == nil || op1b.Chunk == nil {
+		t.Fatal("affine maps must select chunk programs")
+	}
+	in := []float64{1, -2, 0.5}
+	d1 := make([]float64, len(in))
+	d1b := make([]float64, len(in))
+	ctx := NewCtx(nil)
+	op1.Chunk.Map(ctx, in, d1, 0, 0, len(in))
+	op1b.Chunk.Map(ctx, in, d1b, 0, 0, len(in))
+	for i, v := range in {
+		if math.Abs(d1[i]-(v*3+1)) > 1e-12 || d1[i] != d1b[i] {
+			t.Fatalf("equal-fingerprint chunks diverged: %v vs %v", d1, d1b)
+		}
+	}
+	// Same root, different aggregation semantics must also separate.
+	agg := func(op matrix.AggOp) string {
+		return Compile(&Plan{Type: TemplateCell, Cell: CellFullAgg, AggOp: op,
+			Root: Main(0)}, "TMPG").Fingerprint
+	}
+	if agg(matrix.AggSum) == agg(matrix.AggMin) {
+		t.Fatal("sum vs min over the same root must not collide")
+	}
+	// Horizontal groups: constants separate, and each fused body bakes the
+	// coefficients of its own plan.
+	mkH := func(a, b float64) *Plan {
+		return hTestPlan([]CellType{CellColAgg, CellNoAgg},
+			[]matrix.AggOp{matrix.AggSum, matrix.AggSum},
+			Main(0),
+			Binary(matrix.BinAdd, Binary(matrix.BinMul, Main(0), Lit(a)), Lit(b)))
+	}
+	h1, h2 := Compile(mkH(3, 1), "TMPH1"), Compile(mkH(5, 2), "TMPH2")
+	if h1.Fingerprint == h2.Fingerprint {
+		t.Fatal("constant-divergent horizontal groups must not collide")
+	}
+	if h1.HFused.Maps[0].A != 3 || h2.HFused.Maps[0].A != 5 {
+		t.Fatalf("fused bodies must bake their own constants: %v vs %v",
+			h1.HFused.Maps[0], h2.HFused.Maps[0])
+	}
+}
+
+// TestChunkClassesIncludesFused: the dispatch-counter classes of a fused
+// horizontal operator include the whole-group class alongside the per-root
+// classes.
+func TestChunkClassesIncludesFused(t *testing.T) {
+	p := hTestPlan([]CellType{CellColAgg, CellFullAgg},
+		[]matrix.AggOp{matrix.AggSum, matrix.AggSum},
+		Main(0), Binary(matrix.BinMul, Main(0), Main(0)))
+	op := Compile(p, "TMPC")
+	found := false
+	for _, c := range op.ChunkClasses() {
+		if c == "horiz.fused" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ChunkClasses() = %v, want horiz.fused present", op.ChunkClasses())
+	}
+	if ip := CompileInterpreted(p, "TMPCI"); len(ip.ChunkClasses()) != 0 {
+		t.Fatalf("interpreted operator must have no chunk classes, got %v", ip.ChunkClasses())
+	}
+}

@@ -104,11 +104,59 @@ func (s *Session) BindScalar(name string, v float64) { s.setEnv(name, matrix.New
 // recycled or mutated out from under a cached handle, so reusing it would
 // serve stale data. (The matrix may still reach executors through another
 // binding — that costs a conservative re-broadcast, never wrong results.)
+//
+// A session-owned previous result that no other variable references is
+// released back to the buffer pool: re-running a block would otherwise
+// leak every overwritten output to GC and large re-allocations would miss
+// the pool. This extends the Reset contract — a matrix retrieved via Get
+// becomes invalid once its variable is reassigned by a later Run.
 func (s *Session) setEnv(name string, m *matrix.Matrix) {
-	if old, ok := s.Env[name]; ok && old != m && s.Dist != nil {
-		s.Dist.Invalidate(old)
+	old, ok := s.Env[name]
+	if ok && old != m {
+		if s.Dist != nil {
+			s.Dist.Invalidate(old)
+		}
+		if !s.bound[old] && !s.envRefs(name, old) {
+			old.Release()
+		}
 	}
 	s.Env[name] = m
+}
+
+// setEnvAll rebinds a block's whole output set, then releases overwritten
+// session-owned results that no variable references anymore. The release
+// must run after every assignment: an output may itself be the previous
+// matrix of a different name (tmp = Y alongside Y = Y + 1), so releasing
+// per-assignment could recycle storage a pending binding still needs.
+func (s *Session) setEnvAll(out map[string]*matrix.Matrix) {
+	orphans := map[*matrix.Matrix]bool{}
+	for name, m := range out {
+		if old, ok := s.Env[name]; ok && old != m {
+			if s.Dist != nil {
+				s.Dist.Invalidate(old)
+			}
+			if !s.bound[old] {
+				orphans[old] = true
+			}
+		}
+		s.Env[name] = m
+	}
+	for old := range orphans {
+		if !s.envRefs("", old) {
+			old.Release()
+		}
+	}
+}
+
+// envRefs reports whether any variable other than name is bound to m (an
+// aliased result must survive the overwrite of one of its names).
+func (s *Session) envRefs(name string, m *matrix.Matrix) bool {
+	for n, v := range s.Env {
+		if n != name && v == m {
+			return true
+		}
+	}
+	return false
 }
 
 // Reset releases the session's pooled intermediates back to its buffer
@@ -388,6 +436,13 @@ func (s *Session) Metrics() obs.Snapshot {
 			snap.Gauges["plancache.hitrate"] = float64(hits) / float64(lookups)
 		}
 		snap.Gauges["plancache.size"] = float64(s.Cache.Size())
+		// Chunk-program admission: compiles whose fingerprint resolved to a
+		// specialized chunk body, by fingerprint class, vs generic fallbacks.
+		byClass, chunkMisses := s.Cache.ChunkCounters()
+		for class, n := range byClass {
+			snap.Counters["codegen.chunk.hit."+class] = n
+		}
+		snap.Counters["codegen.chunk.miss"] = chunkMisses
 	}
 	snap.Counters["block.optimized"] = s.Blocks
 	snap.Counters["block.reused"] = s.BlockCacheHits
@@ -616,9 +671,7 @@ func (s *Session) runBlock(ctx context.Context, root obs.Span, stmts []Stmt) err
 	if err != nil {
 		return err
 	}
-	for name, m := range out {
-		s.setEnv(name, m)
-	}
+	s.setEnvAll(out)
 	for _, po := range prints {
 		line := ""
 		for _, part := range po.parts {

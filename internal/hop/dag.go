@@ -273,6 +273,19 @@ func (d *DAG) NewSpoof(spoofType string, op any, rows, cols, nnz int64, inputs .
 	return h
 }
 
+// SpoofOut extracts output k of a multi-output fused operator (horizontal
+// template): the spoof hop computes every sibling output in one pass and
+// SpoofOut nodes hand each one to its consumers with its own dimensions.
+func (d *DAG) SpoofOut(spoof *Hop, k int, rows, cols, nnz int64) *Hop {
+	h := d.newHop(OpSpoofOut, spoof)
+	h.OutIdx = k
+	h.Rows, h.Cols, h.Nnz = rows, cols, nnz
+	if nnz < 0 {
+		h.Nnz = rows * cols
+	}
+	return h
+}
+
 func nnzOrDense(h *Hop) int64 {
 	if h.Nnz < 0 {
 		return h.Cells()

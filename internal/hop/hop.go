@@ -34,11 +34,12 @@ const (
 	OpDiag                      // diagonal extract/expand
 	OpCumsum                    // column-wise prefix sums
 	OpSpoof                     // generated fused operator
+	OpSpoofOut                  // output extractor of a multi-output fused operator
 )
 
 var kindNames = [...]string{
 	"data", "lit", "datagen", "b", "u", "ua", "ba(+*)", "r(t)", "rix",
-	"cbind", "rbind", "rowIndexMax", "diag", "cumsum", "spoof",
+	"cbind", "rbind", "rowIndexMax", "diag", "cumsum", "spoof", "spoofOut",
 }
 
 func (k OpKind) String() string { return kindNames[k] }
@@ -95,6 +96,7 @@ type Hop struct {
 	ExecType  ExecType
 	Spoof     any // compiled fused operator (set by codegen)
 	SpoofType string
+	OutIdx    int // OpSpoofOut: which output of the multi-output input
 
 	// Cost-model predictions, annotated by codegen after optimization and
 	// consumed by the runtime's cost-audit ledger (internal/obs.Audit).
@@ -167,6 +169,8 @@ func (h *Hop) String() string {
 		return fmt.Sprintf("ua(%s%v)", dir, h.AggOp)
 	case OpSpoof:
 		return fmt.Sprintf("spoof(%s)", h.SpoofType)
+	case OpSpoofOut:
+		return fmt.Sprintf("spoofOut[%d]", h.OutIdx)
 	default:
 		return h.Kind.String()
 	}

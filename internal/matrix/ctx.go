@@ -22,6 +22,11 @@ type Ctx struct {
 // context's buffer pool.
 func (ctx Ctx) NewDense(rows, cols int) *Matrix { return ctx.Buf.NewDense(rows, cols) }
 
+// NewDenseUninit returns a dense rows×cols matrix with arbitrary cell
+// values (no zeroing pass); the caller must overwrite every cell before
+// the matrix escapes.
+func (ctx Ctx) NewDenseUninit(rows, cols int) *Matrix { return ctx.Buf.NewDenseUninit(rows, cols) }
+
 // GetBuf returns a zeroed n-float64 scratch slice from the context's
 // buffer pool; pair with PutBuf.
 func (ctx Ctx) GetBuf(n int) []float64 { return ctx.Buf.Get(n) }

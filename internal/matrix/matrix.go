@@ -48,6 +48,11 @@ type Matrix struct {
 // BufPool.NewDense (or a Ctx).
 func NewDense(rows, cols int) *Matrix { return DefaultPool.NewDense(rows, cols) }
 
+// NewDenseUninit returns a rows×cols dense matrix with arbitrary cell
+// values (no zeroing of recycled storage). Only for producers that
+// overwrite every cell before the matrix escapes.
+func NewDenseUninit(rows, cols int) *Matrix { return DefaultPool.NewDenseUninit(rows, cols) }
+
 // NewDenseData wraps an existing row-major backing slice (not copied).
 // len(data) must equal rows*cols.
 func NewDenseData(rows, cols int, data []float64) *Matrix {

@@ -122,6 +122,32 @@ func (p *BufPool) Get(n int) []float64 {
 	return s
 }
 
+// GetUninit is Get without the zeroing pass: recycled buffers keep their
+// previous contents. Only for callers that overwrite every element before
+// any read — for large outputs the elided zeroing is a full extra write
+// pass over the buffer.
+func (p *BufPool) GetUninit(n int) []float64 {
+	p = p.orDefault()
+	if n < poolMinFloats || !p.enabled.Load() {
+		return make([]float64, n)
+	}
+	p.gets.Add(1)
+	p.live.Add(int64(n) * 8)
+	p.mu.Lock()
+	list := p.free[n]
+	if len(list) == 0 {
+		p.mu.Unlock()
+		return make([]float64, n)
+	}
+	s := list[len(list)-1]
+	p.free[n] = list[:len(list)-1]
+	p.bytes -= int64(n) * 8
+	p.mu.Unlock()
+	p.hits.Add(1)
+	p.bytesRecycled.Add(int64(n) * 8)
+	return s
+}
+
 // Put parks a slice for reuse. The buffer may be dirty (Get zeroes on the
 // way out); the caller must not use it afterwards.
 func (p *BufPool) Put(s []float64) {
@@ -158,6 +184,15 @@ func (p *BufPool) NewDense(rows, cols int) *Matrix {
 	p = p.orDefault()
 	checkDims(rows, cols)
 	return &Matrix{Rows: rows, Cols: cols, dense: p.Get(rows * cols), pool: p}
+}
+
+// NewDenseUninit is NewDense without the zeroing pass: cell values of a
+// recycled buffer are arbitrary. Only for producers that overwrite every
+// cell before the matrix escapes (full-write skeleton outputs).
+func (p *BufPool) NewDenseUninit(rows, cols int) *Matrix {
+	p = p.orDefault()
+	checkDims(rows, cols)
+	return &Matrix{Rows: rows, Cols: cols, dense: p.GetUninit(rows * cols), pool: p}
 }
 
 // PoolUsage is a snapshot of a buffer pool's counters.

@@ -51,8 +51,31 @@ func execCellwise(ec matrix.Ctx, op *cplan.Operator, main *matrix.Matrix, sides 
 			})
 			return matrix.NewSparseCSR(rows, cols, out)
 		}
-		out := ec.NewDense(rows, cols)
+		// Every dense path below writes every cell, so the pool's zeroing
+		// pass over recycled storage would be a wasted full write.
+		out := ec.NewDenseUninit(rows, cols)
 		od := out.Dense()
+		if chunkUsable(op.Chunk, main, sides) && op.Chunk.Kind == cplan.ChunkMap {
+			// Specialized chunk program: the fingerprint-selected AOT loop
+			// writes the output buffer directly (no result-chunk copy).
+			md := main.Dense()
+			total := rows * cols
+			ec.Par.For((total+cplan.ChunkLen-1)/cplan.ChunkLen, 8, func(clo, chi int) {
+				ctx := proto.Clone()
+				for ci := clo; ci < chi; ci++ {
+					if stop != nil && stop() {
+						return
+					}
+					lo := ci * cplan.ChunkLen
+					n := cplan.ChunkLen
+					if lo+n > total {
+						n = total - lo
+					}
+					op.Chunk.Map(ctx, md, od, lo, lo, n)
+				}
+			})
+			return out
+		}
 		if op.VecProg.ChunkCompatible(main, sides) {
 			// Vectorized genexec: evaluate the plan chunk-wise with the
 			// shared vector primitives (the JIT-compiled-code analog).
@@ -97,6 +120,20 @@ func execCellwise(ec matrix.Ctx, op *cplan.Operator, main *matrix.Matrix, sides 
 	case cplan.CellRowAgg:
 		out := ec.NewDense(rows, 1)
 		od := out.Dense()
+		if chunkUsable(op.Chunk, main, sides) && op.Chunk.Kind == cplan.ChunkAgg {
+			// Closed-form per-row aggregate over the dense row slice.
+			md := main.Dense()
+			ec.Par.For(rows, 64, func(lo, hi int) {
+				ctx := proto.Clone()
+				for i := lo; i < hi; i++ {
+					if pollStop(stop, i-lo) {
+						return
+					}
+					od[i] = op.Chunk.Agg(ctx, md, i*cols, cols)
+				}
+			})
+			return out
+		}
 		ec.Par.For(rows, 64, func(lo, hi int) {
 			ctx := proto.Clone()
 			scratch := newRowScratch(ec, main)
@@ -123,6 +160,39 @@ func execCellwise(ec matrix.Ctx, op *cplan.Operator, main *matrix.Matrix, sides 
 		return out
 
 	case cplan.CellColAgg:
+		if chunkUsable(op.Chunk, main, sides) && op.Chunk.Kind == cplan.ChunkColAgg {
+			// colsums specialization: per-worker column partials accumulated
+			// row-by-row with the vector kernels (AggSum only, so the
+			// zero-initialized partials reduce by addition).
+			md := main.Dense()
+			nw, _ := ec.Par.Chunks(rows, 64)
+			partials := make([][]float64, nw)
+			ec.Par.ForIndexed(rows, 64, func(w, lo, hi int) {
+				ctx := proto.Clone()
+				part := partials[w]
+				if part == nil {
+					part = make([]float64, cols)
+					partials[w] = part
+				}
+				for i := lo; i < hi; i++ {
+					if pollStop(stop, i-lo) {
+						break
+					}
+					op.Chunk.Col(ctx, md, i*cols, part, cols)
+				}
+			})
+			out := ec.NewDense(1, cols)
+			od := out.Dense()
+			for _, part := range partials {
+				if part == nil {
+					continue
+				}
+				for j := 0; j < cols; j++ {
+					od[j] += part[j]
+				}
+			}
+			return out
+		}
 		nw, _ := ec.Par.Chunks(rows, 64)
 		partials := make([][]float64, nw)
 		ec.Par.ForIndexed(rows, 64, func(w, lo, hi int) {
@@ -173,6 +243,36 @@ func execCellwise(ec matrix.Ctx, op *cplan.Operator, main *matrix.Matrix, sides 
 		return out
 
 	default: // CellFullAgg
+		if chunkUsable(op.Chunk, main, sides) && op.Chunk.Kind == cplan.ChunkAgg {
+			// Closed-form full aggregate: per-worker scalar partials from the
+			// chunk program (sum-style by construction, so they add).
+			md := main.Dense()
+			total := rows * cols
+			nc := (total + cplan.ChunkLen - 1) / cplan.ChunkLen
+			nwc, _ := ec.Par.Chunks(nc, 8)
+			parts := make([]float64, nwc)
+			ec.Par.ForIndexed(nc, 8, func(w, clo, chi int) {
+				ctx := proto.Clone()
+				var acc float64
+				for ci := clo; ci < chi; ci++ {
+					if stop != nil && stop() {
+						break
+					}
+					lo := ci * cplan.ChunkLen
+					n := cplan.ChunkLen
+					if lo+n > total {
+						n = total - lo
+					}
+					acc += op.Chunk.Agg(ctx, md, lo, n)
+				}
+				parts[w] += acc
+			})
+			var acc float64
+			for _, v := range parts {
+				acc += v
+			}
+			return matrix.NewScalar(acc)
+		}
 		nw, _ := ec.Par.Chunks(rows, 64)
 		partials := make([]float64, nw)
 		for i := range partials {
@@ -265,6 +365,53 @@ func execMAgg(ec matrix.Ctx, op *cplan.Operator, main *matrix.Matrix, sides []*m
 	proto := cplan.NewCtx(sides)
 	rows, cols := main.Rows, main.Cols
 	sparseIter := p.SparseSafe && main.IsSparse()
+	// Specialized multi-aggregate: when every root carries a usable chunk
+	// program, each chunk of X is reduced by the closed-form bodies while
+	// cache-resident. Mixed chunk/vec dispatch per root is the Horizontal
+	// skeleton's job; here a single non-matching root falls back whole.
+	chunkOK := !sparseIter && k > 0
+	for q := 0; q < k && chunkOK; q++ {
+		chunkOK = chunkUsable(op.MAggChunks[q], main, sides) && op.MAggChunks[q].Kind == cplan.ChunkAgg
+	}
+	if chunkOK {
+		md := main.Dense()
+		total := rows * cols
+		nc := (total + cplan.ChunkLen - 1) / cplan.ChunkLen
+		nw, _ := ec.Par.Chunks(nc, 8)
+		partials := make([][]float64, nw)
+		ec.Par.ForIndexed(nc, 8, func(w, clo, chi int) {
+			ctx := proto.Clone()
+			part := partials[w]
+			if part == nil {
+				part = make([]float64, k)
+				partials[w] = part
+			}
+			for ci := clo; ci < chi; ci++ {
+				if stop != nil && stop() {
+					break
+				}
+				lo := ci * cplan.ChunkLen
+				n := cplan.ChunkLen
+				if lo+n > total {
+					n = total - lo
+				}
+				for q := 0; q < k; q++ {
+					part[q] += op.MAggChunks[q].Agg(ctx, md, lo, n)
+				}
+			}
+		})
+		out := ec.NewDense(1, k)
+		od := out.Dense()
+		for _, part := range partials {
+			if part == nil {
+				continue
+			}
+			for q := 0; q < k; q++ {
+				od[q] += part[q]
+			}
+		}
+		return out
+	}
 	// Vectorized multi-aggregate: all programs chunk over the shared main
 	// input, so X is read once per chunk while it is cache-resident.
 	vecOK := !sparseIter
@@ -371,6 +518,49 @@ func execMAgg(ec matrix.Ctx, op *cplan.Operator, main *matrix.Matrix, sides []*m
 		}
 	}
 	return out
+}
+
+// ChunkDispatched reports whether an invocation of the fused operator over
+// these inputs runs (at least one root) on a specialized chunk program. It
+// mirrors the skeleton dispatch decisions exactly; the executor uses it to
+// attribute spoof.chunk.hit/miss runtime counters without instrumenting
+// the hot loops.
+func ChunkDispatched(op *cplan.Operator, ins []*matrix.Matrix) bool {
+	if len(ins) == 0 {
+		return false
+	}
+	main, sides := ins[0], ins[1:]
+	p := op.Plan
+	switch p.Type {
+	case cplan.TemplateCell:
+		return chunkUsable(op.Chunk, main, sides)
+	case cplan.TemplateMAgg:
+		if p.SparseSafe && main.IsSparse() {
+			return false
+		}
+		for _, c := range op.MAggChunks {
+			if !chunkUsable(c, main, sides) {
+				return false // execMAgg dispatches all-or-nothing
+			}
+		}
+		return len(op.MAggChunks) > 0
+	case cplan.TemplateHorizontal:
+		if horizontalSparseIter(p, main) {
+			return false
+		}
+		if op.HFused != nil && !main.IsSparse() {
+			return true // whole-group fused body dispatches
+		}
+		for _, c := range op.MAggChunks {
+			if chunkUsable(c, main, sides) {
+				return true // per-root dispatch: any root counts
+			}
+		}
+		return false
+	case cplan.TemplateRow:
+		return rowChunkApplicable(op, main, sides)
+	}
+	return false
 }
 
 // workCellwise measures the data-touch work of one Cell invocation: the

@@ -115,6 +115,12 @@ func ExecuteDAG(d *hop.DAG, env Env, opts Options) (Env, error) {
 	owned := map[*matrix.Matrix]bool{}
 
 	cache := map[int64]*matrix.Matrix{}
+	// bundles holds the output sets of multi-output (Horizontal-template)
+	// fused operators, keyed by spoof hop ID. The spoof hop's own cache
+	// entry is a dummy scalar; OpSpoofOut extractors hand each bundled
+	// output to its consumers. A bundle dies with its spoof hop (every
+	// extractor is a consumer, so all outputs are extracted before then).
+	bundles := map[int64][]*matrix.Matrix{}
 	observed := opts.Metrics != nil || opts.Audit != nil
 	for _, h := range topo {
 		if stop != nil && stop() {
@@ -136,10 +142,28 @@ func ExecuteDAG(d *hop.DAG, env Env, opts Options) (Env, error) {
 		if observed {
 			start = time.Now()
 		}
-		m, err := evalHop(h, ins, env, opts, stop, sp)
-		if err != nil {
-			sp.End()
-			return nil, err
+		var m *matrix.Matrix
+		switch {
+		case h.Kind == hop.OpSpoofOut:
+			b := bundles[h.Inputs[0].ID]
+			if h.OutIdx >= len(b) {
+				sp.End()
+				return nil, fmt.Errorf("runtime: spoofOut %d references missing output %d of hop %d",
+					h.ID, h.OutIdx, h.Inputs[0].ID)
+			}
+			m = b[h.OutIdx]
+		case h.Kind == hop.OpSpoof && isHorizontalSpoof(h):
+			// Horizontal fused operators always execute locally: the one
+			// shared pass over the main input produces every sibling output.
+			op := h.Spoof.(*cplan.Operator)
+			bundles[h.ID] = execHorizontal(opts.Exec, op, ins[0], ins[1:], stop)
+			m = matrix.NewScalar(0)
+		default:
+			m, err = evalHop(h, ins, env, opts, stop, sp)
+			if err != nil {
+				sp.End()
+				return nil, err
+			}
 		}
 		if observed {
 			observeHop(opts.Metrics, opts.Audit, h, ins, m, time.Since(start))
@@ -162,6 +186,7 @@ func ExecuteDAG(d *hop.DAG, env Env, opts Options) (Env, error) {
 			}
 			im := cache[in.ID]
 			delete(cache, in.ID)
+			delete(bundles, in.ID)
 			if im == nil {
 				continue
 			}
@@ -188,6 +213,14 @@ func ExecuteDAG(d *hop.DAG, env Env, opts Options) (Env, error) {
 	return out, nil
 }
 
+// isHorizontalSpoof reports whether a spoof hop carries a multi-output
+// Horizontal-template operator (executed via bundle interception, never
+// through evalHop).
+func isHorizontalSpoof(h *hop.Hop) bool {
+	op, ok := h.Spoof.(*cplan.Operator)
+	return ok && op.Plan.Type == cplan.TemplateHorizontal
+}
+
 // observeHop records one executed operator: wall time per operator kind,
 // the analytical FLOP and output-byte estimates next to the actual output
 // bytes and measured work, fused-operator invocation counts per template,
@@ -206,6 +239,16 @@ func observeHop(m *obs.Metrics, audit *obs.Audit, h *hop.Hop, ins []*matrix.Matr
 		m.Inc("spoof.invocations")
 		m.Inc("spoof." + h.SpoofType)
 		m.ObserveDuration("op.spoof."+h.SpoofType, d)
+		// Runtime chunk-dispatch attribution: did this invocation run on a
+		// specialized AOT chunk program (admission-time counters live in the
+		// plan cache; these count actual executions).
+		if op, ok := h.Spoof.(*cplan.Operator); ok && len(op.ChunkClasses()) > 0 {
+			if ChunkDispatched(op, ins) {
+				m.Inc("spoof.chunk.hit")
+			} else {
+				m.Inc("spoof.chunk.miss")
+			}
+		}
 	}
 	if h.ExecType == hop.ExecDist {
 		m.Inc("exec.dist.ops")
@@ -264,6 +307,8 @@ func ActualFlops(h *hop.Hop, ins []*matrix.Matrix, out *matrix.Matrix) float64 {
 			return workRowwise(op, ins[0])
 		case cplan.TemplateOuter:
 			return workOuter(op, ins[0])
+		case cplan.TemplateHorizontal:
+			return workHorizontal(op, ins[0])
 		}
 		return 0
 	}
@@ -418,6 +463,8 @@ func execSpoofStop(ec matrix.Ctx, h *hop.Hop, ins []*matrix.Matrix, stop StopFn)
 			return nil, fmt.Errorf("runtime: outer operator needs X, U, V inputs, got %d", len(ins))
 		}
 		return execOuter(ec, op, ins[0], ins[1], ins[2], ins[3:], stop), nil
+	case cplan.TemplateHorizontal:
+		return nil, fmt.Errorf("runtime: horizontal operator %d is multi-output; execute via ExecuteDAG or ExecHorizontal", h.ID)
 	}
 	return nil, fmt.Errorf("runtime: unknown template %v", op.Plan.Type)
 }

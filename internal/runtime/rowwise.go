@@ -29,6 +29,9 @@ func workRowwise(op *cplan.Operator, main *matrix.Matrix) float64 {
 }
 
 func execRowwise(ec matrix.Ctx, op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix, stop StopFn) *matrix.Matrix {
+	if out, ok := execRowChunk(ec, op, main, sides, stop); ok {
+		return out
+	}
 	prog := op.RowProg
 	sides = densifyMatMulSides(prog, sides)
 	proto := cplan.NewCtx(sides)
@@ -131,6 +134,103 @@ func execRowwise(ec matrix.Ctx, op *cplan.Operator, main *matrix.Matrix, sides [
 		}
 		return out
 	}
+}
+
+// rowChunkApplicable reports whether the operator's specialized whole-row
+// body (fingerprint classes row.dot / row.rank1) can serve this
+// invocation: the single side input must be dense and row-aligned with
+// the main input, with the widths the class assumes.
+func rowChunkApplicable(op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix) bool {
+	rc := op.RowChunk
+	if rc == nil || rc.Side >= len(sides) {
+		return false
+	}
+	s := sides[rc.Side]
+	if s.IsSparse() || s.Rows != main.Rows {
+		return false
+	}
+	if rc.Kind == cplan.RowChunkDot {
+		return s.Cols == main.Cols
+	}
+	return op.RowProg.OutWidth == s.Cols && op.RowProg.MainWidth == main.Cols
+}
+
+// execRowChunk runs the specialized whole-row bodies: the fused per-row
+// dot product (out_i = X_i · S_i) and the rank-1 accumulation of
+// t(X) %*% S (C += X_i ⊗ S_i), both straight over the vector kernels with
+// no register-machine dispatch. Returns ok=false to fall back to the
+// interpreted row program.
+func execRowChunk(ec matrix.Ctx, op *cplan.Operator, main *matrix.Matrix, sides []*matrix.Matrix, stop StopFn) (*matrix.Matrix, bool) {
+	if !rowChunkApplicable(op, main, sides) {
+		return nil, false
+	}
+	rc := op.RowChunk
+	rows, mc := main.Rows, main.Cols
+	sd := sides[rc.Side].Dense()
+	if rc.Kind == cplan.RowChunkDot {
+		out := ec.NewDense(rows, 1)
+		od := out.Dense()
+		if main.IsSparse() {
+			ms := main.Sparse()
+			ec.Par.For(rows, 16, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if pollStop(stop, i-lo) {
+						return
+					}
+					vals, cix := ms.Row(i)
+					od[i] = vector.DotProductSparse(vals, cix, sd, i*mc)
+				}
+			})
+		} else {
+			md := main.Dense()
+			ec.Par.For(rows, 16, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if pollStop(stop, i-lo) {
+						return
+					}
+					od[i] = vector.DotProduct(md, sd, i*mc, i*mc, mc)
+				}
+			})
+		}
+		return out, true
+	}
+	// RowChunkRank1: per-worker mc×w partials, reduced by addition.
+	w := sides[rc.Side].Cols
+	nw, _ := ec.Par.Chunks(rows, 16)
+	partials := make([][]float64, nw)
+	ec.Par.ForIndexed(rows, 16, func(wk, lo, hi int) {
+		part := partials[wk]
+		if part == nil {
+			part = make([]float64, mc*w)
+			partials[wk] = part
+		}
+		if main.IsSparse() {
+			ms := main.Sparse()
+			for i := lo; i < hi; i++ {
+				if pollStop(stop, i-lo) {
+					return
+				}
+				vals, cix := ms.Row(i)
+				vector.OuterMultAddSparse(vals, cix, sd, part, i*w, 0, w)
+			}
+		} else {
+			md := main.Dense()
+			for i := lo; i < hi; i++ {
+				if pollStop(stop, i-lo) {
+					return
+				}
+				vector.OuterMultAdd(md, sd, part, i*mc, i*w, 0, mc, w)
+			}
+		}
+	})
+	out := ec.NewDense(mc, w)
+	od := out.Dense()
+	for _, part := range partials {
+		if part != nil {
+			vector.Add(part, od, 0, 0, mc*w)
+		}
+	}
+	return out, true
 }
 
 func forEachRow(ec matrix.Ctx, main *matrix.Matrix, prog *cplan.RowProgram, proto *cplan.Ctx,

@@ -268,6 +268,11 @@ func (e *Engine) Metrics() obs.Snapshot {
 	snap.Counters["plancache.misses"] = misses
 	snap.Counters["plancache.evictions"] = evictions
 	snap.Gauges["plancache.size"] = float64(e.cache.Size())
+	byClass, chunkMisses := e.cache.ChunkCounters()
+	for class, n := range byClass {
+		snap.Counters["codegen.chunk.hit."+class] = n
+	}
+	snap.Counters["codegen.chunk.miss"] = chunkMisses
 	pu := e.alloc.Stats()
 	snap.Counters["pool.gets"] = pu.Gets
 	snap.Counters["pool.hits"] = pu.Hits
