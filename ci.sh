@@ -4,8 +4,9 @@
 # must report "pass": true), the distributed-backend gates (BENCH_dist.json
 # likewise), the fault-tolerance gates (BENCH_fault.json likewise), the
 # multi-tenant serving gates (BENCH_serve.json likewise), the serving
-# observability gates (BENCH_serveobs.json likewise), and the
-# horizontal-fusion gates (BENCH_hfuse.json likewise).
+# observability gates (BENCH_serveobs.json likewise), the
+# horizontal-fusion gates (BENCH_hfuse.json likewise), and the
+# compressed-execution gates (BENCH_cla.json likewise).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -61,6 +62,13 @@ go run ./cmd/fusebench -exp hfuse
 if ! grep -q '"pass": true' BENCH_hfuse.json; then
   echo "FAIL: BENCH_hfuse.json gates did not pass" >&2
   cat BENCH_hfuse.json >&2
+  exit 1
+fi
+echo "== compressed execution gates (fusebench -exp cla) =="
+go run ./cmd/fusebench -exp cla
+if ! grep -q '"pass": true' BENCH_cla.json; then
+  echo "FAIL: BENCH_cla.json gates did not pass" >&2
+  cat BENCH_cla.json >&2
   exit 1
 fi
 echo "OK: all CI gates passed"

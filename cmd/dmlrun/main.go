@@ -43,6 +43,7 @@ func main() {
 	faultSeed := flag.Int64("faultseed", 0, "fault-injection seed for -dist (0 with -faultrate 0 and -killexec -1 disables injection)")
 	faultRate := flag.Float64("faultrate", 0, "per-task transient-failure probability for -dist fault injection")
 	killExec := flag.Int("killexec", -1, "executor id to kill permanently at the first task of the run (-1 disables)")
+	compressFlag := flag.String("compress", "auto", "compressed linear algebra: auto (sampled-ratio heuristic) | on (always compress inputs) | off")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: dmlrun [-mode Gen] [-stats] [-explain] [-metrics] [-trace out.json] [-audit] [-dist [-executors N] [-membudget B] [-faultseed S -faultrate P -killexec E]] script.dml")
@@ -67,6 +68,17 @@ func main() {
 	}
 	if *memBudget > 0 {
 		cfg.Exec.MemBudgetBytes = *memBudget
+	}
+	switch *compressFlag {
+	case "auto":
+		cfg.Compress = codegen.CompressAuto
+	case "on":
+		cfg.Compress = codegen.CompressOn
+	case "off":
+		cfg.Compress = codegen.CompressOff
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -compress %q (want auto|on|off)\n", *compressFlag)
+		os.Exit(2)
 	}
 	s := dml.NewSession(cfg)
 	var cluster *dist.Cluster
@@ -113,8 +125,10 @@ func main() {
 		fmt.Print(s.CostAudit())
 	}
 	if *explain {
-		printPhases(s.Metrics())
+		snap := s.Metrics()
+		printPhases(snap)
 		printPool(poolBefore, matrix.PoolStats())
+		printCompress(snap)
 		if cluster != nil {
 			printDist(cluster)
 		}
@@ -146,6 +160,26 @@ func printPool(before, after matrix.PoolUsage) {
 	fmt.Fprintf(os.Stderr, "  bytes recycled:     %d (hit rate %.1f%%)\n", recycled, rate)
 }
 
+// printCompress writes the compressed-linear-algebra summary: inputs the
+// auto-compress pass compressed or declined, the achieved compression
+// ratio, and how many fused operators executed directly over column groups
+// versus falling back to dense.
+func printCompress(snap obs.Snapshot) {
+	ac := snap.Counters["compress.auto.compressed"]
+	ad := snap.Counters["compress.auto.declined"]
+	hit := snap.Counters["compress.exec.hit"]
+	fb := snap.Counters["compress.exec.fallback"]
+	if ac+ad+hit+fb == 0 {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "# compressed linear algebra")
+	fmt.Fprintf(os.Stderr, "  inputs compressed:  %d (declined %d)\n", ac, ad)
+	if r, ok := snap.Gauges["compress.ratio"]; ok {
+		fmt.Fprintf(os.Stderr, "  compression ratio:  %.2f\n", r)
+	}
+	fmt.Fprintf(os.Stderr, "  operator execution: %d compressed, %d fallback\n", hit, fb)
+}
+
 // printDist writes the distributed backend's traffic summary: broadcast
 // and shuffle volumes, the simulated network time they imply, broadcast
 // handle-cache effectiveness, and shuffle bytes per reduction stage.
@@ -157,6 +191,9 @@ func printDist(c *dist.Cluster) {
 	fmt.Fprintf(os.Stderr, "  bytes shuffled:     %d\n", c.BytesShuffled())
 	fmt.Fprintf(os.Stderr, "  simulated net time: %v\n", c.NetTime())
 	fmt.Fprintf(os.Stderr, "  broadcast cache:    hits %d, misses %d, invalidations %d\n", hits, misses, invals)
+	if cb, cs, sb, ss := c.CompressedWireStats(); cb+cs+sb+ss > 0 {
+		fmt.Fprintf(os.Stderr, "  compressed wire:    bcast %d B (saved %d), shuffle %d B (saved %d)\n", cb, cs, sb, ss)
+	}
 	stages := c.ShuffleStageBytes()
 	var names []string
 	for stage := range stages {

@@ -86,6 +86,9 @@ var Experiments = []struct {
 	{"hfuse", "Horizontal fusion gates: sibling merge speedup, chunk programs vs ideal loop, equivalence, plan quality (emits BENCH_hfuse.json)", func(o Options) {
 		HFuse(o).Print(o.Out)
 	}},
+	{"cla", "Compressed execution gates: fused-over-groups speedup, compressed wire bytes, equivalence, decline overhead (emits BENCH_cla.json)", func(o Options) {
+		CLA(o).Print(o.Out)
+	}},
 }
 
 // RunAll executes every experiment.

@@ -51,6 +51,7 @@ func OptimizeTraced(d *hop.DAG, cfg *Config, cache *PlanCache, stats *Stats, rep
 	if rep != nil {
 		rep.Mode = cfg.Mode.String()
 		rep.HopsBefore = hop.Explain(d.Roots())
+		rep.Compressed = compressedInputs(d)
 		defer func() { rep.HopsAfter = hop.Explain(d.Roots()) }()
 	}
 
@@ -123,6 +124,31 @@ func OptimizeTraced(d *hop.DAG, cfg *Config, cache *PlanCache, stats *Stats, rep
 	_ = construct(d, memo, parts, q, cfg, cache, stats, rep)
 	csp.End()
 	return d
+}
+
+// compressedInputs collects the bound inputs the interpreter's
+// auto-compress pass annotated before optimization, in name order, for the
+// COMPRESSED EXPLAIN section.
+func compressedInputs(d *hop.DAG) []CompressedInput {
+	var out []CompressedInput
+	seen := map[string]bool{}
+	for _, h := range hop.TopoOrder(d.Roots()) {
+		if h.Kind != hop.OpData || h.CompressedBytes <= 0 || seen[h.Name] {
+			continue
+		}
+		seen[h.Name] = true
+		ratio := 0.0
+		if h.CompressedBytes > 0 {
+			ratio = float64(h.OutputSizeBytes()) / float64(h.CompressedBytes)
+		}
+		out = append(out, CompressedInput{
+			Name: h.Name, Rows: h.Rows, Cols: h.Cols,
+			Encodings: h.CompressedDesc, Ratio: ratio,
+			CompressedBytes: h.CompressedBytes,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // partitionReport summarizes the chosen plan of one partition, recosting

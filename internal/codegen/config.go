@@ -37,6 +37,25 @@ const (
 	CompilerJavac
 )
 
+// CompressMode selects the compressed-linear-algebra policy for bound
+// inputs (the dmlrun -compress flag).
+type CompressMode int
+
+// Compression policies: Auto compresses loop-invariant read-only inputs
+// whose sampled compression-ratio estimate clears CompressMinRatio, On
+// compresses every large enough input unconditionally, Off disables the
+// compressed path entirely.
+const (
+	CompressAuto CompressMode = iota
+	CompressOn
+	CompressOff
+)
+
+var compressNames = [...]string{"auto", "on", "off"}
+
+// String returns the flag spelling of the mode (auto, on, off).
+func (c CompressMode) String() string { return compressNames[c] }
+
 // Config controls the codegen optimizer.
 type Config struct {
 	Mode     Mode
@@ -85,6 +104,14 @@ type Config struct {
 
 	// Costs holds the analytical cost model constants.
 	Costs CostModel
+
+	// Compress selects the compressed-linear-algebra policy for bound
+	// inputs; CompressMinRatio is the sampled-estimate threshold below
+	// which Auto declines, and CompressMinBytes the dense size below which
+	// compression is never attempted (the bookkeeping would dominate).
+	Compress         CompressMode
+	CompressMinRatio float64
+	CompressMinBytes int64
 }
 
 // DefaultConfig returns the production defaults (cost-based optimizer, plan
@@ -103,6 +130,9 @@ func DefaultConfig() Config {
 		OuterMaxRank:       256,
 		Exec:               hop.DefaultExecConfig(),
 		Costs:              DefaultCostModel(),
+		Compress:           CompressAuto,
+		CompressMinRatio:   3.0,
+		CompressMinBytes:   1 << 16,
 	}
 }
 

@@ -180,9 +180,11 @@ func (c *constructor) record(template string, op *cplan.Operator, inputs int, ro
 	if c.rep == nil {
 		return
 	}
+	cok, cwhy := cplan.CompressedEligible(op.Plan)
 	c.rep.Operators = append(c.rep.Operators, OperatorReport{
 		Template: template, ClassName: op.ClassName, NumInputs: inputs,
 		Rows: rows, Cols: cols, CacheHit: hit, Chunks: op.ChunkClasses(),
+		CompressedOK: cok, CompressedWhy: cwhy,
 	})
 }
 
@@ -686,7 +688,7 @@ func (c *constructor) rowFusionProfitable(h *hop.Hop, r *region, main *hop.Hop) 
 		extraScans = 0
 	}
 	saved := interiorBytes*(1/m.WriteBW+1/m.ReadBW) +
-		float64(main.OutputSizeBytes())*float64(extraScans)/m.ReadBW
+		float64(main.ReadSizeBytes())*float64(extraScans)/m.ReadBW
 	overhead := float64(main.Rows) * float64(len(r.covered)) * rowDispatchFlops / m.ComputeBW
 	return overhead <= saved
 }

@@ -149,7 +149,7 @@ func (c *Coster) costNode(h *hop.Hop) {
 	entry, ok := c.pickEntry(h)
 	if !ok {
 		// Basic operator.
-		c.addOpCost(h.OutputSizeBytes(), float64(h.InputSizeBytes()), flops(h), 1, h)
+		c.addOpCost(h.OutputSizeBytes(), float64(h.ReadInputSizeBytes()), flops(h), 1, h)
 		for _, in := range h.Inputs {
 			if c.part.Nodes[in.ID] {
 				c.costNode(in)
@@ -167,7 +167,7 @@ func (c *Coster) costNode(h *hop.Hop) {
 	// Operator cost: write output once, read distinct inputs, compute.
 	var inBytes float64
 	for _, in := range cv.inputs {
-		inBytes += float64(in.OutputSizeBytes())
+		inBytes += float64(in.ReadSizeBytes())
 	}
 	scale := c.sparsityScale(cv)
 	c.addOpCost(h.OutputSizeBytes(), inBytes, cv.flops, scale, h)
@@ -217,7 +217,7 @@ func (c *Coster) addOpCost(outBytes int64, inBytes, fl, scale float64, h *hop.Ho
 		// Broadcast all but the largest input.
 		var largest float64
 		for _, in := range h.Inputs {
-			if s := float64(in.OutputSizeBytes()); s > largest {
+			if s := float64(in.ReadSizeBytes()); s > largest {
 				largest = s
 			}
 		}
@@ -351,7 +351,7 @@ func (c *Coster) StaticCost() float64 {
 	m := c.cfg.Costs
 	var t float64
 	for _, id := range c.part.Inputs {
-		t += float64(c.memo.Hop(id).OutputSizeBytes()) / m.ReadBW
+		t += float64(c.memo.Hop(id).ReadSizeBytes()) / m.ReadBW
 	}
 	for id := range c.part.Nodes {
 		h := c.memo.Hop(id)

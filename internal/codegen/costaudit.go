@@ -27,7 +27,7 @@ func predictHop(cfg *Config, h *hop.Hop, fl, inBytes, scale float64) {
 	if h.ExecType == hop.ExecDist {
 		var largest float64
 		for _, in := range h.Inputs {
-			if s := float64(in.OutputSizeBytes()); s > largest {
+			if s := float64(in.ReadSizeBytes()); s > largest {
 				largest = s
 			}
 		}
@@ -86,7 +86,7 @@ func (c *constructor) predictSpoof(spoof *hop.Hop, t cplan.TemplateType,
 	}
 	var inBytes float64
 	for _, in := range spoof.Inputs {
-		inBytes += float64(in.OutputSizeBytes())
+		inBytes += float64(in.ReadSizeBytes())
 	}
 	predictHop(c.cfg, spoof, fl, inBytes, spoofScale(t, spoof.Inputs))
 }
@@ -114,7 +114,7 @@ func AnnotatePredictions(d *hop.DAG, cfg *Config) {
 		if h.PredSec > 0 {
 			return
 		}
-		predictHop(cfg, h, flops(h), float64(h.InputSizeBytes()), 1)
+		predictHop(cfg, h, flops(h), float64(h.ReadInputSizeBytes()), 1)
 	}
 	for _, r := range d.Roots() {
 		walk(r)

@@ -233,7 +233,7 @@ func (c *constructor) buildHorizontalGroup(main *hop.Hop, group []hfuseCand) boo
 		safe[i] = cplan.ProbeSparseSafe(r)
 	}
 	m := c.cfg.Costs
-	saved := horizontalSavings(m, len(group), float64(main.OutputSizeBytes()))
+	saved := horizontalSavings(m, len(group), float64(main.ReadSizeBytes()))
 	gate := hfuseMinGain + horizontalMixPenalty(m, main, safe, numOps)
 	if saved <= gate {
 		c.recordHorizontal(main, group, nil, false, declineReason(saved, gate))

@@ -24,6 +24,11 @@ type PlanReport struct {
 	// fusion pass: merged groups with their chosen chunk-program classes,
 	// and declined groups with the cost-gate reason.
 	Horizontal []HorizontalGroup
+	// Compressed lists the bound inputs that carried an attached compressed
+	// form when this DAG was optimized (annotated by the interpreter's
+	// auto-compress pass). Non-empty Compressed also switches the operator
+	// lines to include per-operator compressed-eligibility.
+	Compressed []CompressedInput
 	// Plan-cache activity attributable to this Optimize call (deltas of the
 	// session cache's lifetime counters).
 	CacheHits      int64
@@ -63,6 +68,22 @@ type OperatorReport struct {
 	Rows, Cols int64
 	CacheHit   bool
 	Chunks     []string
+	// CompressedOK / CompressedWhy record the compressed-execution
+	// eligibility probe: whether the operator's body can run per distinct
+	// dictionary tuple over a compressed main input, and the fallback
+	// reason when it cannot. Rendered in the COMPRESSED section.
+	CompressedOK  bool
+	CompressedWhy string
+}
+
+// CompressedInput describes one bound input the auto-compress pass attached
+// a compressed form to (or annotated from an existing attachment).
+type CompressedInput struct {
+	Name            string
+	Rows, Cols      int64
+	Encodings       string // e.g. "DDC×12 RLE×3"
+	Ratio           float64
+	CompressedBytes int64
 }
 
 // HorizontalGroup is one sibling-group decision of the horizontal fusion
@@ -129,6 +150,13 @@ func (r *PlanReport) String() string {
 			}
 		}
 	}
+	if len(r.Compressed) > 0 {
+		fmt.Fprintf(&b, "COMPRESSED: %d inputs\n", len(r.Compressed))
+		for _, ci := range r.Compressed {
+			fmt.Fprintf(&b, "  %s %dx%d: %s, ratio %.2f, %d bytes\n",
+				ci.Name, ci.Rows, ci.Cols, ci.Encodings, ci.Ratio, ci.CompressedBytes)
+		}
+	}
 	fmt.Fprintf(&b, "fused operators: %s\n", r.FusedOperators())
 	for _, op := range r.Operators {
 		hit := ""
@@ -139,6 +167,13 @@ func (r *PlanReport) String() string {
 			op.Template, op.ClassName, op.NumInputs, op.Rows, op.Cols, hit)
 		if len(op.Chunks) > 0 {
 			fmt.Fprintf(&b, " chunks [%s]", strings.Join(op.Chunks, ", "))
+		}
+		if len(r.Compressed) > 0 {
+			if op.CompressedOK {
+				b.WriteString(" compressed: eligible")
+			} else {
+				fmt.Fprintf(&b, " compressed: fallback (%s)", op.CompressedWhy)
+			}
 		}
 		b.WriteString("\n")
 	}

@@ -1,0 +1,172 @@
+package compress
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"sysml/internal/matrix"
+)
+
+// The attachment registry associates compressed sidecar state with dense
+// matrices by identity: either a compressed form (the runtime executes
+// fused operators over it, the dist backend ships its encoded bytes) or a
+// decline marker recording why auto-compression passed on the input (so the
+// sampling estimator runs once per binding, not once per loop iteration).
+// The registry lives here rather than as a field on matrix.Matrix so that
+// concurrent sessions sharing bound inputs never race on matrix state: all
+// access is mutex-guarded, and a release hook drops entries when the
+// backing storage is recycled.
+type attachState struct {
+	cm     *CMatrix
+	reason string // non-empty = declined
+}
+
+const attachCap = 512
+
+var (
+	attachMu   sync.Mutex
+	attachMap  map[*matrix.Matrix]*attachState
+	attachFIFO []*matrix.Matrix // insertion order for capacity eviction
+	attachLen  atomic.Int64     // fast-path guard for the release hook
+)
+
+func init() {
+	matrix.OnRelease(func(m *matrix.Matrix) {
+		if attachLen.Load() == 0 {
+			return
+		}
+		Drop(m)
+	})
+}
+
+// Attach records cm as the compressed form of m, replacing any prior
+// attachment or decline marker. The oldest entry is evicted once the
+// registry exceeds its capacity.
+func Attach(m *matrix.Matrix, cm *CMatrix) {
+	if m == nil || cm == nil {
+		return
+	}
+	setState(m, &attachState{cm: cm})
+}
+
+// Decline marks m as not worth compressing, with a human-readable reason
+// surfaced by EXPLAIN. Later Attach calls override the marker.
+func Decline(m *matrix.Matrix, reason string) {
+	if m == nil {
+		return
+	}
+	if reason == "" {
+		reason = "declined"
+	}
+	setState(m, &attachState{reason: reason})
+}
+
+func setState(m *matrix.Matrix, st *attachState) {
+	attachMu.Lock()
+	defer attachMu.Unlock()
+	if attachMap == nil {
+		attachMap = make(map[*matrix.Matrix]*attachState)
+	}
+	if _, ok := attachMap[m]; !ok {
+		attachFIFO = append(attachFIFO, m)
+		for len(attachFIFO) > attachCap {
+			old := attachFIFO[0]
+			attachFIFO = attachFIFO[1:]
+			delete(attachMap, old)
+		}
+	}
+	attachMap[m] = st
+	attachLen.Store(int64(len(attachMap)))
+}
+
+// Of returns the compressed form attached to m, or nil.
+func Of(m *matrix.Matrix) *CMatrix {
+	if m == nil || attachLen.Load() == 0 {
+		return nil
+	}
+	attachMu.Lock()
+	defer attachMu.Unlock()
+	if st := attachMap[m]; st != nil {
+		return st.cm
+	}
+	return nil
+}
+
+// DeclineReason reports whether m carries a decline marker and its reason.
+func DeclineReason(m *matrix.Matrix) (string, bool) {
+	if m == nil || attachLen.Load() == 0 {
+		return "", false
+	}
+	attachMu.Lock()
+	defer attachMu.Unlock()
+	if st := attachMap[m]; st != nil && st.cm == nil {
+		return st.reason, true
+	}
+	return "", false
+}
+
+// Drop removes any attachment or decline marker for m.
+func Drop(m *matrix.Matrix) {
+	if m == nil || attachLen.Load() == 0 {
+		return
+	}
+	attachMu.Lock()
+	defer attachMu.Unlock()
+	if _, ok := attachMap[m]; !ok {
+		return
+	}
+	delete(attachMap, m)
+	for i, e := range attachFIFO {
+		if e == m {
+			attachFIFO = append(attachFIFO[:i], attachFIFO[i+1:]...)
+			break
+		}
+	}
+	attachLen.Store(int64(len(attachMap)))
+}
+
+// DropAll clears the registry (test hygiene and session resets).
+func DropAll() {
+	attachMu.Lock()
+	defer attachMu.Unlock()
+	attachMap = nil
+	attachFIFO = nil
+	attachLen.Store(0)
+}
+
+// Summary describes the encoding mix of a compressed matrix, e.g.
+// "DDC×12 RLE×3 OLE×2" — the per-input encoding line of the COMPRESSED
+// EXPLAIN section.
+func Summary(cm *CMatrix) string {
+	if cm == nil {
+		return ""
+	}
+	byKind := map[string]int{}
+	for _, g := range cm.Groups {
+		switch g.(type) {
+		case *DDCGroup:
+			byKind["DDC"]++
+		case *RLEGroup:
+			byKind["RLE"]++
+		case *OLEGroup:
+			byKind["OLE"]++
+		case *UCGroup:
+			byKind["UC"]++
+		default:
+			byKind["?"]++
+		}
+	}
+	kinds := make([]string, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	parts := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		parts = append(parts, fmt.Sprintf("%s×%d", k, byKind[k]))
+	}
+	return strings.Join(parts, " ")
+}

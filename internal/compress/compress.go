@@ -173,11 +173,18 @@ func (g *OLEGroup) ValueAt(r, j int) float64 {
 	return g.dict[code][j]
 }
 
-// SizeBytes implements ColGroup.
+// oleListHeaderBytes is the per-offset-list bookkeeping cost (slice header
+// plus length/capacity words) that each tuple's offset list carries on top
+// of its raw int32 payload.
+const oleListHeaderBytes = 16
+
+// SizeBytes implements ColGroup. Each offset list pays a per-list header on
+// top of its 4-byte offsets; omitting it undercounts matrices with many
+// small lists (high-cardinality sparse columns).
 func (g *OLEGroup) SizeBytes() int64 {
 	var offs int64
 	for _, o := range g.offsets {
-		offs += int64(len(o)) * 4
+		offs += int64(len(o))*4 + oleListHeaderBytes
 	}
 	return int64(len(g.dict)*len(g.cols))*8 + offs + int64(len(g.counts))*8
 }

@@ -1,0 +1,111 @@
+package compress
+
+import "sysml/internal/matrix"
+
+// Estimate is the result of the sampled compression estimator: the
+// planner's basis for deciding whether compressing an input pays, without
+// paying for a full compression pass.
+type Estimate struct {
+	// Ratio is estimated dense bytes over estimated compressed bytes.
+	Ratio float64
+	// DenseBytes is the uncompressed dense size (rows×cols×8).
+	DenseBytes int64
+	// CompressedBytes is the estimated compressed size.
+	CompressedBytes int64
+	// SampledRows is how many rows the estimator actually inspected.
+	SampledRows int
+}
+
+// DefaultSampleRows is the default row-sample size for EstimateRatio.
+const DefaultSampleRows = 256
+
+// EstimateRatio estimates the compression ratio of m from a strided sample
+// of at most sampleRows rows (<=0 selects DefaultSampleRows). Per column it
+// extrapolates the distinct-value count, run count, and zero count observed
+// in the sample to the full column, prices the DDC/RLE/OLE encodings from
+// those extrapolations, and charges each column its cheapest encoding
+// (capped at the dense size, mirroring the UC fallback). Columns whose
+// sample is all-distinct are priced as incompressible — the saturation
+// heuristic that makes random data decline fast.
+func EstimateRatio(m *matrix.Matrix, sampleRows int) Estimate {
+	if sampleRows <= 0 {
+		sampleRows = DefaultSampleRows
+	}
+	est := Estimate{DenseBytes: int64(m.Rows) * int64(m.Cols) * 8, Ratio: 1}
+	if m.Rows == 0 || m.Cols == 0 {
+		return est
+	}
+	stride := m.Rows / sampleRows
+	if stride < 1 {
+		stride = 1
+	}
+	var sampled []int
+	for r := 0; r < m.Rows; r += stride {
+		sampled = append(sampled, r)
+	}
+	n := len(sampled)
+	est.SampledRows = n
+	scale := float64(m.Rows) / float64(n)
+
+	colBytes := func(c int) int64 {
+		denseCol := int64(m.Rows) * 8
+		seen := make(map[float64]struct{}, 64)
+		runs, zeros := 1, 0
+		prev := 0.0
+		for i, r := range sampled {
+			v := m.At(r, c)
+			if len(seen) < n { // map stops growing once saturated anyway
+				seen[v] = struct{}{}
+			}
+			if v == 0 {
+				zeros++
+			}
+			if i > 0 && v != prev {
+				runs++
+			}
+			prev = v
+		}
+		d := len(seen)
+		if d >= n && n > 1 {
+			return denseCol // sample all-distinct: assume incompressible
+		}
+		// Extrapolate distinct count: saturated samples (many repeats)
+		// keep the observed count; busier samples scale toward linear.
+		dEst := float64(d)
+		if d > n/2 {
+			dEst = float64(d) * scale
+		}
+		if dEst > float64(m.Rows) {
+			dEst = float64(m.Rows)
+		}
+		dictBytes := int64(dEst)*8 + int64(dEst)*8 // dict + counts
+		ddc := dictBytes + int64(m.Rows)*2
+		rle := dictBytes + int64(float64(runs)*scale)*8
+		best := ddc
+		if rle < best {
+			best = rle
+		}
+		if 2*zeros > n {
+			nnz := int64(float64(n-zeros) * scale)
+			ole := dictBytes + nnz*4 + int64(dEst)*oleListHeaderBytes
+			if ole < best {
+				best = ole
+			}
+		}
+		if best > denseCol {
+			best = denseCol
+		}
+		return best
+	}
+
+	var total int64
+	for c := 0; c < m.Cols; c++ {
+		total += colBytes(c)
+	}
+	if total < 1 {
+		total = 1
+	}
+	est.CompressedBytes = total
+	est.Ratio = float64(est.DenseBytes) / float64(total)
+	return est
+}

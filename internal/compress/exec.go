@@ -1,0 +1,136 @@
+package compress
+
+// Execution helpers for the runtime's compressed fused skeleton: the
+// scatter-shaped paths (cellwise NoAgg, rowwise outputs) need to map a
+// function over each distinct dictionary tuple once and then fan the mapped
+// results out by row. These helpers keep the encoding-specific iteration
+// (codes, runs, offset lists) inside the package, next to the group
+// representations.
+
+// MapInto evaluates fn element-wise over the group's columns for rows
+// [lo, hi) and writes each result into the row-major destination:
+// dst[r*stride + c] = fn(value(r, c), c) for every absolute column c of the
+// group. Dictionary-coded groups evaluate fn once per distinct tuple and
+// scatter the mapped tuple by row — the per-distinct-value win; the
+// uncompressed fallback applies fn per cell.
+func MapInto(g ColGroup, dst []float64, stride, lo, hi int, fn func(v float64, c int) float64) {
+	cols := g.Cols()
+	switch g := g.(type) {
+	case *DDCGroup:
+		mapped := mapDict(g.dict, cols, fn)
+		for r := lo; r < hi; r++ {
+			t := mapped[g.codes[r]]
+			base := r * stride
+			for j, c := range cols {
+				dst[base+c] = t[j]
+			}
+		}
+	case *RLEGroup:
+		mapped := mapDict(g.dict, cols, fn)
+		for code, runs := range g.runs {
+			t := mapped[code]
+			for k := 0; k < len(runs); k += 2 {
+				start, n := int(runs[k]), int(runs[k+1])
+				end := start + n
+				if start < lo {
+					start = lo
+				}
+				if end > hi {
+					end = hi
+				}
+				for r := start; r < end; r++ {
+					base := r * stride
+					for j, c := range cols {
+						dst[base+c] = t[j]
+					}
+				}
+			}
+		}
+	case *OLEGroup:
+		// Fill the mapped zero tuple everywhere first (fn(0) may be
+		// non-zero), then overwrite the offset rows per non-zero tuple.
+		zt := make([]float64, len(cols))
+		for j, c := range cols {
+			zt[j] = fn(0, c)
+		}
+		for r := lo; r < hi; r++ {
+			base := r * stride
+			for j, c := range cols {
+				dst[base+c] = zt[j]
+			}
+		}
+		mapped := mapDict(g.dict, cols, fn)
+		for code, offs := range g.offsets {
+			t := mapped[code]
+			for _, o := range offs {
+				r := int(o)
+				if r < lo || r >= hi {
+					continue
+				}
+				base := r * stride
+				for j, c := range cols {
+					dst[base+c] = t[j]
+				}
+			}
+		}
+	default:
+		for r := lo; r < hi; r++ {
+			base := r * stride
+			for j, c := range cols {
+				dst[base+c] = fn(g.ValueAt(r, j), c)
+			}
+		}
+	}
+}
+
+func mapDict(dict [][]float64, cols []int, fn func(v float64, c int) float64) [][]float64 {
+	mapped := make([][]float64, len(dict))
+	for i, tuple := range dict {
+		mt := make([]float64, len(tuple))
+		for j, v := range tuple {
+			mt[j] = fn(v, cols[j])
+		}
+		mapped[i] = mt
+	}
+	return mapped
+}
+
+// Codes returns a per-row dictionary-code vector for the group, with codes
+// in the order ForEachDistinct visits tuples (OLE's implicit zero tuple
+// gets the last code). Uncompressed groups return nil — they have no
+// dictionary to index. The rowwise compressed skeleton uses this to scatter
+// per-distinct row-program results back to output rows.
+func Codes(g ColGroup) []int32 {
+	switch g := g.(type) {
+	case *DDCGroup:
+		out := make([]int32, len(g.codes))
+		for i, c := range g.codes {
+			out[i] = int32(c)
+		}
+		return out
+	case *RLEGroup:
+		out := make([]int32, g.rows)
+		for code, runs := range g.runs {
+			for k := 0; k < len(runs); k += 2 {
+				start, n := int(runs[k]), int(runs[k+1])
+				for i := 0; i < n; i++ {
+					out[start+i] = int32(code)
+				}
+			}
+		}
+		return out
+	case *OLEGroup:
+		zeroCode := int32(len(g.dict))
+		out := make([]int32, g.rows)
+		for i := range out {
+			out[i] = zeroCode
+		}
+		for code, offs := range g.offsets {
+			for _, o := range offs {
+				out[o] = int32(code)
+			}
+		}
+		return out
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package cplan
+
+import "sysml/internal/matrix"
+
+// CompressedEligible reports whether a compiled plan can execute directly
+// over a compressed main input — evaluating the body once per distinct
+// dictionary tuple instead of once per cell — and, when it cannot, a
+// human-readable reason for the EXPLAIN report.
+//
+// The structural requirement is position independence: the body's value at
+// cell (r, c) may depend on the main value and on scalar side inputs, but
+// not on r (per-distinct evaluation visits rows out of order and in
+// aggregate). Column dependence is fine — dictionary tuples carry their
+// absolute column indexes. Aggregating variants additionally need an
+// aggregation that distributes over occurrence counts (sum, sum-of-squares,
+// min, max).
+func CompressedEligible(p *Plan) (bool, string) {
+	switch p.Type {
+	case TemplateCell:
+		if p.Cell == CellRowAgg {
+			return false, "row aggregate needs per-row evaluation"
+		}
+		if ok, why := cellBodyCompressible(p.Root); !ok {
+			return false, why
+		}
+		if p.Cell != CellNoAgg {
+			if ok, why := aggCompressible(p.AggOp); !ok {
+				return false, why
+			}
+		}
+		return true, ""
+	case TemplateMAgg:
+		for _, r := range p.Roots {
+			if ok, why := cellBodyCompressible(r); !ok {
+				return false, why
+			}
+		}
+		for _, op := range p.AggOps {
+			if ok, why := aggCompressible(op); !ok {
+				return false, why
+			}
+		}
+		return true, ""
+	case TemplateRow:
+		if p.NumSides > 0 {
+			return false, "row template reads matrix side inputs per row"
+		}
+		if p.Row == RowColAggT {
+			return false, "transposed col-agg needs per-row outer products"
+		}
+		return true, ""
+	case TemplateOuter:
+		return false, "outer template binds U/V row pairs per cell"
+	case TemplateHorizontal:
+		return false, "horizontal groups mix aggregation shapes"
+	}
+	return false, "unknown template"
+}
+
+// cellBodyCompressible walks a cell body checking position independence:
+// every side access must be scalar and the Outer dot product is out.
+func cellBodyCompressible(n *CNode) (bool, string) {
+	if n == nil {
+		return true, ""
+	}
+	switch n.Kind {
+	case NodeSide:
+		if n.Access != AccessScalar {
+			return false, "side input accessed per cell"
+		}
+	case NodeDot:
+		return false, "outer dot product is position-dependent"
+	case NodeAgg, NodeMatMult, NodeIdx, NodeCumsum:
+		return false, "row-vector operation in cell body"
+	}
+	for _, c := range n.Children {
+		if ok, why := cellBodyCompressible(c); !ok {
+			return false, why
+		}
+	}
+	return true, ""
+}
+
+func aggCompressible(op matrix.AggOp) (bool, string) {
+	switch op {
+	case matrix.AggSum, matrix.AggSumSq, matrix.AggMin, matrix.AggMax:
+		return true, ""
+	}
+	return false, "aggregation does not distribute over occurrence counts"
+}

@@ -1,0 +1,131 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"sysml/internal/compress"
+	"sysml/internal/hop"
+	"sysml/internal/matrix"
+	rt "sysml/internal/runtime"
+)
+
+// lowCard returns a dense matrix with ~card distinct values per column, the
+// shape CLA compresses well.
+func lowCard(rows, cols, card int, seed int64) *matrix.Matrix {
+	m := matrix.Rand(rows, cols, 1, 0, float64(card), seed)
+	d := m.Dense()
+	for i := range d {
+		d[i] = math.Floor(d[i])
+	}
+	return m
+}
+
+// TestCompressedBroadcastAccounting: a broadcast side with an attached
+// compressed form ships its column groups, not the dense block.
+func TestCompressedBroadcastAccounting(t *testing.T) {
+	build := func() (*hop.DAG, rt.Env) {
+		d := hop.NewDAG()
+		x := d.Read("X", 2000, 200, -1)
+		w := d.Read("W", 200, 30, -1)
+		d.Output("P", d.MatMult(x, w))
+		hop.AssignExecTypes(d.Roots(), hop.ExecConfig{MemBudgetBytes: 1, Blocksize: 64})
+		return d, rt.Env{
+			"X": matrix.Rand(2000, 200, 1, -1, 1, 70),
+			"W": lowCard(200, 30, 3, 71),
+		}
+	}
+
+	d, env := build()
+	wm := env["W"]
+	cm := compress.Compress(wm, compress.DefaultOptions())
+	if compress.WireSizeBytes(cm) >= wm.SizeBytes() {
+		t.Fatalf("test premise broken: wire %d >= raw %d", compress.WireSizeBytes(cm), wm.SizeBytes())
+	}
+	compress.Attach(wm, cm)
+	defer compress.Drop(wm)
+
+	cl := distCluster()
+	got, err := rt.ExecuteDAG(d, env, rt.Options{Dist: cl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matrix.MatMult(env["X"], wm)
+	if !got["P"].EqualsApprox(want, 1e-7) {
+		t.Fatal("compressed broadcast changed the result")
+	}
+
+	rawShip := wm.SizeBytes() * int64(cl.NumExecutors)
+	bb, bs, _, _ := cl.CompressedWireStats()
+	if bb == 0 || bs == 0 {
+		t.Fatalf("compressed broadcast counters not recorded: bytes=%d saved=%d", bb, bs)
+	}
+	if bb+bs != rawShip {
+		t.Fatalf("bcast bytes %d + saved %d != dense ship %d", bb, bs, rawShip)
+	}
+	if cl.BytesBroadcast() >= rawShip {
+		t.Fatalf("broadcast bytes %d not reduced below dense %d", cl.BytesBroadcast(), rawShip)
+	}
+
+	// With the codec off the same plan ships dense blocks and the
+	// compressed counters stay where they were.
+	d2, env2 := build()
+	compress.Attach(env2["W"], compress.Compress(env2["W"], compress.DefaultOptions()))
+	defer compress.Drop(env2["W"])
+	cl2 := distCluster()
+	if prev := cl2.SetCompressedWire(false); !prev {
+		t.Fatal("compressed wire should default on")
+	}
+	if _, err := rt.ExecuteDAG(d2, env2, rt.Options{Dist: cl2}); err != nil {
+		t.Fatal(err)
+	}
+	if bb2, bs2, sb2, ss2 := cl2.CompressedWireStats(); bb2+bs2+sb2+ss2 != 0 {
+		t.Fatal("codec off must not touch compressed counters")
+	}
+	if cl2.BytesBroadcast() < rawShip {
+		t.Fatalf("codec off: broadcast bytes %d below dense %d", cl2.BytesBroadcast(), rawShip)
+	}
+}
+
+// TestCompressedShufflePartials: aggregation partials with low-cardinality
+// payloads ship through the dictionary codec.
+func TestCompressedShufflePartials(t *testing.T) {
+	build := func() (*hop.DAG, rt.Env) {
+		d := hop.NewDAG()
+		x := d.Read("X", 1000, 40, -1)
+		d.Output("s", d.ColSums(x))
+		hop.AssignExecTypes(d.Roots(), hop.ExecConfig{MemBudgetBytes: 1, Blocksize: 64})
+		// A constant input makes every partition's colSums partial a
+		// single-value row vector — exactly what the dict codec wins on.
+		c := matrix.NewDense(1000, 40)
+		cd := c.Dense()
+		for i := range cd {
+			cd[i] = 7
+		}
+		return d, rt.Env{"X": c}
+	}
+
+	d, env := build()
+	cl := distCluster()
+	out, err := rt.ExecuteDAG(d, env, rt.Options{Dist: cl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out["s"].EqualsApprox(matrix.Agg(matrix.AggSum, matrix.DirCol, env["X"]), 1e-9) {
+		t.Fatal("distributed colSums mismatch")
+	}
+	_, _, sb, ss := cl.CompressedWireStats()
+	if sb == 0 || ss == 0 {
+		t.Fatalf("compressed shuffle counters not recorded: bytes=%d saved=%d", sb, ss)
+	}
+
+	d2, env2 := build()
+	cl2 := distCluster()
+	cl2.SetCompressedWire(false)
+	if _, err := rt.ExecuteDAG(d2, env2, rt.Options{Dist: cl2}); err != nil {
+		t.Fatal(err)
+	}
+	if cl.BytesShuffled() >= cl2.BytesShuffled() {
+		t.Fatalf("compressed shuffle %d not below dense %d", cl.BytesShuffled(), cl2.BytesShuffled())
+	}
+}

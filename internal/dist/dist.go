@@ -110,6 +110,15 @@ type Cluster struct {
 	// Broadcast blocks re-shipped to survivors after an executor kill.
 	bcastReships     int64
 	bcastReshipBytes int64
+
+	// Compressed-wire accounting (compress.go): bytes shipped in compressed
+	// form and bytes saved versus dense shipping. cwOff disables the codec
+	// (bench baselines).
+	cwOff        int32
+	cwBcastBytes int64
+	cwBcastSaved int64
+	cwShuffleBytes,
+	cwShufSaved int64
 }
 
 // Option configures a Cluster at construction time.
@@ -240,6 +249,10 @@ func (c *Cluster) Reset() {
 	atomic.StoreInt64(&c.bcastMisses, 0)
 	atomic.StoreInt64(&c.bcastInvals, 0)
 	atomic.StoreInt64(&c.bcastEvicted, 0)
+	atomic.StoreInt64(&c.cwBcastBytes, 0)
+	atomic.StoreInt64(&c.cwBcastSaved, 0)
+	atomic.StoreInt64(&c.cwShuffleBytes, 0)
+	atomic.StoreInt64(&c.cwShufSaved, 0)
 	c.stageMu.Lock()
 	c.stageBytes = nil
 	c.stageMu.Unlock()
@@ -407,6 +420,17 @@ func (c *Cluster) broadcastAll(sides []*matrix.Matrix, sp obs.Span) {
 			cached++
 			continue
 		}
+		// Ship the compressed form when the wire codec wins: every
+		// executor receives the serialized column groups (or the
+		// dictionary-coded payload) instead of the dense block.
+		if wire, compressed := c.wireBytes(s); compressed {
+			if ship := wire * int64(c.executors()); ship < full {
+				atomic.AddInt64(&c.cwBcastBytes, ship)
+				atomic.AddInt64(&c.cwBcastSaved, full-ship)
+				bytes += ship
+				continue
+			}
+		}
 		bytes += full
 	}
 	if bytes == 0 && cached == 0 {
@@ -472,7 +496,7 @@ func (c *Cluster) treeReduce(sp obs.Span, stage string, parts []*matrix.Matrix, 
 		var levelBytes, levelMax int64
 		next := parts[:0]
 		for i := 0; i+1 < len(parts); i += 2 {
-			ship := parts[i+1].SizeBytes()
+			ship := c.shipBytes(parts[i+1])
 			levelBytes += ship
 			if ship > levelMax {
 				levelMax = ship

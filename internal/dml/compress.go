@@ -1,0 +1,85 @@
+package dml
+
+import (
+	"fmt"
+
+	"sysml/internal/codegen"
+	"sysml/internal/compress"
+	"sysml/internal/hop"
+	"sysml/internal/matrix"
+)
+
+// autoCompress is the interpreter's compression pass, run on every block
+// DAG after rewrites and before plan optimization. For each transient read
+// that is not also a block output (the loop-invariance proxy: the binding
+// survives the block, so a compressed form amortizes across iterations) it
+// either reuses an attached compressed form, respects a cached decline
+// marker, or — depending on the configured policy — samples the input with
+// the ratio estimator and compresses when the estimate clears the
+// threshold. Annotation of the OpData hops makes the plan optimizer's read
+// terms compression-aware; the attachment itself is what the runtime
+// skeletons and the dist backend's wire codec dispatch on.
+func (s *Session) autoCompress(d *hop.DAG) {
+	if s.Config.Compress == codegen.CompressOff {
+		return
+	}
+	outputs := map[string]bool{}
+	for _, name := range d.OutputNames() {
+		outputs[name] = true
+	}
+	var denseTotal, compTotal int64
+	for _, h := range hop.TopoOrder(d.Roots()) {
+		if h.Kind != hop.OpData || outputs[h.Name] {
+			continue
+		}
+		m := s.Env[h.Name]
+		if m == nil || m.Rows <= 1 || m.Cols < 1 || m.SizeBytes() < s.Config.CompressMinBytes {
+			continue
+		}
+		cm := compress.Of(m)
+		if cm == nil {
+			cm = s.compressInput(m)
+		}
+		if cm == nil {
+			continue
+		}
+		h.CompressedBytes = cm.SizeBytes()
+		h.CompressedDesc = compress.Summary(cm)
+		denseTotal += m.SizeBytes()
+		compTotal += cm.SizeBytes()
+	}
+	if compTotal > 0 {
+		s.Obs.SetGauge("compress.ratio", float64(denseTotal)/float64(compTotal))
+	}
+}
+
+// compressInput decides whether to compress one bound input and attaches
+// the result. Returns nil when the input is declined (the decline is cached
+// on the matrix so loop iterations pay one map lookup, not a re-sample).
+func (s *Session) compressInput(m *matrix.Matrix) *compress.CMatrix {
+	mode := s.Config.Compress
+	if _, declined := compress.DeclineReason(m); declined && mode != codegen.CompressOn {
+		return nil
+	}
+	if mode == codegen.CompressAuto {
+		est := compress.EstimateRatio(m, 0)
+		ratio := float64(m.SizeBytes()) / float64(est.CompressedBytes)
+		if ratio < s.Config.CompressMinRatio {
+			compress.Decline(m, fmt.Sprintf("estimated ratio %.2f < %.2f", ratio, s.Config.CompressMinRatio))
+			s.Obs.Inc("compress.auto.declined")
+			return nil
+		}
+	}
+	cm := compress.Compress(m, compress.DefaultOptions())
+	realRatio := float64(m.SizeBytes()) / float64(cm.SizeBytes())
+	if mode == codegen.CompressAuto && realRatio < 1.2 {
+		// The sample looked compressible but the full input was not; cache
+		// the decline so the compression attempt is not repeated.
+		compress.Decline(m, fmt.Sprintf("actual ratio %.2f too low", realRatio))
+		s.Obs.Inc("compress.auto.declined")
+		return nil
+	}
+	compress.Attach(m, cm)
+	s.Obs.Inc("compress.auto.compressed")
+	return cm
+}

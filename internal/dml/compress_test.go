@@ -1,0 +1,146 @@
+package dml
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sysml/internal/codegen"
+	"sysml/internal/compress"
+	"sysml/internal/matrix"
+)
+
+// claInput generates a low-cardinality bound input large enough to clear
+// the auto-compress size floor.
+func claInput(rows, cols, card int, seed int64) *matrix.Matrix {
+	m := matrix.Rand(rows, cols, 1, 0, float64(card), seed)
+	d := m.Dense()
+	for i := range d {
+		d[i] = math.Floor(d[i])
+	}
+	return m
+}
+
+func TestAutoCompressAttachesAndMatchesDense(t *testing.T) {
+	script := `
+		s = sum(X * X)
+		c = colSums(X + 1)
+		m = sum(X) / (nrow(X) * ncol(X))
+	`
+	x := claInput(4000, 6, 8, 11)
+	xc := x.Clone()
+
+	auto := newTestSession(codegen.ModeGen)
+	auto.Bind("X", x)
+	if err := auto.Run(script); err != nil {
+		t.Fatal(err)
+	}
+	if compress.Of(x) == nil {
+		t.Fatal("auto-compress should attach a compressed form to X")
+	}
+	snap := auto.Metrics()
+	if snap.Counters["compress.auto.compressed"] == 0 {
+		t.Fatal("compress.auto.compressed counter not incremented")
+	}
+	if r := snap.Gauges["compress.ratio"]; r < 2 {
+		t.Fatalf("compress.ratio gauge = %v, want >= 2", r)
+	}
+
+	off := newTestSession(codegen.ModeGen)
+	off.Config.Compress = codegen.CompressOff
+	off.Bind("X", xc)
+	if err := off.Run(script); err != nil {
+		t.Fatal(err)
+	}
+	if compress.Of(xc) != nil {
+		t.Fatal("CompressOff must not attach")
+	}
+	for _, name := range []string{"s", "c", "m"} {
+		a, err1 := auto.Get(name)
+		b, err2 := off.Get(name)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("missing output %s: %v %v", name, err1, err2)
+		}
+		if !a.EqualsApprox(b, 1e-9) {
+			t.Fatalf("compressed result %s differs from dense", name)
+		}
+	}
+	compress.Drop(x)
+	compress.Drop(xc)
+}
+
+func TestAutoCompressDeclinesIncompressible(t *testing.T) {
+	x := matrix.Rand(4000, 6, 1, -1, 1, 12) // all-distinct: ratio ~1
+	s := newTestSession(codegen.ModeGen)
+	s.Bind("X", x)
+	if err := s.Run("s = sum(X * X)"); err != nil {
+		t.Fatal(err)
+	}
+	if compress.Of(x) != nil {
+		t.Fatal("incompressible input must not be compressed")
+	}
+	if reason, ok := compress.DeclineReason(x); !ok || reason == "" {
+		t.Fatal("decline must be cached with a reason")
+	}
+	if s.Metrics().Counters["compress.auto.declined"] == 0 {
+		t.Fatal("compress.auto.declined counter not incremented")
+	}
+	// Re-running must reuse the cached decline, not re-estimate per block.
+	declined := s.Metrics().Counters["compress.auto.declined"]
+	if err := s.Run("t = sum(X)"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Metrics().Counters["compress.auto.declined"]; got != declined {
+		t.Fatalf("decline not cached: counter %d -> %d", declined, got)
+	}
+	compress.Drop(x)
+}
+
+func TestCompressOnForcesCompression(t *testing.T) {
+	x := claInput(3000, 4, 5, 13)
+	s := newTestSession(codegen.ModeGen)
+	s.Config.Compress = codegen.CompressOn
+	s.Bind("X", x)
+	if err := s.Run("s = sum(X)"); err != nil {
+		t.Fatal(err)
+	}
+	if compress.Of(x) == nil {
+		t.Fatal("CompressOn must attach")
+	}
+	compress.Drop(x)
+}
+
+func TestExplainCompressedSection(t *testing.T) {
+	x := claInput(4000, 5, 6, 14)
+	s := newTestSession(codegen.ModeGen)
+	s.Bind("X", x)
+	out, err := s.Explain("s = sum(X * X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "COMPRESSED") {
+		t.Fatalf("EXPLAIN lacks COMPRESSED section:\n%s", out)
+	}
+	if !strings.Contains(out, "X 4000x5") {
+		t.Fatalf("EXPLAIN lacks per-input compression line:\n%s", out)
+	}
+	compress.Drop(x)
+}
+
+func TestRebindReleasesAttachment(t *testing.T) {
+	x := claInput(3000, 4, 5, 15)
+	s := newTestSession(codegen.ModeGen)
+	s.Config.Compress = codegen.CompressOn
+	s.Bind("X", x)
+	if err := s.Run("s = sum(X)\nX = X + 1\nt = sum(X)"); err != nil {
+		t.Fatal(err)
+	}
+	// The block output X is rebound; its new matrix must not inherit the old
+	// attachment, and results must stay consistent.
+	a, _ := s.Scalar("s")
+	b, _ := s.Scalar("t")
+	if math.Abs((a+3000*4)-b) > 1e-6 {
+		t.Fatalf("rebound X results inconsistent: s=%v t=%v", a, b)
+	}
+	compress.Drop(x)
+}

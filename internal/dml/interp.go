@@ -303,6 +303,20 @@ func (s *Session) Explain(script string) (string, error) {
 		rate = float64(hits) / float64(gets) * 100
 	}
 	fmt.Fprintf(&b, "  bytes recycled:     %d (hit rate %.1f%%)\n", recycled, rate)
+	// Compression activity over the shadow run. The shadow shares this
+	// session's input bindings, so attachments made here persist and warm
+	// the real session, mirroring the broadcast handle cache.
+	cs := shadow.Obs.Snapshot()
+	hit, fb := cs.Counters["compress.exec.hit"], cs.Counters["compress.exec.fallback"]
+	ac, ad := cs.Counters["compress.auto.compressed"], cs.Counters["compress.auto.declined"]
+	if hit+fb+ac+ad > 0 {
+		b.WriteString("\nCOMPRESSED (this run)\n")
+		fmt.Fprintf(&b, "  inputs compressed:  %d (declined %d)\n", ac, ad)
+		if r, ok := cs.Gauges["compress.ratio"]; ok {
+			fmt.Fprintf(&b, "  compression ratio:  %.2f\n", r)
+		}
+		fmt.Fprintf(&b, "  operator execution: %d compressed, %d fallback\n", hit, fb)
+	}
 	db.report(&b, s.Dist)
 	return b.String(), nil
 }
@@ -319,6 +333,8 @@ type distExplainDeltas struct {
 	netNanos                 int64
 	stages                   map[string]int64
 	faults                   map[string]int64
+	cwBcast, cwBcastSaved    int64
+	cwShuffle, cwShufSaved   int64
 }
 
 func (d *distExplainDeltas) capture(b runtime.DistBackend) {
@@ -336,6 +352,9 @@ func (d *distExplainDeltas) capture(b runtime.DistBackend) {
 	if ft, ok := b.(distFaults); ok && ft.FaultActive() {
 		d.faults = ft.FaultCounters()
 	}
+	if cw, ok := b.(distCompress); ok {
+		d.cwBcast, d.cwBcastSaved, d.cwShuffle, d.cwShufSaved = cw.CompressedWireStats()
+	}
 }
 
 func (d *distExplainDeltas) report(w io.Writer, b runtime.DistBackend) {
@@ -347,6 +366,13 @@ func (d *distExplainDeltas) report(w io.Writer, b runtime.DistBackend) {
 	fmt.Fprintf(w, "  bytes broadcast:    %d\n", st.BytesBroadcast()-d.bcastBytes)
 	fmt.Fprintf(w, "  bytes shuffled:     %d\n", st.BytesShuffled()-d.shuffleBytes)
 	fmt.Fprintf(w, "  simulated net time: %v\n", st.NetTime()-time.Duration(d.netNanos))
+	if cw, ok := b.(distCompress); ok {
+		cb, cbs, sb, sbs := cw.CompressedWireStats()
+		if dcb, dsb := cb-d.cwBcast, sb-d.cwShuffle; dcb+dsb > 0 {
+			fmt.Fprintf(w, "  compressed wire:    bcast %d B (saved %d), shuffle %d B (saved %d)\n",
+				dcb, cbs-d.cwBcastSaved, dsb, sbs-d.cwShufSaved)
+		}
+	}
 	det, ok := b.(distDetail)
 	if !ok {
 		return
@@ -409,6 +435,13 @@ type distDetail interface {
 type distFaults interface {
 	FaultActive() bool
 	FaultCounters() map[string]int64
+}
+
+// distCompress is the compressed-wire slice of the backend: bytes actually
+// shipped in compressed form for broadcasts and shuffle partials, and the
+// bytes saved versus shipping the dense blocks.
+type distCompress interface {
+	CompressedWireStats() (bcastBytes, bcastSaved, shuffleBytes, shuffleSaved int64)
 }
 
 // Metrics returns a point-in-time snapshot of all session metrics:
@@ -480,6 +513,15 @@ func (s *Session) Metrics() obs.Snapshot {
 	if d, ok := s.Dist.(distFaults); ok && d.FaultActive() {
 		for k, v := range d.FaultCounters() {
 			snap.Counters["dist."+k] = v
+		}
+	}
+	if d, ok := s.Dist.(distCompress); ok {
+		cb, cs, sb, ss := d.CompressedWireStats()
+		if cb+cs+sb+ss > 0 {
+			snap.Counters["dist.bcast.compressed_bytes"] = cb
+			snap.Counters["dist.bcast.saved_bytes"] = cs
+			snap.Counters["dist.shuffle.compressed_bytes"] = sb
+			snap.Counters["dist.shuffle.saved_bytes"] = ss
 		}
 	}
 	return snap
@@ -616,6 +658,15 @@ func (s *Session) runBlock(ctx context.Context, root obs.Span, stmts []Stmt) err
 	}
 	d, _ := rewrite.Apply(c.d)
 	spc.End()
+
+	// Compression pass: attach/reuse compressed forms on loop-invariant
+	// bound inputs and annotate their OpData hops so the optimizer's read
+	// terms see compressed sizes. Runs before the block cache key is used so
+	// a cached plan was optimized under the same annotations it would get
+	// fresh (attachments persist across iterations).
+	spz := root.Phase(s.Obs, "compress")
+	s.autoCompress(d)
+	spz.End()
 
 	spo := root.Phase(s.Obs, "optimize")
 	wantExplain := s.Sink != nil || s.ExplainOut != nil

@@ -104,6 +104,14 @@ type Hop struct {
 	PredSec   float64 // predicted execution time (seconds)
 	PredFlops float64 // predicted floating-point work
 	PredBytes int64   // predicted IO volume (input reads + output write)
+
+	// Compressed-input annotation (OpData hops whose bound matrix carries
+	// an attached compressed form, set by the interpreter's auto-compress
+	// pass): the compressed size replaces the dense size wherever the cost
+	// model charges for *reading* this node's output, and the encoding
+	// summary feeds the EXPLAIN report. 0/"" = not compressed.
+	CompressedBytes int64
+	CompressedDesc  string
 }
 
 // IsScalar reports whether the node produces a scalar (held as a 1×1
@@ -145,6 +153,27 @@ func (h *Hop) InputSizeBytes() int64 {
 	var s int64
 	for _, in := range h.Inputs {
 		s += in.OutputSizeBytes()
+	}
+	return s
+}
+
+// ReadSizeBytes returns the bytes a consumer streams to read this node's
+// output: the compressed size when the bound input carries an attached
+// compressed form, the dense/sparse estimate otherwise. Cost terms that
+// model scanning an operand use this; terms that model materializing one
+// keep OutputSizeBytes.
+func (h *Hop) ReadSizeBytes() int64 {
+	if h.CompressedBytes > 0 && h.CompressedBytes < h.OutputSizeBytes() {
+		return h.CompressedBytes
+	}
+	return h.OutputSizeBytes()
+}
+
+// ReadInputSizeBytes sums the read sizes of all inputs.
+func (h *Hop) ReadInputSizeBytes() int64 {
+	var s int64
+	for _, in := range h.Inputs {
+		s += in.ReadSizeBytes()
 	}
 	return s
 }

@@ -264,6 +264,17 @@ func PoolStats() PoolUsage { return DefaultPool.Stats() }
 // ResetPoolStats zeroes the DefaultPool's counters (parked buffers stay).
 func ResetPoolStats() { DefaultPool.ResetStats() }
 
+// releaseHooks are invoked on every Release with the matrix being cleared.
+// Hooks must be registered at package init time (before any concurrent
+// Release) — registration is not synchronized. The compress package uses
+// this to drop sidecar state (attached compressed forms) keyed by matrix
+// identity when the backing storage is recycled.
+var releaseHooks []func(*Matrix)
+
+// OnRelease registers fn to run at the start of every Matrix.Release. Call
+// only from package init functions.
+func OnRelease(fn func(*Matrix)) { releaseHooks = append(releaseHooks, fn) }
+
 // Release returns the matrix's backing storage to the buffer pool it was
 // drawn from and clears the matrix; the caller asserts nothing references
 // the matrix (or its storage) anymore. Only dense storage allocated by
@@ -271,6 +282,9 @@ func ResetPoolStats() { DefaultPool.ResetStats() }
 // (NewDenseData) and CSR storage are simply dropped. Safe to call on an
 // already released matrix.
 func (m *Matrix) Release() {
+	for _, fn := range releaseHooks {
+		fn(m)
+	}
 	if m.pool != nil && m.dense != nil {
 		m.pool.Put(m.dense)
 	}

@@ -39,6 +39,11 @@ type RequestRecord struct {
 	Status int `json:"status"`
 	// Error is the error message for non-200 requests.
 	Error string `json:"error,omitempty"`
+	// CompressedExec and CompressedFallback count the operators of this
+	// request that executed directly over compressed column groups versus
+	// fell back to dense (deltas of the session's compress.exec.* counters).
+	CompressedExec     int64 `json:"compressed_exec,omitempty"`
+	CompressedFallback int64 `json:"compressed_fallback,omitempty"`
 	// Sampled reports whether the span tree was retained (the request was
 	// slower than the recorder's threshold or ended in error).
 	Sampled bool `json:"sampled"`

@@ -237,7 +237,7 @@ func execCellwise(ec matrix.Ctx, op *cplan.Operator, main *matrix.Matrix, sides 
 				continue
 			}
 			for j := 0; j < cols; j++ {
-				od[j] = aggStep(p.AggOp, od[j], part[j])
+				od[j] = aggMerge(p.AggOp, od[j], part[j])
 			}
 		}
 		return out
@@ -347,7 +347,7 @@ func execCellwise(ec matrix.Ctx, op *cplan.Operator, main *matrix.Matrix, sides 
 		})
 		acc := aggInit(p.AggOp)
 		for _, v := range partials {
-			acc = aggStep(p.AggOp, acc, v)
+			acc = aggMerge(p.AggOp, acc, v)
 		}
 		return matrix.NewScalar(acc)
 	}
@@ -514,7 +514,7 @@ func execMAgg(ec matrix.Ctx, op *cplan.Operator, main *matrix.Matrix, sides []*m
 			continue
 		}
 		for q := 0; q < k; q++ {
-			od[q] = aggStep(p.AggOps[q], od[q], part[q])
+			od[q] = aggMerge(p.AggOps[q], od[q], part[q])
 		}
 	}
 	return out
@@ -612,6 +612,17 @@ func aggStep(op matrix.AggOp, acc, v float64) float64 {
 		return acc + v*v
 	}
 	return acc + v
+}
+
+// aggMerge folds one worker's partial into the final accumulator. Unlike
+// aggStep, the partial is already aggregated, so sum-of-squares partials
+// add — squaring again would be wrong.
+func aggMerge(op matrix.AggOp, acc, partial float64) float64 {
+	switch op {
+	case matrix.AggMin, matrix.AggMax:
+		return aggStep(op, acc, partial)
+	}
+	return acc + partial
 }
 
 // newRowScratch returns a densification scratch row for sparse main inputs

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"sysml/internal/compress"
 	"sysml/internal/cplan"
 	"sysml/internal/hop"
 	"sysml/internal/matrix"
@@ -249,6 +250,24 @@ func observeHop(m *obs.Metrics, audit *obs.Audit, h *hop.Hop, ins []*matrix.Matr
 				m.Inc("spoof.chunk.miss")
 			}
 		}
+		// Compressed-dispatch attribution: the main input carried a
+		// compressed form — did the skeleton run over it or fall back?
+		if op, ok := h.Spoof.(*cplan.Operator); ok && h.ExecType != hop.ExecDist &&
+			len(ins) > 0 && compress.Of(ins[0]) != nil {
+			if CompressedDispatched(op, ins) {
+				m.Inc("compress.exec.hit")
+			} else {
+				m.Inc("compress.exec.fallback")
+			}
+		}
+	}
+	if h.Kind == hop.OpAggUnary && h.ExecType != hop.ExecDist &&
+		len(ins) > 0 && compress.Of(ins[0]) != nil {
+		if compressedAggUsable(h.AggOp, h.AggDir) {
+			m.Inc("compress.exec.hit")
+		} else {
+			m.Inc("compress.exec.fallback")
+		}
 	}
 	if h.ExecType == hop.ExecDist {
 		m.Inc("exec.dist.ops")
@@ -409,6 +428,9 @@ func evalLocal(ec matrix.Ctx, h *hop.Hop, ins []*matrix.Matrix, env Env, stop St
 	case hop.OpUnary:
 		return ec.Unary(h.UnOp, ins[0]), nil
 	case hop.OpAggUnary:
+		if m, done := compressedAgg(ec, h.AggOp, h.AggDir, ins[0]); done {
+			return m, nil
+		}
 		return ec.Agg(h.AggOp, h.AggDir, ins[0]), nil
 	case hop.OpMatMult:
 		return ec.MatMult(ins[0], ins[1]), nil
@@ -450,6 +472,15 @@ func execSpoofStop(ec matrix.Ctx, h *hop.Hop, ins []*matrix.Matrix, stop StopFn)
 	op, ok := h.Spoof.(*cplan.Operator)
 	if !ok {
 		return nil, fmt.Errorf("runtime: spoof hop %d has no compiled operator", h.ID)
+	}
+	// Compressed fast path: eligible bodies run once per distinct
+	// dictionary tuple when the main input has an attached compressed form.
+	if len(ins) > 0 {
+		if cm := compress.Of(ins[0]); cm != nil {
+			if out, done := execCompressed(ec, op, cm, ins[1:], stop); done {
+				return out, nil
+			}
+		}
 	}
 	switch op.Plan.Type {
 	case cplan.TemplateCell:

@@ -199,14 +199,14 @@ func execHorizontal(ec matrix.Ctx, op *cplan.Operator, main *matrix.Matrix, side
 					continue
 				}
 				for j := 0; j < cols; j++ {
-					od[j] = aggStep(p.AggOps[q], od[j], st.col[q][j])
+					od[j] = aggMerge(p.AggOps[q], od[j], st.col[q][j])
 				}
 			}
 		case cplan.CellFullAgg:
 			acc := aggInit(p.AggOps[q])
 			for _, st := range states {
 				if st != nil {
-					acc = aggStep(p.AggOps[q], acc, st.full[q])
+					acc = aggMerge(p.AggOps[q], acc, st.full[q])
 				}
 			}
 			outs[q] = matrix.NewScalar(acc)

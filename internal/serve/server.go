@@ -393,7 +393,7 @@ func (s *Server) runBatch(t *Tenant, key planKey, jobs []*batchJob) {
 				ID: job.id, Tenant: t.name, PlanKey: key.String(), Start: job.start,
 				Batch: len(jobs), Leader: i == 0,
 				QueueNS: total.Nanoseconds(), TotalNS: total.Nanoseconds(),
-				Status:  statusFor(err), Error: err.Error(),
+				Status: statusFor(err), Error: err.Error(),
 			}, nil)
 			if i > 0 {
 				close(job.done)
@@ -435,6 +435,8 @@ func (s *Server) runBatch(t *Tenant, key planKey, jobs []*batchJob) {
 			spans = ts.Events
 		}
 		ctx := obs.ContextWithRequestID(context.Background(), job.id)
+		chBefore := sess.Obs.Counter("compress.exec.hit")
+		cfBefore := sess.Obs.Counter("compress.exec.fallback")
 		execStart := time.Now()
 		resp, err := runJob(ctx, sess, job.req, root)
 		exec := time.Since(execStart)
@@ -459,8 +461,10 @@ func (s *Server) runBatch(t *Tenant, key planKey, jobs []*batchJob) {
 			ID: job.id, Tenant: t.name, PlanKey: key.String(), Start: job.start,
 			Batch: len(jobs), Leader: i == 0,
 			QueueNS: queue.Nanoseconds(), ExecNS: exec.Nanoseconds(),
-			TotalNS: total.Nanoseconds(),
-			Status:  statusFor(err), Error: errStr,
+			TotalNS:            total.Nanoseconds(),
+			CompressedExec:     sess.Obs.Counter("compress.exec.hit") - chBefore,
+			CompressedFallback: sess.Obs.Counter("compress.exec.fallback") - cfBefore,
+			Status:             statusFor(err), Error: errStr,
 		}, spans)
 		if ts != nil {
 			// Record invoked spans synchronously (Events copies), so the
