@@ -5,8 +5,9 @@
 # likewise), the fault-tolerance gates (BENCH_fault.json likewise), the
 # multi-tenant serving gates (BENCH_serve.json likewise), the serving
 # observability gates (BENCH_serveobs.json likewise), the
-# horizontal-fusion gates (BENCH_hfuse.json likewise), and the
-# compressed-execution gates (BENCH_cla.json likewise).
+# horizontal-fusion gates (BENCH_hfuse.json likewise), the
+# compressed-execution gates (BENCH_cla.json likewise), and the
+# feedback/re-optimization gates (BENCH_recost.json likewise).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -69,6 +70,13 @@ go run ./cmd/fusebench -exp cla
 if ! grep -q '"pass": true' BENCH_cla.json; then
   echo "FAIL: BENCH_cla.json gates did not pass" >&2
   cat BENCH_cla.json >&2
+  exit 1
+fi
+echo "== feedback/re-optimization gates (fusebench -exp recost) =="
+go run ./cmd/fusebench -exp recost
+if ! grep -q '"pass": true' BENCH_recost.json; then
+  echo "FAIL: BENCH_recost.json gates did not pass" >&2
+  cat BENCH_recost.json >&2
   exit 1
 fi
 echo "OK: all CI gates passed"

@@ -10,9 +10,11 @@
 // compile/optimize/execute phase-time breakdown. -trace out.json exports
 // the run's hierarchical spans as Chrome trace-event JSON (load in
 // chrome://tracing or Perfetto). -audit prints the cost-audit ledger:
-// predicted vs measured cost per fused-operator template. Input matrices
-// can be generated inside the script with rand(...); there is no
-// file-based matrix I/O in this reproduction.
+// predicted vs measured cost per fused-operator template. -calibrate auto
+// fits the cost-model constants online from this run's measurements;
+// -calibrate file additionally loads/saves a per-machine profile JSON (see
+// docs/COST_MODEL.md). Input matrices can be generated inside the script
+// with rand(...); there is no file-based matrix I/O in this reproduction.
 package main
 
 import (
@@ -44,9 +46,11 @@ func main() {
 	faultRate := flag.Float64("faultrate", 0, "per-task transient-failure probability for -dist fault injection")
 	killExec := flag.Int("killexec", -1, "executor id to kill permanently at the first task of the run (-1 disables)")
 	compressFlag := flag.String("compress", "auto", "compressed linear algebra: auto (sampled-ratio heuristic) | on (always compress inputs) | off")
+	calibrate := flag.String("calibrate", "off", "cost-model calibration: auto (fit constants online from this run) | off | file (load the -profile JSON, fit online, save back on exit)")
+	profile := flag.String("profile", "", "calibration profile JSON path for -calibrate file")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: dmlrun [-mode Gen] [-stats] [-explain] [-metrics] [-trace out.json] [-audit] [-dist [-executors N] [-membudget B] [-faultseed S -faultrate P -killexec E]] script.dml")
+		fmt.Fprintln(os.Stderr, "usage: dmlrun [-mode Gen] [-stats] [-explain] [-metrics] [-trace out.json] [-audit] [-calibrate auto|off|file [-profile p.json]] [-dist [-executors N] [-membudget B] [-faultseed S -faultrate P -killexec E]] script.dml")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -81,6 +85,28 @@ func main() {
 		os.Exit(2)
 	}
 	s := dml.NewSession(cfg)
+	var saveProfile string
+	switch *calibrate {
+	case "off":
+	case "auto":
+		s.Calib = codegen.NewCalibrator(cfg.Costs)
+	case "file":
+		if *profile == "" {
+			fmt.Fprintln(os.Stderr, "-calibrate file requires -profile <path>")
+			os.Exit(2)
+		}
+		s.Calib = codegen.NewCalibrator(cfg.Costs)
+		if p, err := codegen.LoadProfile(*profile); err == nil {
+			s.Calib.ApplyProfile(p)
+			s.Config.Costs = s.Calib.Model()
+		} else {
+			fmt.Fprintf(os.Stderr, "calibration profile ignored (%v); starting from defaults\n", err)
+		}
+		saveProfile = *profile
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -calibrate %q (want auto|off|file)\n", *calibrate)
+		os.Exit(2)
+	}
 	var cluster *dist.Cluster
 	if *useDist {
 		cluster = dist.NewCluster(dist.WithExecutors(*executors))
@@ -121,8 +147,24 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", ts.Len(), *trace)
 	}
+	if saveProfile != "" {
+		s.Calib.Refit()
+		if err := s.Calib.Profile().Save(saveProfile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote calibration profile to %s\n", saveProfile)
+	}
 	if *audit {
 		fmt.Print(s.CostAudit())
+		if s.Calib != nil {
+			st := s.Calib.State()
+			fmt.Printf("# CALIBRATION source=%s gen=%d refits=%d samples=%d skipped=%d\n",
+				st.Source, st.Gen, st.Refits, st.Samples, st.Skipped)
+			fmt.Printf("  read=%.3g write=%.3g flop=%.3g bcast=%.3g (priors %.3g/%.3g/%.3g/%.3g)\n",
+				st.Model.ReadBW, st.Model.WriteBW, st.Model.ComputeBW, st.Model.BroadcastBW,
+				st.Prior.ReadBW, st.Prior.WriteBW, st.Prior.ComputeBW, st.Prior.BroadcastBW)
+		}
 	}
 	if *explain {
 		snap := s.Metrics()

@@ -8,6 +8,9 @@
 //  3. Experiment coverage: every fusebench experiment ID must appear in
 //     EXPERIMENTS.md, so the reproduction manual cannot silently fall
 //     behind the harness.
+//  4. CI gate coverage: every `fusebench -exp <id>` ci.sh runs must have a
+//     matching EXPERIMENTS.md section heading, and every BENCH_*.json
+//     artifact ci.sh gates on must appear in the "CI gate summary" table.
 //
 // Exit status 1 with one line per violation; silent success otherwise.
 package main
@@ -151,6 +154,63 @@ func checkExperimentCoverage() []string {
 	return bad
 }
 
+// ciExpRe matches the experiment IDs ci.sh runs through fusebench;
+// ciGateRe matches the JSON artifacts it greps for a "pass" field.
+var (
+	ciExpRe  = regexp.MustCompile(`fusebench -exp ([a-z0-9_]+)`)
+	ciGateRe = regexp.MustCompile(`BENCH_[A-Za-z0-9_]+\.json`)
+)
+
+// checkCIGateCoverage cross-checks ci.sh against EXPERIMENTS.md: each
+// experiment the CI script runs needs its own section heading (the
+// "### `id` — ..." convention), and each gate artifact it greps must be a
+// row of the "## CI gate summary" table. This is what keeps the threshold
+// table from drifting when a new gate lands.
+func checkCIGateCoverage() []string {
+	ci, err := os.ReadFile("ci.sh")
+	if err != nil {
+		return []string{fmt.Sprintf("ci.sh: %v", err)}
+	}
+	exp, err := os.ReadFile("EXPERIMENTS.md")
+	if err != nil {
+		return []string{fmt.Sprintf("EXPERIMENTS.md: %v", err)}
+	}
+	var bad []string
+	seenID := map[string]bool{}
+	for _, m := range ciExpRe.FindAllStringSubmatch(string(ci), -1) {
+		id := m[1]
+		if seenID[id] {
+			continue
+		}
+		seenID[id] = true
+		headingRe := regexp.MustCompile("(?m)^#{1,6} .*`" + regexp.QuoteMeta(id) + "`")
+		if !headingRe.Match(exp) {
+			bad = append(bad, fmt.Sprintf("EXPERIMENTS.md: no section heading for ci.sh experiment %q", id))
+		}
+	}
+	// The gate table: the "## CI gate summary" section up to the next H2.
+	table := string(exp)
+	if i := strings.Index(table, "## CI gate summary"); i >= 0 {
+		table = table[i:]
+		if j := strings.Index(table[2:], "\n## "); j >= 0 {
+			table = table[:2+j]
+		}
+	} else {
+		return append(bad, `EXPERIMENTS.md: missing "## CI gate summary" section`)
+	}
+	seenGate := map[string]bool{}
+	for _, g := range ciGateRe.FindAllString(string(ci), -1) {
+		if seenGate[g] {
+			continue
+		}
+		seenGate[g] = true
+		if !strings.Contains(table, g) {
+			bad = append(bad, fmt.Sprintf("EXPERIMENTS.md: gate artifact %s missing from the CI gate summary table", g))
+		}
+	}
+	return bad
+}
+
 func main() {
 	var bad []string
 	for _, f := range mdFiles() {
@@ -160,6 +220,7 @@ func main() {
 		bad = append(bad, checkDocs(dir)...)
 	}
 	bad = append(bad, checkExperimentCoverage()...)
+	bad = append(bad, checkCIGateCoverage()...)
 	if len(bad) > 0 {
 		for _, b := range bad {
 			fmt.Fprintln(os.Stderr, b)

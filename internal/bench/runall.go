@@ -89,6 +89,9 @@ var Experiments = []struct {
 	{"cla", "Compressed execution gates: fused-over-groups speedup, compressed wire bytes, equivalence, decline overhead (emits BENCH_cla.json)", func(o Options) {
 		CLA(o).Print(o.Out)
 	}},
+	{"recost", "Feedback gates: calibration halves cost error, adversarial re-optimization, feedback overhead (emits BENCH_recost.json)", func(o Options) {
+		Recost(o).Print(o.Out)
+	}},
 }
 
 // RunAll executes every experiment.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"sysml/internal/cplan"
+	"sysml/internal/hop"
 )
 
 // A PlanCache caches compiled fused operators keyed by CPlan hash, avoiding
@@ -24,6 +25,7 @@ type PlanCache struct {
 
 	hits   atomic.Int64 // this view's lookups served from the core
 	misses atomic.Int64 // this view's lookups that compiled
+	invals atomic.Int64 // operators this view invalidated for re-optimization
 }
 
 // cacheShard is one lock domain of the store. Sharding by plan hash keeps
@@ -41,10 +43,11 @@ type cacheCore struct {
 	admitAfter int // admit a plan on its Nth compile (1 = always admit)
 	shards     []*cacheShard
 
-	classSeq  atomic.Int64 // compiled-class name sequence (TMP%d)
-	hits      atomic.Int64 // aggregated across all views
-	misses    atomic.Int64
-	evictions atomic.Int64
+	classSeq      atomic.Int64 // compiled-class name sequence (TMP%d)
+	hits          atomic.Int64 // aggregated across all views
+	misses        atomic.Int64
+	evictions     atomic.Int64
+	invalidations atomic.Int64
 
 	// Chunk-program admission accounting: every fresh compile either
 	// resolved its structural fingerprint to specialized chunk bodies
@@ -215,6 +218,53 @@ func (sh *cacheShard) admit(h uint64, admitAfter int) bool {
 	return false
 }
 
+// Invalidate removes the compiled operators for the given plan hashes from
+// the shared store, returning how many were actually present. Used by
+// mid-script re-optimization: when a block's plan is recompiled under
+// corrected estimates, its stale operators must not be served to any view.
+//
+// Removal is symmetric across the shard's three structures — ops, the FIFO
+// order, and the admission (seen) counters. Dropping only the ops entry
+// would leave a ghost hash in order that a later eviction pass "evicts"
+// (inflating the eviction counter shown in per-tenant stats) while
+// silently shrinking the shard's effective capacity; leaving the seen
+// counter would let a re-admitted plan skip admission control.
+func (pc *PlanCache) Invalidate(hashes ...uint64) int {
+	core := pc.core
+	if !core.enabled {
+		return 0
+	}
+	removed := 0
+	for _, h := range hashes {
+		sh := core.shardFor(h)
+		sh.mu.Lock()
+		if _, ok := sh.ops[h]; ok {
+			delete(sh.ops, h)
+			for i, v := range sh.order {
+				if v == h {
+					sh.order = append(sh.order[:i], sh.order[i+1:]...)
+					break
+				}
+			}
+			removed++
+		}
+		delete(sh.seen, h)
+		sh.mu.Unlock()
+	}
+	if removed > 0 {
+		pc.invals.Add(int64(removed))
+		core.invalidations.Add(int64(removed))
+	}
+	return removed
+}
+
+// Invalidations returns the number of operators this view invalidated.
+func (pc *PlanCache) Invalidations() int64 { return pc.invals.Load() }
+
+// TotalInvalidations returns invalidations aggregated across every view of
+// the underlying store.
+func (pc *PlanCache) TotalInvalidations() int64 { return pc.core.invalidations.Load() }
+
 // Contains reports whether an operator for plan hash h is currently
 // admitted to the store.
 func (pc *PlanCache) Contains(h uint64) bool {
@@ -248,6 +298,29 @@ func (pc *PlanCache) Counters() (hits, misses, evictions int64) {
 func (pc *PlanCache) TotalCounters() (hits, misses, evictions int64) {
 	c := pc.core
 	return c.hits.Load(), c.misses.Load(), c.evictions.Load()
+}
+
+// PlanHashes collects the CPlan hashes of every fused operator spliced
+// into the DAG, deduplicated in topological order — the plan-cache keys a
+// mid-script re-optimization must Invalidate when it discards the DAG.
+func PlanHashes(d *hop.DAG) []uint64 {
+	var hashes []uint64
+	seen := map[uint64]bool{}
+	for _, h := range hop.TopoOrder(d.Roots()) {
+		if h.Kind != hop.OpSpoof {
+			continue
+		}
+		op, ok := h.Spoof.(*cplan.Operator)
+		if !ok || op == nil || op.Plan == nil {
+			continue
+		}
+		hv := op.Plan.Hash()
+		if !seen[hv] {
+			seen[hv] = true
+			hashes = append(hashes, hv)
+		}
+	}
+	return hashes
 }
 
 // Stats aggregates codegen statistics across DAG compilations (paper

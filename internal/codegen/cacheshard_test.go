@@ -115,6 +115,95 @@ func TestPlanCacheAdmission(t *testing.T) {
 	}
 }
 
+// TestPlanCacheInvalidate: invalidation must remove the entry from the
+// store, the FIFO order, and the admission ledger symmetrically — a ghost
+// order entry would shrink the effective capacity and a surviving
+// admission count would readmit a stale plan on its next first compile.
+func TestPlanCacheInvalidate(t *testing.T) {
+	cfg := codegen.DefaultConfig()
+	const maxEntries = 8
+	pc := codegen.NewSharedPlanCache(true, maxEntries, 1, 2)
+	p := litPlan(3)
+	pc.GetOrCompile(p, &cfg, func() string { return "T" })
+	pc.GetOrCompile(p, &cfg, func() string { return "T" })
+	if !pc.Contains(p.Hash()) {
+		t.Fatal("plan not admitted after two compiles")
+	}
+
+	v := pc.View()
+	if removed := v.Invalidate(p.Hash()); removed != 1 {
+		t.Fatalf("Invalidate removed %d entries, want 1", removed)
+	}
+	if pc.Contains(p.Hash()) {
+		t.Error("plan still in the store after invalidation")
+	}
+	if got := pc.Size(); got != 0 {
+		t.Errorf("store size %d after invalidating its only entry", got)
+	}
+	if got := v.Invalidations(); got != 1 {
+		t.Errorf("view counted %d invalidations, want 1", got)
+	}
+	if got := pc.TotalInvalidations(); got != 1 {
+		t.Errorf("store counted %d invalidations, want 1", got)
+	}
+	// Admission ledger cleared: the plan must earn admission from scratch.
+	pc.GetOrCompile(p, &cfg, func() string { return "T" })
+	if pc.Contains(p.Hash()) {
+		t.Error("invalidated plan readmitted on its first recompile (seen not cleared)")
+	}
+	pc.GetOrCompile(p, &cfg, func() string { return "T" })
+	if !pc.Contains(p.Hash()) {
+		t.Error("plan not readmitted on its second recompile")
+	}
+	// Unknown hashes are a no-op, not a phantom removal.
+	if removed := v.Invalidate(0xdead); removed != 0 {
+		t.Errorf("Invalidate removed %d entries for an unknown hash", removed)
+	}
+
+	// No phantom capacity loss: fill the bounded store, invalidate half,
+	// refill — the freed slots must absorb the new plans without evictions.
+	pc2 := codegen.NewSharedPlanCache(true, maxEntries, 1, 1)
+	hashes := make([]uint64, maxEntries)
+	for i := 0; i < maxEntries; i++ {
+		p := litPlan(float64(100 + i))
+		hashes[i] = p.Hash()
+		pc2.GetOrCompile(p, &cfg, func() string { return "T" })
+	}
+	v2 := pc2.View()
+	if removed := v2.Invalidate(hashes[:maxEntries/2]...); removed != maxEntries/2 {
+		t.Fatalf("bulk Invalidate removed %d, want %d", removed, maxEntries/2)
+	}
+	for i := 0; i < maxEntries/2; i++ {
+		pc2.GetOrCompile(litPlan(float64(200+i)), &cfg, func() string { return "T" })
+	}
+	if _, _, evictions := pc2.Counters(); evictions != 0 {
+		t.Errorf("%d evictions after refilling invalidated slots (ghost order entries)", evictions)
+	}
+	if got := pc2.Size(); got != maxEntries {
+		t.Errorf("store size %d, want %d", got, maxEntries)
+	}
+}
+
+// TestPlanCacheInvalidateViewIsolation: per-tenant invalidation counters
+// move only on the invoking view, mirroring hit/miss isolation.
+func TestPlanCacheInvalidateViewIsolation(t *testing.T) {
+	cfg := codegen.DefaultConfig()
+	shared := codegen.NewSharedPlanCache(true, 0, 2, 1)
+	a, b := shared.View(), shared.View()
+	p := litPlan(9)
+	a.GetOrCompile(p, &cfg, func() string { return "T" })
+	b.Invalidate(p.Hash())
+	if got := a.Invalidations(); got != 0 {
+		t.Errorf("idle view counted %d invalidations", got)
+	}
+	if got := b.Invalidations(); got != 1 {
+		t.Errorf("invoking view counted %d invalidations, want 1", got)
+	}
+	if got := shared.TotalInvalidations(); got != 1 {
+		t.Errorf("aggregate %d invalidations, want 1", got)
+	}
+}
+
 // TestPlanCacheBounded: a bounded sharded store evicts FIFO per shard and
 // never exceeds its per-shard ceilings.
 func TestPlanCacheBounded(t *testing.T) {

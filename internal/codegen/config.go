@@ -112,6 +112,56 @@ type Config struct {
 	Compress         CompressMode
 	CompressMinRatio float64
 	CompressMinBytes int64
+
+	// Reopt controls mid-script re-optimization: when a block's observed
+	// sparsity or wall time diverges from its prediction beyond the
+	// configured thresholds, the interpreter invalidates the block's cached
+	// plan and re-optimizes with corrected estimates.
+	Reopt ReoptConfig
+}
+
+// ReoptConfig holds the divergence thresholds for mid-script
+// re-optimization (see docs/COST_MODEL.md for how they interact with the
+// plan cache and the calibration generation counter).
+type ReoptConfig struct {
+	// Enabled turns the divergence checks on; when false the interpreter
+	// never revisits a cached block plan (pre-calibration behavior).
+	Enabled bool
+
+	// SparsityFactor triggers re-optimization when an input's actual
+	// nonzero count differs from its compile-time estimate by more than
+	// this factor in either direction (and the matrix has at least
+	// MinCells cells — tiny inputs can't change a plan choice).
+	SparsityFactor float64
+	// MinCells is the matrix size floor for the sparsity check.
+	MinCells int64
+
+	// TimeFactor triggers re-optimization when a block's measured wall
+	// time diverges from the optimizer prediction by more than this factor
+	// while the block ran for at least MinSec (sub-millisecond blocks are
+	// dominated by dispatch, not plan quality).
+	TimeFactor float64
+	// MinSec is the wall-time floor for the time-divergence check.
+	MinSec float64
+
+	// MaxPerBlock caps how many times a single block may be re-optimized
+	// by the time trigger, so a fundamentally hard-to-predict block can't
+	// thrash the plan cache. Sparsity-triggered re-optimization is exempt:
+	// corrected estimates converge on their own.
+	MaxPerBlock int
+}
+
+// DefaultReoptConfig enables re-optimization with conservative thresholds:
+// a 4x sparsity mismatch or an 8x time mismatch on a >=1ms block.
+func DefaultReoptConfig() ReoptConfig {
+	return ReoptConfig{
+		Enabled:        true,
+		SparsityFactor: 4,
+		MinCells:       256,
+		TimeFactor:     8,
+		MinSec:         1e-3,
+		MaxPerBlock:    2,
+	}
 }
 
 // DefaultConfig returns the production defaults (cost-based optimizer, plan
@@ -133,6 +183,7 @@ func DefaultConfig() Config {
 		Compress:           CompressAuto,
 		CompressMinRatio:   3.0,
 		CompressMinBytes:   1 << 16,
+		Reopt:              DefaultReoptConfig(),
 	}
 }
 

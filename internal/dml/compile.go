@@ -12,6 +12,7 @@ import (
 type blockCompiler struct {
 	d         *hop.DAG
 	env       runtime.Env
+	nnzHints  map[string]int64    // caller-supplied sparsity estimates (BindWithNnz)
 	vars      map[string]*hop.Hop // assigned within the block
 	reads     map[string]*hop.Hop
 	constVals map[string]float64 // block-local compile-time constants
@@ -55,7 +56,13 @@ func (c *blockCompiler) varHop(name string, line int) (*hop.Hop, error) {
 	if !ok {
 		return nil, &UnboundVarError{Line: line, Name: name}
 	}
+	// A caller-supplied nonzero hint (BindWithNnz) overrides the exact
+	// scan; the re-optimization check drops hints the runtime observes to
+	// be wrong, so a bad estimate costs at most one mis-planned execution.
 	nnz := int64(m.Nnz())
+	if hint, ok := c.nnzHints[name]; ok {
+		nnz = hint
+	}
 	h := c.d.Read(name, int64(m.Rows), int64(m.Cols), nnz)
 	c.reads[name] = h
 	return h, nil

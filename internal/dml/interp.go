@@ -54,6 +54,14 @@ type Session struct {
 	// non-nil for sessions built via NewSession; nil disables auditing.
 	Audit *obs.Audit
 
+	// Calib, when non-nil, is the online cost-model calibrator: it receives
+	// every audited execution observation, and whenever its fitted
+	// constants change generation the session adopts them into
+	// Config.Costs and re-optimizes cached block plans lazily on their
+	// next use. A serving engine shares one calibrator across all tenant
+	// sessions (the per-machine profile is an engine-level property).
+	Calib *codegen.Calibrator
+
 	// ExplainOut, when set, receives the textual EXPLAIN report of every
 	// freshly optimized block (SystemML's EXPLAIN hops output).
 	ExplainOut io.Writer
@@ -63,8 +71,23 @@ type Session struct {
 	Blocks         int64
 	BlockCacheHits int64
 
-	blockCache map[string]*hop.DAG
+	blockCache map[string]*blockEntry
 	bound      map[*matrix.Matrix]bool // matrices handed in via Bind (caller-owned)
+
+	nnzHints   map[string]int64 // sparsity estimates from BindWithNnz, dropped on divergence
+	calibGen   uint64           // calibrator generation Config.Costs was last synced to
+	blockReopt map[string]int   // time-triggered re-optimizations per block key (capped)
+}
+
+// blockEntry is one cached optimized block plan plus the bookkeeping
+// mid-script re-optimization needs: the compiled operators' plan-cache
+// hashes (invalidated when the entry is discarded, so no view serves a
+// stale operator) and the calibration generation the plan was costed
+// under.
+type blockEntry struct {
+	dag      *hop.DAG
+	hashes   []uint64
+	calibGen uint64
 }
 
 // execCtx is the execution context threaded into every runtime call:
@@ -98,6 +121,22 @@ func (s *Session) Bind(name string, m *matrix.Matrix) {
 
 // BindScalar sets a scalar input variable.
 func (s *Session) BindScalar(name string, v float64) { s.setEnv(name, matrix.NewScalar(v)) }
+
+// BindWithNnz is Bind with an explicit nonzero-count estimate: block plans
+// reading name are optimized under this sparsity instead of the matrix's
+// scanned count (SystemML's metadata-driven compilation — exact counts are
+// not always available at bind time). A wrong estimate is self-correcting
+// when Config.Reopt is enabled: the executed block measures the actual
+// nonzero count, and on divergence beyond Reopt.SparsityFactor the hint is
+// dropped and the block's cached plan invalidated, so the next execution
+// (e.g. the next loop iteration) runs a plan optimized with exact counts.
+func (s *Session) BindWithNnz(name string, m *matrix.Matrix, nnz int64) {
+	s.Bind(name, m)
+	if s.nnzHints == nil {
+		s.nnzHints = map[string]int64{}
+	}
+	s.nnzHints[name] = nnz
+}
 
 // setEnv rebinds a variable, dropping the distributed backend's broadcast
 // handle of the previous binding: after a rebind the old matrix may be
@@ -265,18 +304,24 @@ func (s *Session) Explain(script string) (string, error) {
 	for k, v := range s.Env {
 		env[k] = v
 	}
+	hints := make(map[string]int64, len(s.nnzHints))
+	for k, v := range s.nnzHints {
+		hints[k] = v
+	}
 	shadow := &Session{
-		Config: s.Config,
-		Cache:  codegen.NewPlanCacheSized(s.Config.PlanCache, s.Config.PlanCacheSize),
-		Stats:  codegen.NewStats(),
-		Env:    env,
-		Out:    io.Discard,
-		Dist:   s.Dist,
-		Par:    s.Par,
-		Alloc:  s.Alloc,
-		Obs:    obs.NewMetrics(),
-		Audit:  obs.NewAudit(),
-		Sink:   col,
+		Config:   s.Config,
+		Cache:    codegen.NewPlanCacheSized(s.Config.PlanCache, s.Config.PlanCacheSize),
+		Stats:    codegen.NewStats(),
+		Env:      env,
+		Out:      io.Discard,
+		Dist:     s.Dist,
+		Par:      s.Par,
+		Alloc:    s.Alloc,
+		Obs:      obs.NewMetrics(),
+		Audit:    obs.NewAudit(),
+		Sink:     col,
+		Calib:    s.Calib,
+		nnzHints: hints,
 	}
 	before := s.Alloc.Stats()
 	var db distExplainDeltas
@@ -318,6 +363,18 @@ func (s *Session) Explain(script string) (string, error) {
 		fmt.Fprintf(&b, "  operator execution: %d compressed, %d fallback\n", hit, fb)
 	}
 	db.report(&b, s.Dist)
+	// Cost-model calibration state: the constants the shadow run's plans
+	// were priced under, next to the paper-default priors.
+	if s.Calib != nil {
+		st := s.Calib.State()
+		b.WriteString("\nCALIBRATION\n")
+		fmt.Fprintf(&b, "  source: %s  generation: %d  refits: %d\n", st.Source, st.Gen, st.Refits)
+		fmt.Fprintf(&b, "  observations:       %d accepted, %d skipped (warm-up/floor)\n", st.Samples, st.Skipped)
+		fmt.Fprintf(&b, "  read bandwidth:     %.3g B/s (prior %.3g)\n", st.Model.ReadBW, st.Prior.ReadBW)
+		fmt.Fprintf(&b, "  write bandwidth:    %.3g B/s (prior %.3g)\n", st.Model.WriteBW, st.Prior.WriteBW)
+		fmt.Fprintf(&b, "  flop rate:          %.3g FLOP/s (prior %.3g)\n", st.Model.ComputeBW, st.Prior.ComputeBW)
+		fmt.Fprintf(&b, "  broadcast bandwidth: %.3g B/s (prior %.3g)\n", st.Model.BroadcastBW, st.Prior.BroadcastBW)
+	}
 	return b.String(), nil
 }
 
@@ -465,6 +522,7 @@ func (s *Session) Metrics() obs.Snapshot {
 		snap.Counters["plancache.hits"] = hits
 		snap.Counters["plancache.misses"] = misses
 		snap.Counters["plancache.evictions"] = evictions
+		snap.Counters["plancache.invalidations"] = s.Cache.Invalidations()
 		if lookups := hits + misses; lookups > 0 {
 			snap.Gauges["plancache.hitrate"] = float64(hits) / float64(lookups)
 		}
@@ -479,6 +537,17 @@ func (s *Session) Metrics() obs.Snapshot {
 	}
 	snap.Counters["block.optimized"] = s.Blocks
 	snap.Counters["block.reused"] = s.BlockCacheHits
+	if s.Calib != nil {
+		st := s.Calib.State()
+		snap.Counters["calib.samples"] = st.Samples
+		snap.Counters["calib.skipped"] = st.Skipped
+		snap.Counters["calib.refits"] = st.Refits
+		snap.Counters["calib.gen"] = int64(st.Gen)
+		snap.Gauges["calib.read_bw"] = st.Model.ReadBW
+		snap.Gauges["calib.write_bw"] = st.Model.WriteBW
+		snap.Gauges["calib.flop_rate"] = st.Model.ComputeBW
+		snap.Gauges["calib.broadcast_bw"] = st.Model.BroadcastBW
+	}
 	u := s.Par.Stats()
 	snap.Counters["par.calls"] = u.Calls
 	snap.Counters["par.goroutines"] = u.Goroutines
@@ -621,8 +690,10 @@ func (s *Session) exec(ctx context.Context, root obs.Span, stmts []Stmt) error {
 // recording a trace span per phase and emitting an EXPLAIN report for
 // every fresh optimization when a sink or ExplainOut is attached.
 func (s *Session) runBlock(ctx context.Context, root obs.Span, stmts []Stmt) error {
+	s.syncCalibration()
 	spc := root.Phase(s.Obs, "compile")
 	c := newBlockCompiler(s.Env)
+	c.nnzHints = s.nnzHints
 	type printOut struct {
 		line  int
 		parts []any // string literals and output variable names
@@ -678,11 +749,22 @@ func (s *Session) runBlock(ctx context.Context, root obs.Span, stmts []Stmt) err
 		return codegen.OptimizeTraced(d0, &s.Config, s.Cache, s.Stats, rep, spo)
 	}
 	// Reuse the optimized plan while the block's structure, sizes, and
-	// sparsity are unchanged (SystemML recompiles only dirty blocks).
+	// sparsity are unchanged (SystemML recompiles only dirty blocks). An
+	// entry optimized under an older calibration generation is discarded
+	// here — lazily, on its next use — and re-optimized under the current
+	// constants.
+	var blockCacheKey string
 	if s.Config.ReuseBlockPlans {
 		key := blockKey(d)
-		if cached, ok := s.blockCache[key]; ok {
-			d = cached
+		blockCacheKey = key
+		entry, ok := s.blockCache[key]
+		if ok && entry.calibGen != s.calibGen {
+			s.invalidateBlock(key)
+			s.Obs.Inc("reopt.calib")
+			ok = false
+		}
+		if ok {
+			d = entry.dag
 			s.BlockCacheHits++
 			s.Obs.Inc("block.cache.hits")
 		} else {
@@ -690,9 +772,9 @@ func (s *Session) runBlock(ctx context.Context, root obs.Span, stmts []Stmt) err
 			s.Blocks++
 			s.Obs.Inc("block.cache.misses")
 			if s.blockCache == nil {
-				s.blockCache = map[string]*hop.DAG{}
+				s.blockCache = map[string]*blockEntry{}
 			}
-			s.blockCache[key] = d
+			s.blockCache[key] = &blockEntry{dag: d, hashes: codegen.PlanHashes(d), calibGen: s.calibGen}
 		}
 	} else {
 		d = optimize(d)
@@ -714,13 +796,31 @@ func (s *Session) runBlock(ctx context.Context, root obs.Span, stmts []Stmt) err
 	}
 
 	spe := root.Phase(s.Obs, "execute")
-	out, err := runtime.ExecuteDAG(d, s.Env, runtime.Options{
+	opts := runtime.Options{
 		Dist: s.Dist, Ctx: ctx, Metrics: s.Obs, Trace: spe, Audit: s.Audit,
 		Exec: s.execCtx(),
-	})
+	}
+	if s.Calib != nil {
+		opts.Calib = s.Calib
+	}
+	var fb *runtime.Feedback
+	if s.Config.Reopt.Enabled {
+		fb = &runtime.Feedback{}
+		if len(s.nnzHints) > 0 {
+			fb.Track = make(map[string]bool, len(s.nnzHints))
+			for name := range s.nnzHints {
+				fb.Track[name] = true
+			}
+		}
+		opts.Feedback = fb
+	}
+	out, err := runtime.ExecuteDAG(d, s.Env, opts)
 	spe.End()
 	if err != nil {
 		return err
+	}
+	if fb != nil {
+		s.checkReopt(blockCacheKey, fb)
 	}
 	s.setEnvAll(out)
 	for _, po := range prints {
@@ -741,6 +841,96 @@ func (s *Session) runBlock(ctx context.Context, root obs.Span, stmts []Stmt) err
 		fmt.Fprintln(s.Out, line)
 	}
 	return nil
+}
+
+// syncCalibration adopts the calibrator's current constants into
+// Config.Costs when the calibration generation advanced. Cached block
+// plans optimized under the old generation are invalidated lazily when
+// next looked up (see runBlock), so re-optimization cost is only paid for
+// blocks that actually run again.
+func (s *Session) syncCalibration() {
+	if s.Calib == nil {
+		return
+	}
+	if gen := s.Calib.Gen(); gen != s.calibGen {
+		s.calibGen = gen
+		s.Config.Costs = s.Calib.Model()
+	}
+}
+
+// checkReopt inspects one block execution's feedback for divergence
+// between the optimizer's assumptions and observed reality, and discards
+// the block's cached plan when re-optimizing would plausibly pick a better
+// one:
+//
+//   - sparsity: a tracked input's actual nonzero count differs from its
+//     compile-time estimate by more than Reopt.SparsityFactor. The stale
+//     hint is dropped, so the recompiled block keys on (and optimizes
+//     under) the exact count — the divergence cannot recur.
+//   - time: the block's measured operator seconds diverge from the
+//     predicted seconds by more than Reopt.TimeFactor. Estimates don't
+//     change by themselves, so this only helps alongside a calibrator
+//     (whose refit repriced the plan space); it is capped at
+//     Reopt.MaxPerBlock per block either way.
+func (s *Session) checkReopt(key string, fb *runtime.Feedback) {
+	r := s.Config.Reopt
+	diverged := false
+	for _, in := range fb.Inputs {
+		cells := in.Rows * in.Cols
+		if cells < r.MinCells {
+			continue
+		}
+		est := float64(in.EstNnz)
+		if in.EstNnz < 0 {
+			est = float64(cells) // dense assumption
+		}
+		if est < 1 {
+			est = 1
+		}
+		act := float64(in.ActualNnz)
+		if act < 1 {
+			act = 1
+		}
+		if ratio := act / est; ratio > r.SparsityFactor || ratio < 1/r.SparsityFactor {
+			delete(s.nnzHints, in.Name)
+			s.Obs.Inc("reopt.sparsity")
+			diverged = true
+		}
+	}
+	if fb.ActualSec >= r.MinSec && fb.PredSec > 0 && s.blockReopt[key] < r.MaxPerBlock {
+		if ratio := fb.PredSec / fb.ActualSec; ratio > r.TimeFactor || ratio < 1/r.TimeFactor {
+			if s.blockReopt == nil {
+				s.blockReopt = map[string]int{}
+			}
+			s.blockReopt[key]++
+			s.Obs.Inc("reopt.time")
+			diverged = true
+			if s.Calib != nil {
+				// Fold the divergence evidence into the constants now rather
+				// than waiting for the refit cadence.
+				s.Calib.Refit()
+				s.syncCalibration()
+			}
+		}
+	}
+	if diverged {
+		s.invalidateBlock(key)
+	}
+}
+
+// invalidateBlock discards one cached block plan and invalidates its
+// compiled operators in the plan cache (all views of a shared cache stop
+// serving them).
+func (s *Session) invalidateBlock(key string) {
+	e, ok := s.blockCache[key]
+	if !ok {
+		return
+	}
+	delete(s.blockCache, key)
+	if s.Cache != nil {
+		s.Cache.Invalidate(e.hashes...)
+	}
+	s.Obs.Inc("reopt.invalidations")
 }
 
 type printRef string

@@ -193,7 +193,12 @@ func TestTypedErrors(t *testing.T) {
 }
 
 func TestSessionMetrics(t *testing.T) {
-	s := NewSession(codegen.DefaultConfig())
+	// Exact cache-hit accounting: time-triggered re-optimization would
+	// legitimately invalidate cached blocks on slow runners (-race), so
+	// pin it off here.
+	cfg := codegen.DefaultConfig()
+	cfg.Reopt.Enabled = false
+	s := NewSession(cfg)
 	s.Out = io.Discard
 	s.Bind("X", matrix.Rand(2000, 100, 1, -1, 1, 7))
 	s.Bind("v", matrix.Rand(100, 1, 1, -1, 1, 8))

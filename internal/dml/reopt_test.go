@@ -1,0 +1,125 @@
+package dml
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sysml/internal/codegen"
+	"sysml/internal/matrix"
+)
+
+// TestReoptCorrectsSparsityHint: binding a 2%-sparse matrix with a
+// claimed-dense nonzero hint forces a dense plan; after the first
+// execution the runtime feedback must drop the lying hint, invalidate the
+// cached block plan, and re-optimize into the sparsity-exploiting Outer
+// plan — with identical results before and after the switch.
+func TestReoptCorrectsSparsityHint(t *testing.T) {
+	s := newTestSession(codegen.ModeGen)
+	const n, rank = 128, 16
+	x := matrix.Rand(n, n, 0.02, 1, 2, 1)
+	s.BindWithNnz("X", x, n*n) // lie: claim every cell is nonzero
+	s.Bind("U", matrix.Rand(n, rank, 1, 0.1, 1, 2))
+	s.Bind("V", matrix.Rand(n, rank, 1, 0.1, 1, 3))
+	script := `s = sum(X * log(U %*% t(V) + 1e-15))`
+
+	// Under the dense lie the optimizer must not pick the Outer template.
+	before, err := s.Explain(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(before, "Outer") {
+		t.Fatalf("dense-hinted plan already uses Outer:\n%s", before)
+	}
+
+	if err := s.Run(script); err != nil {
+		t.Fatal(err)
+	}
+	first, _ := s.Scalar("s")
+	if err := s.Run(script); err != nil {
+		t.Fatal(err)
+	}
+	second, _ := s.Scalar("s")
+	if math.Abs(first-second) > 1e-6*math.Abs(first) {
+		t.Errorf("result changed across re-optimization: %g vs %g", first, second)
+	}
+
+	snap := s.Metrics()
+	if got := snap.Counters["reopt.sparsity"]; got < 1 {
+		t.Errorf("reopt.sparsity = %d, want >= 1", got)
+	}
+	if got := snap.Counters["reopt.invalidations"]; got < 1 {
+		t.Errorf("reopt.invalidations = %d, want >= 1", got)
+	}
+
+	// With the hint dropped the optimizer sees the true nonzero count.
+	after, err := s.Explain(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(after, "Outer") {
+		t.Errorf("re-optimized plan does not use Outer:\n%s", after)
+	}
+}
+
+// TestReoptDisabled: with Reopt.Enabled=false the lying hint persists —
+// no counters move and the plan stays dense.
+func TestReoptDisabled(t *testing.T) {
+	cfg := codegen.DefaultConfig()
+	cfg.Reopt.Enabled = false
+	s := newTestSessionCfg(cfg)
+	const n, rank = 128, 16
+	s.BindWithNnz("X", matrix.Rand(n, n, 0.02, 1, 2, 1), n*n)
+	s.Bind("U", matrix.Rand(n, rank, 1, 0.1, 1, 2))
+	s.Bind("V", matrix.Rand(n, rank, 1, 0.1, 1, 3))
+	script := `s = sum(X * log(U %*% t(V) + 1e-15))`
+	for i := 0; i < 2; i++ {
+		if err := s.Run(script); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := s.Metrics()
+	for _, c := range []string{"reopt.sparsity", "reopt.time", "reopt.invalidations"} {
+		if got := snap.Counters[c]; got != 0 {
+			t.Errorf("%s = %d with re-optimization disabled", c, got)
+		}
+	}
+	after, err := s.Explain(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(after, "Outer") {
+		t.Error("hint dropped despite Reopt.Enabled=false")
+	}
+}
+
+// TestReoptAccurateHintStable: a truthful hint must not trigger
+// re-optimization — the divergence factor guards against thrash.
+func TestReoptAccurateHintStable(t *testing.T) {
+	s := newTestSession(codegen.ModeGen)
+	const n, rank = 128, 16
+	x := matrix.Rand(n, n, 0.02, 1, 2, 1)
+	s.BindWithNnz("X", x, int64(x.Nnz()))
+	s.Bind("U", matrix.Rand(n, rank, 1, 0.1, 1, 2))
+	s.Bind("V", matrix.Rand(n, rank, 1, 0.1, 1, 3))
+	script := `s = sum(X * log(U %*% t(V) + 1e-15))`
+	for i := 0; i < 3; i++ {
+		if err := s.Run(script); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Metrics().Counters["reopt.sparsity"]; got != 0 {
+		t.Errorf("reopt.sparsity = %d for a truthful hint", got)
+	}
+}
+
+// newTestSessionCfg builds a quiet session from an explicit config.
+func newTestSessionCfg(cfg codegen.Config) *Session {
+	s := NewSession(cfg)
+	s.Out = &nullWriter{}
+	return s
+}
+
+type nullWriter struct{}
+
+func (*nullWriter) Write(p []byte) (int, error) { return len(p), nil }

@@ -28,6 +28,21 @@ type AuditEntry struct {
 	ActualSec   float64 // measured wall time
 	ActualFlops float64 // measured data-touch work (sparse-aware)
 	ActualBytes int64   // realized input + output bytes
+
+	// ActualInBytes / ActualOutBytes split ActualBytes into the read and
+	// write sides of the operator — the quantities the cost model charges at
+	// ReadBW and WriteBW respectively — so the calibrator can fit the two
+	// bandwidths independently.
+	ActualInBytes  int64
+	ActualOutBytes int64
+
+	// BcastBytes is the portion of the input bytes a distributed operator
+	// received as broadcast side inputs (charged at BroadcastBW, not
+	// ReadBW); zero for local execution.
+	BcastBytes int64
+
+	// Dist marks operators that executed on the distributed backend.
+	Dist bool
 }
 
 // minAuditSec floors measured wall time so clock-granularity zeros don't
@@ -84,6 +99,42 @@ func (h RelErrHist) Count() int64 {
 	return n
 }
 
+// Median estimates the median |relative error| of the histogram by linear
+// interpolation within its buckets; the gate experiments compare this
+// before and after cost-model calibration. Zero when empty.
+func (h RelErrHist) Median() float64 { return h.Quantile(0.5) }
+
+// Quantile estimates the q-th quantile (0 < q < 1) of the |relative error|
+// distribution by linear interpolation within the histogram buckets. The
+// overflow bucket extrapolates to twice the last bound.
+func (h RelErrHist) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, v := range h.Buckets {
+		if v == 0 {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = RelErrBounds[i-1]
+		}
+		hi := 2 * RelErrBounds[len(RelErrBounds)-1]
+		if i < len(RelErrBounds) {
+			hi = RelErrBounds[i]
+		}
+		if cum+float64(v) >= rank {
+			frac := (rank - cum) / float64(v)
+			return lo + frac*(hi-lo)
+		}
+		cum += float64(v)
+	}
+	return 2 * RelErrBounds[len(RelErrBounds)-1]
+}
+
 // String renders the bucket counts as "≤0.1:3 ≤0.25:1 ... >5:0".
 func (h RelErrHist) String() string {
 	var b strings.Builder
@@ -115,6 +166,13 @@ type AuditGroup struct {
 
 	PredBytes   int64
 	ActualBytes int64
+
+	// Read/write/broadcast byte splits (sums, like ActualBytes) and the
+	// number of distributed observations — the calibrator's fit inputs.
+	ActualInBytes  int64
+	ActualOutBytes int64
+	BcastBytes     int64
+	DistCount      int64
 
 	RelErr RelErrHist
 
@@ -165,6 +223,12 @@ func (a *Audit) Record(e AuditEntry) {
 	g.ActualFlops += e.ActualFlops
 	g.PredBytes += e.PredBytes
 	g.ActualBytes += e.ActualBytes
+	g.ActualInBytes += e.ActualInBytes
+	g.ActualOutBytes += e.ActualOutBytes
+	g.BcastBytes += e.BcastBytes
+	if e.Dist {
+		g.DistCount++
+	}
 	g.RelErr.add(rel)
 	if abs := math.Abs(rel); g.Count == 1 || abs > g.WorstRel {
 		g.Worst, g.WorstRel = e, abs

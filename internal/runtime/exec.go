@@ -46,6 +46,50 @@ type Options struct {
 	// executed operator that carries a cost-model prediction
 	// (hop.PredSec > 0, annotated by codegen.AnnotatePredictions).
 	Audit *obs.Audit
+
+	// Calib, when non-nil, receives the same predicted-vs-measured entries
+	// as Audit — the online cost-model calibrator's observation stream.
+	// Declared as an interface so runtime does not depend on codegen.
+	Calib CalibSink
+
+	// Feedback, when non-nil, collects execution observations the
+	// interpreter's re-optimization check consumes: actual nonzero counts
+	// of the tracked bound inputs and the block's summed predicted vs
+	// measured operator seconds.
+	Feedback *Feedback
+}
+
+// CalibSink receives cost-audit observations; satisfied by
+// codegen.Calibrator.
+type CalibSink interface {
+	Observe(obs.AuditEntry)
+}
+
+// Feedback accumulates one DAG execution's divergence evidence. The
+// interpreter allocates it per block run, names the inputs whose sparsity
+// estimates came from hints (Track), and reads the results after the run.
+type Feedback struct {
+	// Track selects which bound-input names to measure; nnz capture costs
+	// a stored-entry scan per tracked input, so only hint-estimated inputs
+	// (the ones that can actually diverge) are tracked.
+	Track map[string]bool
+
+	// Inputs holds one entry per tracked input actually read by the DAG.
+	Inputs []InputFeedback
+
+	// PredSec / ActualSec sum the optimizer-predicted and measured wall
+	// seconds of every operator carrying a prediction.
+	PredSec   float64
+	ActualSec float64
+}
+
+// InputFeedback compares one bound input's compile-time nonzero estimate
+// with the matrix observed at execution.
+type InputFeedback struct {
+	Name       string
+	Rows, Cols int64
+	EstNnz     int64 // estimate the plan was compiled under
+	ActualNnz  int64
 }
 
 // StopFn polls for cancellation; fused-operator loops call it at chunk
@@ -122,7 +166,7 @@ func ExecuteDAG(d *hop.DAG, env Env, opts Options) (Env, error) {
 	// output to its consumers. A bundle dies with its spoof hop (every
 	// extractor is a consumer, so all outputs are extracted before then).
 	bundles := map[int64][]*matrix.Matrix{}
-	observed := opts.Metrics != nil || opts.Audit != nil
+	observed := opts.Metrics != nil || opts.Audit != nil || opts.Calib != nil || opts.Feedback != nil
 	for _, h := range topo {
 		if stop != nil && stop() {
 			return nil, opts.Ctx.Err()
@@ -167,7 +211,7 @@ func ExecuteDAG(d *hop.DAG, env Env, opts Options) (Env, error) {
 			}
 		}
 		if observed {
-			observeHop(opts.Metrics, opts.Audit, h, ins, m, time.Since(start))
+			observeHop(&opts, h, ins, m, time.Since(start))
 		}
 		sp.End()
 		if stop != nil && stop() {
@@ -225,8 +269,16 @@ func isHorizontalSpoof(h *hop.Hop) bool {
 // observeHop records one executed operator: wall time per operator kind,
 // the analytical FLOP and output-byte estimates next to the actual output
 // bytes and measured work, fused-operator invocation counts per template,
-// and (when auditing) one predicted-vs-measured ledger entry.
-func observeHop(m *obs.Metrics, audit *obs.Audit, h *hop.Hop, ins []*matrix.Matrix, out *matrix.Matrix, d time.Duration) {
+// predicted-vs-measured entries for the audit ledger and the calibrator,
+// and input-sparsity/time feedback for the re-optimization check.
+func observeHop(opts *Options, h *hop.Hop, ins []*matrix.Matrix, out *matrix.Matrix, d time.Duration) {
+	m, audit := opts.Metrics, opts.Audit
+	if fb := opts.Feedback; fb != nil && h.Kind == hop.OpData && fb.Track[h.Name] && out != nil {
+		fb.Inputs = append(fb.Inputs, InputFeedback{
+			Name: h.Name, Rows: h.Rows, Cols: h.Cols,
+			EstNnz: h.Nnz, ActualNnz: int64(out.Nnz()),
+		})
+	}
 	actualFlops := ActualFlops(h, ins, out)
 	m.Inc("exec.ops")
 	m.ObserveDuration("op."+h.Kind.String(), d)
@@ -272,24 +324,49 @@ func observeHop(m *obs.Metrics, audit *obs.Audit, h *hop.Hop, ins []*matrix.Matr
 	if h.ExecType == hop.ExecDist {
 		m.Inc("exec.dist.ops")
 	}
-	if audit != nil && h.PredSec > 0 {
-		var actualBytes int64
-		for _, in := range ins {
-			actualBytes += in.SizeBytes()
+	if h.PredSec > 0 {
+		if fb := opts.Feedback; fb != nil {
+			fb.PredSec += h.PredSec
+			fb.ActualSec += d.Seconds()
 		}
-		if out != nil {
-			actualBytes += out.SizeBytes()
+		if audit != nil || opts.Calib != nil {
+			var inBytes, maxIn, outBytes int64
+			for _, in := range ins {
+				b := in.SizeBytes()
+				inBytes += b
+				if b > maxIn {
+					maxIn = b
+				}
+			}
+			if out != nil {
+				outBytes = out.SizeBytes()
+			}
+			dist := h.ExecType == hop.ExecDist && opts.Dist != nil
+			var bcast int64
+			if dist {
+				// The distributed cost model reads the largest input locally
+				// and receives the rest as broadcast side inputs.
+				bcast = inBytes - maxIn
+			}
+			e := obs.AuditEntry{
+				Op:             h.String(),
+				Template:       h.SpoofType,
+				PredSec:        h.PredSec,
+				PredFlops:      h.PredFlops,
+				PredBytes:      h.PredBytes,
+				ActualSec:      d.Seconds(),
+				ActualFlops:    actualFlops,
+				ActualBytes:    inBytes + outBytes,
+				ActualInBytes:  inBytes,
+				ActualOutBytes: outBytes,
+				BcastBytes:     bcast,
+				Dist:           dist,
+			}
+			audit.Record(e)
+			if opts.Calib != nil {
+				opts.Calib.Observe(e)
+			}
 		}
-		audit.Record(obs.AuditEntry{
-			Op:          h.String(),
-			Template:    h.SpoofType,
-			PredSec:     h.PredSec,
-			PredFlops:   h.PredFlops,
-			PredBytes:   h.PredBytes,
-			ActualSec:   d.Seconds(),
-			ActualFlops: actualFlops,
-			ActualBytes: actualBytes,
-		})
 	}
 }
 

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"sysml/internal/codegen"
+	"sysml/internal/matrix"
+)
+
+// TestEngineSharedCalibration: tenant sessions acquired concurrently all
+// feed one engine-level calibrator (the -race stress of the feedback
+// loop), and the fitted constants survive SaveProfile -> WithCalibration
+// into a second engine.
+func TestEngineSharedCalibration(t *testing.T) {
+	e := NewEngine(
+		WithMaxWorkers(4),
+		WithTenantQuota(TenantQuota{MaxSessions: 2}),
+		WithCalibration(""),
+	)
+	cal := e.Calibrator()
+	if cal == nil {
+		t.Fatal("WithCalibration did not attach a calibrator")
+	}
+
+	const tenants, reps = 4, 6
+	var wg sync.WaitGroup
+	for ti := 0; ti < tenants; ti++ {
+		wg.Add(1)
+		go func(ti int) {
+			defer wg.Done()
+			tn := e.Tenant(fmt.Sprintf("tenant-%d", ti))
+			for r := 0; r < reps; r++ {
+				s, err := tn.Acquire(time.Second)
+				if err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				if s.Calib != cal {
+					t.Error("session does not share the engine calibrator")
+				}
+				ec := matrix.Ctx{Par: s.Par, Buf: s.Alloc}
+				s.Env["X"] = ec.Rand(512, 64, 1, -1, 1, int64(ti))
+				s.Env["Y"] = ec.Rand(512, 64, 1, -1, 1, int64(ti)+1)
+				if err := s.Run(`s = sum(X * Y)`); err != nil {
+					t.Errorf("run: %v", err)
+				}
+				tn.Release(s)
+			}
+		}(ti)
+	}
+	wg.Wait()
+
+	st := cal.State()
+	if st.Samples+st.Skipped == 0 {
+		t.Fatal("no session execution reached the shared calibrator")
+	}
+	snap := e.Metrics()
+	if snap.Counters["calib.samples"] != st.Samples {
+		t.Errorf("engine metrics report %d calib samples, calibrator has %d",
+			snap.Counters["calib.samples"], st.Samples)
+	}
+
+	// Persist and reload into a fresh engine: the loaded profile must become
+	// the second engine's published constants.
+	path := filepath.Join(t.TempDir(), "profile.json")
+	cal.Refit()
+	if err := e.SaveProfile(path); err != nil {
+		t.Fatal(err)
+	}
+	p, err := codegen.LoadProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := NewEngine(WithCalibration(path))
+	if got := e2.Calibrator().Model(); got != p.CostModel() {
+		t.Errorf("second engine model %+v, profile %+v", got, p.CostModel())
+	}
+	if st := e2.Calibrator().State(); st.Source != "profile" {
+		t.Errorf("second engine calibration source %q, want \"profile\"", st.Source)
+	}
+	s := e2.NewSession(codegen.DefaultConfig())
+	if s.Config.Costs != p.CostModel() {
+		t.Error("session did not inherit the loaded profile constants")
+	}
+}
+
+// TestEngineCalibrationBadProfile: an unreadable profile path must not
+// poison the engine — it silently starts from the defaults.
+func TestEngineCalibrationBadProfile(t *testing.T) {
+	e := NewEngine(WithCalibration(filepath.Join(t.TempDir(), "missing.json")))
+	cal := e.Calibrator()
+	if cal == nil {
+		t.Fatal("engine dropped the calibrator on a bad profile path")
+	}
+	if got := cal.Model(); got != codegen.DefaultCostModel() {
+		t.Errorf("bad profile changed the model: %+v", got)
+	}
+}
+
+// TestEngineNoCalibration: without WithCalibration the engine has no
+// calibrator and SaveProfile refuses.
+func TestEngineNoCalibration(t *testing.T) {
+	e := NewEngine()
+	if e.Calibrator() != nil {
+		t.Error("engine grew a calibrator without WithCalibration")
+	}
+	if err := e.SaveProfile("x.json"); err == nil {
+		t.Error("SaveProfile succeeded without a calibrator")
+	}
+}

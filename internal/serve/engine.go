@@ -68,6 +68,14 @@ type Engine struct {
 	// counters. Engine.Metrics folds the remaining engine state (request
 	// counters, plan cache, pools) into its snapshot.
 	obsm *obs.Metrics
+
+	// calib, when non-nil (WithCalibration), is the engine-level shared
+	// cost-model calibrator: every tenant session streams its execution
+	// observations into it and adopts its fitted constants. One engine =
+	// one machine profile.
+	calib *codegen.Calibrator
+	// calibPath, when set, is where SaveProfile persists the fitted profile.
+	calibPath string
 }
 
 // EngineOption configures an Engine at construction time.
@@ -112,6 +120,23 @@ func WithSharedPlanCache(maxEntries, shards, admitAfter int) EngineOption {
 // under (default DefaultConfig). Apply before WithSharedPlanCache.
 func WithConfig(cfg codegen.Config) EngineOption {
 	return func(e *Engine) { e.cfg = cfg }
+}
+
+// WithCalibration attaches an engine-level cost-model calibrator shared by
+// every tenant session. When path is non-empty, a valid non-stale profile
+// at that location seeds the constants (an unreadable, corrupt, or stale
+// profile is ignored — the calibrator starts from the paper defaults and
+// re-measures); the path is also the default SaveProfile destination.
+func WithCalibration(path string) EngineOption {
+	return func(e *Engine) {
+		e.calib = codegen.NewCalibrator(e.cfg.Costs)
+		e.calibPath = path
+		if path != "" {
+			if p, err := codegen.LoadProfile(path); err == nil {
+				e.calib.ApplyProfile(p)
+			}
+		}
+	}
 }
 
 // WithSLOTarget sets a per-request total-latency SLO. Requests whose
@@ -180,7 +205,31 @@ func (e *Engine) NewSession(cfg codegen.Config) *dml.Session {
 	if e.shareSessions {
 		s.Cache = e.cache.View()
 	}
+	if e.calib != nil {
+		s.Calib = e.calib
+		s.Config.Costs = e.calib.Model()
+	}
 	return s
+}
+
+// Calibrator returns the engine's shared cost-model calibrator (nil
+// without WithCalibration).
+func (e *Engine) Calibrator() *codegen.Calibrator { return e.calib }
+
+// SaveProfile persists the calibrator's current constants to path (the
+// WithCalibration path when path is empty). It is an error without an
+// attached calibrator or when neither path is set.
+func (e *Engine) SaveProfile(path string) error {
+	if e.calib == nil {
+		return errors.New("serve: engine has no calibrator (use WithCalibration)")
+	}
+	if path == "" {
+		path = e.calibPath
+	}
+	if path == "" {
+		return errors.New("serve: no profile path configured")
+	}
+	return e.calib.Profile().Save(path)
 }
 
 // Tenant returns the named tenant, creating it under the engine's default
@@ -267,6 +316,18 @@ func (e *Engine) Metrics() obs.Snapshot {
 	snap.Counters["plancache.hits"] = hits
 	snap.Counters["plancache.misses"] = misses
 	snap.Counters["plancache.evictions"] = evictions
+	snap.Counters["plancache.invalidations"] = e.cache.TotalInvalidations()
+	if e.calib != nil {
+		st := e.calib.State()
+		snap.Counters["calib.samples"] = st.Samples
+		snap.Counters["calib.skipped"] = st.Skipped
+		snap.Counters["calib.refits"] = st.Refits
+		snap.Counters["calib.gen"] = int64(st.Gen)
+		snap.Gauges["calib.read_bw"] = st.Model.ReadBW
+		snap.Gauges["calib.write_bw"] = st.Model.WriteBW
+		snap.Gauges["calib.flop_rate"] = st.Model.ComputeBW
+		snap.Gauges["calib.broadcast_bw"] = st.Model.BroadcastBW
+	}
 	snap.Gauges["plancache.size"] = float64(e.cache.Size())
 	byClass, chunkMisses := e.cache.ChunkCounters()
 	for class, n := range byClass {
@@ -430,6 +491,10 @@ func (t *Tenant) acquire(wait time.Duration, count bool) (*dml.Session, error) {
 	s.Par = t.eng.par
 	s.Alloc = t.alloc
 	s.Cache = t.cache
+	if t.eng.calib != nil {
+		s.Calib = t.eng.calib
+		s.Config.Costs = t.eng.calib.Model()
+	}
 	return s, nil
 }
 
@@ -480,6 +545,9 @@ type TenantStats struct {
 	LiveBytes      int64 `json:"live_bytes"`
 	CacheHits      int64 `json:"plancache_hits"`
 	CacheMisses    int64 `json:"plancache_misses"`
+	// CacheInvalidations counts compiled operators this tenant's
+	// re-optimizations removed from the shared store.
+	CacheInvalidations int64 `json:"plancache_invalidations"`
 	// P50MS/P95MS/P99MS estimate the tenant's total-latency quantiles in
 	// milliseconds over the engine's lifetime (bucket interpolation; 0
 	// until the tenant has served a request).
@@ -498,13 +566,14 @@ func (t *Tenant) Stats() TenantStats {
 	hits, misses, _ := t.cache.Counters()
 	lat := t.eng.obsm.Hist(t.histTotal).Snapshot()
 	return TenantStats{
-		Requests:       t.requests.Load(),
-		Shed:           t.shed.Load(),
-		Batched:        t.batched.Load(),
-		ActiveSessions: t.Active(),
-		LiveBytes:      t.LiveBytes(),
-		CacheHits:      hits,
-		CacheMisses:    misses,
+		Requests:           t.requests.Load(),
+		Shed:               t.shed.Load(),
+		Batched:            t.batched.Load(),
+		ActiveSessions:     t.Active(),
+		LiveBytes:          t.LiveBytes(),
+		CacheHits:          hits,
+		CacheMisses:        misses,
+		CacheInvalidations: t.cache.Invalidations(),
 		P50MS:          lat.Quantile(0.50) * 1e3,
 		P95MS:          lat.Quantile(0.95) * 1e3,
 		P99MS:          lat.Quantile(0.99) * 1e3,

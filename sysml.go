@@ -216,6 +216,43 @@ func WithSharedPlanCache(maxEntries, shards, admitAfter int) EngineOption {
 // tenant sessions run under (default DefaultConfig).
 func WithEngineConfig(cfg Config) EngineOption { return serve.WithConfig(cfg) }
 
+// WithCalibration attaches an engine-level shared cost-model calibrator:
+// every tenant session streams its measured operator executions into it,
+// the fitted ReadBW/WriteBW/FlopRate/BroadcastBW constants flow back into
+// plan costing, and cached plans re-optimize when the constants change.
+// When path is non-empty, a valid profile there seeds the constants and
+// Engine.SaveProfile persists the fit back; see docs/COST_MODEL.md for the
+// profile format and divergence thresholds.
+func WithCalibration(path string) EngineOption { return serve.WithCalibration(path) }
+
+// Calibrator fits the cost model's hardware constants from measured
+// executions; attach one to a Session (Session.Calib) or an engine
+// (WithCalibration).
+type Calibrator = codegen.Calibrator
+
+// NewCalibrator returns a calibrator whose prior is the given cost model's
+// constants (typically DefaultConfig().Costs).
+func NewCalibrator(base codegen.CostModel) *Calibrator { return codegen.NewCalibrator(base) }
+
+// CalibrationProfile is the persisted per-machine calibration result: the
+// fitted cost-model constants plus provenance.
+type CalibrationProfile = codegen.Profile
+
+// LoadCalibrationProfile reads and validates a calibration profile JSON
+// file, rejecting corrupt, version-mismatched, implausible, or stale
+// profiles (callers then fall back to the paper-default constants).
+func LoadCalibrationProfile(path string) (CalibrationProfile, error) {
+	return codegen.LoadProfile(path)
+}
+
+// CostModel holds the analytical cost model's bandwidth and compute
+// constants (Config.Costs).
+type CostModel = codegen.CostModel
+
+// ReoptConfig holds the divergence thresholds for mid-script
+// re-optimization (Config.Reopt).
+type ReoptConfig = codegen.ReoptConfig
+
 // defaultEngine backs NewSession: created lazily on first use, it wraps
 // the process-wide default pools, so plain sessions behave exactly as
 // before engines existed.
